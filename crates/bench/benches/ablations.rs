@@ -1,0 +1,162 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! * LSU style (burst-coalesced vs `__pipelined_load`) — the §III-B
+//!   area/performance trade;
+//! * divergence lowering cost — SPLIT/JOIN cycles vs an equivalent
+//!   branch-free (select-based) kernel, the §IV-A challenge ❸;
+//! * D-cache size sensitivity of the cycle simulator;
+//! * compiler-stage costs (front end, passes, codegen).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_arch::{Device, VortexConfig};
+use ocl_ir::interp::{KernelArg, Memory, NdRange};
+use vortex_sim::{CacheConfig, SimConfig};
+
+const BURST: &str = r#"
+    __kernel void k(__global const float* a, __global float* o) {
+        int i = get_global_id(0);
+        int j = (i * 17) % 512;
+        o[i] = a[j];
+    }
+"#;
+const PIPED: &str = r#"
+    __kernel void k(__global const float* a, __global float* o) {
+        int i = get_global_id(0);
+        int j = (i * 17) % 512;
+        o[i] = __pipelined_load(a + j);
+    }
+"#;
+
+/// HLS cycles for a kernel via the pipelined-execution model.
+fn hls_cycles(src: &str, n: u32) -> u64 {
+    let m = ocl_front::compile(src).unwrap();
+    let k = m.expect_kernel("k");
+    let mut mem = Memory::new(1 << 20);
+    let pa = mem.alloc_f32(&vec![1.0; 512]);
+    let po = mem.alloc(n * 4);
+    hls_flow::execute_ndrange(
+        k,
+        &[KernelArg::Ptr(pa), KernelArg::Ptr(po)],
+        &NdRange::d1(n, 16),
+        &mut mem,
+        &Device::mx2100(),
+    )
+    .unwrap()
+    .cycles
+}
+
+fn bench_lsu_style(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/lsu_style");
+    for (label, src) in [("burst", BURST), ("pipelined", PIPED)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &src, |b, src| {
+            b.iter(|| hls_cycles(src, 4096))
+        });
+    }
+    g.finish();
+    // Report the modeled trade-off once, outside the timing loop.
+    let (cb, cp) = (hls_cycles(BURST, 4096), hls_cycles(PIPED, 4096));
+    eprintln!("ablation/lsu_style modeled kernel cycles: burst={cb} pipelined={cp}");
+}
+
+const DIVERGENT: &str = r#"
+    __kernel void k(__global const int* a, __global int* o) {
+        int i = get_global_id(0);
+        if (a[i] % 2 == 0) { o[i] = a[i] * 3; } else { o[i] = a[i] - 7; }
+    }
+"#;
+const SELECTED: &str = r#"
+    __kernel void k(__global const int* a, __global int* o) {
+        int i = get_global_id(0);
+        o[i] = (a[i] % 2 == 0) ? (a[i] * 3) : (a[i] - 7);
+    }
+"#;
+
+fn vortex_cycles(src: &str, cfg: &SimConfig) -> u64 {
+    let n = 1024u32;
+    let compiled = vortex_rt::compile_for(src, "k", cfg).unwrap();
+    let mut sess = vortex_rt::VxSession::new(cfg.clone(), compiled);
+    let data: Vec<i32> = (0..n as i32).collect();
+    let da = sess.alloc_i32(&data).unwrap();
+    let dout = sess.alloc(n * 4).unwrap();
+    let r = sess
+        .launch(
+            &[vortex_rt::Arg::Buf(da), vortex_rt::Arg::Buf(dout)],
+            &NdRange::d1(n, 16),
+        )
+        .unwrap();
+    r.stats.cycles
+}
+
+fn bench_divergence_lowering(c: &mut Criterion) {
+    let cfg = SimConfig::new(VortexConfig::new(2, 4, 8));
+    let mut g = c.benchmark_group("ablation/divergence");
+    for (label, src) in [("split_join", DIVERGENT), ("ternary", SELECTED)] {
+        let cfg = cfg.clone();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &src, move |b, src| {
+            b.iter(|| vortex_cycles(src, &cfg))
+        });
+    }
+    g.finish();
+    let (cd, cs) = (
+        vortex_cycles(DIVERGENT, &cfg),
+        vortex_cycles(SELECTED, &cfg),
+    );
+    eprintln!(
+        "ablation/divergence simulated cycles: split/join={cd} ternary={cs} \
+         (SPLIT/JOIN overhead the paper's §IV-A challenge 3 targets)"
+    );
+}
+
+fn bench_dcache_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/dcache_size");
+    g.sample_size(10);
+    for kb in [1u32, 4, 16] {
+        let mut cfg = SimConfig::new(VortexConfig::new(4, 8, 8));
+        cfg.dcache = CacheConfig {
+            sets: kb * 1024 / (4 * 64),
+            ways: 4,
+            line_bytes: 64,
+        };
+        let b = ocl_suite::benchmark("Transpose").unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(kb), &cfg, |bch, cfg| {
+            bch.iter(|| ocl_suite::run_vortex(&b, ocl_suite::Scale::Test, cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_compiler_stages(c: &mut Criterion) {
+    let b = ocl_suite::benchmark("Gaussian").unwrap();
+    c.bench_function("compiler/frontend", |bch| {
+        bch.iter(|| ocl_front::compile(b.source).unwrap())
+    });
+    let module = ocl_front::compile(b.source).unwrap();
+    c.bench_function("compiler/passes", |bch| {
+        bch.iter(|| {
+            let mut m = module.clone();
+            ocl_ir::passes::optimize_module(&mut m, ocl_ir::passes::OptLevel::VariableReuse)
+        })
+    });
+    c.bench_function("compiler/vortex_codegen", |bch| {
+        bch.iter(|| {
+            module
+                .kernels
+                .iter()
+                .map(|k| {
+                    vortex_cc::compile_kernel(k, &vortex_cc::CodegenOpts { threads: 8 })
+                        .unwrap()
+                        .program
+                        .len()
+                })
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lsu_style,
+    bench_divergence_lowering,
+    bench_dcache_sensitivity,
+    bench_compiler_stages
+);
+criterion_main!(benches);

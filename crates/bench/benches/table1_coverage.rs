@@ -1,0 +1,36 @@
+//! Bench target for Table I: how long each flow takes to establish coverage
+//! of a benchmark (HLS synthesis decision; Vortex compile + execute). Run
+//! with `cargo bench -p repro-bench --bench table1_coverage`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_arch::{Device, VortexConfig};
+use ocl_suite::{benchmark, run_hls, run_vortex, Scale};
+use vortex_sim::SimConfig;
+
+fn bench_hls_coverage(c: &mut Criterion) {
+    let device = Device::mx2100();
+    let mut g = c.benchmark_group("table1/hls_synthesis");
+    for name in ["Vecadd", "Gaussian", "Backprop", "Hybridsort"] {
+        let b = benchmark(name).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &b, |bch, b| {
+            bch.iter(|| run_hls(b, Scale::Test, &device).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_vortex_coverage(c: &mut Criterion) {
+    let cfg = SimConfig::new(VortexConfig::new(2, 4, 16));
+    let mut g = c.benchmark_group("table1/vortex_execute");
+    g.sample_size(10);
+    for name in ["Vecadd", "Dotproduct", "BFS", "Hybridsort"] {
+        let b = benchmark(name).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &b, |bch, b| {
+            bch.iter(|| run_vortex(b, Scale::Test, &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hls_coverage, bench_vortex_coverage);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Bench target for Tables II and III: the HLS analysis + area-estimation
+//! pipeline on the backprop variants and the Table III benchmarks, plus the
+//! automated-O1 pass pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_arch::Device;
+use hls_flow::{synthesize, SynthOptions};
+use ocl_suite::benches::ml::{BACKPROP_O1, BACKPROP_O2, BACKPROP_ORIGINAL};
+
+fn synth_area(src: &str) -> u64 {
+    let m = ocl_front::compile(src).unwrap();
+    match synthesize(&m, &Device::mx2100(), &SynthOptions::default()) {
+        Ok(r) => r.area.brams,
+        Err(hls_flow::SynthFailure::NotEnoughResources { required, .. }) => required.brams,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/backprop_variants");
+    for (label, src) in [
+        ("original", BACKPROP_ORIGINAL),
+        ("o1", BACKPROP_O1),
+        ("o2", BACKPROP_O2),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &src, |b, src| {
+            b.iter(|| synth_area(src))
+        });
+    }
+    g.finish();
+}
+
+fn bench_automated_o1(c: &mut Criterion) {
+    c.bench_function("table2/automated_o1_pass_pipeline", |b| {
+        b.iter(|| {
+            let mut m = ocl_front::compile(BACKPROP_ORIGINAL).unwrap();
+            ocl_ir::passes::optimize_module(&mut m, ocl_ir::passes::OptLevel::VariableReuse)
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3/area_estimation");
+    for name in ["Vecadd", "Matmul", "Gaussian", "BFS"] {
+        let b = ocl_suite::benchmark(name).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &b.source, |bch, src| {
+            bch.iter(|| synth_area(src))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2, bench_automated_o1, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! `repro-bench` — experiment harness (`repro` binary) and Criterion
+//! benchmarks, one bench target per paper table/figure plus ablations.

@@ -1,0 +1,151 @@
+//! Figure 7 — cycle counts for vecadd and transpose across warp × thread
+//! configurations on the 4-core Vortex simulator, plus the §III-C derived
+//! degradation percentages.
+//!
+//! Grid cells are independent simulations, so they fan out across a
+//! `crossbeam` scope (the configuration-sweep parallelism DESIGN.md calls
+//! out); results land in a `parking_lot`-guarded accumulator.
+
+use fpga_arch::VortexConfig;
+use ocl_suite::{benchmark, run_vortex, Scale};
+use parking_lot::Mutex;
+use serde::Serialize;
+use vortex_sim::SimConfig;
+
+/// One grid cell.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig7Cell {
+    pub warps: u32,
+    pub threads: u32,
+    pub cycles: u64,
+    /// Cycles normalized to the grid minimum (the paper's presentation).
+    pub normalized: f64,
+}
+
+/// The full grid for one benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Grid {
+    pub benchmark: String,
+    pub cores: u32,
+    pub cells: Vec<Fig7Cell>,
+}
+
+impl Fig7Grid {
+    pub fn cell(&self, warps: u32, threads: u32) -> Option<&Fig7Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.warps == warps && c.threads == threads)
+    }
+
+    /// The best (minimum-cycle) configuration.
+    pub fn best(&self) -> &Fig7Cell {
+        self.cells
+            .iter()
+            .min_by_key(|c| c.cycles)
+            .expect("nonempty grid")
+    }
+
+    /// Percent slowdown of (warps, threads) relative to the best cell.
+    pub fn degradation_pct(&self, warps: u32, threads: u32) -> Option<f64> {
+        let c = self.cell(warps, threads)?;
+        Some((c.normalized - 1.0) * 100.0)
+    }
+}
+
+/// Run the sweep for `bench_name` over `warps × threads` on `cores` cores.
+pub fn fig7_grid(
+    bench_name: &str,
+    cores: u32,
+    warp_range: &[u32],
+    thread_range: &[u32],
+    scale: Scale,
+) -> Fig7Grid {
+    let cells: Vec<(u32, u32)> = warp_range
+        .iter()
+        .flat_map(|&w| thread_range.iter().map(move |&t| (w, t)))
+        .collect();
+    let results: Mutex<Vec<Fig7Cell>> = Mutex::new(Vec::with_capacity(cells.len()));
+    crossbeam::scope(|s| {
+        for &(w, t) in &cells {
+            let results = &results;
+            s.spawn(move |_| {
+                let b = benchmark(bench_name).expect("benchmark exists");
+                let cfg = SimConfig::new(VortexConfig::new(cores, w, t));
+                let out = run_vortex(&b, scale, &cfg)
+                    .unwrap_or_else(|e| panic!("{bench_name} {w}w{t}t: {e}"));
+                results.lock().push(Fig7Cell {
+                    warps: w,
+                    threads: t,
+                    cycles: out.cycles,
+                    normalized: 0.0,
+                });
+            });
+        }
+    })
+    .expect("sweep threads join");
+    let mut cells = results.into_inner();
+    cells.sort_by_key(|c| (c.warps, c.threads));
+    let min = cells.iter().map(|c| c.cycles).min().expect("nonempty") as f64;
+    for c in &mut cells {
+        c.normalized = c.cycles as f64 / min;
+    }
+    Fig7Grid {
+        benchmark: bench_name.to_string(),
+        cores,
+        cells,
+    }
+}
+
+/// The §III-C prose numbers derived from the two grids.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Summary {
+    pub vecadd_best: (u32, u32),
+    pub transpose_best: (u32, u32),
+    /// Vecadd at 8w8t vs its best (paper: ~27% worse).
+    pub vecadd_8w8t_pct: f64,
+    /// Transpose at 4w4t vs its best (paper: ~44% worse).
+    pub transpose_4w4t_pct: f64,
+    /// Both at the 8w4t "suboptimal for both" point (paper: 11% / 17%).
+    pub vecadd_8w4t_pct: f64,
+    pub transpose_8w4t_pct: f64,
+}
+
+/// Derive the summary; grids must contain the referenced cells.
+pub fn fig7_summary(vecadd: &Fig7Grid, transpose: &Fig7Grid) -> Fig7Summary {
+    let b1 = vecadd.best();
+    let b2 = transpose.best();
+    Fig7Summary {
+        vecadd_best: (b1.warps, b1.threads),
+        transpose_best: (b2.warps, b2.threads),
+        vecadd_8w8t_pct: vecadd.degradation_pct(8, 8).unwrap_or(f64::NAN),
+        transpose_4w4t_pct: transpose.degradation_pct(4, 4).unwrap_or(f64::NAN),
+        vecadd_8w4t_pct: vecadd.degradation_pct(8, 4).unwrap_or(f64::NAN),
+        transpose_8w4t_pct: transpose.degradation_pct(8, 4).unwrap_or(f64::NAN),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_produces_normalized_grid() {
+        let g = fig7_grid("Vecadd", 1, &[2, 4], &[2, 4], Scale::Test);
+        assert_eq!(g.cells.len(), 4);
+        let min = g.cells.iter().map(|c| c.cycles).min().unwrap();
+        assert!(min > 0);
+        assert!(g.cells.iter().any(|c| (c.normalized - 1.0).abs() < 1e-9));
+        assert!(g.cells.iter().all(|c| c.normalized >= 1.0));
+        assert_eq!(g.best().cycles, min);
+    }
+
+    #[test]
+    fn degradation_is_relative_to_best() {
+        let g = fig7_grid("Transpose", 1, &[2, 4], &[2, 4], Scale::Test);
+        let best = g.best();
+        assert_eq!(
+            g.degradation_pct(best.warps, best.threads).unwrap(),
+            0.0
+        );
+    }
+}

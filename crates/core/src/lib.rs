@@ -1,0 +1,25 @@
+//! `repro-core` — the paper's comparison framework.
+//!
+//! This crate is the primary contribution layer: it drives *identical
+//! kernel source* through both tool flows (the methodology of §III) and
+//! regenerates every quantitative artifact of the evaluation:
+//!
+//! * [`coverage`] — Table I (benchmark coverage, with failure reasons);
+//! * [`tables`] — Table II (backprop area under O1/O2), Table III (HLS area
+//!   for four benchmarks), Table IV (Vortex area across configurations);
+//! * [`fig7`] — Figure 7 (cycle heatmap over warps × threads on the 4-core
+//!   Vortex simulator) plus the §III-C derived percentages;
+//! * [`analytic`] — the analytical Vortex performance model the paper's
+//!   §IV-A calls for as future work, validated against the cycle simulator;
+//! * [`report`] — markdown / JSON rendering shared by the `repro` binary
+//!   and EXPERIMENTS.md.
+
+pub mod analytic;
+pub mod coverage;
+pub mod fig7;
+pub mod report;
+pub mod tables;
+
+pub use coverage::{coverage_table, CoverageRow};
+pub use fig7::{fig7_grid, fig7_summary, Fig7Cell, Fig7Grid};
+pub use tables::{table2, table3, table4, AreaRow};

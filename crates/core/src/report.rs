@@ -1,0 +1,179 @@
+//! Markdown / JSON rendering of the experiment artifacts, shared by the
+//! `repro` harness binary and EXPERIMENTS.md generation.
+
+use crate::coverage::CoverageRow;
+use crate::fig7::{Fig7Grid, Fig7Summary};
+use crate::tables::AreaRow;
+use fpga_arch::VortexConfig;
+use std::fmt::Write;
+
+/// Render Table I as markdown.
+pub fn render_table1(rows: &[CoverageRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "| Benchmark | Vortex | Intel SDK | Reason to Fail |");
+    let _ = writeln!(s, "|---|---|---|---|");
+    for r in rows {
+        let v = if r.vortex_ok() { "O" } else { "X" };
+        let h = if r.hls_ok() { "O" } else { "X" };
+        let _ = writeln!(s, "| {} | {} | {} | {} |", r.name, v, h, r.fail_reason());
+    }
+    s
+}
+
+/// Render an area table (Tables II / III) as markdown with paper deltas.
+pub fn render_area_table(title: &str, rows: &[AreaRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "### {title}");
+    let _ = writeln!(
+        s,
+        "| Row | ALUTs | FFs | BRAMs | DSPs | BRAM util | paper BRAMs | Δ |"
+    );
+    let _ = writeln!(s, "|---|---|---|---|---|---|---|---|");
+    for r in rows {
+        let (paper, delta) = match r.paper {
+            Some(p) => {
+                let d = 100.0 * (r.model.brams as f64 - p.brams as f64) / p.brams as f64;
+                (p.brams.to_string(), format!("{d:+.1}%"))
+            }
+            None => ("-".to_string(), "-".to_string()),
+        };
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} | {} | {} | {:.0}% | {} | {} |",
+            r.label, r.model.aluts, r.model.ffs, r.model.brams, r.model.dsps, r.bram_pct,
+            paper, delta
+        );
+    }
+    s
+}
+
+/// Render Table IV as markdown.
+pub fn render_table4(rows: &[(VortexConfig, AreaRow)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "| C | W | T | ALUTs | FFs | BRAMs | DSPs | paper ALUTs | paper BRAMs |"
+    );
+    let _ = writeln!(s, "|---|---|---|---|---|---|---|---|---|");
+    for (cfg, r) in rows {
+        let p = r.paper.expect("table4 rows carry paper values");
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            cfg.cores,
+            cfg.warps,
+            cfg.threads,
+            r.model.aluts,
+            r.model.ffs,
+            r.model.brams,
+            r.model.dsps,
+            p.aluts,
+            p.brams
+        );
+    }
+    s
+}
+
+/// Render a Figure 7 grid as a normalized-cycles heat table (warps down,
+/// threads across), like the paper's color map.
+pub fn render_fig7(grid: &Fig7Grid) -> String {
+    let mut warps: Vec<u32> = grid.cells.iter().map(|c| c.warps).collect();
+    warps.dedup();
+    let mut threads: Vec<u32> = grid.cells.iter().map(|c| c.threads).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "### Figure 7 — {} ({} cores, cycles normalized to minimum)",
+        grid.benchmark, grid.cores
+    );
+    let _ = write!(s, "| warps \\\\ threads |");
+    for t in &threads {
+        let _ = write!(s, " {t} |");
+    }
+    let _ = writeln!(s);
+    let _ = write!(s, "|---|");
+    for _ in &threads {
+        let _ = write!(s, "---|");
+    }
+    let _ = writeln!(s);
+    for w in &warps {
+        let _ = write!(s, "| {w} |");
+        for t in &threads {
+            match grid.cell(*w, *t) {
+                Some(c) => {
+                    let _ = write!(s, " {:.2} |", c.normalized);
+                }
+                None => {
+                    let _ = write!(s, " - |");
+                }
+            }
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Render the §III-C summary sentence comparisons.
+pub fn render_fig7_summary(sm: &Fig7Summary) -> String {
+    format!(
+        "vecadd best: {}w{}t (paper: 4w4t); transpose best: {}w{}t (paper: 8w8t)\n\
+         vecadd @8w8t: {:+.0}% (paper: ~+27%); transpose @4w4t: {:+.0}% (paper: ~+44%)\n\
+         @8w4t: vecadd {:+.0}% / transpose {:+.0}% (paper: +11% / +17%)\n",
+        sm.vecadd_best.0,
+        sm.vecadd_best.1,
+        sm.transpose_best.0,
+        sm.transpose_best.1,
+        sm.vecadd_8w8t_pct,
+        sm.transpose_4w4t_pct,
+        sm.vecadd_8w4t_pct,
+        sm.transpose_8w4t_pct,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig7::Fig7Cell;
+    use fpga_arch::ResourceVector;
+
+    #[test]
+    fn table1_rendering_contains_marks() {
+        let rows = vec![CoverageRow {
+            name: "Lbm".into(),
+            vortex: Ok(123),
+            hls: Err("Not enough BRAM".into()),
+            hls_hours: 1.4,
+        }];
+        let s = render_table1(&rows);
+        assert!(s.contains("| Lbm | O | X | Not enough BRAM |"), "{s}");
+    }
+
+    #[test]
+    fn area_table_shows_delta() {
+        let rows = vec![AreaRow {
+            label: "x".into(),
+            model: ResourceVector::new(1, 2, 110, 4),
+            paper: Some(ResourceVector::new(1, 2, 100, 4)),
+            bram_pct: 1.6,
+        }];
+        let s = render_area_table("T", &rows);
+        assert!(s.contains("+10.0%"), "{s}");
+    }
+
+    #[test]
+    fn fig7_grid_renders_matrix() {
+        let g = Fig7Grid {
+            benchmark: "Vecadd".into(),
+            cores: 4,
+            cells: vec![
+                Fig7Cell { warps: 2, threads: 2, cycles: 100, normalized: 1.0 },
+                Fig7Cell { warps: 2, threads: 4, cycles: 150, normalized: 1.5 },
+            ],
+        };
+        let s = render_fig7(&g);
+        assert!(s.contains("1.00"), "{s}");
+        assert!(s.contains("1.50"), "{s}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Tables II, III and IV.
+
+use fpga_arch::{vortex_area, Device, ResourceVector, VortexConfig};
+use hls_flow::{synthesize, SynthOptions};
+use ocl_suite::benches::ml::{BACKPROP_O1, BACKPROP_O2, BACKPROP_ORIGINAL};
+use serde::Serialize;
+
+/// One area-report row, with the paper's value for side-by-side output.
+#[derive(Debug, Clone, Serialize)]
+pub struct AreaRow {
+    pub label: String,
+    pub model: ResourceVector,
+    pub paper: Option<ResourceVector>,
+    /// BRAM utilization of the MX2100 in percent (the §III-B headline).
+    pub bram_pct: f64,
+}
+
+fn area_of(src: &str) -> ResourceVector {
+    let m = ocl_front::compile(src).expect("suite source compiles");
+    let device = Device::mx2100();
+    match synthesize(&m, &device, &SynthOptions::default()) {
+        Ok(r) => r.area,
+        Err(hls_flow::SynthFailure::NotEnoughResources { required, .. }) => required,
+        Err(other) => panic!("unexpected synthesis failure: {other}"),
+    }
+}
+
+fn row(label: &str, model: ResourceVector, paper: Option<ResourceVector>) -> AreaRow {
+    let device = Device::mx2100();
+    AreaRow {
+        label: label.to_string(),
+        bram_pct: device.utilization(&model).brams_pct,
+        model,
+        paper,
+    }
+}
+
+/// Table II — backprop synthesis area under the cumulative source
+/// optimizations of §III-B (Figure 6's three listings).
+pub fn table2() -> Vec<AreaRow> {
+    vec![
+        row(
+            "Original code",
+            area_of(BACKPROP_ORIGINAL),
+            Some(ResourceVector::new(1_000_388, 2_158_459, 12_898, 17)),
+        ),
+        row(
+            "Variable reuse (O1)",
+            area_of(BACKPROP_O1),
+            Some(ResourceVector::new(826_993, 1_587_827, 9_882, 9)),
+        ),
+        row(
+            "Pipelined load (O2)",
+            area_of(BACKPROP_O2),
+            Some(ResourceVector::new(451_395, 1_051_467, 5_694, 11)),
+        ),
+    ]
+}
+
+/// The automated form of O1: run the IR-level CSE pass on the *original*
+/// source and report the area it reaches (the compiler-automation
+/// opportunity §IV-B points at). Returns (manual O1 area, automated area).
+pub fn table2_automated_o1() -> (ResourceVector, ResourceVector) {
+    let manual = area_of(BACKPROP_O1);
+    let mut m = ocl_front::compile(BACKPROP_ORIGINAL).expect("compiles");
+    ocl_ir::passes::optimize_module(&mut m, ocl_ir::passes::OptLevel::VariableReuse);
+    let device = Device::mx2100();
+    let auto = match synthesize(&m, &device, &SynthOptions::default()) {
+        Ok(r) => r.area,
+        Err(hls_flow::SynthFailure::NotEnoughResources { required, .. }) => required,
+        Err(other) => panic!("unexpected synthesis failure: {other}"),
+    };
+    (manual, auto)
+}
+
+/// Table III — HLS synthesis area for the four selected benchmarks.
+pub fn table3() -> Vec<AreaRow> {
+    let bench_area = |name: &str| {
+        let b = ocl_suite::benchmark(name).expect("benchmark exists");
+        area_of(b.source)
+    };
+    vec![
+        row(
+            "Vecadd",
+            bench_area("Vecadd"),
+            Some(ResourceVector::new(83_792, 263_632, 1_065, 1)),
+        ),
+        row(
+            "Matmul",
+            bench_area("Matmul"),
+            Some(ResourceVector::new(250_218, 415_893, 2_696, 5)),
+        ),
+        row(
+            "Gauss",
+            bench_area("Gaussian"),
+            Some(ResourceVector::new(537_571, 1_174_446, 6_384, 10)),
+        ),
+        row(
+            "BFS",
+            bench_area("BFS"),
+            Some(ResourceVector::new(256_690, 1_172_664, 5_892, 6)),
+        ),
+    ]
+}
+
+/// Table IV — Vortex synthesis area across (C, W, T) configurations.
+pub fn table4() -> Vec<(VortexConfig, AreaRow)> {
+    fpga_arch::vortex_area::table4_reference()
+        .into_iter()
+        .map(|(cfg, paper)| {
+            let model = vortex_area(&cfg);
+            let device = Device::sx2800();
+            (
+                cfg,
+                AreaRow {
+                    label: cfg.to_string(),
+                    bram_pct: device.utilization(&model).brams_pct,
+                    model,
+                    paper: Some(paper),
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_monotone_reduction_matches_paper_shape() {
+        let rows = table2();
+        assert_eq!(rows.len(), 3);
+        let brams: Vec<u64> = rows.iter().map(|r| r.model.brams).collect();
+        // Cumulative optimizations strictly reduce BRAM.
+        assert!(brams[0] > brams[1] && brams[1] > brams[2], "{brams:?}");
+        // Original over budget, O1 still over, O2 fits — the paper's
+        // 188% → 144% → 83% story.
+        assert!(rows[0].bram_pct > 100.0, "{}", rows[0].bram_pct);
+        assert!(rows[1].bram_pct > 100.0, "{}", rows[1].bram_pct);
+        assert!(rows[2].bram_pct < 100.0, "{}", rows[2].bram_pct);
+        // Within 25% of the paper's absolute numbers on every step.
+        for r in &rows {
+            let paper = r.paper.unwrap();
+            let rel = (r.model.brams as f64 - paper.brams as f64).abs() / paper.brams as f64;
+            assert!(rel < 0.25, "{}: model {} paper {}", r.label, r.model.brams, paper.brams);
+        }
+    }
+
+    #[test]
+    fn automated_o1_matches_manual_rewrite() {
+        let (manual, auto) = table2_automated_o1();
+        // The CSE pass must reach the same LSU count as the hand rewrite
+        // (identical BRAM), validating the §IV-B automation claim.
+        assert_eq!(
+            auto.brams, manual.brams,
+            "automated O1 {} vs manual {}",
+            auto.brams, manual.brams
+        );
+    }
+
+    #[test]
+    fn table3_within_tolerance_and_ordered_like_paper() {
+        let rows = table3();
+        for r in &rows {
+            let paper = r.paper.unwrap();
+            let rel = (r.model.brams as f64 - paper.brams as f64).abs() / paper.brams as f64;
+            assert!(
+                rel < 0.30,
+                "{}: BRAM {} vs paper {}",
+                r.label,
+                r.model.brams,
+                paper.brams
+            );
+        }
+        // Relative ordering: Vecadd < Matmul < BFS <= Gauss (paper's shape).
+        assert!(rows[0].model.brams < rows[1].model.brams);
+        assert!(rows[1].model.brams < rows[3].model.brams);
+        assert!(rows[3].model.brams <= rows[2].model.brams + 600);
+    }
+
+    #[test]
+    fn table4_exact_brams_dsps() {
+        for (cfg, r) in table4() {
+            let paper = r.paper.unwrap();
+            assert_eq!(r.model.brams, paper.brams, "{cfg}");
+            assert_eq!(r.model.dsps, paper.dsps, "{cfg}");
+        }
+    }
+}

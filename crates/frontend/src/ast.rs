@@ -1,0 +1,227 @@
+//! Abstract syntax tree for the OpenCL-C subset.
+
+use crate::lex::Span;
+
+/// Scalar type names appearing in source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeName {
+    Int,
+    Uint,
+    Float,
+    Bool,
+}
+
+/// Parameter declaration in a kernel signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    pub name: String,
+    pub ty: TypeName,
+    /// `Some(space)` for pointer parameters.
+    pub pointer: Option<PtrSpace>,
+    pub span: Span,
+}
+
+/// Pointer address-space qualifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtrSpace {
+    Global,
+    Local,
+}
+
+/// A `__kernel void name(...) { ... }` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDef {
+    pub name: String,
+    pub params: Vec<ParamDecl>,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TranslationUnit {
+    pub kernels: Vec<KernelDef>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `int x = e, y;`
+    DeclScalar {
+        ty: TypeName,
+        decls: Vec<(String, Option<Expr>)>,
+        span: Span,
+    },
+    /// `__local float tile[16][16];`
+    DeclLocalArray {
+        ty: TypeName,
+        name: String,
+        dims: Vec<u32>,
+        span: Span,
+    },
+    Expr(Expr),
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        span: Span,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+        span: Span,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        span: Span,
+    },
+    DoWhile {
+        body: Vec<Stmt>,
+        cond: Expr,
+        span: Span,
+    },
+    Return(Span),
+    Break(Span),
+    Continue(Span),
+    Barrier(Span),
+    Block(Vec<Stmt>),
+}
+
+/// Binary operators in source form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators in source form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstUnOp {
+    Neg,
+    BitNot,
+    LogNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    IntLit(i64, Span),
+    FloatLit(f32, Span),
+    BoolLit(bool, Span),
+    Ident(String, Span),
+    /// `a[i]` (possibly `a[i][j]` for local arrays).
+    Index {
+        base: Box<Expr>,
+        indices: Vec<Expr>,
+        span: Span,
+    },
+    /// `&expr` — only valid on index expressions (for atomics).
+    AddrOf(Box<Expr>, Span),
+    Unary {
+        op: AstUnOp,
+        expr: Box<Expr>,
+        span: Span,
+    },
+    Binary {
+        op: AstBinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        span: Span,
+    },
+    /// `cond ? a : b`
+    Ternary {
+        cond: Box<Expr>,
+        then_e: Box<Expr>,
+        else_e: Box<Expr>,
+        span: Span,
+    },
+    /// `(int)x`, `(float)x`, …
+    Cast {
+        ty: TypeName,
+        expr: Box<Expr>,
+        span: Span,
+    },
+    /// Builtin or intrinsic call (`get_global_id(0)`, `sqrt(x)`,
+    /// `atomic_add(&p[i], v)`, `printf("...", ..)`, `__pipelined_load(p)`).
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        span: Span,
+    },
+    /// String literal argument to printf.
+    Str(String, Span),
+    /// `lhs = rhs` or compound (`op` is the combining operator, if any).
+    Assign {
+        target: Box<Expr>,
+        op: Option<AstBinOp>,
+        value: Box<Expr>,
+        span: Span,
+    },
+    /// `++x` / `x++` / `--x` / `x--`; lowered as read-modify-write. `post`
+    /// selects whether the expression's value is the old or new one.
+    IncDec {
+        target: Box<Expr>,
+        inc: bool,
+        post: bool,
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::IntLit(_, s)
+            | Expr::FloatLit(_, s)
+            | Expr::BoolLit(_, s)
+            | Expr::Ident(_, s)
+            | Expr::AddrOf(_, s)
+            | Expr::Str(_, s) => *s,
+            Expr::Index { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Ternary { span, .. }
+            | Expr::Cast { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Assign { span, .. }
+            | Expr::IncDec { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_span_accessor_covers_variants() {
+        let s = Span::new(3, 7);
+        let e = Expr::Binary {
+            op: AstBinOp::Add,
+            lhs: Box::new(Expr::IntLit(1, s)),
+            rhs: Box::new(Expr::IntLit(2, s)),
+            span: s,
+        };
+        assert_eq!(e.span(), s);
+        assert_eq!(Expr::Ident("x".into(), s).span(), s);
+    }
+}

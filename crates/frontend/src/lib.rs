@@ -1,0 +1,86 @@
+//! `ocl-front` — OpenCL-C subset front end.
+//!
+//! Implements the shared "Kernel Compiler" front half of the paper's
+//! Figure 2: preprocess → lex → parse → type-check/lower → verified IR.
+//! Both tool flows (`hls-flow` and `vortex-cc`) consume the resulting
+//! [`ocl_ir::Module`], mirroring how the paper runs *identical kernel source*
+//! through the Intel AOC compiler and the Vortex/PoCL compiler.
+
+pub mod ast;
+pub mod lex;
+pub mod lower;
+pub mod parse;
+pub mod preprocess;
+
+use ocl_ir::Module;
+
+/// A front-end failure from any stage, with a human-readable rendering that
+/// includes line/column when available.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    Preprocess(preprocess::PreprocessError),
+    Lex { message: String, line: usize, col: usize },
+    Parse { message: String, line: usize, col: usize },
+    Lower { message: String, line: usize, col: usize },
+    Verify(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Preprocess(e) => write!(f, "{e}"),
+            CompileError::Lex { message, line, col } => {
+                write!(f, "lex error at {line}:{col}: {message}")
+            }
+            CompileError::Parse { message, line, col } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            CompileError::Lower { message, line, col } => {
+                write!(f, "semantic error at {line}:{col}: {message}")
+            }
+            CompileError::Verify(m) => write!(f, "internal IR verification failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compile OpenCL-C subset source to a verified IR module.
+pub fn compile(src: &str) -> Result<Module, CompileError> {
+    compile_with_defines(src, &[])
+}
+
+/// Compile with `-D`-style predefined macros.
+pub fn compile_with_defines(
+    src: &str,
+    defines: &[(&str, &str)],
+) -> Result<Module, CompileError> {
+    let pp = preprocess::preprocess(src, defines).map_err(CompileError::Preprocess)?;
+    let tokens = lex::lex(&pp).map_err(|e| {
+        let (line, col) = e.span.line_col(&pp);
+        CompileError::Lex {
+            message: e.message,
+            line,
+            col,
+        }
+    })?;
+    let unit = parse::parse(&tokens).map_err(|e| {
+        let (line, col) = e.span.line_col(&pp);
+        CompileError::Parse {
+            message: e.message,
+            line,
+            col,
+        }
+    })?;
+    let module = lower::lower(&unit).map_err(|e| {
+        let (line, col) = e.span.line_col(&pp);
+        CompileError::Lower {
+            message: e.message,
+            line,
+            col,
+        }
+    })?;
+    ocl_ir::verify::verify_module(&module)
+        .map_err(|e| CompileError::Verify(e.to_string()))?;
+    Ok(module)
+}

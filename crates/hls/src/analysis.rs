@@ -1,0 +1,380 @@
+//! Kernel datapath analysis: LSU inference and operation census.
+
+use ocl_ir::{
+    BinOp, Builtin, Function, LoadHint, Op, Operand, Scalar, UnOp, VReg,
+};
+use rustc_hash::FxHashMap;
+
+/// How the address of a memory access site relates to the work-item id —
+/// the property the AOC compiler's LSU inference keys burst-buffer sizing
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Address is an affine function of `get_global_id` (contiguous across
+    /// adjacent work items): a narrow burst buffer suffices.
+    ThreadAffine,
+    /// Computed / indirect index: the LSU provisions deep burst buffers.
+    Computed,
+}
+
+/// One global-memory access site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteInfo {
+    pub pattern: AccessPattern,
+    /// For loads: the LSU style chosen (burst-coalesced vs pipelined).
+    pub hint: LoadHint,
+}
+
+/// Static profile of one kernel, input to the area and performance models.
+#[derive(Debug, Clone, Default)]
+pub struct KernelProfile {
+    pub name: String,
+    pub load_sites: Vec<SiteInfo>,
+    pub store_sites: Vec<SiteInfo>,
+    pub atomic_sites: usize,
+    /// (bytes, access-site count) per `__local` array.
+    pub local_arrays: Vec<(u32, usize)>,
+    pub int_alu_ops: usize,
+    pub int_mul_sites: usize,
+    pub fadd_sites: usize,
+    pub fmul_sites: usize,
+    pub fdiv_sites: usize,
+    pub sfu_sites: usize,
+    pub uses_barrier: bool,
+    pub uses_printf: bool,
+    /// Basic-block count, a crude proxy for control-path complexity.
+    pub blocks: usize,
+}
+
+impl KernelProfile {
+    /// Total burst-coalesced load sites (32 load units each).
+    pub fn burst_load_sites(&self) -> usize {
+        self.load_sites
+            .iter()
+            .filter(|s| s.hint == LoadHint::BurstCoalesced)
+            .count()
+    }
+
+    /// Total pipelined load sites (1 load unit each).
+    pub fn pipelined_load_sites(&self) -> usize {
+        self.load_sites
+            .iter()
+            .filter(|s| s.hint == LoadHint::Pipelined)
+            .count()
+    }
+}
+
+/// Build the profile for a kernel.
+pub fn profile(f: &Function) -> KernelProfile {
+    let affinity = classify_values(f);
+    let mut p = KernelProfile {
+        name: f.name.clone(),
+        uses_barrier: f.uses_barrier(),
+        uses_printf: f.uses_printf(),
+        blocks: f.blocks.len(),
+        ..Default::default()
+    };
+    // Per-local-array access counts keyed by the LocalAddr result chains: we
+    // count local-space memory ops and attribute them evenly (arrays are few
+    // and the area cost depends mostly on the total).
+    let mut local_accesses = 0usize;
+    for b in &f.blocks {
+        for inst in &b.insts {
+            match &inst.op {
+                Op::Load {
+                    ptr, space, hint, ..
+                } => match space {
+                    ocl_ir::AddressSpace::Global => p.load_sites.push(SiteInfo {
+                        pattern: pattern_of(ptr, &affinity),
+                        hint: *hint,
+                    }),
+                    ocl_ir::AddressSpace::Local => local_accesses += 1,
+                },
+                Op::Store { ptr, space, .. } => match space {
+                    ocl_ir::AddressSpace::Global => p.store_sites.push(SiteInfo {
+                        pattern: pattern_of(ptr, &affinity),
+                        hint: LoadHint::BurstCoalesced,
+                    }),
+                    ocl_ir::AddressSpace::Local => local_accesses += 1,
+                },
+                Op::AtomicRmw { .. } => p.atomic_sites += 1,
+                Op::Bin { op, ty, .. } => match (ty, op) {
+                    (Scalar::F32, BinOp::Mul) => p.fmul_sites += 1,
+                    (Scalar::F32, BinOp::Div | BinOp::Rem) => p.fdiv_sites += 1,
+                    (Scalar::F32, _) => p.fadd_sites += 1,
+                    (_, BinOp::Mul | BinOp::Div | BinOp::Rem) => p.int_mul_sites += 1,
+                    _ => p.int_alu_ops += 1,
+                },
+                Op::Un { op, .. } => match op {
+                    UnOp::Sqrt | UnOp::Exp | UnOp::Log | UnOp::Sin | UnOp::Cos => {
+                        p.sfu_sites += 1
+                    }
+                    UnOp::I2F | UnOp::U2F | UnOp::F2I | UnOp::Floor => p.fadd_sites += 1,
+                    _ => p.int_alu_ops += 1,
+                },
+                Op::Cmp { ty, .. } => {
+                    if *ty == Scalar::F32 {
+                        p.fadd_sites += 1;
+                    } else {
+                        p.int_alu_ops += 1;
+                    }
+                }
+                Op::Select { .. } | Op::Mov { .. } | Op::Gep { .. } | Op::WorkItem(_) => {
+                    p.int_alu_ops += 1
+                }
+                Op::LocalAddr(_) | Op::Barrier | Op::Printf { .. } => {}
+            }
+        }
+    }
+    let n_arrays = f.local_arrays.len().max(1);
+    for a in &f.local_arrays {
+        p.local_arrays
+            .push((a.bytes(), local_accesses.div_ceil(n_arrays)));
+    }
+    p
+}
+
+/// Affinity lattice per register: is the value an affine function of the
+/// work-item id, and if so is it *unit stride* along dimension 0 (the
+/// property that lets the LSU use a narrow burst buffer)?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Aff {
+    /// Compile-time constant or kernel argument (uniform across items).
+    Uniform,
+    /// `uniform + get_global_id(0)` — contiguous across adjacent items.
+    UnitAffine,
+    /// Affine in some id but strided or in a higher dimension.
+    StridedAffine,
+    /// Anything else (indirect, data-dependent, loop-carried).
+    Other,
+}
+
+impl Aff {
+    fn rank(self) -> u8 {
+        match self {
+            Aff::Uniform => 0,
+            Aff::UnitAffine => 1,
+            Aff::StridedAffine => 2,
+            Aff::Other => 3,
+        }
+    }
+
+    fn join(self, other: Aff) -> Aff {
+        if self.rank() >= other.rank() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+fn classify_values(f: &Function) -> FxHashMap<VReg, Aff> {
+    let mut aff: FxHashMap<VReg, Aff> = FxHashMap::default();
+    for i in 0..f.params.len() {
+        aff.insert(VReg(i as u32), Aff::Uniform);
+    }
+    // Fixed point over the (possibly cyclic) assignment graph.
+    loop {
+        let mut changed = false;
+        for b in &f.blocks {
+            for inst in &b.insts {
+                let Some(r) = inst.result else { continue };
+                let new = infer(&inst.op, &aff);
+                let old = aff.get(&r).copied();
+                // Multiple assignments join upward in the lattice.
+                let merged = match old {
+                    None => new,
+                    Some(o) => o.join(new),
+                };
+                if old != Some(merged) {
+                    aff.insert(r, merged);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    aff
+}
+
+fn operand_aff(o: &Operand, aff: &FxHashMap<VReg, Aff>) -> Aff {
+    match o {
+        Operand::Const(_) => Aff::Uniform,
+        Operand::Reg(r) => aff.get(r).copied().unwrap_or(Aff::Uniform),
+    }
+}
+
+fn infer(op: &Op, aff: &FxHashMap<VReg, Aff>) -> Aff {
+    match op {
+        Op::WorkItem(b) => match b {
+            // Dimension 0 is the fastest-varying: adjacent work items have
+            // adjacent ids, so unit-stride addressing coalesces.
+            Builtin::GlobalId(0) | Builtin::LocalId(0) => Aff::UnitAffine,
+            Builtin::GlobalId(_) | Builtin::LocalId(_) | Builtin::GroupId(_) => {
+                Aff::StridedAffine
+            }
+            _ => Aff::Uniform,
+        },
+        Op::Mov { a, .. } => operand_aff(a, aff),
+        Op::Un { op, a, .. } => match op {
+            UnOp::IntCast | UnOp::Neg => operand_aff(a, aff),
+            _ => match operand_aff(a, aff) {
+                Aff::Uniform => Aff::Uniform,
+                _ => Aff::Other,
+            },
+        },
+        Op::Bin { op, a, b, .. } => {
+            let (x, y) = (operand_aff(a, aff), operand_aff(b, aff));
+            match op {
+                BinOp::Add | BinOp::Sub => match (x, y) {
+                    (Aff::Uniform, Aff::Uniform) => Aff::Uniform,
+                    (a, Aff::Uniform) | (Aff::Uniform, a)
+                        if a == Aff::UnitAffine || a == Aff::StridedAffine =>
+                    {
+                        a
+                    }
+                    // Sum of two affine terms: still affine but no longer
+                    // provably unit stride.
+                    (Aff::UnitAffine | Aff::StridedAffine, Aff::UnitAffine | Aff::StridedAffine) => {
+                        Aff::StridedAffine
+                    }
+                    _ => Aff::Other,
+                },
+                BinOp::Mul | BinOp::Shl => match (x, y) {
+                    (Aff::Uniform, Aff::Uniform) => Aff::Uniform,
+                    // Scaling an affine value changes its stride.
+                    (Aff::UnitAffine | Aff::StridedAffine, Aff::Uniform)
+                    | (Aff::Uniform, Aff::UnitAffine | Aff::StridedAffine) => Aff::StridedAffine,
+                    _ => Aff::Other,
+                },
+                _ => match (x, y) {
+                    (Aff::Uniform, Aff::Uniform) => Aff::Uniform,
+                    _ => Aff::Other,
+                },
+            }
+        }
+        Op::Gep { base, index, .. } => {
+            match (operand_aff(base, aff), operand_aff(index, aff)) {
+                (Aff::Uniform, Aff::Uniform) => Aff::Uniform,
+                (Aff::Uniform, i) if i != Aff::Other => i,
+                (b, Aff::Uniform) if b != Aff::Other => b,
+                _ => Aff::Other,
+            }
+        }
+        // Loaded values and atomics are data-dependent.
+        Op::Load { .. } | Op::AtomicRmw { .. } => Aff::Other,
+        Op::Select { .. } => Aff::Other,
+        Op::Cmp { .. } => Aff::Other,
+        Op::LocalAddr(_) => Aff::Uniform,
+        Op::Store { .. } | Op::Barrier | Op::Printf { .. } => Aff::Other,
+    }
+}
+
+fn pattern_of(ptr: &Operand, aff: &FxHashMap<VReg, Aff>) -> AccessPattern {
+    match operand_aff(ptr, aff) {
+        // Only uniform or unit-stride addresses coalesce into narrow
+        // bursts; strided-affine and data-dependent addresses provision the
+        // deep burst buffers that dominate the paper's BRAM counts.
+        Aff::Uniform | Aff::UnitAffine => AccessPattern::ThreadAffine,
+        Aff::StridedAffine | Aff::Other => AccessPattern::Computed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_src(src: &str) -> KernelProfile {
+        let m = ocl_front::compile(src).unwrap();
+        profile(&m.kernels[0])
+    }
+
+    #[test]
+    fn vecadd_sites_are_thread_affine() {
+        let p = profile_src(
+            "__kernel void v(__global const float* a, __global const float* b, __global float* c) {
+                int i = get_global_id(0);
+                c[i] = a[i] + b[i];
+            }",
+        );
+        assert_eq!(p.load_sites.len(), 2);
+        assert_eq!(p.store_sites.len(), 1);
+        assert!(p
+            .load_sites
+            .iter()
+            .all(|s| s.pattern == AccessPattern::ThreadAffine));
+        assert_eq!(p.store_sites[0].pattern, AccessPattern::ThreadAffine);
+        assert_eq!(p.burst_load_sites(), 2);
+        assert_eq!(p.fadd_sites, 1);
+    }
+
+    #[test]
+    fn matmul_row_access_is_computed() {
+        let p = profile_src(
+            "__kernel void mm(__global const float* a, __global const float* b,
+                              __global float* c, int n) {
+                int row = get_global_id(1);
+                int col = get_global_id(0);
+                float acc = 0.0f;
+                for (int k = 0; k < n; k++) acc += a[row * n + k] * b[k * n + col];
+                c[row * n + col] = acc;
+            }",
+        );
+        // a[row*n+k]: row comes from dimension 1, so the address is strided
+        // across adjacent work items -> deep burst buffers (Computed).
+        // b[k*n+col]: unit stride in col -> coalesces (ThreadAffine).
+        assert_eq!(p.load_sites.len(), 2);
+        let patterns: Vec<_> = p.load_sites.iter().map(|s| s.pattern).collect();
+        assert!(
+            patterns.contains(&AccessPattern::Computed)
+                && patterns.contains(&AccessPattern::ThreadAffine),
+            "{patterns:?}"
+        );
+        // c[row*n+col] is strided for the same reason as a.
+        assert_eq!(p.store_sites[0].pattern, AccessPattern::Computed);
+        assert_eq!(p.fmul_sites, 1);
+    }
+
+    #[test]
+    fn indirect_access_is_computed() {
+        let p = profile_src(
+            "__kernel void g(__global const int* idx, __global float* x) {
+                int i = get_global_id(0);
+                x[idx[i]] = 1.0f;
+            }",
+        );
+        assert_eq!(p.load_sites[0].pattern, AccessPattern::ThreadAffine);
+        assert_eq!(p.store_sites[0].pattern, AccessPattern::Computed);
+    }
+
+    #[test]
+    fn pipelined_hint_counted() {
+        let p = profile_src(
+            "__kernel void k(__global const float* a, __global float* o) {
+                int i = get_global_id(0);
+                o[i] = __pipelined_load(a + i);
+            }",
+        );
+        assert_eq!(p.pipelined_load_sites(), 1);
+        assert_eq!(p.burst_load_sites(), 0);
+    }
+
+    #[test]
+    fn atomics_and_locals_counted() {
+        let p = profile_src(
+            "__kernel void k(__global int* h) {
+                __local float tile[32];
+                int i = get_global_id(0);
+                tile[get_local_id(0)] = 0.0f;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                atomic_add(&h[i % 4], 1);
+            }",
+        );
+        assert_eq!(p.atomic_sites, 1);
+        assert_eq!(p.local_arrays.len(), 1);
+        assert_eq!(p.local_arrays[0].0, 128);
+        assert!(p.uses_barrier);
+    }
+}

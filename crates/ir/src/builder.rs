@@ -1,0 +1,347 @@
+//! Convenience builder for constructing IR functions.
+//!
+//! Used by the front end's lowering stage and by tests that hand-build IR.
+
+use crate::func::{Block, BlockId, Function, LocalArray, LocalArrayId, Param};
+use crate::inst::{AtomicOp, BinOp, Builtin, CmpOp, Inst, LoadHint, Op, Terminator, UnOp};
+use crate::types::{AddressSpace, Scalar, Type};
+use crate::value::{Operand, VReg};
+
+/// Incrementally builds a [`Function`]. Blocks are created with
+/// [`FunctionBuilder::new_block`] and selected with
+/// [`FunctionBuilder::switch_to`]; instructions append to the current block.
+pub struct FunctionBuilder {
+    name: String,
+    params: Vec<Param>,
+    vreg_types: Vec<Type>,
+    local_arrays: Vec<LocalArray>,
+    blocks: Vec<PendingBlock>,
+    current: BlockId,
+}
+
+struct PendingBlock {
+    insts: Vec<Inst>,
+    term: Option<Terminator>,
+}
+
+impl FunctionBuilder {
+    /// Start a new function. Registers `0..params.len()` are pre-allocated
+    /// for the parameters; block 0 (the entry) is created and selected.
+    pub fn new(name: impl Into<String>, params: Vec<Param>) -> Self {
+        let vreg_types = params.iter().map(|p| p.ty).collect();
+        FunctionBuilder {
+            name: name.into(),
+            params,
+            vreg_types,
+            local_arrays: Vec::new(),
+            blocks: vec![PendingBlock {
+                insts: Vec::new(),
+                term: None,
+            }],
+            current: BlockId(0),
+        }
+    }
+
+    /// Register holding parameter `i`.
+    pub fn param(&self, i: usize) -> VReg {
+        assert!(i < self.params.len(), "parameter index out of range");
+        VReg(i as u32)
+    }
+
+    /// Allocate a fresh virtual register of the given type.
+    pub fn fresh(&mut self, ty: impl Into<Type>) -> VReg {
+        let r = VReg(self.vreg_types.len() as u32);
+        self.vreg_types.push(ty.into());
+        r
+    }
+
+    /// Declare a `__local` array and return its id.
+    pub fn local_array(&mut self, name: impl Into<String>, elem: Scalar, len: u32) -> LocalArrayId {
+        let id = LocalArrayId(self.local_arrays.len() as u32);
+        self.local_arrays.push(LocalArray {
+            name: name.into(),
+            elem,
+            len,
+        });
+        id
+    }
+
+    /// Create a new (empty, unselected) block.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(PendingBlock {
+            insts: Vec::new(),
+            term: None,
+        });
+        id
+    }
+
+    /// Select the block subsequent instructions append to.
+    pub fn switch_to(&mut self, id: BlockId) {
+        self.current = id;
+    }
+
+    /// Currently selected block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// True if the current block already has a terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.blocks[self.current.index()].term.is_some()
+    }
+
+    /// Append an instruction with a fresh result register of type `ty`.
+    pub fn push(&mut self, op: Op, ty: impl Into<Type>) -> VReg {
+        let r = self.fresh(ty);
+        self.push_into(r, op);
+        r
+    }
+
+    /// Append an instruction writing to an existing register (mutation).
+    pub fn push_into(&mut self, result: VReg, op: Op) {
+        debug_assert!(op.has_result(), "op has no result to assign");
+        self.cur().insts.push(Inst {
+            result: Some(result),
+            op,
+        });
+    }
+
+    /// Append a result-less instruction.
+    pub fn push_void(&mut self, op: Op) {
+        debug_assert!(!op.has_result(), "op result would be dropped");
+        self.cur().insts.push(Inst { result: None, op });
+    }
+
+    fn cur(&mut self) -> &mut PendingBlock {
+        let c = self.current.index();
+        let b = &mut self.blocks[c];
+        debug_assert!(b.term.is_none(), "appending to a terminated block");
+        b
+    }
+
+    // ---- typed helpers -------------------------------------------------
+
+    pub fn bin(&mut self, op: BinOp, ty: Scalar, a: Operand, b: Operand) -> VReg {
+        self.push(Op::Bin { op, ty, a, b }, ty)
+    }
+
+    pub fn un(&mut self, op: UnOp, ty: Scalar, a: Operand) -> VReg {
+        let result_ty = match op {
+            UnOp::F2I => Scalar::I32,
+            UnOp::I2F | UnOp::U2F => Scalar::F32,
+            _ => ty,
+        };
+        self.push(Op::Un { op, ty, a }, result_ty)
+    }
+
+    pub fn cmp(&mut self, op: CmpOp, ty: Scalar, a: Operand, b: Operand) -> VReg {
+        self.push(Op::Cmp { op, ty, a, b }, Scalar::Bool)
+    }
+
+    pub fn select(&mut self, ty: Scalar, cond: Operand, a: Operand, b: Operand) -> VReg {
+        self.push(Op::Select { ty, cond, a, b }, ty)
+    }
+
+    pub fn mov(&mut self, ty: Scalar, a: Operand) -> VReg {
+        self.push(Op::Mov { ty, a }, ty)
+    }
+
+    /// Assign to an existing register (used for mutable user variables).
+    pub fn assign(&mut self, dest: VReg, ty: Scalar, a: Operand) {
+        self.push_into(dest, Op::Mov { ty, a });
+    }
+
+    pub fn gep(
+        &mut self,
+        base: Operand,
+        index: Operand,
+        elem_bytes: u32,
+        space: AddressSpace,
+    ) -> VReg {
+        self.push(
+            Op::Gep {
+                base,
+                index,
+                elem_bytes,
+                space,
+            },
+            Type::Ptr(space),
+        )
+    }
+
+    pub fn load(&mut self, ptr: Operand, ty: Scalar, space: AddressSpace) -> VReg {
+        self.load_hinted(ptr, ty, space, LoadHint::default())
+    }
+
+    pub fn load_hinted(
+        &mut self,
+        ptr: Operand,
+        ty: Scalar,
+        space: AddressSpace,
+        hint: LoadHint,
+    ) -> VReg {
+        self.push(
+            Op::Load {
+                ptr,
+                ty,
+                space,
+                hint,
+            },
+            ty,
+        )
+    }
+
+    pub fn store(&mut self, ptr: Operand, value: Operand, ty: Scalar, space: AddressSpace) {
+        self.push_void(Op::Store {
+            ptr,
+            value,
+            ty,
+            space,
+        });
+    }
+
+    pub fn atomic(
+        &mut self,
+        op: AtomicOp,
+        ptr: Operand,
+        value: Operand,
+        ty: Scalar,
+        space: AddressSpace,
+    ) -> VReg {
+        self.push(
+            Op::AtomicRmw {
+                op,
+                ptr,
+                value,
+                ty,
+                space,
+            },
+            ty,
+        )
+    }
+
+    pub fn workitem(&mut self, b: Builtin) -> VReg {
+        self.push(Op::WorkItem(b), Scalar::U32)
+    }
+
+    pub fn local_addr(&mut self, id: LocalArrayId) -> VReg {
+        self.push(Op::LocalAddr(id), Type::Ptr(AddressSpace::Local))
+    }
+
+    pub fn barrier(&mut self) {
+        self.push_void(Op::Barrier);
+    }
+
+    pub fn printf(&mut self, fmt: impl Into<String>, args: Vec<(Operand, Scalar)>) {
+        self.push_void(Op::Printf {
+            fmt: fmt.into(),
+            args,
+        });
+    }
+
+    // ---- terminators ---------------------------------------------------
+
+    pub fn br(&mut self, target: BlockId) {
+        self.terminate(Terminator::Br { target });
+    }
+
+    pub fn cond_br(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    pub fn ret(&mut self) {
+        self.terminate(Terminator::Ret);
+    }
+
+    fn terminate(&mut self, t: Terminator) {
+        let c = self.current.index();
+        let b = &mut self.blocks[c];
+        assert!(b.term.is_none(), "block {c} terminated twice");
+        b.term = Some(t);
+    }
+
+    /// Finish the function. Panics if any block lacks a terminator.
+    pub fn finish(self) -> Function {
+        let blocks = self
+            .blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, pb)| Block {
+                id: BlockId(i as u32),
+                insts: pb.insts,
+                term: pb
+                    .term
+                    .unwrap_or_else(|| panic!("block bb{i} has no terminator")),
+            })
+            .collect();
+        Function {
+            name: self.name,
+            params: self.params,
+            vreg_types: self.vreg_types,
+            local_arrays: self.local_arrays,
+            blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_branchy_function() {
+        let mut b = FunctionBuilder::new("f", vec![]);
+        let x = b.workitem(Builtin::GlobalId(0));
+        let c = b.cmp(CmpOp::Lt, Scalar::U32, x.into(), Operand::imm_u32(10));
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_br(c.into(), t, e);
+        b.switch_to(t);
+        b.ret();
+        b.switch_to(e);
+        b.ret();
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(
+            f.blocks[0].term.successors().collect::<Vec<_>>(),
+            vec![BlockId(1), BlockId(2)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no terminator")]
+    fn unterminated_block_panics() {
+        let b = FunctionBuilder::new("f", vec![]);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_terminator_panics() {
+        let mut b = FunctionBuilder::new("f", vec![]);
+        b.ret();
+        b.ret();
+    }
+
+    #[test]
+    fn fresh_registers_after_params() {
+        let mut b = FunctionBuilder::new(
+            "f",
+            vec![Param {
+                name: "p".into(),
+                ty: Type::Ptr(AddressSpace::Global),
+            }],
+        );
+        assert_eq!(b.param(0), VReg(0));
+        let r = b.fresh(Scalar::I32);
+        assert_eq!(r, VReg(1));
+        b.ret();
+        let f = b.finish();
+        assert_eq!(f.num_vregs(), 2);
+    }
+}

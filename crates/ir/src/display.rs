@@ -1,0 +1,132 @@
+//! Human-readable IR printer, used in error messages, golden tests and the
+//! `quickstart` example.
+
+use crate::func::Function;
+use crate::inst::{Op, Terminator};
+use std::fmt;
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel @{}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "%{i}: {} /*{}*/", p.ty, p.name)?;
+        }
+        writeln!(f, ") {{")?;
+        for a in &self.local_arrays {
+            writeln!(f, "  local {}: [{}; {}]", a.name, a.elem, a.len)?;
+        }
+        for (id, b) in self.iter_blocks() {
+            writeln!(f, "{id}:")?;
+            for inst in &b.insts {
+                write!(f, "  ")?;
+                if let Some(r) = inst.result {
+                    write!(f, "{r} = ")?;
+                }
+                writeln!(f, "{}", OpDisplay(&inst.op))?;
+            }
+            match &b.term {
+                Terminator::Br { target } => writeln!(f, "  br {target}")?,
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => writeln!(f, "  br {cond}, {then_bb}, {else_bb}")?,
+                Terminator::Ret => writeln!(f, "  ret")?,
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+struct OpDisplay<'a>(&'a Op);
+
+impl fmt::Display for OpDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Op::Bin { op, ty, a, b } => write!(f, "{op}.{ty} {a}, {b}"),
+            Op::Un { op, ty, a } => write!(f, "{op}.{ty} {a}"),
+            Op::Cmp { op, ty, a, b } => write!(f, "cmp.{op}.{ty} {a}, {b}"),
+            Op::Select { ty, cond, a, b } => write!(f, "select.{ty} {cond}, {a}, {b}"),
+            Op::Mov { ty, a } => write!(f, "mov.{ty} {a}"),
+            Op::Gep {
+                base,
+                index,
+                elem_bytes,
+                space,
+            } => write!(f, "gep.{space} {base}, {index}, x{elem_bytes}"),
+            Op::Load {
+                ptr,
+                ty,
+                space,
+                hint,
+            } => {
+                let h = match hint {
+                    crate::inst::LoadHint::BurstCoalesced => "",
+                    crate::inst::LoadHint::Pipelined => " !pipelined",
+                };
+                write!(f, "load.{ty}.{space} {ptr}{h}")
+            }
+            Op::Store {
+                ptr, value, ty, space,
+            } => write!(f, "store.{ty}.{space} {ptr}, {value}"),
+            Op::AtomicRmw {
+                op,
+                ptr,
+                value,
+                ty,
+                space,
+            } => write!(f, "atomic.{op:?}.{ty}.{space} {ptr}, {value}"),
+            Op::WorkItem(b) => write!(f, "{b:?}"),
+            Op::LocalAddr(id) => write!(f, "local_addr #{}", id.0),
+            Op::Barrier => write!(f, "barrier"),
+            Op::Printf { fmt: s, args } => {
+                write!(f, "printf {s:?}")?;
+                for (a, t) in args {
+                    write!(f, ", {a}:{t}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::func::Param;
+    use crate::types::{AddressSpace, Scalar, Type};
+    use crate::value::Operand;
+    use crate::{BinOp, Builtin};
+
+    #[test]
+    fn display_contains_structure() {
+        let mut b = FunctionBuilder::new(
+            "vecadd",
+            vec![Param {
+                name: "a".into(),
+                ty: Type::Ptr(AddressSpace::Global),
+            }],
+        );
+        let gid = b.workitem(Builtin::GlobalId(0));
+        let p = b.gep(
+            Operand::Reg(b.param(0)),
+            gid.into(),
+            4,
+            AddressSpace::Global,
+        );
+        let v = b.load(p.into(), Scalar::F32, AddressSpace::Global);
+        let w = b.bin(BinOp::Add, Scalar::F32, v.into(), Operand::imm_f32(1.0));
+        b.store(p.into(), w.into(), Scalar::F32, AddressSpace::Global);
+        b.ret();
+        let f = b.finish();
+        let s = f.to_string();
+        assert!(s.contains("kernel @vecadd"), "got:\n{s}");
+        assert!(s.contains("load.f32.global"), "got:\n{s}");
+        assert!(s.contains("store.f32.global"), "got:\n{s}");
+        assert!(s.contains("add.f32"), "got:\n{s}");
+        assert!(s.contains("ret"), "got:\n{s}");
+    }
+}

@@ -1,0 +1,432 @@
+//! Instructions, operations and block terminators.
+
+use crate::types::{AddressSpace, Scalar};
+use crate::value::{Operand, VReg};
+use crate::LocalArrayId;
+use std::fmt;
+
+/// Binary arithmetic / logic operations. Semantics follow OpenCL C on 32-bit
+/// operands; integer ops wrap, shifts mask the shift amount to 5 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Arithmetic shift for `I32`, logical shift for `U32`.
+    Shr,
+    Min,
+    Max,
+}
+
+/// Unary operations, including the math builtins the benchmark suite needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    /// Bitwise not (integers) / logical not (bool).
+    Not,
+    Abs,
+    Sqrt,
+    Exp,
+    Log,
+    Sin,
+    Cos,
+    Floor,
+    /// Float -> signed int conversion (round toward zero).
+    F2I,
+    /// Signed int -> float conversion.
+    I2F,
+    /// Unsigned int -> float conversion.
+    U2F,
+    /// Reinterpret between `I32`/`U32`/`Bool` (no-op on bits); also used for
+    /// explicit `(int)` / `(uint)` casts between integer types.
+    IntCast,
+}
+
+/// Comparison operations; result is `Bool`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Atomic read-modify-write operations (OpenCL 1.x `atomic_*` on 32-bit ints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    Add,
+    Sub,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    Xchg,
+}
+
+/// Work-item query builtins (OpenCL §6.12.1). `dim` is the dimension index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    GlobalId(u8),
+    LocalId(u8),
+    GroupId(u8),
+    GlobalSize(u8),
+    LocalSize(u8),
+    NumGroups(u8),
+}
+
+impl Builtin {
+    /// Whether the builtin's value varies across the threads of a warp.
+    ///
+    /// Group ids can also vary across hardware threads under the grid-stride
+    /// work-item mapping, so only the size queries are warp-uniform.
+    pub fn is_uniform(self) -> bool {
+        matches!(
+            self,
+            Builtin::GlobalSize(_) | Builtin::LocalSize(_) | Builtin::NumGroups(_)
+        )
+    }
+}
+
+/// Load-store-unit hint attached to a global load, mirroring the Intel HLS
+/// directives from the paper's §III-B case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LoadHint {
+    /// Default: the AOC compiler instantiates a burst-coalesced LSU, which
+    /// the paper measured as 32 load units per access site.
+    #[default]
+    BurstCoalesced,
+    /// `__pipelined_load` — a single pipelined load unit; area-efficient but
+    /// slower on non-consecutive access patterns (paper §III-B O2).
+    Pipelined,
+}
+
+/// A non-terminator operation. If the operation produces a value it is
+/// written to the [`Inst::result`] register.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `result = a <op> b` on scalars of type `ty`.
+    Bin {
+        op: BinOp,
+        ty: Scalar,
+        a: Operand,
+        b: Operand,
+    },
+    /// `result = <op> a`; `ty` is the *operand* type (result type is derived:
+    /// conversions change it, everything else preserves it).
+    Un { op: UnOp, ty: Scalar, a: Operand },
+    /// `result = a <cmp> b`, producing `Bool`.
+    Cmp {
+        op: CmpOp,
+        ty: Scalar,
+        a: Operand,
+        b: Operand,
+    },
+    /// `result = cond ? a : b`.
+    Select {
+        ty: Scalar,
+        cond: Operand,
+        a: Operand,
+        b: Operand,
+    },
+    /// Register copy / constant materialization.
+    Mov { ty: Scalar, a: Operand },
+    /// `result = base + index * elem_bytes` — pointer arithmetic kept
+    /// structured so back ends can classify the access pattern.
+    Gep {
+        base: Operand,
+        index: Operand,
+        elem_bytes: u32,
+        space: AddressSpace,
+    },
+    /// `result = *ptr` of scalar type `ty`.
+    Load {
+        ptr: Operand,
+        ty: Scalar,
+        space: AddressSpace,
+        hint: LoadHint,
+    },
+    /// `*ptr = value`.
+    Store {
+        ptr: Operand,
+        value: Operand,
+        ty: Scalar,
+        space: AddressSpace,
+    },
+    /// `result = atomic <op> (ptr, value)`; returns the *old* value.
+    AtomicRmw {
+        op: AtomicOp,
+        ptr: Operand,
+        value: Operand,
+        ty: Scalar,
+        space: AddressSpace,
+    },
+    /// `result = get_*_id(..)` work-item query.
+    WorkItem(Builtin),
+    /// Base address of a function-local `__local` array.
+    LocalAddr(LocalArrayId),
+    /// Work-group barrier (`barrier(CLK_LOCAL_MEM_FENCE | ...)`).
+    Barrier,
+    /// Device-side printf. Arguments are formatted with `{}` placeholders
+    /// (the front end translates `%d`/`%f`/`%u`).
+    Printf {
+        fmt: String,
+        args: Vec<(Operand, Scalar)>,
+    },
+}
+
+impl Op {
+    /// Whether this op writes a result register.
+    pub fn has_result(&self) -> bool {
+        !matches!(self, Op::Store { .. } | Op::Barrier | Op::Printf { .. })
+    }
+
+    /// Whether the op is pure (no memory or side effects) and therefore a
+    /// candidate for CSE / DCE.
+    pub fn is_pure(&self) -> bool {
+        matches!(
+            self,
+            Op::Bin { .. }
+                | Op::Un { .. }
+                | Op::Cmp { .. }
+                | Op::Select { .. }
+                | Op::Mov { .. }
+                | Op::Gep { .. }
+                | Op::WorkItem(_)
+                | Op::LocalAddr(_)
+        )
+    }
+
+    /// Visit every operand of the op.
+    pub fn for_each_operand(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            Op::Bin { a, b, .. } | Op::Cmp { a, b, .. } => {
+                f(*a);
+                f(*b);
+            }
+            Op::Un { a, .. } | Op::Mov { a, .. } => f(*a),
+            Op::Select { cond, a, b, .. } => {
+                f(*cond);
+                f(*a);
+                f(*b);
+            }
+            Op::Gep { base, index, .. } => {
+                f(*base);
+                f(*index);
+            }
+            Op::Load { ptr, .. } => f(*ptr),
+            Op::Store { ptr, value, .. } | Op::AtomicRmw { ptr, value, .. } => {
+                f(*ptr);
+                f(*value);
+            }
+            Op::WorkItem(_) | Op::LocalAddr(_) | Op::Barrier => {}
+            Op::Printf { args, .. } => {
+                for (a, _) in args {
+                    f(*a);
+                }
+            }
+        }
+    }
+
+    /// Rewrite every operand of the op in place.
+    pub fn map_operands(&mut self, mut f: impl FnMut(Operand) -> Operand) {
+        match self {
+            Op::Bin { a, b, .. } | Op::Cmp { a, b, .. } => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Op::Un { a, .. } | Op::Mov { a, .. } => *a = f(*a),
+            Op::Select { cond, a, b, .. } => {
+                *cond = f(*cond);
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Op::Gep { base, index, .. } => {
+                *base = f(*base);
+                *index = f(*index);
+            }
+            Op::Load { ptr, .. } => *ptr = f(*ptr),
+            Op::Store { ptr, value, .. } | Op::AtomicRmw { ptr, value, .. } => {
+                *ptr = f(*ptr);
+                *value = f(*value);
+            }
+            Op::WorkItem(_) | Op::LocalAddr(_) | Op::Barrier => {}
+            Op::Printf { args, .. } => {
+                for (a, _) in args {
+                    *a = f(*a);
+                }
+            }
+        }
+    }
+}
+
+/// An instruction: an operation plus its optional destination register.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// Destination register; `None` for ops without results.
+    pub result: Option<VReg>,
+    pub op: Op,
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Br { target: crate::BlockId },
+    /// Two-way conditional branch on a `Bool` operand.
+    CondBr {
+        cond: Operand,
+        then_bb: crate::BlockId,
+        else_bb: crate::BlockId,
+    },
+    /// Return from the kernel (kernels are `void`).
+    Ret,
+}
+
+impl Terminator {
+    /// Successor block ids of this terminator.
+    pub fn successors(&self) -> impl Iterator<Item = crate::BlockId> + '_ {
+        let (a, b) = match self {
+            Terminator::Br { target } => (Some(*target), None),
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => (Some(*then_bb), Some(*else_bb)),
+            Terminator::Ret => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::Abs => "abs",
+            UnOp::Sqrt => "sqrt",
+            UnOp::Exp => "exp",
+            UnOp::Log => "log",
+            UnOp::Sin => "sin",
+            UnOp::Cos => "cos",
+            UnOp::Floor => "floor",
+            UnOp::F2I => "f2i",
+            UnOp::I2F => "i2f",
+            UnOp::U2F => "u2f",
+            UnOp::IntCast => "intcast",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purity_classification() {
+        let load = Op::Load {
+            ptr: Operand::imm_u32(0),
+            ty: Scalar::F32,
+            space: AddressSpace::Global,
+            hint: LoadHint::default(),
+        };
+        assert!(!load.is_pure());
+        assert!(load.has_result());
+        let add = Op::Bin {
+            op: BinOp::Add,
+            ty: Scalar::I32,
+            a: Operand::imm_i32(1),
+            b: Operand::imm_i32(2),
+        };
+        assert!(add.is_pure());
+        assert!(!Op::Barrier.has_result());
+        assert!(!Op::Barrier.is_pure());
+    }
+
+    #[test]
+    fn operand_visit_and_map() {
+        let mut op = Op::Select {
+            ty: Scalar::I32,
+            cond: Operand::Reg(VReg(1)),
+            a: Operand::Reg(VReg(2)),
+            b: Operand::imm_i32(5),
+        };
+        let mut seen = Vec::new();
+        op.for_each_operand(|o| seen.push(o));
+        assert_eq!(seen.len(), 3);
+        op.map_operands(|o| match o {
+            Operand::Reg(VReg(n)) => Operand::Reg(VReg(n + 10)),
+            c => c,
+        });
+        let mut regs = Vec::new();
+        op.for_each_operand(|o| {
+            if let Some(r) = o.as_reg() {
+                regs.push(r.0);
+            }
+        });
+        assert_eq!(regs, vec![11, 12]);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        use crate::BlockId;
+        let t = Terminator::CondBr {
+            cond: Operand::imm_i32(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        let succ: Vec<_> = t.successors().collect();
+        assert_eq!(succ, vec![BlockId(1), BlockId(2)]);
+        assert_eq!(Terminator::Ret.successors().count(), 0);
+    }
+
+    #[test]
+    fn builtin_uniformity() {
+        assert!(Builtin::GlobalSize(0).is_uniform());
+        assert!(!Builtin::GlobalId(0).is_uniform());
+        assert!(!Builtin::GroupId(1).is_uniform());
+        assert!(Builtin::NumGroups(2).is_uniform());
+    }
+}

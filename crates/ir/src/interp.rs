@@ -1,0 +1,1011 @@
+//! Reference NDRange interpreter — the functional golden model.
+//!
+//! Executes a kernel over an OpenCL NDRange exactly as the specification
+//! describes, one work-group at a time. Work-items within a group run
+//! round-robin in segments separated by barriers, which gives well-defined
+//! results for every barrier-synchronized kernel in the suite.
+//!
+//! Integer division semantics follow RISC-V (div-by-zero yields all-ones,
+//! `INT_MIN / -1` wraps) so that the interpreter and the Vortex simulator
+//! agree bit-for-bit and differential tests are meaningful.
+
+use crate::func::{BlockId, Function};
+use crate::inst::{AtomicOp, BinOp, Builtin, CmpOp, Op, Terminator, UnOp};
+use crate::value::{Operand, VReg};
+use crate::types::AddressSpace;
+
+/// Base address of the first allocation in [`Memory`]; keeps address 0
+/// unmapped so null-pointer bugs in kernels surface as errors.
+pub const GLOBAL_BASE: u32 = 0x1000;
+/// Local (work-group) memory window base. Local pointers live here so the
+/// interpreter can route them to the per-group buffer.
+pub const LOCAL_BASE: u32 = 0x8000_0000;
+
+/// Simple byte-addressed global memory with a bump allocator.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    data: Vec<u8>,
+    next: u32,
+}
+
+/// Interpreter failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    OutOfBounds { addr: u32, space: &'static str },
+    StepLimit { item: [u32; 3] },
+    BadNdRange(String),
+    BadArgs(String),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::OutOfBounds { addr, space } => {
+                write!(f, "{space} memory access out of bounds at {addr:#x}")
+            }
+            InterpError::StepLimit { item } => {
+                write!(f, "work-item {item:?} exceeded the step limit (infinite loop?)")
+            }
+            InterpError::BadNdRange(s) => write!(f, "bad ndrange: {s}"),
+            InterpError::BadArgs(s) => write!(f, "bad kernel arguments: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl Memory {
+    /// Memory with the given capacity in bytes (plus the unmapped base).
+    pub fn new(capacity: u32) -> Self {
+        Memory {
+            data: vec![0; (GLOBAL_BASE + capacity) as usize],
+            next: GLOBAL_BASE,
+        }
+    }
+
+    /// Allocate `bytes` (16-byte aligned) and return the base address.
+    pub fn alloc(&mut self, bytes: u32) -> u32 {
+        let base = self.next;
+        self.next = (self.next + bytes + 15) & !15;
+        assert!(
+            (self.next as usize) <= self.data.len(),
+            "interpreter memory exhausted: need {} of {}",
+            self.next,
+            self.data.len()
+        );
+        base
+    }
+
+    /// Allocate and initialize from an `f32` slice.
+    pub fn alloc_f32(&mut self, init: &[f32]) -> u32 {
+        let base = self.alloc((init.len() * 4) as u32);
+        for (i, v) in init.iter().enumerate() {
+            self.write_u32(base + (i * 4) as u32, v.to_bits()).unwrap();
+        }
+        base
+    }
+
+    /// Allocate and initialize from an `i32` slice.
+    pub fn alloc_i32(&mut self, init: &[i32]) -> u32 {
+        let base = self.alloc((init.len() * 4) as u32);
+        for (i, v) in init.iter().enumerate() {
+            self.write_u32(base + (i * 4) as u32, *v as u32).unwrap();
+        }
+        base
+    }
+
+    /// Allocate and initialize from a `u32` slice.
+    pub fn alloc_u32(&mut self, init: &[u32]) -> u32 {
+        let base = self.alloc((init.len() * 4) as u32);
+        for (i, v) in init.iter().enumerate() {
+            self.write_u32(base + (i * 4) as u32, *v).unwrap();
+        }
+        base
+    }
+
+    /// Read `len` floats starting at `addr`.
+    pub fn read_f32_slice(&self, addr: u32, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| f32::from_bits(self.read_u32(addr + (i * 4) as u32).unwrap()))
+            .collect()
+    }
+
+    /// Read `len` i32s starting at `addr`.
+    pub fn read_i32_slice(&self, addr: u32, len: usize) -> Vec<i32> {
+        (0..len)
+            .map(|i| self.read_u32(addr + (i * 4) as u32).unwrap() as i32)
+            .collect()
+    }
+
+    /// Read `len` u32s starting at `addr`.
+    pub fn read_u32_slice(&self, addr: u32, len: usize) -> Vec<u32> {
+        (0..len)
+            .map(|i| self.read_u32(addr + (i * 4) as u32).unwrap())
+            .collect()
+    }
+
+    /// Read a 32-bit word.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, InterpError> {
+        let a = addr as usize;
+        if addr < GLOBAL_BASE || a + 4 > self.data.len() {
+            return Err(InterpError::OutOfBounds {
+                addr,
+                space: "global",
+            });
+        }
+        Ok(u32::from_le_bytes(self.data[a..a + 4].try_into().unwrap()))
+    }
+
+    /// Write a 32-bit word.
+    pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), InterpError> {
+        let a = addr as usize;
+        if addr < GLOBAL_BASE || a + 4 > self.data.len() {
+            return Err(InterpError::OutOfBounds {
+                addr,
+                space: "global",
+            });
+        }
+        self.data[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Raw bytes (used by the runtime to snapshot buffers).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Kernel launch geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdRange {
+    pub global: [u32; 3],
+    pub local: [u32; 3],
+}
+
+impl NdRange {
+    /// 1-D range with the given global and local sizes.
+    pub fn d1(global: u32, local: u32) -> Self {
+        NdRange {
+            global: [global, 1, 1],
+            local: [local, 1, 1],
+        }
+    }
+
+    /// 2-D range.
+    pub fn d2(gx: u32, gy: u32, lx: u32, ly: u32) -> Self {
+        NdRange {
+            global: [gx, gy, 1],
+            local: [lx, ly, 1],
+        }
+    }
+
+    /// Validate divisibility and non-zero sizes.
+    pub fn validate(&self) -> Result<(), InterpError> {
+        for d in 0..3 {
+            if self.local[d] == 0 || self.global[d] == 0 {
+                return Err(InterpError::BadNdRange(format!(
+                    "zero size in dim {d}: global={:?} local={:?}",
+                    self.global, self.local
+                )));
+            }
+            if !self.global[d].is_multiple_of(self.local[d]) {
+                return Err(InterpError::BadNdRange(format!(
+                    "global size {} not divisible by local size {} in dim {d}",
+                    self.global[d], self.local[d]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Work-group counts per dimension.
+    pub fn num_groups(&self) -> [u32; 3] {
+        [
+            self.global[0] / self.local[0],
+            self.global[1] / self.local[1],
+            self.global[2] / self.local[2],
+        ]
+    }
+
+    /// Total work-items.
+    pub fn total_items(&self) -> u64 {
+        self.global.iter().map(|&g| g as u64).product()
+    }
+
+    /// Work-items per group.
+    pub fn group_size(&self) -> u32 {
+        self.local.iter().product()
+    }
+}
+
+/// A kernel argument value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelArg {
+    /// Global-memory pointer (an address from [`Memory::alloc`]).
+    Ptr(u32),
+    I32(i32),
+    U32(u32),
+    F32(f32),
+}
+
+impl KernelArg {
+    fn bits(self) -> u32 {
+        match self {
+            KernelArg::Ptr(a) => a,
+            KernelArg::I32(v) => v as u32,
+            KernelArg::U32(v) => v,
+            KernelArg::F32(v) => v.to_bits(),
+        }
+    }
+}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum interpreted instructions per work-item.
+    pub max_steps_per_item: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_steps_per_item: 50_000_000,
+        }
+    }
+}
+
+/// Result of a kernel execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecResult {
+    /// Device printf output, in execution order.
+    pub printf_output: Vec<String>,
+    /// Total interpreted instructions across all work-items (the "dynamic
+    /// instruction count" used by the analytical performance model).
+    pub steps: u64,
+    /// Dynamic global-memory loads (used by the HLS bandwidth model).
+    pub global_loads: u64,
+    /// Dynamic global-memory stores.
+    pub global_stores: u64,
+}
+
+enum StepOutcome {
+    Continue,
+    Barrier,
+    Done,
+}
+
+struct ItemState {
+    block: BlockId,
+    ip: usize,
+    regs: Vec<u32>,
+    gid: [u32; 3],
+    lid: [u32; 3],
+    done: bool,
+    at_barrier: bool,
+    steps: u64,
+}
+
+/// Execute `f` over the NDRange against `mem`.
+pub fn run_ndrange(
+    f: &Function,
+    args: &[KernelArg],
+    nd: &NdRange,
+    mem: &mut Memory,
+    limits: &Limits,
+) -> Result<ExecResult, InterpError> {
+    nd.validate()?;
+    if args.len() != f.params.len() {
+        return Err(InterpError::BadArgs(format!(
+            "kernel `{}` takes {} args, got {}",
+            f.name,
+            f.params.len(),
+            args.len()
+        )));
+    }
+    let groups = nd.num_groups();
+    let mut result = ExecResult::default();
+    // Local array layout: assign offsets within the per-group buffer.
+    let mut local_offsets = Vec::with_capacity(f.local_arrays.len());
+    let mut local_total = 0u32;
+    for a in &f.local_arrays {
+        local_offsets.push(local_total);
+        local_total += a.bytes();
+    }
+    for gz in 0..groups[2] {
+        for gy in 0..groups[1] {
+            for gx in 0..groups[0] {
+                run_group(
+                    f,
+                    args,
+                    nd,
+                    [gx, gy, gz],
+                    mem,
+                    &local_offsets,
+                    local_total,
+                    limits,
+                    &mut result,
+                )?;
+            }
+        }
+    }
+    Ok(result)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_group(
+    f: &Function,
+    args: &[KernelArg],
+    nd: &NdRange,
+    group: [u32; 3],
+    mem: &mut Memory,
+    local_offsets: &[u32],
+    local_total: u32,
+    limits: &Limits,
+    result: &mut ExecResult,
+) -> Result<(), InterpError> {
+    let mut local_mem = vec![0u8; local_total as usize];
+    let gsize = nd.group_size() as usize;
+    let mut items: Vec<ItemState> = Vec::with_capacity(gsize);
+    for lz in 0..nd.local[2] {
+        for ly in 0..nd.local[1] {
+            for lx in 0..nd.local[0] {
+                let mut regs = vec![0u32; f.num_vregs()];
+                for (i, a) in args.iter().enumerate() {
+                    regs[i] = a.bits();
+                }
+                items.push(ItemState {
+                    block: f.entry(),
+                    ip: 0,
+                    regs,
+                    gid: [
+                        group[0] * nd.local[0] + lx,
+                        group[1] * nd.local[1] + ly,
+                        group[2] * nd.local[2] + lz,
+                    ],
+                    lid: [lx, ly, lz],
+                    done: false,
+                    at_barrier: false,
+                    steps: 0,
+                });
+            }
+        }
+    }
+    loop {
+        let mut all_done = true;
+        for item in items.iter_mut() {
+            if item.done || item.at_barrier {
+                continue;
+            }
+            all_done = false;
+            // Run the item until it blocks or finishes.
+            loop {
+                if item.steps > limits.max_steps_per_item {
+                    return Err(InterpError::StepLimit { item: item.gid });
+                }
+                match step(f, item, nd, group, mem, &mut local_mem, local_offsets, result)? {
+                    StepOutcome::Continue => {}
+                    StepOutcome::Barrier => {
+                        item.at_barrier = true;
+                        break;
+                    }
+                    StepOutcome::Done => {
+                        item.done = true;
+                        break;
+                    }
+                }
+            }
+        }
+        // Barrier release: every non-done item is waiting.
+        let waiting = items.iter().filter(|i| i.at_barrier).count();
+        if waiting > 0 && items.iter().all(|i| i.done || i.at_barrier) {
+            for i in items.iter_mut() {
+                i.at_barrier = false;
+            }
+            continue;
+        }
+        if all_done && waiting == 0 {
+            break;
+        }
+    }
+    for i in &items {
+        result.steps += i.steps;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step(
+    f: &Function,
+    item: &mut ItemState,
+    nd: &NdRange,
+    group: [u32; 3],
+    mem: &mut Memory,
+    local_mem: &mut [u8],
+    local_offsets: &[u32],
+    result: &mut ExecResult,
+) -> Result<StepOutcome, InterpError> {
+    item.steps += 1;
+    let block = f.block(item.block);
+    if item.ip >= block.insts.len() {
+        // Execute terminator.
+        match &block.term {
+            Terminator::Ret => return Ok(StepOutcome::Done),
+            Terminator::Br { target } => {
+                item.block = *target;
+                item.ip = 0;
+            }
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let c = read_operand(item, *cond);
+                item.block = if c != 0 { *then_bb } else { *else_bb };
+                item.ip = 0;
+            }
+        }
+        return Ok(StepOutcome::Continue);
+    }
+    let inst = &block.insts[item.ip];
+    item.ip += 1;
+    let value: Option<u32> = match &inst.op {
+        Op::Bin { op, ty, a, b } => {
+            let x = read_operand(item, *a);
+            let y = read_operand(item, *b);
+            Some(eval_bin(*op, *ty, x, y))
+        }
+        Op::Un { op, ty, a } => {
+            let x = read_operand(item, *a);
+            Some(eval_un(*op, *ty, x))
+        }
+        Op::Cmp { op, ty, a, b } => {
+            let x = read_operand(item, *a);
+            let y = read_operand(item, *b);
+            Some(eval_cmp(*op, *ty, x, y) as u32)
+        }
+        Op::Select { cond, a, b, .. } => {
+            let c = read_operand(item, *cond);
+            Some(if c != 0 {
+                read_operand(item, *a)
+            } else {
+                read_operand(item, *b)
+            })
+        }
+        Op::Mov { a, .. } => Some(read_operand(item, *a)),
+        Op::Gep {
+            base,
+            index,
+            elem_bytes,
+            ..
+        } => {
+            let b = read_operand(item, *base);
+            let i = read_operand(item, *index);
+            Some(b.wrapping_add(i.wrapping_mul(*elem_bytes)))
+        }
+        Op::Load { ptr, space, .. } => {
+            let addr = read_operand(item, *ptr);
+            if *space == AddressSpace::Global {
+                result.global_loads += 1;
+            }
+            Some(load_word(mem, local_mem, *space, addr)?)
+        }
+        Op::Store {
+            ptr, value, space, ..
+        } => {
+            let addr = read_operand(item, *ptr);
+            let v = read_operand(item, *value);
+            if *space == AddressSpace::Global {
+                result.global_stores += 1;
+            }
+            store_word(mem, local_mem, *space, addr, v)?;
+            None
+        }
+        Op::AtomicRmw {
+            op,
+            ptr,
+            value,
+            ty,
+            space,
+        } => {
+            let addr = read_operand(item, *ptr);
+            let v = read_operand(item, *value);
+            let old = load_word(mem, local_mem, *space, addr)?;
+            let new = eval_atomic(*op, *ty, old, v);
+            store_word(mem, local_mem, *space, addr, new)?;
+            Some(old)
+        }
+        Op::WorkItem(b) => Some(eval_builtin(*b, item, nd, group)),
+        Op::LocalAddr(id) => Some(LOCAL_BASE + local_offsets[id.index()]),
+        Op::Barrier => return Ok(StepOutcome::Barrier),
+        Op::Printf { fmt, args } => {
+            let mut out = String::with_capacity(fmt.len() + 8);
+            let mut vals = args.iter();
+            let mut chars = fmt.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c == '{' && chars.peek() == Some(&'}') {
+                    chars.next();
+                    match vals.next() {
+                        Some((o, t)) => {
+                            let bits = read_operand(item, *o);
+                            match t {
+                                crate::Scalar::F32 => {
+                                    out.push_str(&format!("{}", f32::from_bits(bits)))
+                                }
+                                crate::Scalar::I32 => out.push_str(&format!("{}", bits as i32)),
+                                _ => out.push_str(&format!("{bits}")),
+                            }
+                        }
+                        None => out.push_str("{}"),
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            result.printf_output.push(out);
+            None
+        }
+    };
+    if let (Some(r), Some(v)) = (inst.result, value) {
+        item.regs[r.index()] = v;
+    }
+    Ok(StepOutcome::Continue)
+}
+
+fn read_operand(item: &ItemState, o: Operand) -> u32 {
+    match o {
+        Operand::Reg(VReg(n)) => item.regs[n as usize],
+        Operand::Const(c) => c.bits(),
+    }
+}
+
+fn load_word(
+    mem: &Memory,
+    local: &[u8],
+    space: AddressSpace,
+    addr: u32,
+) -> Result<u32, InterpError> {
+    match space {
+        AddressSpace::Global => mem.read_u32(addr),
+        AddressSpace::Local => {
+            let off = addr.wrapping_sub(LOCAL_BASE) as usize;
+            if off + 4 > local.len() {
+                return Err(InterpError::OutOfBounds {
+                    addr,
+                    space: "local",
+                });
+            }
+            Ok(u32::from_le_bytes(local[off..off + 4].try_into().unwrap()))
+        }
+    }
+}
+
+fn store_word(
+    mem: &mut Memory,
+    local: &mut [u8],
+    space: AddressSpace,
+    addr: u32,
+    v: u32,
+) -> Result<(), InterpError> {
+    match space {
+        AddressSpace::Global => mem.write_u32(addr, v),
+        AddressSpace::Local => {
+            let off = addr.wrapping_sub(LOCAL_BASE) as usize;
+            if off + 4 > local.len() {
+                return Err(InterpError::OutOfBounds {
+                    addr,
+                    space: "local",
+                });
+            }
+            local[off..off + 4].copy_from_slice(&v.to_le_bytes());
+            Ok(())
+        }
+    }
+}
+
+fn eval_builtin(b: Builtin, item: &ItemState, nd: &NdRange, group: [u32; 3]) -> u32 {
+    let groups = nd.num_groups();
+    match b {
+        Builtin::GlobalId(d) => item.gid[d as usize],
+        Builtin::LocalId(d) => item.lid[d as usize],
+        Builtin::GroupId(d) => group[d as usize],
+        Builtin::GlobalSize(d) => nd.global[d as usize],
+        Builtin::LocalSize(d) => nd.local[d as usize],
+        Builtin::NumGroups(d) => groups[d as usize],
+    }
+}
+
+/// RISC-V division semantics shared with the Vortex simulator.
+pub fn riscv_div(x: i32, y: i32) -> i32 {
+    if y == 0 {
+        -1
+    } else if x == i32::MIN && y == -1 {
+        i32::MIN
+    } else {
+        x / y
+    }
+}
+
+/// RISC-V remainder semantics shared with the Vortex simulator.
+pub fn riscv_rem(x: i32, y: i32) -> i32 {
+    if y == 0 {
+        x
+    } else if x == i32::MIN && y == -1 {
+        0
+    } else {
+        x % y
+    }
+}
+
+/// Evaluate a binary op on raw 32-bit values; shared with the HLS datapath
+/// interpreter so both flows agree with this semantic by construction.
+pub fn eval_bin(op: BinOp, ty: crate::Scalar, x: u32, y: u32) -> u32 {
+    use crate::Scalar::*;
+    match ty {
+        F32 => {
+            let (a, b) = (f32::from_bits(x), f32::from_bits(y));
+            let r = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Rem => a % b,
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+                // Bitwise on floats is rejected by the front end; treat as
+                // bit ops for robustness.
+                BinOp::And => return x & y,
+                BinOp::Or => return x | y,
+                BinOp::Xor => return x ^ y,
+                BinOp::Shl | BinOp::Shr => return x,
+            };
+            r.to_bits()
+        }
+        I32 => {
+            let (a, b) = (x as i32, y as i32);
+            (match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => riscv_div(a, b),
+                BinOp::Rem => riscv_rem(a, b),
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => a.wrapping_shl(y & 31),
+                BinOp::Shr => a.wrapping_shr(y & 31),
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+            }) as u32
+        }
+        U32 | Bool => match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => x.checked_div(y).unwrap_or(u32::MAX),
+            BinOp::Rem => x.checked_rem(y).unwrap_or(x),
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y & 31),
+            BinOp::Shr => x.wrapping_shr(y & 31),
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+        },
+    }
+}
+
+/// Evaluate a unary op on a raw 32-bit value.
+pub fn eval_un(op: UnOp, ty: crate::Scalar, x: u32) -> u32 {
+    use crate::Scalar::*;
+    match op {
+        UnOp::Neg => match ty {
+            F32 => (-f32::from_bits(x)).to_bits(),
+            _ => (x as i32).wrapping_neg() as u32,
+        },
+        UnOp::Not => match ty {
+            Bool => (x == 0) as u32,
+            _ => !x,
+        },
+        UnOp::Abs => match ty {
+            F32 => f32::from_bits(x).abs().to_bits(),
+            _ => (x as i32).wrapping_abs() as u32,
+        },
+        UnOp::Sqrt => f32::from_bits(x).sqrt().to_bits(),
+        UnOp::Exp => f32::from_bits(x).exp().to_bits(),
+        UnOp::Log => f32::from_bits(x).ln().to_bits(),
+        UnOp::Sin => f32::from_bits(x).sin().to_bits(),
+        UnOp::Cos => f32::from_bits(x).cos().to_bits(),
+        UnOp::Floor => f32::from_bits(x).floor().to_bits(),
+        UnOp::F2I => {
+            let v = f32::from_bits(x);
+            // RISC-V fcvt.w.s saturates.
+            if v.is_nan() {
+                i32::MAX as u32
+            } else {
+                (v as i64).clamp(i32::MIN as i64, i32::MAX as i64) as i32 as u32
+            }
+        }
+        UnOp::I2F => (x as i32 as f32).to_bits(),
+        UnOp::U2F => (x as f32).to_bits(),
+        UnOp::IntCast => x,
+    }
+}
+
+/// Evaluate a comparison on raw 32-bit values.
+pub fn eval_cmp(op: CmpOp, ty: crate::Scalar, x: u32, y: u32) -> bool {
+    use crate::Scalar::*;
+    match ty {
+        F32 => {
+            let (a, b) = (f32::from_bits(x), f32::from_bits(y));
+            match op {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+            }
+        }
+        I32 => {
+            let (a, b) = (x as i32, y as i32);
+            match op {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+            }
+        }
+        U32 | Bool => match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        },
+    }
+}
+
+/// Evaluate an atomic RMW's combine step.
+pub fn eval_atomic(op: AtomicOp, ty: crate::Scalar, old: u32, v: u32) -> u32 {
+    match op {
+        AtomicOp::Add => eval_bin(BinOp::Add, ty, old, v),
+        AtomicOp::Sub => eval_bin(BinOp::Sub, ty, old, v),
+        AtomicOp::Min => eval_bin(BinOp::Min, ty, old, v),
+        AtomicOp::Max => eval_bin(BinOp::Max, ty, old, v),
+        AtomicOp::And => old & v,
+        AtomicOp::Or => old | v,
+        AtomicOp::Xor => old ^ v,
+        AtomicOp::Xchg => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::func::Param;
+    use crate::types::{Scalar, Type};
+    use crate::{BinOp, Builtin, CmpOp};
+
+    fn gptr(name: &str) -> Param {
+        Param {
+            name: name.into(),
+            ty: Type::Ptr(AddressSpace::Global),
+        }
+    }
+
+    /// c[i] = a[i] + b[i]
+    fn vecadd_kernel() -> Function {
+        let mut b = FunctionBuilder::new("vecadd", vec![gptr("a"), gptr("b"), gptr("c")]);
+        let gid = b.workitem(Builtin::GlobalId(0));
+        let pa = b.gep(Operand::Reg(b.param(0)), gid.into(), 4, AddressSpace::Global);
+        let pb = b.gep(Operand::Reg(b.param(1)), gid.into(), 4, AddressSpace::Global);
+        let pc = b.gep(Operand::Reg(b.param(2)), gid.into(), 4, AddressSpace::Global);
+        let va = b.load(pa.into(), Scalar::F32, AddressSpace::Global);
+        let vb = b.load(pb.into(), Scalar::F32, AddressSpace::Global);
+        let s = b.bin(BinOp::Add, Scalar::F32, va.into(), vb.into());
+        b.store(pc.into(), s.into(), Scalar::F32, AddressSpace::Global);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn vecadd_computes_sums() {
+        let f = vecadd_kernel();
+        let mut mem = Memory::new(1 << 16);
+        let n = 64usize;
+        let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..n).map(|i| (i * 2) as f32).collect();
+        let pa = mem.alloc_f32(&a);
+        let pb = mem.alloc_f32(&b);
+        let pc = mem.alloc(4 * n as u32);
+        let args = [
+            KernelArg::Ptr(pa),
+            KernelArg::Ptr(pb),
+            KernelArg::Ptr(pc),
+        ];
+        let nd = NdRange::d1(n as u32, 16);
+        run_ndrange(&f, &args, &nd, &mut mem, &Limits::default()).unwrap();
+        let out = mem.read_f32_slice(pc, n);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * 3) as f32);
+        }
+    }
+
+    #[test]
+    fn barrier_reduction_in_local_memory() {
+        // Tree reduction over one work-group of 8 using local memory.
+        let mut b = FunctionBuilder::new("reduce", vec![gptr("in"), gptr("out")]);
+        let tile = b.local_array("tile", Scalar::F32, 8);
+        let lid = b.workitem(Builtin::LocalId(0));
+        let base = b.local_addr(tile);
+        let pin = b.gep(Operand::Reg(b.param(0)), lid.into(), 4, AddressSpace::Global);
+        let v = b.load(pin.into(), Scalar::F32, AddressSpace::Global);
+        let pl = b.gep(base.into(), lid.into(), 4, AddressSpace::Local);
+        b.store(pl.into(), v.into(), Scalar::F32, AddressSpace::Local);
+        b.barrier();
+        // stride loop: s = 4, 2, 1
+        let s = b.mov(Scalar::U32, Operand::imm_u32(4));
+        let head = b.new_block();
+        let body = b.new_block();
+        let tail = b.new_block();
+        let add_bb = b.new_block();
+        let exit = b.new_block();
+        b.br(head);
+        b.switch_to(head);
+        let c = b.cmp(CmpOp::Gt, Scalar::U32, s.into(), Operand::imm_u32(0));
+        b.cond_br(c.into(), body, exit);
+        b.switch_to(body);
+        let active = b.cmp(CmpOp::Lt, Scalar::U32, lid.into(), s.into());
+        b.cond_br(active.into(), add_bb, tail);
+        b.switch_to(add_bb);
+        let other = b.bin(BinOp::Add, Scalar::U32, lid.into(), s.into());
+        let p1 = b.gep(base.into(), lid.into(), 4, AddressSpace::Local);
+        let p2 = b.gep(base.into(), other.into(), 4, AddressSpace::Local);
+        let v1 = b.load(p1.into(), Scalar::F32, AddressSpace::Local);
+        let v2 = b.load(p2.into(), Scalar::F32, AddressSpace::Local);
+        let sum = b.bin(BinOp::Add, Scalar::F32, v1.into(), v2.into());
+        b.store(p1.into(), sum.into(), Scalar::F32, AddressSpace::Local);
+        b.br(tail);
+        b.switch_to(tail);
+        b.barrier();
+        let s2 = b.bin(BinOp::Shr, Scalar::U32, s.into(), Operand::imm_u32(1));
+        b.assign(s, Scalar::U32, s2.into());
+        b.br(head);
+        b.switch_to(exit);
+        // lid 0 writes the result.
+        let is0 = b.cmp(CmpOp::Eq, Scalar::U32, lid.into(), Operand::imm_u32(0));
+        let wr = b.new_block();
+        let done = b.new_block();
+        b.cond_br(is0.into(), wr, done);
+        b.switch_to(wr);
+        let p0 = b.gep(base.into(), Operand::imm_u32(0), 4, AddressSpace::Local);
+        let r = b.load(p0.into(), Scalar::F32, AddressSpace::Local);
+        let pout = b.gep(Operand::Reg(b.param(1)), Operand::imm_u32(0), 4, AddressSpace::Global);
+        b.store(pout.into(), r.into(), Scalar::F32, AddressSpace::Global);
+        b.br(done);
+        b.switch_to(done);
+        b.ret();
+        let f = b.finish();
+        crate::verify::verify_function(&f).unwrap();
+
+        let mut mem = Memory::new(1 << 12);
+        let input: Vec<f32> = (1..=8).map(|i| i as f32).collect();
+        let pin = mem.alloc_f32(&input);
+        let pout = mem.alloc(4);
+        let nd = NdRange::d1(8, 8);
+        run_ndrange(
+            &f,
+            &[KernelArg::Ptr(pin), KernelArg::Ptr(pout)],
+            &nd,
+            &mut mem,
+            &Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(mem.read_f32_slice(pout, 1)[0], 36.0);
+    }
+
+    #[test]
+    fn atomic_add_counts_all_items() {
+        let mut b = FunctionBuilder::new("count", vec![gptr("ctr")]);
+        let p = b.gep(Operand::Reg(b.param(0)), Operand::imm_u32(0), 4, AddressSpace::Global);
+        b.atomic(
+            AtomicOp::Add,
+            p.into(),
+            Operand::imm_i32(1),
+            Scalar::I32,
+            AddressSpace::Global,
+        );
+        b.ret();
+        let f = b.finish();
+        let mut mem = Memory::new(1 << 12);
+        let ctr = mem.alloc_i32(&[0]);
+        let nd = NdRange::d1(128, 16);
+        run_ndrange(&f, &[KernelArg::Ptr(ctr)], &nd, &mut mem, &Limits::default()).unwrap();
+        assert_eq!(mem.read_i32_slice(ctr, 1)[0], 128);
+    }
+
+    #[test]
+    fn out_of_bounds_store_is_an_error() {
+        let mut b = FunctionBuilder::new("oob", vec![gptr("p")]);
+        let addr = b.gep(
+            Operand::Reg(b.param(0)),
+            Operand::imm_u32(1 << 20),
+            4,
+            AddressSpace::Global,
+        );
+        b.store(addr.into(), Operand::imm_i32(1), Scalar::I32, AddressSpace::Global);
+        b.ret();
+        let f = b.finish();
+        let mut mem = Memory::new(1 << 12);
+        let p = mem.alloc(4);
+        let e = run_ndrange(
+            &f,
+            &[KernelArg::Ptr(p)],
+            &NdRange::d1(1, 1),
+            &mut mem,
+            &Limits::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, InterpError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loop() {
+        let mut b = FunctionBuilder::new("spin", vec![]);
+        let l = b.new_block();
+        b.br(l);
+        b.switch_to(l);
+        b.br(l);
+        let f = b.finish();
+        let mut mem = Memory::new(1 << 12);
+        let e = run_ndrange(
+            &f,
+            &[],
+            &NdRange::d1(1, 1),
+            &mut mem,
+            &Limits {
+                max_steps_per_item: 1000,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(e, InterpError::StepLimit { .. }));
+    }
+
+    #[test]
+    fn invalid_ndrange_rejected() {
+        assert!(NdRange::d1(10, 3).validate().is_err());
+        assert!(NdRange::d1(0, 1).validate().is_err());
+        assert!(NdRange::d1(12, 4).validate().is_ok());
+    }
+
+    #[test]
+    fn printf_formats_values() {
+        let mut b = FunctionBuilder::new("p", vec![]);
+        let gid = b.workitem(Builtin::GlobalId(0));
+        b.printf(
+            "item {} says {}",
+            vec![
+                (Operand::Reg(gid), Scalar::U32),
+                (Operand::imm_f32(2.5), Scalar::F32),
+            ],
+        );
+        b.ret();
+        let f = b.finish();
+        let mut mem = Memory::new(1 << 12);
+        let r = run_ndrange(&f, &[], &NdRange::d1(2, 1), &mut mem, &Limits::default()).unwrap();
+        assert_eq!(r.printf_output, vec!["item 0 says 2.5", "item 1 says 2.5"]);
+    }
+
+    #[test]
+    fn riscv_division_edge_cases() {
+        assert_eq!(riscv_div(5, 0), -1);
+        assert_eq!(riscv_rem(5, 0), 5);
+        assert_eq!(riscv_div(i32::MIN, -1), i32::MIN);
+        assert_eq!(riscv_rem(i32::MIN, -1), 0);
+        assert_eq!(riscv_div(7, 2), 3);
+    }
+}

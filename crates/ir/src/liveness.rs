@@ -1,0 +1,216 @@
+//! Backward liveness analysis over virtual registers.
+//!
+//! Consumed by the Vortex code generator's register allocator and by the DCE
+//! pass. Sets are dense bitsets — kernels have a few hundred registers at
+//! most, so a `Vec<u64>` per block beats hashing (per the perf-book guidance
+//! on compiler-shaped workloads).
+
+use crate::cfg::Cfg;
+use crate::func::Function;
+use crate::value::{Operand, VReg};
+
+/// A dense bitset over virtual registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegSet {
+    words: Vec<u64>,
+}
+
+impl RegSet {
+    /// Empty set sized for `n` registers.
+    pub fn new(n: usize) -> Self {
+        RegSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    pub fn insert(&mut self, r: VReg) -> bool {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        old & (1 << b) == 0
+    }
+
+    pub fn remove(&mut self, r: VReg) {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    pub fn contains(&self, r: VReg) -> bool {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Iterate over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = VReg> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| VReg((wi * 64 + b) as u32))
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// Per-block liveness results.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    pub live_in: Vec<RegSet>,
+    pub live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Compute liveness for `f` given its CFG.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Self {
+        let n_blocks = f.blocks.len();
+        let n_regs = f.num_vregs();
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen = vec![RegSet::new(n_regs); n_blocks];
+        let mut kill = vec![RegSet::new(n_regs); n_blocks];
+        for (id, b) in f.iter_blocks() {
+            let bi = id.index();
+            for inst in &b.insts {
+                inst.op.for_each_operand(|o| {
+                    if let Operand::Reg(r) = o {
+                        if !kill[bi].contains(r) {
+                            gen[bi].insert(r);
+                        }
+                    }
+                });
+                if let Some(r) = inst.result {
+                    kill[bi].insert(r);
+                }
+            }
+            if let crate::inst::Terminator::CondBr {
+                cond: Operand::Reg(r),
+                ..
+            } = &b.term
+            {
+                if !kill[bi].contains(*r) {
+                    gen[bi].insert(*r);
+                }
+            }
+        }
+        let mut live_in = vec![RegSet::new(n_regs); n_blocks];
+        let mut live_out = vec![RegSet::new(n_regs); n_blocks];
+        // Iterate to fixed point in post-order (reverse RPO) for fast
+        // convergence of the backward problem.
+        let order: Vec<_> = cfg.rpo.iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in &order {
+                let bi = bb.index();
+                let mut out = RegSet::new(n_regs);
+                for &s in &cfg.succs[bi] {
+                    out.union_with(&live_in[s.index()]);
+                }
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                }
+                // in = gen | (out - kill)
+                let mut inp = live_out[bi].clone();
+                for r in kill[bi].iter() {
+                    inp.remove(r);
+                }
+                inp.union_with(&gen[bi]);
+                if inp != live_in[bi] {
+                    live_in[bi] = inp;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Scalar;
+    use crate::value::Operand;
+    use crate::{BinOp, CmpOp};
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(VReg(0)));
+        assert!(!s.insert(VReg(0)));
+        assert!(s.insert(VReg(129)));
+        assert!(s.contains(VReg(129)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![VReg(0), VReg(129)]);
+        s.remove(VReg(0));
+        assert!(!s.contains(VReg(0)));
+    }
+
+    #[test]
+    fn regset_union() {
+        let mut a = RegSet::new(10);
+        let mut b = RegSet::new(10);
+        a.insert(VReg(1));
+        b.insert(VReg(2));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_around_backedge() {
+        // i defined in entry, used and redefined in loop body.
+        let mut b = FunctionBuilder::new("k", vec![]);
+        let i = b.mov(Scalar::I32, Operand::imm_i32(0));
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(head);
+        b.switch_to(head);
+        let c = b.cmp(CmpOp::Lt, Scalar::I32, i.into(), Operand::imm_i32(10));
+        b.cond_br(c.into(), body, exit);
+        b.switch_to(body);
+        let i2 = b.bin(BinOp::Add, Scalar::I32, i.into(), Operand::imm_i32(1));
+        b.assign(i, Scalar::I32, i2.into());
+        b.br(head);
+        b.switch_to(exit);
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // i is live into the loop head and around the backedge.
+        assert!(lv.live_in[1].contains(i));
+        assert!(lv.live_out[2].contains(i));
+        // i2 is consumed within the body.
+        assert!(!lv.live_out[2].contains(i2));
+    }
+
+    #[test]
+    fn dead_value_not_live_anywhere() {
+        let mut b = FunctionBuilder::new("k", vec![]);
+        let dead = b.mov(Scalar::I32, Operand::imm_i32(42));
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(!lv.live_in[0].contains(dead));
+        assert!(!lv.live_out[0].contains(dead));
+    }
+}

@@ -1,0 +1,332 @@
+//! Local constant folding and constant propagation.
+//!
+//! Per-block only: a register's constant binding is invalidated when the
+//! register is reassigned and at block boundaries, which keeps the pass sound
+//! on the mutable-register IR without needing reaching definitions.
+
+use crate::func::Function;
+use crate::inst::{BinOp, CmpOp, Op, UnOp};
+use crate::value::{Const, Operand, VReg};
+use rustc_hash::FxHashMap;
+
+/// Run the pass; returns the number of instructions folded or operands
+/// propagated.
+pub fn run(f: &mut Function) -> usize {
+    let mut changed = 0;
+    for b in &mut f.blocks {
+        let mut known: FxHashMap<VReg, Const> = FxHashMap::default();
+        for inst in &mut b.insts {
+            // Propagate known constants into operands.
+            inst.op.map_operands(|o| match o {
+                Operand::Reg(r) => match known.get(&r) {
+                    Some(&c) => {
+                        changed += 1;
+                        Operand::Const(c)
+                    }
+                    None => o,
+                },
+                c => c,
+            });
+            // Invalidate any binding for the destination.
+            if let Some(r) = inst.result {
+                known.remove(&r);
+            }
+            // Try to evaluate.
+            if let Some(c) = eval(&inst.op) {
+                if !matches!(inst.op, Op::Mov { a: Operand::Const(_), .. }) {
+                    inst.op = Op::Mov {
+                        ty: c.scalar(),
+                        a: Operand::Const(c),
+                    };
+                    changed += 1;
+                }
+                if let Some(r) = inst.result {
+                    known.insert(r, c);
+                }
+            }
+        }
+        // Propagate into the terminator condition.
+        if let crate::inst::Terminator::CondBr { cond, .. } = &mut b.term {
+            if let Operand::Reg(r) = cond {
+                if let Some(&c) = known.get(r) {
+                    *cond = Operand::Const(c);
+                    changed += 1;
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Evaluate an op whose operands are all constants.
+pub fn eval(op: &Op) -> Option<Const> {
+    match op {
+        Op::Mov {
+            a: Operand::Const(c),
+            ..
+        } => Some(*c),
+        Op::Bin {
+            op,
+            ty: _,
+            a: Operand::Const(a),
+            b: Operand::Const(b),
+        } => eval_bin(*op, *a, *b),
+        Op::Un {
+            op,
+            ty: _,
+            a: Operand::Const(a),
+        } => eval_un(*op, *a),
+        Op::Cmp {
+            op,
+            ty: _,
+            a: Operand::Const(a),
+            b: Operand::Const(b),
+        } => eval_cmp(*op, *a, *b),
+        Op::Select {
+            cond: Operand::Const(c),
+            a: Operand::Const(a),
+            b: Operand::Const(b),
+            ..
+        } => Some(if !c.is_zero() { *a } else { *b }),
+        _ => None,
+    }
+}
+
+fn eval_bin(op: BinOp, a: Const, b: Const) -> Option<Const> {
+    Some(match (a, b) {
+        (Const::I32(x), Const::I32(y)) => Const::I32(match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => {
+                if y == 0 {
+                    return None;
+                }
+                x.wrapping_div(y)
+            }
+            BinOp::Rem => {
+                if y == 0 {
+                    return None;
+                }
+                x.wrapping_rem(y)
+            }
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y as u32),
+            BinOp::Shr => x.wrapping_shr(y as u32),
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+        }),
+        (Const::U32(x), Const::U32(y)) => Const::U32(match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => {
+                if y == 0 {
+                    return None;
+                }
+                x / y
+            }
+            BinOp::Rem => {
+                if y == 0 {
+                    return None;
+                }
+                x % y
+            }
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y),
+            BinOp::Shr => x.wrapping_shr(y),
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+        }),
+        (Const::F32(x), Const::F32(y)) => Const::F32(match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+            BinOp::Rem => x % y,
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            // Bitwise ops on floats never reach here (verifier/front end).
+            _ => return None,
+        }),
+        _ => return None,
+    })
+}
+
+fn eval_un(op: UnOp, a: Const) -> Option<Const> {
+    Some(match (op, a) {
+        (UnOp::Neg, Const::I32(x)) => Const::I32(x.wrapping_neg()),
+        (UnOp::Neg, Const::F32(x)) => Const::F32(-x),
+        (UnOp::Not, Const::I32(x)) => Const::I32(!x),
+        (UnOp::Not, Const::U32(x)) => Const::U32(!x),
+        (UnOp::Not, Const::Bool(x)) => Const::Bool(!x),
+        (UnOp::Abs, Const::I32(x)) => Const::I32(x.wrapping_abs()),
+        (UnOp::Abs, Const::F32(x)) => Const::F32(x.abs()),
+        (UnOp::Sqrt, Const::F32(x)) => Const::F32(x.sqrt()),
+        (UnOp::Exp, Const::F32(x)) => Const::F32(x.exp()),
+        (UnOp::Log, Const::F32(x)) => Const::F32(x.ln()),
+        (UnOp::Sin, Const::F32(x)) => Const::F32(x.sin()),
+        (UnOp::Cos, Const::F32(x)) => Const::F32(x.cos()),
+        (UnOp::Floor, Const::F32(x)) => Const::F32(x.floor()),
+        (UnOp::F2I, Const::F32(x)) => Const::I32(x as i32),
+        (UnOp::I2F, Const::I32(x)) => Const::F32(x as f32),
+        (UnOp::U2F, Const::U32(x)) => Const::F32(x as f32),
+        (UnOp::IntCast, c) => c,
+        _ => return None,
+    })
+}
+
+fn eval_cmp(op: CmpOp, a: Const, b: Const) -> Option<Const> {
+    let r = match (a, b) {
+        (Const::I32(x), Const::I32(y)) => cmp_ord(op, x.cmp(&y)),
+        (Const::U32(x), Const::U32(y)) => cmp_ord(op, x.cmp(&y)),
+        (Const::Bool(x), Const::Bool(y)) => cmp_ord(op, x.cmp(&y)),
+        (Const::F32(x), Const::F32(y)) => match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        },
+        _ => return None,
+    };
+    Some(Const::Bool(r))
+}
+
+fn cmp_ord(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Scalar;
+    use crate::value::Operand;
+
+    #[test]
+    fn folds_chained_constants() {
+        let mut b = FunctionBuilder::new("k", vec![]);
+        let x = b.bin(
+            BinOp::Add,
+            Scalar::I32,
+            Operand::imm_i32(2),
+            Operand::imm_i32(3),
+        );
+        let y = b.bin(BinOp::Mul, Scalar::I32, x.into(), Operand::imm_i32(4));
+        b.ret();
+        let mut f = b.finish();
+        run(&mut f);
+        // y must now be a constant 20.
+        let inst = &f.blocks[0].insts[1];
+        assert_eq!(inst.result, Some(y));
+        assert!(
+            matches!(
+                inst.op,
+                Op::Mov {
+                    a: Operand::Const(Const::I32(20)),
+                    ..
+                }
+            ),
+            "got {:?}",
+            inst.op
+        );
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let mut b = FunctionBuilder::new("k", vec![]);
+        b.bin(
+            BinOp::Div,
+            Scalar::I32,
+            Operand::imm_i32(1),
+            Operand::imm_i32(0),
+        );
+        b.ret();
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(matches!(f.blocks[0].insts[0].op, Op::Bin { .. }));
+    }
+
+    #[test]
+    fn reassignment_invalidates_binding() {
+        // x = 1; x = gid (not const); y = x + 0 must NOT fold x to 1.
+        let mut b = FunctionBuilder::new("k", vec![]);
+        let x = b.mov(Scalar::U32, Operand::imm_u32(1));
+        let gid = b.workitem(crate::Builtin::GlobalId(0));
+        b.assign(x, Scalar::U32, gid.into());
+        let y = b.bin(BinOp::Add, Scalar::U32, x.into(), Operand::imm_u32(0));
+        let _ = y;
+        b.ret();
+        let mut f = b.finish();
+        run(&mut f);
+        let inst = &f.blocks[0].insts[3];
+        match &inst.op {
+            Op::Bin { a, .. } => assert_eq!(*a, Operand::Reg(x)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folds_float_math() {
+        assert_eq!(
+            eval_un(UnOp::Sqrt, Const::F32(9.0)),
+            Some(Const::F32(3.0))
+        );
+        assert_eq!(
+            eval_bin(BinOp::Max, Const::F32(1.0), Const::F32(2.0)),
+            Some(Const::F32(2.0))
+        );
+    }
+
+    #[test]
+    fn folds_comparisons() {
+        assert_eq!(
+            eval_cmp(CmpOp::Le, Const::U32(3), Const::U32(3)),
+            Some(Const::Bool(true))
+        );
+        assert_eq!(
+            eval_cmp(CmpOp::Gt, Const::I32(-1), Const::I32(0)),
+            Some(Const::Bool(false))
+        );
+    }
+
+    #[test]
+    fn propagates_into_branch_condition() {
+        let mut b = FunctionBuilder::new("k", vec![]);
+        let c = b.cmp(
+            CmpOp::Lt,
+            Scalar::I32,
+            Operand::imm_i32(1),
+            Operand::imm_i32(2),
+        );
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_br(c.into(), t, e);
+        b.switch_to(t);
+        b.ret();
+        b.switch_to(e);
+        b.ret();
+        let mut f = b.finish();
+        run(&mut f);
+        match &f.blocks[0].term {
+            crate::Terminator::CondBr { cond, .. } => {
+                assert_eq!(*cond, Operand::Const(Const::Bool(true)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! IR optimization passes.
+//!
+//! The pass set deliberately mirrors the transformations the paper leans on:
+//! * [`cse`] is the automated form of the §III-B "O1: variable reuse"
+//!   optimization — it removes redundant global loads and recomputed
+//!   subexpressions exactly the way the authors did by hand in Listing 2.
+//! * [`const_fold`] and [`copy_prop`] clean up front-end output.
+//! * [`dce`] removes the dead code those passes leave behind.
+
+pub mod const_fold;
+pub mod copy_prop;
+pub mod cse;
+pub mod dce;
+
+use crate::func::{Function, Module};
+
+/// Optimization level, matching the flags both flows accept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// Front-end output as-is.
+    None,
+    /// Constant folding + copy propagation + DCE.
+    #[default]
+    Basic,
+    /// `Basic` plus CSE / variable-reuse (the automated "O1" of §III-B).
+    VariableReuse,
+}
+
+/// Statistics returned by [`optimize_function`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStats {
+    pub folded: usize,
+    pub copies_propagated: usize,
+    pub cse_replaced: usize,
+    pub dce_removed: usize,
+}
+
+impl PassStats {
+    fn merge(&mut self, other: PassStats) {
+        self.folded += other.folded;
+        self.copies_propagated += other.copies_propagated;
+        self.cse_replaced += other.cse_replaced;
+        self.dce_removed += other.dce_removed;
+    }
+}
+
+/// Run the pass pipeline on one function.
+pub fn optimize_function(f: &mut Function, level: OptLevel) -> PassStats {
+    let mut total = PassStats::default();
+    if level == OptLevel::None {
+        return total;
+    }
+    // Two rounds: CSE exposes copies, copy-prop exposes folds, DCE cleans up.
+    for _ in 0..2 {
+        let mut stats = PassStats {
+            folded: const_fold::run(f),
+            copies_propagated: copy_prop::run(f),
+            ..Default::default()
+        };
+        if level == OptLevel::VariableReuse {
+            stats.cse_replaced = cse::run(f);
+            stats.copies_propagated += copy_prop::run(f);
+        }
+        stats.dce_removed = dce::run(f);
+        let quiescent = stats == PassStats::default();
+        total.merge(stats);
+        if quiescent {
+            break;
+        }
+    }
+    total
+}
+
+/// Run the pass pipeline on every kernel of a module.
+pub fn optimize_module(m: &mut Module, level: OptLevel) -> PassStats {
+    let mut total = PassStats::default();
+    for k in &mut m.kernels {
+        total.merge(optimize_function(k, level));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::func::Param;
+    use crate::types::{AddressSpace, Scalar, Type};
+    use crate::value::Operand;
+    use crate::{BinOp, Builtin};
+
+    /// Kernel with a redundant load and a foldable constant, shaped like the
+    /// backprop Listing 1 pattern.
+    fn redundant_kernel() -> Function {
+        let mut b = FunctionBuilder::new(
+            "k",
+            vec![Param {
+                name: "delta".into(),
+                ty: Type::Ptr(AddressSpace::Global),
+            }],
+        );
+        let gid = b.workitem(Builtin::GlobalId(0));
+        let p1 = b.gep(
+            Operand::Reg(b.param(0)),
+            gid.into(),
+            4,
+            AddressSpace::Global,
+        );
+        let v1 = b.load(p1.into(), Scalar::F32, AddressSpace::Global);
+        // Same address computed and loaded a second time.
+        let p2 = b.gep(
+            Operand::Reg(b.param(0)),
+            gid.into(),
+            4,
+            AddressSpace::Global,
+        );
+        let v2 = b.load(p2.into(), Scalar::F32, AddressSpace::Global);
+        let s = b.bin(BinOp::Add, Scalar::F32, v1.into(), v2.into());
+        // Foldable: 2 + 3.
+        let c = b.bin(
+            BinOp::Add,
+            Scalar::I32,
+            Operand::imm_i32(2),
+            Operand::imm_i32(3),
+        );
+        let addr = b.gep(Operand::Reg(b.param(0)), c.into(), 4, AddressSpace::Global);
+        b.store(addr.into(), s.into(), Scalar::F32, AddressSpace::Global);
+        b.ret();
+        b.finish()
+    }
+
+    fn count_loads(f: &Function) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i.op, crate::Op::Load { .. }))
+            .count()
+    }
+
+    #[test]
+    fn variable_reuse_removes_redundant_load() {
+        let mut f = redundant_kernel();
+        assert_eq!(count_loads(&f), 2);
+        let stats = optimize_function(&mut f, OptLevel::VariableReuse);
+        assert!(stats.cse_replaced >= 1, "stats: {stats:?}");
+        assert_eq!(count_loads(&f), 1, "after:\n{f}");
+        crate::verify::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn basic_level_keeps_loads() {
+        let mut f = redundant_kernel();
+        optimize_function(&mut f, OptLevel::Basic);
+        assert_eq!(count_loads(&f), 2);
+        crate::verify::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn opt_none_is_identity() {
+        let mut f = redundant_kernel();
+        let before = f.clone();
+        let stats = optimize_function(&mut f, OptLevel::None);
+        assert_eq!(stats, PassStats::default());
+        assert_eq!(f, before);
+    }
+}

@@ -1,0 +1,153 @@
+//! Scalar and pointer types for the kernel IR.
+
+use std::fmt;
+
+/// Scalar value types. OpenCL `int`/`uint`/`float`/`bool` map directly;
+/// `char`/`short` are widened to `I32` by the front end (the benchmarks in
+/// the suite only need byte loads, which are expressed as `I32` loads with
+/// element size 1 at the access site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scalar {
+    /// 32-bit signed integer.
+    I32,
+    /// 32-bit unsigned integer.
+    U32,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// Boolean (stored as 0/1 in an integer register).
+    Bool,
+}
+
+impl Scalar {
+    /// Width of the scalar in bytes when stored to memory.
+    pub fn bytes(self) -> u32 {
+        4
+    }
+
+    /// True for the two integer types (signed or unsigned).
+    pub fn is_int(self) -> bool {
+        matches!(self, Scalar::I32 | Scalar::U32)
+    }
+
+    /// True for `F32`.
+    pub fn is_float(self) -> bool {
+        matches!(self, Scalar::F32)
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scalar::I32 => "i32",
+            Scalar::U32 => "u32",
+            Scalar::F32 => "f32",
+            Scalar::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// OpenCL address spaces relevant to the paper's comparison.
+///
+/// * `Global` — off-chip memory (DDR4 on the SX2800, HBM2 on the MX2100).
+///   Each *access site* to global memory is what the Intel HLS flow turns
+///   into a load-store unit, the key driver of the paper's Table II/III BRAM
+///   numbers.
+/// * `Local` — on-chip work-group memory (BRAM on the FPGA, per-core shared
+///   memory on Vortex).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressSpace {
+    /// `__global` — device DRAM.
+    Global,
+    /// `__local` — work-group shared memory.
+    Local,
+}
+
+impl fmt::Display for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AddressSpace::Global => "global",
+            AddressSpace::Local => "local",
+        })
+    }
+}
+
+/// Type of a virtual register or kernel parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A scalar value.
+    Scalar(Scalar),
+    /// A pointer into the given address space. Pointers are untyped at the
+    /// type level; loads and stores carry the accessed scalar type.
+    Ptr(AddressSpace),
+}
+
+impl Type {
+    /// Convenience constructor for `Type::Scalar(Scalar::I32)` etc.
+    pub fn scalar(s: Scalar) -> Self {
+        Type::Scalar(s)
+    }
+
+    /// Returns the scalar type, panicking on pointers (verifier-checked IR
+    /// never hits the panic).
+    pub fn expect_scalar(self) -> Scalar {
+        match self {
+            Type::Scalar(s) => s,
+            Type::Ptr(space) => panic!("expected scalar type, found ptr<{space}>"),
+        }
+    }
+
+    /// True if this is a pointer type.
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Scalar(s) => write!(f, "{s}"),
+            Type::Ptr(space) => write!(f, "ptr<{space}>"),
+        }
+    }
+}
+
+impl From<Scalar> for Type {
+    fn from(s: Scalar) -> Self {
+        Type::Scalar(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_widths_are_four_bytes() {
+        for s in [Scalar::I32, Scalar::U32, Scalar::F32, Scalar::Bool] {
+            assert_eq!(s.bytes(), 4);
+        }
+    }
+
+    #[test]
+    fn scalar_class_predicates() {
+        assert!(Scalar::I32.is_int());
+        assert!(Scalar::U32.is_int());
+        assert!(!Scalar::F32.is_int());
+        assert!(Scalar::F32.is_float());
+        assert!(!Scalar::Bool.is_float());
+    }
+
+    #[test]
+    fn type_display_is_stable() {
+        assert_eq!(Type::Scalar(Scalar::F32).to_string(), "f32");
+        assert_eq!(Type::Ptr(AddressSpace::Global).to_string(), "ptr<global>");
+        assert_eq!(Type::Ptr(AddressSpace::Local).to_string(), "ptr<local>");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected scalar")]
+    fn expect_scalar_panics_on_ptr() {
+        Type::Ptr(AddressSpace::Global).expect_scalar();
+    }
+}

@@ -1,0 +1,292 @@
+//! Graph benchmarks: BFS and B+tree.
+//!
+//! B+tree is a Table I HLS failure: its two lookup kernels traverse
+//! pointer-chased node arrays, and the resulting indirect access sites
+//! exceed the MX2100 BRAM budget. BFS sits below the budget (the paper
+//! reports 5,892 BRAMs).
+
+use crate::runner::expect_eq_i32;
+use crate::spec::{Benchmark, HostData, LArg, Launch, Prng, Workload};
+use ocl_ir::interp::NdRange;
+
+/// BFS (Rodinia): frontier-based level expansion, one launch pair per level.
+pub fn bfs() -> Benchmark {
+    Benchmark {
+        name: "BFS",
+        origin: "Rodinia",
+        source: r#"
+            __kernel void bfs_expand(__global const int* starts, __global const int* counts,
+                                     __global const int* edges, __global int* cost,
+                                     __global int* mask, __global int* next_mask,
+                                     __global int* done, int n) {
+                int i = get_global_id(0);
+                if (i < n) {
+                    if (mask[i] != 0) {
+                        mask[i] = 0;
+                        int first = starts[i];
+                        int cnt = counts[i];
+                        for (int e = 0; e < cnt; e++) {
+                            int id = edges[first + e];
+                            if (cost[id] < 0) {
+                                cost[id] = cost[i] + 1;
+                                next_mask[id] = 1;
+                                done[0] = 0;
+                            }
+                        }
+                    }
+                }
+            }
+            __kernel void bfs_swap(__global int* mask, __global int* next_mask, int n) {
+                int i = get_global_id(0);
+                if (i < n) {
+                    mask[i] = next_mask[i];
+                    next_mask[i] = 0;
+                }
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(64, 1024) as usize;
+            let mut rng = Prng::new(31);
+            // Random sparse digraph with bounded out-degree.
+            let mut starts = Vec::with_capacity(n);
+            let mut counts = Vec::with_capacity(n);
+            let mut edges = Vec::new();
+            for i in 0..n {
+                starts.push(edges.len() as i32);
+                let deg = rng.below(4) as usize;
+                counts.push(deg as i32);
+                for _ in 0..deg {
+                    edges.push(rng.below(n as u32) as i32);
+                }
+                let _ = i;
+            }
+            if edges.is_empty() {
+                edges.push(0);
+            }
+            // Reference BFS from node 0.
+            let mut want = vec![-1i32; n];
+            want[0] = 0;
+            let mut frontier = vec![0usize];
+            while let Some(next) = {
+                let mut nf = Vec::new();
+                for &u in &frontier {
+                    let s = starts[u] as usize;
+                    for e in 0..counts[u] as usize {
+                        let v = edges[s + e] as usize;
+                        if want[v] < 0 {
+                            want[v] = want[u] + 1;
+                            nf.push(v);
+                        }
+                    }
+                }
+                if nf.is_empty() {
+                    None
+                } else {
+                    Some(nf)
+                }
+            } {
+                frontier = next;
+            }
+            let mut cost = vec![-1i32; n];
+            cost[0] = 0;
+            let mut mask = vec![0i32; n];
+            mask[0] = 1;
+            // Upper bound on levels = n; the done flag is informational (the
+            // host in Rodinia polls it; our fixed schedule just runs enough
+            // levels).
+            let levels = n.clamp(4, 40);
+            let mut launches = Vec::new();
+            let g = (n as u32).next_multiple_of(16);
+            for _ in 0..levels {
+                launches.push(Launch {
+                    kernel: "bfs_expand",
+                    nd: NdRange::d1(g, 16),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(1),
+                        LArg::Buf(2),
+                        LArg::Buf(3),
+                        LArg::Buf(4),
+                        LArg::Buf(5),
+                        LArg::Buf(6),
+                        LArg::I32(n as i32),
+                    ],
+                });
+                launches.push(Launch {
+                    kernel: "bfs_swap",
+                    nd: NdRange::d1(g, 16),
+                    args: vec![LArg::Buf(4), LArg::Buf(5), LArg::I32(n as i32)],
+                });
+            }
+            Workload {
+                buffers: vec![
+                    HostData::I32(starts),
+                    HostData::I32(counts),
+                    HostData::I32(edges),
+                    HostData::I32(cost),
+                    HostData::I32(mask),
+                    HostData::I32(vec![0; n]),
+                    HostData::I32(vec![1]),
+                ],
+                launches,
+                check: Box::new(move |bufs| expect_eq_i32(bufs[3].as_i32(), &want, "bfs cost")),
+            }
+        },
+    }
+}
+
+/// B+tree (Rodinia): point lookups (findK) and range counts (findRangeK)
+/// over an implicit B+tree laid out in arrays.
+pub fn btree() -> Benchmark {
+    Benchmark {
+        name: "B+tree",
+        origin: "Rodinia",
+        source: r#"
+            __kernel void find_k(__global const int* keys, __global const int* children,
+                                 __global const int* leaf_vals, __global const int* queries,
+                                 __global int* out, int order, int depth) {
+                int q = get_global_id(0);
+                int target = queries[q];
+                int node = 0;
+                for (int level = 0; level < depth; level++) {
+                    int slot = 0;
+                    for (int k = 0; k < order - 1; k++) {
+                        if (target >= keys[node * (order - 1) + k]) slot = k + 1;
+                    }
+                    node = children[node * order + slot];
+                }
+                out[q] = leaf_vals[node];
+            }
+            __kernel void find_range_k(__global const int* keys, __global const int* children,
+                                       __global const int* leaf_vals, __global const int* queries,
+                                       __global int* out, int order, int depth, int span) {
+                int q = get_global_id(0);
+                int lo = queries[q];
+                int hi = lo + span;
+                int node = 0;
+                for (int level = 0; level < depth; level++) {
+                    int slot = 0;
+                    for (int k = 0; k < order - 1; k++) {
+                        if (lo >= keys[node * (order - 1) + k]) slot = k + 1;
+                    }
+                    node = children[node * order + slot];
+                }
+                int acc = 0;
+                int v = leaf_vals[node];
+                if (v >= lo && v < hi) acc = 1;
+                out[q] = acc;
+            }
+        "#,
+        workload: |scale| {
+            let order = 4usize; // children per node
+            let depth = scale.pick(3, 5) as usize;
+            let queries_n = scale.pick(32, 512) as usize;
+            // Build a complete tree: internal nodes at levels 0..depth,
+            // leaves hold value = leaf index * 10.
+            let internal: usize = (0..depth).map(|l| order.pow(l as u32)).sum();
+            let leaves = order.pow(depth as u32);
+            let total = internal + leaves;
+            let mut keys = vec![0i32; total * (order - 1)];
+            let mut children = vec![0i32; total * order];
+            // Leaf i covers [i*10, (i+1)*10); build separators bottom-up.
+            // Node numbering: BFS order (root 0).
+            let mut first_of_level = vec![0usize; depth + 1];
+            for l in 1..=depth {
+                first_of_level[l] = first_of_level[l - 1] + order.pow((l - 1) as u32);
+            }
+            for l in 0..depth {
+                let count = order.pow(l as u32);
+                for idx in 0..count {
+                    let node = first_of_level[l] + idx;
+                    // Children are the next level's nodes.
+                    let child_base = first_of_level[l + 1] + idx * order;
+                    // Each subtree under child c spans leaves of width:
+                    let width = order.pow((depth - l - 1) as u32) * 10;
+                    let subtree_first_leaf = idx * order.pow((depth - l) as u32) * 10;
+                    for c in 0..order {
+                        children[node * order + c] = (child_base + c) as i32;
+                    }
+                    for k in 0..order - 1 {
+                        keys[node * (order - 1) + k] =
+                            (subtree_first_leaf + (k + 1) * width) as i32;
+                    }
+                }
+            }
+            let leaf_vals: Vec<i32> = (0..total)
+                .map(|i| {
+                    if i >= internal {
+                        ((i - internal) * 10) as i32
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let mut rng = Prng::new(32);
+            let queries: Vec<i32> = (0..queries_n)
+                .map(|_| rng.below((leaves * 10) as u32) as i32)
+                .collect();
+            // Reference: the leaf covering q has value (q/10)*10.
+            let want_find: Vec<i32> = queries.iter().map(|q| (q / 10) * 10).collect();
+            let span = 7;
+            let want_range: Vec<i32> = queries
+                .iter()
+                .map(|q| {
+                    let v = (q / 10) * 10;
+                    i32::from(v >= *q && v < *q + span)
+                })
+                .collect();
+            let g = (queries_n as u32).next_multiple_of(16);
+            Workload {
+                buffers: vec![
+                    HostData::I32(keys),
+                    HostData::I32(children),
+                    HostData::I32(leaf_vals),
+                    HostData::I32(queries),
+                    HostData::I32(vec![0; queries_n]),
+                    HostData::I32(vec![0; queries_n]),
+                ],
+                launches: vec![
+                    Launch {
+                        kernel: "find_k",
+                        nd: NdRange::d1(g, 16),
+                        args: vec![
+                            LArg::Buf(0),
+                            LArg::Buf(1),
+                            LArg::Buf(2),
+                            LArg::Buf(3),
+                            LArg::Buf(4),
+                            LArg::I32(order as i32),
+                            LArg::I32(depth as i32),
+                        ],
+                    },
+                    Launch {
+                        kernel: "find_range_k",
+                        nd: NdRange::d1(g, 16),
+                        args: vec![
+                            LArg::Buf(0),
+                            LArg::Buf(1),
+                            LArg::Buf(2),
+                            LArg::Buf(3),
+                            LArg::Buf(5),
+                            LArg::I32(order as i32),
+                            LArg::I32(depth as i32),
+                            LArg::I32(span),
+                        ],
+                    },
+                ],
+                check: Box::new(move |bufs| {
+                    expect_eq_i32(
+                        &bufs[4].as_i32()[..want_find.len()],
+                        &want_find,
+                        "find_k",
+                    )?;
+                    expect_eq_i32(
+                        &bufs[5].as_i32()[..want_range.len()],
+                        &want_range,
+                        "find_range_k",
+                    )
+                }),
+            }
+        },
+    }
+}

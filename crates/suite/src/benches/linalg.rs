@@ -1,0 +1,452 @@
+//! Dense linear algebra: Sgemm, Matmul, Transpose, Gaussian, NW, LUD.
+//!
+//! LUD is one of the six Table I HLS failures: its three kernels carry
+//! enough computed-index access sites to exceed the MX2100's 6,847 M20K
+//! budget; Gaussian is structured to sit just *below* it, matching the
+//! paper's 6,384-BRAM report.
+
+use crate::runner::expect_close;
+use crate::spec::{Benchmark, HostData, LArg, Launch, Prng, Workload};
+use ocl_ir::interp::NdRange;
+
+fn random_matrix(rng: &mut Prng, n: usize, scale: f32) -> Vec<f32> {
+    (0..n).map(|_| (rng.next_f32() - 0.5) * scale).collect()
+}
+
+/// Sgemm (NVIDIA SDK): C = alpha*A*B + beta*C.
+pub fn sgemm() -> Benchmark {
+    Benchmark {
+        name: "Sgemm",
+        origin: "NVIDIA SDK",
+        source: r#"
+            __kernel void sgemm(__global const float* a, __global const float* b,
+                                __global float* c, int n, float alpha, float beta) {
+                int col = get_global_id(0);
+                int row = get_global_id(1);
+                float acc = 0.0f;
+                for (int k = 0; k < n; k++) {
+                    acc += a[row * n + k] * b[k * n + col];
+                }
+                c[row * n + col] = alpha * acc + beta * c[row * n + col];
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(16, 64) as usize;
+            let (alpha, beta) = (1.5f32, 0.5f32);
+            let mut rng = Prng::new(21);
+            let a = random_matrix(&mut rng, n * n, 2.0);
+            let b = random_matrix(&mut rng, n * n, 2.0);
+            let c0 = random_matrix(&mut rng, n * n, 2.0);
+            let mut want = vec![0.0f32; n * n];
+            for r in 0..n {
+                for cc in 0..n {
+                    let mut acc = 0.0f32;
+                    for k in 0..n {
+                        acc += a[r * n + k] * b[k * n + cc];
+                    }
+                    want[r * n + cc] = alpha * acc + beta * c0[r * n + cc];
+                }
+            }
+            Workload {
+                buffers: vec![HostData::F32(a), HostData::F32(b), HostData::F32(c0)],
+                launches: vec![Launch {
+                    kernel: "sgemm",
+                    nd: NdRange::d2(n as u32, n as u32, 8, 8),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(1),
+                        LArg::Buf(2),
+                        LArg::I32(n as i32),
+                        LArg::F32(alpha),
+                        LArg::F32(beta),
+                    ],
+                }],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[2].as_f32(), &want, 1e-3, "sgemm C")
+                }),
+            }
+        },
+    }
+}
+
+/// Matmul (NVIDIA SDK): naive C = A*B.
+pub fn matmul() -> Benchmark {
+    Benchmark {
+        name: "Matmul",
+        origin: "NVIDIA SDK",
+        source: r#"
+            __kernel void matmul(__global const float* a, __global const float* b,
+                                 __global float* c, int n) {
+                int col = get_global_id(0);
+                int row = get_global_id(1);
+                float acc = 0.0f;
+                for (int k = 0; k < n; k++) {
+                    acc += a[row * n + k] * b[k * n + col];
+                }
+                c[row * n + col] = acc;
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(16, 64) as usize;
+            let mut rng = Prng::new(22);
+            let a = random_matrix(&mut rng, n * n, 2.0);
+            let b = random_matrix(&mut rng, n * n, 2.0);
+            let mut want = vec![0.0f32; n * n];
+            for r in 0..n {
+                for cc in 0..n {
+                    want[r * n + cc] = (0..n).map(|k| a[r * n + k] * b[k * n + cc]).sum();
+                }
+            }
+            Workload {
+                buffers: vec![
+                    HostData::F32(a),
+                    HostData::F32(b),
+                    HostData::F32(vec![0.0; n * n]),
+                ],
+                launches: vec![Launch {
+                    kernel: "matmul",
+                    nd: NdRange::d2(n as u32, n as u32, 8, 8),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(1),
+                        LArg::Buf(2),
+                        LArg::I32(n as i32),
+                    ],
+                }],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[2].as_f32(), &want, 1e-3, "matmul C")
+                }),
+            }
+        },
+    }
+}
+
+/// Transpose (NVIDIA SDK): `out[x][y] = in[y][x]`; the second Figure 7
+/// benchmark (strided writes → latency-bound on Vortex).
+pub fn transpose() -> Benchmark {
+    Benchmark {
+        name: "Transpose",
+        origin: "NVIDIA SDK",
+        source: r#"
+            __kernel void transpose(__global const float* in, __global float* out,
+                                    int width, int height) {
+                int x = get_global_id(0);
+                int y = get_global_id(1);
+                out[x * height + y] = in[y * width + x];
+            }
+        "#,
+        workload: |scale| {
+            let w = scale.pick(32, 256) as usize;
+            let h = scale.pick(16, 256) as usize;
+            let mut rng = Prng::new(23);
+            let input = random_matrix(&mut rng, w * h, 8.0);
+            let mut want = vec![0.0f32; w * h];
+            for y in 0..h {
+                for x in 0..w {
+                    want[x * h + y] = input[y * w + x];
+                }
+            }
+            Workload {
+                buffers: vec![HostData::F32(input), HostData::F32(vec![0.0; w * h])],
+                launches: vec![Launch {
+                    kernel: "transpose",
+                    nd: NdRange::d2(w as u32, h as u32, 8, 8),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(1),
+                        LArg::I32(w as i32),
+                        LArg::I32(h as i32),
+                    ],
+                }],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[1].as_f32(), &want, 0.0, "transpose out")
+                }),
+            }
+        },
+    }
+}
+
+/// Gaussian (Rodinia): elimination via the Fan1/Fan2 kernel pair, one
+/// launch pair per pivot step.
+pub fn gaussian() -> Benchmark {
+    Benchmark {
+        name: "Gaussian",
+        origin: "Rodinia",
+        source: r#"
+            __kernel void fan1(__global const float* a, __global float* m,
+                               __global float* b, int n, int t) {
+                int i = get_global_id(0);
+                if (i < n - 1 - t) {
+                    float mult = a[(i + t + 1) * n + t] / a[t * n + t];
+                    m[(i + t + 1) * n + t] = mult;
+                    b[i + t + 1] -= mult * b[t];
+                }
+            }
+            __kernel void fan2(__global float* a, __global const float* m, int n, int t) {
+                int j = get_global_id(0);
+                int i = get_global_id(1);
+                if (i < n - 1 - t && j < n - t) {
+                    float mult = m[(i + 1 + t) * n + t];
+                    a[(i + 1 + t) * n + (j + t)] -= mult * a[t * n + (j + t)];
+                }
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(16, 64) as usize;
+            let mut rng = Prng::new(24);
+            // Diagonally dominant so elimination is stable without pivoting.
+            let mut a = random_matrix(&mut rng, n * n, 1.0);
+            for i in 0..n {
+                a[i * n + i] += n as f32;
+            }
+            let b: Vec<f32> = (0..n).map(|_| rng.next_f32() * 4.0).collect();
+            // Reference elimination, same update order.
+            let mut ra = a.clone();
+            let mut rb = b.clone();
+            for t in 0..n - 1 {
+                for i in t + 1..n {
+                    let mult = ra[i * n + t] / ra[t * n + t];
+                    for j in t..n {
+                        ra[i * n + j] -= mult * ra[t * n + j];
+                    }
+                    rb[i] -= mult * rb[t];
+                }
+            }
+            let mut launches = Vec::new();
+            let sz = n as u32;
+            for t in 0..(n - 1) as i32 {
+                launches.push(Launch {
+                    kernel: "fan1",
+                    nd: NdRange::d1(sz, sz.min(16)),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(2),
+                        LArg::Buf(1),
+                        LArg::I32(n as i32),
+                        LArg::I32(t),
+                    ],
+                });
+                launches.push(Launch {
+                    kernel: "fan2",
+                    nd: NdRange::d2(sz, sz, sz.min(8), sz.min(8)),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(2),
+                        LArg::I32(n as i32),
+                        LArg::I32(t),
+                    ],
+                });
+            }
+            // Fan2 updates columns j >= t including the multiplier column;
+            // the reference zeroes it exactly, the kernel leaves residue in
+            // column t below the diagonal like Rodinia does, so compare only
+            // the upper triangle plus b.
+            let nn = n;
+            Workload {
+                buffers: vec![
+                    HostData::F32(a),
+                    HostData::F32(b),
+                    HostData::F32(vec![0.0; n * n]),
+                ],
+                launches,
+                check: Box::new(move |bufs| {
+                    let got = bufs[0].as_f32();
+                    for i in 0..nn {
+                        for j in i..nn {
+                            let g = got[i * nn + j];
+                            let w = ra[i * nn + j];
+                            if (g - w).abs() > 1e-2 * w.abs().max(1.0) {
+                                return Err(format!(
+                                    "gaussian a[{i}][{j}]: got {g}, want {w}"
+                                ));
+                            }
+                        }
+                    }
+                    expect_close(bufs[1].as_f32(), &rb, 1e-2, "gaussian b")
+                }),
+            }
+        },
+    }
+}
+
+/// NW (Rodinia, Needleman–Wunsch): anti-diagonal DP over the similarity
+/// matrix, one launch per diagonal.
+pub fn nw() -> Benchmark {
+    Benchmark {
+        name: "nw",
+        origin: "Rodinia",
+        source: r#"
+            __kernel void nw_diag(__global int* score, __global const int* ref,
+                                  int n, int d, int penalty) {
+                int k = get_global_id(0);
+                int i = k + 1;
+                int j = d - k + 1;
+                if (j >= 1 && j <= n - 2 && i <= n - 2 && i >= 1) {
+                    int up = score[(i - 1) * n + j] - penalty;
+                    int left = score[i * n + (j - 1)] - penalty;
+                    int diag = score[(i - 1) * n + (j - 1)] + ref[i * n + j];
+                    int best = up;
+                    if (left > best) best = left;
+                    if (diag > best) best = diag;
+                    score[i * n + j] = best;
+                }
+            }
+        "#,
+        workload: |scale| {
+            // n includes the boundary row/column like Rodinia's max_rows+1.
+            let n = scale.pick(18, 66) as usize;
+            let penalty = 10i32;
+            let mut rng = Prng::new(25);
+            let mut reference = vec![0i32; n * n];
+            for v in reference.iter_mut() {
+                *v = (rng.below(21) as i32) - 10;
+            }
+            let mut score = vec![0i32; n * n];
+            for i in 0..n {
+                score[i * n] = -(i as i32) * penalty;
+                score[i] = -(i as i32) * penalty;
+            }
+            // Reference DP.
+            let mut want = score.clone();
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    let up = want[(i - 1) * n + j] - penalty;
+                    let left = want[i * n + (j - 1)] - penalty;
+                    let diag = want[(i - 1) * n + (j - 1)] + reference[i * n + j];
+                    want[i * n + j] = up.max(left).max(diag);
+                }
+            }
+            let interior = (n - 2) as u32;
+            let mut launches = Vec::new();
+            for d in 0..(2 * (n - 2) - 1) as i32 {
+                launches.push(Launch {
+                    kernel: "nw_diag",
+                    nd: NdRange::d1(interior.next_multiple_of(8), 8),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(1),
+                        LArg::I32(n as i32),
+                        LArg::I32(d),
+                        LArg::I32(penalty),
+                    ],
+                });
+            }
+            let nn = n;
+            Workload {
+                buffers: vec![HostData::I32(score), HostData::I32(reference)],
+                launches,
+                check: Box::new(move |bufs| {
+                    let got = bufs[0].as_i32();
+                    for i in 1..nn - 1 {
+                        for j in 1..nn - 1 {
+                            if got[i * nn + j] != want[i * nn + j] {
+                                return Err(format!(
+                                    "nw score[{i}][{j}]: got {}, want {}",
+                                    got[i * nn + j],
+                                    want[i * nn + j]
+                                ));
+                            }
+                        }
+                    }
+                    Ok(())
+                }),
+            }
+        },
+    }
+}
+
+/// LUD (Rodinia): blocked LU decomposition as a pivot/update kernel pair
+/// (plus a trailing-submatrix kernel). One of the Table I BRAM failures on
+/// the HLS flow.
+pub fn lud() -> Benchmark {
+    Benchmark {
+        name: "LUD",
+        origin: "Rodinia",
+        source: r#"
+            __kernel void lud_diagonal(__global float* a, int n, int t) {
+                int i = get_global_id(0);
+                if (i > t && i < n) {
+                    a[i * n + t] = a[i * n + t] / a[t * n + t];
+                }
+            }
+            __kernel void lud_perimeter(__global float* a, __global float* row_cache,
+                                        __global float* col_cache, int n, int t) {
+                int j = get_global_id(0);
+                if (j > t && j < n) {
+                    row_cache[j] = a[t * n + j];
+                    col_cache[j] = a[j * n + t];
+                }
+            }
+            __kernel void lud_internal(__global float* a, __global const float* row_cache,
+                                       __global const float* col_cache, int n, int t) {
+                int j = get_global_id(0);
+                int i = get_global_id(1);
+                if (i > t && i < n && j > t && j < n) {
+                    a[i * n + j] = a[i * n + j] - col_cache[i] * row_cache[j];
+                }
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(12, 48) as usize;
+            let mut rng = Prng::new(26);
+            let mut a = random_matrix(&mut rng, n * n, 1.0);
+            for i in 0..n {
+                a[i * n + i] += n as f32 + 2.0;
+            }
+            // Reference in-place Doolittle LU (same update order).
+            let mut want = a.clone();
+            for t in 0..n - 1 {
+                for i in t + 1..n {
+                    want[i * n + t] /= want[t * n + t];
+                }
+                for i in t + 1..n {
+                    for j in t + 1..n {
+                        want[i * n + j] -= want[i * n + t] * want[t * n + j];
+                    }
+                }
+            }
+            let sz = n as u32;
+            let mut launches = Vec::new();
+            for t in 0..(n - 1) as i32 {
+                launches.push(Launch {
+                    kernel: "lud_diagonal",
+                    nd: NdRange::d1(sz.next_multiple_of(8), 8),
+                    args: vec![LArg::Buf(0), LArg::I32(n as i32), LArg::I32(t)],
+                });
+                launches.push(Launch {
+                    kernel: "lud_perimeter",
+                    nd: NdRange::d1(sz.next_multiple_of(8), 8),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(1),
+                        LArg::Buf(2),
+                        LArg::I32(n as i32),
+                        LArg::I32(t),
+                    ],
+                });
+                launches.push(Launch {
+                    kernel: "lud_internal",
+                    nd: NdRange::d2(sz.next_multiple_of(8), sz.next_multiple_of(8), 8, 8),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(1),
+                        LArg::Buf(2),
+                        LArg::I32(n as i32),
+                        LArg::I32(t),
+                    ],
+                });
+            }
+            Workload {
+                buffers: vec![
+                    HostData::F32(a),
+                    HostData::F32(vec![0.0; n]),
+                    HostData::F32(vec![0.0; n]),
+                ],
+                launches,
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[0].as_f32(), &want, 5e-2, "lud a")
+                }),
+            }
+        },
+    }
+}

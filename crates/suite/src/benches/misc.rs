@@ -1,0 +1,320 @@
+//! Remaining Rodinia benchmarks: Pathfinder, Particlefilter, Dwt2d.
+//!
+//! Dwt2d is a Table I HLS failure: the two 4-tap CDF-style wavelet kernels
+//! (rows then columns) carry eight computed-index loads plus four computed
+//! stores, exceeding the MX2100 BRAM budget.
+
+use crate::runner::{expect_close, expect_eq_i32};
+use crate::spec::{Benchmark, HostData, LArg, Launch, Prng, Workload};
+use ocl_ir::interp::NdRange;
+
+/// Pathfinder (Rodinia): row-by-row dynamic programming over a cost grid.
+pub fn pathfinder() -> Benchmark {
+    Benchmark {
+        name: "pathfinder",
+        origin: "Rodinia",
+        source: r#"
+            __kernel void pathfinder_row(__global const int* wall, __global const int* src,
+                                         __global int* dst, int cols, int row) {
+                int i = get_global_id(0);
+                if (i < cols) {
+                    int best = src[i];
+                    if (i > 0 && src[i - 1] < best) best = src[i - 1];
+                    if (i < cols - 1 && src[i + 1] < best) best = src[i + 1];
+                    dst[i] = wall[row * cols + i] + best;
+                }
+            }
+        "#,
+        workload: |scale| {
+            let cols = scale.pick(64, 1024) as usize;
+            let rows = scale.pick(8, 64) as usize;
+            let mut rng = Prng::new(71);
+            let wall: Vec<i32> = (0..rows * cols).map(|_| rng.below(10) as i32).collect();
+            // Reference DP.
+            let mut cur: Vec<i32> = wall[..cols].to_vec();
+            for r in 1..rows {
+                let prev = cur.clone();
+                for i in 0..cols {
+                    let mut best = prev[i];
+                    if i > 0 {
+                        best = best.min(prev[i - 1]);
+                    }
+                    if i < cols - 1 {
+                        best = best.min(prev[i + 1]);
+                    }
+                    cur[i] = wall[r * cols + i] + best;
+                }
+            }
+            let want = cur;
+            // Device: ping-pong between buffers 1 and 2, starting from row 0
+            // costs in buffer 1.
+            let mut launches = Vec::new();
+            let g = (cols as u32).next_multiple_of(16);
+            for r in 1..rows {
+                let (src, dst) = if r % 2 == 1 { (1, 2) } else { (2, 1) };
+                launches.push(Launch {
+                    kernel: "pathfinder_row",
+                    nd: NdRange::d1(g, 16),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(src),
+                        LArg::Buf(dst),
+                        LArg::I32(cols as i32),
+                        LArg::I32(r as i32),
+                    ],
+                });
+            }
+            let final_buf = if (rows - 1) % 2 == 1 { 2 } else { 1 };
+            let row0: Vec<i32> = wall[..cols].to_vec();
+            Workload {
+                buffers: vec![
+                    HostData::I32(wall),
+                    HostData::I32(row0),
+                    HostData::I32(vec![0; cols]),
+                ],
+                launches,
+                check: Box::new(move |bufs| {
+                    expect_eq_i32(bufs[final_buf].as_i32(), &want, "pathfinder")
+                }),
+            }
+        },
+    }
+}
+
+/// Particlefilter (Rodinia): likelihood-weight update plus systematic
+/// resampling against a host-provided CDF.
+pub fn particlefilter() -> Benchmark {
+    Benchmark {
+        name: "Particlefilter",
+        origin: "Rodinia",
+        source: r#"
+            __kernel void pf_likelihood(__global const float* x, __global float* w,
+                                        float z, float inv_var) {
+                int i = get_global_id(0);
+                float d = z - x[i];
+                w[i] = w[i] * exp(-0.5f * d * d * inv_var);
+            }
+            __kernel void pf_resample(__global const float* cdf, __global const float* x,
+                                      __global float* out, int n) {
+                int i = get_global_id(0);
+                if (i < n) {
+                    float u = ((float)i + 0.5f) / (float)n;
+                    int idx = 0;
+                    for (int j = 0; j < n; j++) {
+                        if (cdf[j] < u) idx = j + 1;
+                    }
+                    if (idx > n - 1) idx = n - 1;
+                    out[i] = x[idx];
+                }
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(64, 1024) as usize;
+            let z = 5.0f32;
+            let inv_var = 0.5f32;
+            let mut rng = Prng::new(72);
+            let x: Vec<f32> = (0..n).map(|_| rng.next_f32() * 10.0).collect();
+            let w0: Vec<f32> = vec![1.0 / n as f32; n];
+            // Reference likelihood.
+            let want_w: Vec<f32> = (0..n)
+                .map(|i| {
+                    let d = z - x[i];
+                    w0[i] * (-0.5 * d * d * inv_var).exp()
+                })
+                .collect();
+            // Host builds the normalized CDF from the reference weights (as
+            // Rodinia's host code does between kernels).
+            let total: f32 = want_w.iter().sum();
+            let mut cdf = vec![0.0f32; n];
+            let mut acc = 0.0;
+            for (c, w) in cdf.iter_mut().zip(&want_w) {
+                acc += w / total;
+                *c = acc;
+            }
+            let want_out: Vec<f32> = (0..n)
+                .map(|i| {
+                    let u = (i as f32 + 0.5) / n as f32;
+                    let mut idx = 0usize;
+                    for (j, c) in cdf.iter().enumerate() {
+                        if *c < u {
+                            idx = j + 1;
+                        }
+                    }
+                    x[idx.min(n - 1)]
+                })
+                .collect();
+            let g = (n as u32).next_multiple_of(16);
+            Workload {
+                buffers: vec![
+                    HostData::F32(x),
+                    HostData::F32(w0),
+                    HostData::F32(cdf),
+                    HostData::F32(vec![0.0; n]),
+                ],
+                launches: vec![
+                    Launch {
+                        kernel: "pf_likelihood",
+                        nd: NdRange::d1(n as u32, 16),
+                        args: vec![
+                            LArg::Buf(0),
+                            LArg::Buf(1),
+                            LArg::F32(z),
+                            LArg::F32(inv_var),
+                        ],
+                    },
+                    Launch {
+                        kernel: "pf_resample",
+                        nd: NdRange::d1(g, 16),
+                        args: vec![
+                            LArg::Buf(2),
+                            LArg::Buf(0),
+                            LArg::Buf(3),
+                            LArg::I32(n as i32),
+                        ],
+                    },
+                ],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[1].as_f32(), &want_w, 1e-4, "pf weights")?;
+                    expect_close(bufs[3].as_f32(), &want_out, 0.0, "pf resample")
+                }),
+            }
+        },
+    }
+}
+
+/// Dwt2d (Rodinia): one level of a separable 4-tap wavelet transform, rows
+/// then columns, writing approximation and detail halves.
+pub fn dwt2d() -> Benchmark {
+    Benchmark {
+        name: "Dwd2d",
+        origin: "Rodinia",
+        source: r#"
+            __kernel void dwt_rows(__global const float* in, __global float* out,
+                                   int w, int h) {
+                int x = get_global_id(0);
+                int y = get_global_id(1);
+                int half = w / 2;
+                if (x < half && y < h) {
+                    int x0 = 2 * x;
+                    int xm = x0 - 1;
+                    if (xm < 0) xm = 0;
+                    int xp = 2 * x + 1;
+                    int xq = 2 * x + 2;
+                    if (xq > w - 1) xq = w - 1;
+                    float a = in[y * w + xm];
+                    float b = in[y * w + x0];
+                    float c = in[y * w + xp];
+                    float d = in[y * w + xq];
+                    out[y * w + x] = 0.25f * a + 0.5f * b + 0.25f * c;
+                    out[y * w + half + x] = 0.5f * b - 0.5f * c + 0.125f * a + 0.125f * d;
+                }
+            }
+            __kernel void dwt_cols(__global const float* in, __global float* out,
+                                   int w, int h) {
+                int x = get_global_id(0);
+                int y = get_global_id(1);
+                int half = h / 2;
+                if (y < half && x < w) {
+                    int y0 = 2 * y;
+                    int ym = y0 - 1;
+                    if (ym < 0) ym = 0;
+                    int yp = 2 * y + 1;
+                    int yq = 2 * y + 2;
+                    if (yq > h - 1) yq = h - 1;
+                    float a = in[ym * w + x];
+                    float b = in[y0 * w + x];
+                    float c = in[yp * w + x];
+                    float d = in[yq * w + x];
+                    out[y * w + x] = 0.25f * a + 0.5f * b + 0.25f * c;
+                    out[(half + y) * w + x] = 0.5f * b - 0.5f * c + 0.125f * a + 0.125f * d;
+                }
+            }
+        "#,
+        workload: |scale| {
+            let w = scale.pick(32, 128) as usize;
+            let h = scale.pick(16, 128) as usize;
+            let mut rng = Prng::new(73);
+            let input: Vec<f32> = (0..w * h).map(|_| rng.next_f32() * 8.0).collect();
+            // Reference: rows pass into tmp, cols pass into out.
+            let rows_ref = |src: &[f32], dst: &mut [f32]| {
+                let half = w / 2;
+                for y in 0..h {
+                    for x in 0..half {
+                        let x0 = 2 * x;
+                        let xm = x0.saturating_sub(1);
+                        let xp = 2 * x + 1;
+                        let xq = (2 * x + 2).min(w - 1);
+                        let (a, b, c, d) = (
+                            src[y * w + xm],
+                            src[y * w + x0],
+                            src[y * w + xp],
+                            src[y * w + xq],
+                        );
+                        dst[y * w + x] = 0.25 * a + 0.5 * b + 0.25 * c;
+                        dst[y * w + half + x] = 0.5 * b - 0.5 * c + 0.125 * a + 0.125 * d;
+                    }
+                }
+            };
+            let cols_ref = |src: &[f32], dst: &mut [f32]| {
+                let half = h / 2;
+                for y in 0..half {
+                    for x in 0..w {
+                        let y0 = 2 * y;
+                        let ym = y0.saturating_sub(1);
+                        let yp = 2 * y + 1;
+                        let yq = (2 * y + 2).min(h - 1);
+                        let (a, b, c, d) = (
+                            src[ym * w + x],
+                            src[y0 * w + x],
+                            src[yp * w + x],
+                            src[yq * w + x],
+                        );
+                        dst[y * w + x] = 0.25 * a + 0.5 * b + 0.25 * c;
+                        dst[(half + y) * w + x] = 0.5 * b - 0.5 * c + 0.125 * a + 0.125 * d;
+                    }
+                }
+            };
+            let mut tmp = vec![0.0f32; w * h];
+            rows_ref(&input, &mut tmp);
+            let mut want = vec![0.0f32; w * h];
+            cols_ref(&tmp, &mut want);
+            Workload {
+                buffers: vec![
+                    HostData::F32(input),
+                    HostData::F32(vec![0.0; w * h]),
+                    HostData::F32(vec![0.0; w * h]),
+                ],
+                launches: vec![
+                    Launch {
+                        kernel: "dwt_rows",
+                        nd: NdRange::d2((w as u32 / 2).next_multiple_of(8), h as u32, 8, 8),
+                        args: vec![
+                            LArg::Buf(0),
+                            LArg::Buf(1),
+                            LArg::I32(w as i32),
+                            LArg::I32(h as i32),
+                        ],
+                    },
+                    Launch {
+                        kernel: "dwt_cols",
+                        nd: NdRange::d2(
+                            (w as u32).next_multiple_of(8),
+                            (h as u32 / 2).next_multiple_of(8),
+                            8,
+                            8,
+                        ),
+                        args: vec![
+                            LArg::Buf(1),
+                            LArg::Buf(2),
+                            LArg::I32(w as i32),
+                            LArg::I32(h as i32),
+                        ],
+                    },
+                ],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[2].as_f32(), &want, 1e-4, "dwt2d out")
+                }),
+            }
+        },
+    }
+}

@@ -1,0 +1,9 @@
+//! The 28 benchmark definitions, grouped by domain.
+
+pub mod graph;
+pub mod linalg;
+pub mod misc;
+pub mod ml;
+pub mod physics;
+pub mod simple;
+pub mod sort;

@@ -1,0 +1,409 @@
+//! Scientific-computing benchmarks: SPMV, Cutcp, Stencil, Lbm, LavaMD.
+//!
+//! Lbm is a Table I HLS failure: the D2Q5 lattice-Boltzmann step streams
+//! five distributions in and out per cell, and those ten computed-index
+//! access sites far exceed the MX2100 BRAM budget.
+
+use crate::runner::expect_close;
+use crate::spec::{Benchmark, HostData, LArg, Launch, Prng, Workload};
+use ocl_ir::interp::NdRange;
+
+/// SPMV (Parboil/SDK style): CSR sparse matrix–vector product.
+pub fn spmv() -> Benchmark {
+    Benchmark {
+        name: "SPMV",
+        origin: "NVIDIA SDK",
+        source: r#"
+            __kernel void spmv(__global const int* rowptr, __global const int* colidx,
+                               __global const float* vals, __global const float* x,
+                               __global float* y, int n) {
+                int i = get_global_id(0);
+                if (i < n) {
+                    float acc = 0.0f;
+                    int first = rowptr[i];
+                    int last = rowptr[i + 1];
+                    for (int k = first; k < last; k++) {
+                        acc += vals[k] * x[colidx[k]];
+                    }
+                    y[i] = acc;
+                }
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(96, 2048) as usize;
+            let mut rng = Prng::new(41);
+            let mut rowptr = vec![0i32; n + 1];
+            let mut colidx = Vec::new();
+            let mut vals = Vec::new();
+            for i in 0..n {
+                let nnz = rng.below(6) as usize;
+                for _ in 0..nnz {
+                    colidx.push(rng.below(n as u32) as i32);
+                    vals.push(rng.next_f32() * 2.0 - 1.0);
+                }
+                rowptr[i + 1] = colidx.len() as i32;
+            }
+            if colidx.is_empty() {
+                colidx.push(0);
+                vals.push(0.0);
+            }
+            let x: Vec<f32> = (0..n).map(|_| rng.next_f32()).collect();
+            let want: Vec<f32> = (0..n)
+                .map(|i| {
+                    (rowptr[i]..rowptr[i + 1])
+                        .map(|k| vals[k as usize] * x[colidx[k as usize] as usize])
+                        .sum()
+                })
+                .collect();
+            let g = (n as u32).next_multiple_of(16);
+            Workload {
+                buffers: vec![
+                    HostData::I32(rowptr),
+                    HostData::I32(colidx),
+                    HostData::F32(vals),
+                    HostData::F32(x),
+                    HostData::F32(vec![0.0; n]),
+                ],
+                launches: vec![Launch {
+                    kernel: "spmv",
+                    nd: NdRange::d1(g, 16),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(1),
+                        LArg::Buf(2),
+                        LArg::Buf(3),
+                        LArg::Buf(4),
+                        LArg::I32(n as i32),
+                    ],
+                }],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[4].as_f32(), &want, 1e-4, "spmv y")
+                }),
+            }
+        },
+    }
+}
+
+/// Cutcp (Parboil): cutoff Coulombic potential on a 1-D grid of points
+/// against an atom list.
+pub fn cutcp() -> Benchmark {
+    Benchmark {
+        name: "Cutcp",
+        origin: "Rodinia",
+        source: r#"
+            __kernel void cutcp(__global const float* atom_x, __global const float* atom_q,
+                                __global float* grid, int natoms, float spacing,
+                                float cutoff2) {
+                int i = get_global_id(0);
+                float px = (float)i * spacing;
+                float acc = 0.0f;
+                for (int a = 0; a < natoms; a++) {
+                    float dx = atom_x[a] - px;
+                    float r2 = dx * dx;
+                    if (r2 < cutoff2 && r2 > 0.000001f) {
+                        acc += atom_q[a] / sqrt(r2);
+                    }
+                }
+                grid[i] = acc;
+            }
+        "#,
+        workload: |scale| {
+            let npoints = scale.pick(128, 4096) as usize;
+            let natoms = scale.pick(32, 256) as usize;
+            let spacing = 0.25f32;
+            let cutoff2 = 4.0f32;
+            let mut rng = Prng::new(42);
+            let ax: Vec<f32> = (0..natoms)
+                .map(|_| rng.next_f32() * npoints as f32 * spacing)
+                .collect();
+            let aq: Vec<f32> = (0..natoms).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+            let want: Vec<f32> = (0..npoints)
+                .map(|i| {
+                    let px = i as f32 * spacing;
+                    let mut acc = 0.0f32;
+                    for a in 0..natoms {
+                        let dx = ax[a] - px;
+                        let r2 = dx * dx;
+                        if r2 < cutoff2 && r2 > 0.000001 {
+                            acc += aq[a] / r2.sqrt();
+                        }
+                    }
+                    acc
+                })
+                .collect();
+            Workload {
+                buffers: vec![
+                    HostData::F32(ax),
+                    HostData::F32(aq),
+                    HostData::F32(vec![0.0; npoints]),
+                ],
+                launches: vec![Launch {
+                    kernel: "cutcp",
+                    nd: NdRange::d1(npoints as u32, 16),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(1),
+                        LArg::Buf(2),
+                        LArg::I32(natoms as i32),
+                        LArg::F32(spacing),
+                        LArg::F32(cutoff2),
+                    ],
+                }],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[2].as_f32(), &want, 1e-3, "cutcp grid")
+                }),
+            }
+        },
+    }
+}
+
+/// Stencil (Parboil): 2-D 5-point Jacobi step.
+pub fn stencil() -> Benchmark {
+    Benchmark {
+        name: "Stencil",
+        origin: "Rodinia",
+        source: r#"
+            __kernel void stencil5(__global const float* in, __global float* out,
+                                   int w, int h, float c0, float c1) {
+                int x = get_global_id(0);
+                int y = get_global_id(1);
+                if (x > 0 && x < w - 1 && y > 0 && y < h - 1) {
+                    out[y * w + x] = c0 * in[y * w + x]
+                        + c1 * (in[y * w + x - 1] + in[y * w + x + 1]
+                              + in[(y - 1) * w + x] + in[(y + 1) * w + x]);
+                }
+            }
+        "#,
+        workload: |scale| {
+            let w = scale.pick(32, 256) as usize;
+            let h = scale.pick(24, 256) as usize;
+            let (c0, c1) = (0.5f32, 0.125f32);
+            let mut rng = Prng::new(43);
+            let input: Vec<f32> = (0..w * h).map(|_| rng.next_f32() * 4.0).collect();
+            let mut want = vec![0.0f32; w * h];
+            for y in 1..h - 1 {
+                for x in 1..w - 1 {
+                    want[y * w + x] = c0 * input[y * w + x]
+                        + c1 * (input[y * w + x - 1]
+                            + input[y * w + x + 1]
+                            + input[(y - 1) * w + x]
+                            + input[(y + 1) * w + x]);
+                }
+            }
+            Workload {
+                buffers: vec![HostData::F32(input), HostData::F32(vec![0.0; w * h])],
+                launches: vec![Launch {
+                    kernel: "stencil5",
+                    nd: NdRange::d2(w as u32, h as u32, 8, 8),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(1),
+                        LArg::I32(w as i32),
+                        LArg::I32(h as i32),
+                        LArg::F32(c0),
+                        LArg::F32(c1),
+                    ],
+                }],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[1].as_f32(), &want, 1e-5, "stencil out")
+                }),
+            }
+        },
+    }
+}
+
+/// Lbm (Parboil/SPEC): one D2Q5 lattice-Boltzmann BGK step — five
+/// distributions streamed in and written out per cell.
+pub fn lbm() -> Benchmark {
+    Benchmark {
+        name: "Lbm",
+        origin: "Rodinia",
+        source: r#"
+            __kernel void lbm_step(__global const float* f0, __global const float* f1,
+                                   __global const float* f2, __global const float* f3,
+                                   __global const float* f4, __global float* g0,
+                                   __global float* g1, __global float* g2,
+                                   __global float* g3, __global float* g4,
+                                   int w, int h, float omega) {
+                int x = get_global_id(0);
+                int y = get_global_id(1);
+                int idx = y * w + x;
+                // Pull streaming with periodic wrap.
+                int xm = (x + w - 1) % w;
+                int xp = (x + 1) % w;
+                int ym = (y + h - 1) % h;
+                int yp = (y + 1) % h;
+                float c = f0[idx];
+                float e = f1[y * w + xm];
+                float wv = f2[y * w + xp];
+                float n = f3[ym * w + x];
+                float s = f4[yp * w + x];
+                float rho = c + e + wv + n + s;
+                float ux = (e - wv) / rho;
+                float uy = (n - s) / rho;
+                float usq = 1.5f * (ux * ux + uy * uy);
+                float feq0 = rho * 0.333333f * (1.0f - usq);
+                float feq1 = rho * 0.166667f * (1.0f + 3.0f * ux + 4.5f * ux * ux - usq);
+                float feq2 = rho * 0.166667f * (1.0f - 3.0f * ux + 4.5f * ux * ux - usq);
+                float feq3 = rho * 0.166667f * (1.0f + 3.0f * uy + 4.5f * uy * uy - usq);
+                float feq4 = rho * 0.166667f * (1.0f - 3.0f * uy + 4.5f * uy * uy - usq);
+                g0[idx] = c + omega * (feq0 - c);
+                g1[idx] = e + omega * (feq1 - e);
+                g2[idx] = wv + omega * (feq2 - wv);
+                g3[idx] = n + omega * (feq3 - n);
+                g4[idx] = s + omega * (feq4 - s);
+            }
+        "#,
+        workload: |scale| {
+            let w = scale.pick(16, 64) as usize;
+            let h = scale.pick(16, 64) as usize;
+            let omega = 0.8f32;
+            let mut rng = Prng::new(44);
+            let fs: Vec<Vec<f32>> = (0..5)
+                .map(|_| (0..w * h).map(|_| 0.1 + rng.next_f32() * 0.1).collect())
+                .collect();
+            // Reference step.
+            let mut want: Vec<Vec<f32>> = vec![vec![0.0; w * h]; 5];
+            for y in 0..h {
+                for x in 0..w {
+                    let idx = y * w + x;
+                    let xm = (x + w - 1) % w;
+                    let xp = (x + 1) % w;
+                    let ym = (y + h - 1) % h;
+                    let yp = (y + 1) % h;
+                    let c = fs[0][idx];
+                    let e = fs[1][y * w + xm];
+                    let wv = fs[2][y * w + xp];
+                    let n = fs[3][ym * w + x];
+                    let s = fs[4][yp * w + x];
+                    let rho = c + e + wv + n + s;
+                    let ux = (e - wv) / rho;
+                    let uy = (n - s) / rho;
+                    let usq = 1.5 * (ux * ux + uy * uy);
+                    let feq = [
+                        rho * 0.333333 * (1.0 - usq),
+                        rho * 0.166667 * (1.0 + 3.0 * ux + 4.5 * ux * ux - usq),
+                        rho * 0.166667 * (1.0 - 3.0 * ux + 4.5 * ux * ux - usq),
+                        rho * 0.166667 * (1.0 + 3.0 * uy + 4.5 * uy * uy - usq),
+                        rho * 0.166667 * (1.0 - 3.0 * uy + 4.5 * uy * uy - usq),
+                    ];
+                    let f = [c, e, wv, n, s];
+                    for d in 0..5 {
+                        want[d][idx] = f[d] + omega * (feq[d] - f[d]);
+                    }
+                }
+            }
+            let mut buffers: Vec<HostData> = fs.into_iter().map(HostData::F32).collect();
+            for _ in 0..5 {
+                buffers.push(HostData::F32(vec![0.0; w * h]));
+            }
+            Workload {
+                buffers,
+                launches: vec![Launch {
+                    kernel: "lbm_step",
+                    nd: NdRange::d2(w as u32, h as u32, 8, 8),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(1),
+                        LArg::Buf(2),
+                        LArg::Buf(3),
+                        LArg::Buf(4),
+                        LArg::Buf(5),
+                        LArg::Buf(6),
+                        LArg::Buf(7),
+                        LArg::Buf(8),
+                        LArg::Buf(9),
+                        LArg::I32(w as i32),
+                        LArg::I32(h as i32),
+                        LArg::F32(omega),
+                    ],
+                }],
+                check: Box::new(move |bufs| {
+                    for d in 0..5 {
+                        expect_close(
+                            bufs[5 + d].as_f32(),
+                            &want[d],
+                            1e-4,
+                            &format!("lbm g{d}"),
+                        )?;
+                    }
+                    Ok(())
+                }),
+            }
+        },
+    }
+}
+
+/// LavaMD (Rodinia): particle forces within a neighborhood window.
+pub fn lavamd() -> Benchmark {
+    Benchmark {
+        name: "LavaMD",
+        origin: "Rodinia",
+        source: r#"
+            __kernel void lavamd(__global const float* pos, __global const float* charge,
+                                 __global float* force, int n, int window, float a2) {
+                int i = get_global_id(0);
+                if (i < n) {
+                    float xi = pos[i];
+                    float acc = 0.0f;
+                    int first = i - window;
+                    if (first < 0) first = 0;
+                    int last = i + window;
+                    if (last > n - 1) last = n - 1;
+                    for (int j = first; j <= last; j++) {
+                        float dx = xi - pos[j];
+                        float r2 = dx * dx + a2;
+                        float inv = 1.0f / sqrt(r2);
+                        acc += charge[j] * inv * inv * inv * dx;
+                    }
+                    force[i] = acc;
+                }
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(96, 2048) as usize;
+            let window = 8i32;
+            let a2 = 0.01f32;
+            let mut rng = Prng::new(45);
+            let pos: Vec<f32> = (0..n).map(|i| i as f32 * 0.3 + rng.next_f32() * 0.1).collect();
+            let charge: Vec<f32> = (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+            let want: Vec<f32> = (0..n)
+                .map(|i| {
+                    let first = (i as i32 - window).max(0) as usize;
+                    let last = (i as i32 + window).min(n as i32 - 1) as usize;
+                    let mut acc = 0.0f32;
+                    for j in first..=last {
+                        let dx = pos[i] - pos[j];
+                        let r2 = dx * dx + a2;
+                        let inv = 1.0 / r2.sqrt();
+                        acc += charge[j] * inv * inv * inv * dx;
+                    }
+                    acc
+                })
+                .collect();
+            let g = (n as u32).next_multiple_of(16);
+            Workload {
+                buffers: vec![
+                    HostData::F32(pos),
+                    HostData::F32(charge),
+                    HostData::F32(vec![0.0; n]),
+                ],
+                launches: vec![Launch {
+                    kernel: "lavamd",
+                    nd: NdRange::d1(g, 16),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(1),
+                        LArg::Buf(2),
+                        LArg::I32(n as i32),
+                        LArg::I32(window),
+                        LArg::F32(a2),
+                    ],
+                }],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[2].as_f32(), &want, 1e-3, "lavamd force")
+                }),
+            }
+        },
+    }
+}

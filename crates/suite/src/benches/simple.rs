@@ -1,0 +1,312 @@
+//! Streaming / element-wise benchmarks: Vecadd, Saxpy, Dotproduct, Sfilter,
+//! Blackscholes, OCLPrintf.
+
+use crate::runner::{expect_close, expect_eq_i32};
+use crate::spec::{Benchmark, HostData, LArg, Launch, Prng, Workload};
+use ocl_ir::interp::NdRange;
+
+/// Vecadd (NVIDIA SDK): c = a + b.
+pub fn vecadd() -> Benchmark {
+    Benchmark {
+        name: "Vecadd",
+        origin: "NVIDIA SDK",
+        source: r#"
+            __kernel void vecadd(__global const float* a, __global const float* b,
+                                 __global float* c) {
+                int i = get_global_id(0);
+                c[i] = a[i] + b[i];
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(256, 16384) as usize;
+            let mut rng = Prng::new(11);
+            let a: Vec<f32> = (0..n).map(|_| rng.next_f32() * 10.0).collect();
+            let b: Vec<f32> = (0..n).map(|_| rng.next_f32() * 10.0).collect();
+            let want: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            Workload {
+                buffers: vec![
+                    HostData::F32(a),
+                    HostData::F32(b),
+                    HostData::F32(vec![0.0; n]),
+                ],
+                launches: vec![Launch {
+                    kernel: "vecadd",
+                    nd: NdRange::d1(n as u32, 16),
+                    args: vec![LArg::Buf(0), LArg::Buf(1), LArg::Buf(2)],
+                }],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[2].as_f32(), &want, 1e-6, "vecadd c")
+                }),
+            }
+        },
+    }
+}
+
+/// Saxpy (NVIDIA SDK): y = alpha * x + y.
+pub fn saxpy() -> Benchmark {
+    Benchmark {
+        name: "Saxpy",
+        origin: "NVIDIA SDK",
+        source: r#"
+            __kernel void saxpy(__global const float* x, __global float* y, float alpha) {
+                int i = get_global_id(0);
+                y[i] = alpha * x[i] + y[i];
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(256, 16384) as usize;
+            let alpha = 2.5f32;
+            let mut rng = Prng::new(12);
+            let x: Vec<f32> = (0..n).map(|_| rng.next_f32()).collect();
+            let y: Vec<f32> = (0..n).map(|_| rng.next_f32()).collect();
+            let want: Vec<f32> = x.iter().zip(&y).map(|(a, b)| alpha * a + b).collect();
+            Workload {
+                buffers: vec![HostData::F32(x), HostData::F32(y)],
+                launches: vec![Launch {
+                    kernel: "saxpy",
+                    nd: NdRange::d1(n as u32, 16),
+                    args: vec![LArg::Buf(0), LArg::Buf(1), LArg::F32(alpha)],
+                }],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[1].as_f32(), &want, 1e-5, "saxpy y")
+                }),
+            }
+        },
+    }
+}
+
+/// Dotproduct (NVIDIA SDK): per-group tree reduction into partial sums.
+pub fn dotproduct() -> Benchmark {
+    Benchmark {
+        name: "Dotproduct",
+        origin: "NVIDIA SDK",
+        source: r#"
+            __kernel void dotprod(__global const float* a, __global const float* b,
+                                  __global float* partial) {
+                __local float tile[16];
+                int gid = get_global_id(0);
+                int lid = get_local_id(0);
+                tile[lid] = a[gid] * b[gid];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                for (int s = 8; s > 0; s >>= 1) {
+                    if (lid < s) tile[lid] += tile[lid + s];
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                }
+                if (lid == 0) partial[get_group_id(0)] = tile[0];
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(256, 8192) as usize;
+            let groups = n / 16;
+            let mut rng = Prng::new(13);
+            let a: Vec<f32> = (0..n).map(|_| rng.next_f32()).collect();
+            let b: Vec<f32> = (0..n).map(|_| rng.next_f32()).collect();
+            let mut want = vec![0.0f32; groups];
+            for g in 0..groups {
+                // Sum in the same tree order as the kernel for tight bounds.
+                let mut tile: Vec<f32> =
+                    (0..16).map(|l| a[g * 16 + l] * b[g * 16 + l]).collect();
+                let mut s = 8;
+                while s > 0 {
+                    for l in 0..s {
+                        tile[l] += tile[l + s];
+                    }
+                    s /= 2;
+                }
+                want[g] = tile[0];
+            }
+            Workload {
+                buffers: vec![
+                    HostData::F32(a),
+                    HostData::F32(b),
+                    HostData::F32(vec![0.0; groups]),
+                ],
+                launches: vec![Launch {
+                    kernel: "dotprod",
+                    nd: NdRange::d1(n as u32, 16),
+                    args: vec![LArg::Buf(0), LArg::Buf(1), LArg::Buf(2)],
+                }],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[2].as_f32(), &want, 1e-6, "dot partials")
+                }),
+            }
+        },
+    }
+}
+
+/// Sfilter (signal filter, NVIDIA SDK style): 1-D 3-tap smoothing with edge
+/// guards (divergent ifs at the boundaries).
+pub fn sfilter() -> Benchmark {
+    Benchmark {
+        name: "Sfilter",
+        origin: "NVIDIA SDK",
+        source: r#"
+            __kernel void sfilter(__global const float* in, __global float* out, int n) {
+                int i = get_global_id(0);
+                float acc = 0.5f * in[i];
+                if (i > 0) acc += 0.25f * in[i - 1]; else acc += 0.25f * in[i];
+                if (i < n - 1) acc += 0.25f * in[i + 1]; else acc += 0.25f * in[i];
+                out[i] = acc;
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(256, 16384) as usize;
+            let mut rng = Prng::new(14);
+            let input: Vec<f32> = (0..n).map(|_| rng.next_f32() * 4.0).collect();
+            let want: Vec<f32> = (0..n)
+                .map(|i| {
+                    let l = if i > 0 { input[i - 1] } else { input[i] };
+                    let r = if i < n - 1 { input[i + 1] } else { input[i] };
+                    0.5 * input[i] + 0.25 * l + 0.25 * r
+                })
+                .collect();
+            Workload {
+                buffers: vec![HostData::F32(input), HostData::F32(vec![0.0; n])],
+                launches: vec![Launch {
+                    kernel: "sfilter",
+                    nd: NdRange::d1(n as u32, 16),
+                    args: vec![LArg::Buf(0), LArg::Buf(1), LArg::I32(n as i32)],
+                }],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[1].as_f32(), &want, 1e-5, "sfilter out")
+                }),
+            }
+        },
+    }
+}
+
+/// Blackscholes (NVIDIA SDK): European option pricing via the
+/// Abramowitz–Stegun normal-CDF polynomial.
+pub fn blackscholes() -> Benchmark {
+    Benchmark {
+        name: "Blackscholes",
+        origin: "NVIDIA SDK",
+        source: BLACKSCHOLES_SRC,
+        workload: |scale| {
+            let n = scale.pick(128, 8192) as usize;
+            let mut rng = Prng::new(15);
+            let price: Vec<f32> = (0..n).map(|_| 10.0 + rng.next_f32() * 90.0).collect();
+            let strike: Vec<f32> = (0..n).map(|_| 10.0 + rng.next_f32() * 90.0).collect();
+            let years: Vec<f32> = (0..n).map(|_| 0.25 + rng.next_f32() * 2.0).collect();
+            let (r, v) = (0.02f32, 0.30f32);
+            let mut call = vec![0.0f32; n];
+            let mut put = vec![0.0f32; n];
+            for i in 0..n {
+                let (c, p) = black_scholes_ref(price[i], strike[i], years[i], r, v);
+                call[i] = c;
+                put[i] = p;
+            }
+            Workload {
+                buffers: vec![
+                    HostData::F32(price),
+                    HostData::F32(strike),
+                    HostData::F32(years),
+                    HostData::F32(vec![0.0; n]),
+                    HostData::F32(vec![0.0; n]),
+                ],
+                launches: vec![Launch {
+                    kernel: "blackscholes",
+                    nd: NdRange::d1(n as u32, 16),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::Buf(1),
+                        LArg::Buf(2),
+                        LArg::Buf(3),
+                        LArg::Buf(4),
+                        LArg::F32(r),
+                        LArg::F32(v),
+                    ],
+                }],
+                check: Box::new(move |bufs| {
+                    expect_close(bufs[3].as_f32(), &call, 2e-3, "call")?;
+                    expect_close(bufs[4].as_f32(), &put, 2e-3, "put")
+                }),
+            }
+        },
+    }
+}
+
+const BLACKSCHOLES_SRC: &str = r#"
+    __kernel void blackscholes(__global const float* price, __global const float* strike,
+                               __global const float* years, __global float* call,
+                               __global float* put, float r, float v) {
+        int i = get_global_id(0);
+        float s = price[i];
+        float x = strike[i];
+        float t = years[i];
+        float sqrt_t = sqrt(t);
+        float d1 = (log(s / x) + (r + 0.5f * v * v) * t) / (v * sqrt_t);
+        float d2 = d1 - v * sqrt_t;
+        // Abramowitz-Stegun cumulative normal distribution.
+        float k1 = 1.0f / (1.0f + 0.2316419f * fabs(d1));
+        float w1 = 1.0f - 0.39894228f * exp(-0.5f * d1 * d1) *
+            (k1 * (0.31938153f + k1 * (-0.356563782f + k1 * (1.781477937f +
+             k1 * (-1.821255978f + k1 * 1.330274429f)))));
+        if (d1 < 0.0f) w1 = 1.0f - w1;
+        float k2 = 1.0f / (1.0f + 0.2316419f * fabs(d2));
+        float w2 = 1.0f - 0.39894228f * exp(-0.5f * d2 * d2) *
+            (k2 * (0.31938153f + k2 * (-0.356563782f + k2 * (1.781477937f +
+             k2 * (-1.821255978f + k2 * 1.330274429f)))));
+        if (d2 < 0.0f) w2 = 1.0f - w2;
+        float e = exp(-r * t);
+        call[i] = s * w1 - x * e * w2;
+        put[i] = x * e * (1.0f - w2) - s * (1.0f - w1);
+    }
+"#;
+
+/// Host reference matching the kernel's operation order.
+fn black_scholes_ref(s: f32, x: f32, t: f32, r: f32, v: f32) -> (f32, f32) {
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / x).ln() + (r + 0.5 * v * v) * t) / (v * sqrt_t);
+    let d2 = d1 - v * sqrt_t;
+    let cnd = |d: f32| {
+        let k = 1.0 / (1.0 + 0.2316419 * d.abs());
+        let w = 1.0
+            - 0.398_942_3
+                * (-0.5 * d * d).exp()
+                * (k * (0.31938153
+                    + k * (-0.356_563_78
+                        + k * (1.781_477_9 + k * (-1.821_255_9 + k * 1.330_274_5)))));
+        if d < 0.0 {
+            1.0 - w
+        } else {
+            w
+        }
+    };
+    let (w1, w2) = (cnd(d1), cnd(d2));
+    let e = (-r * t).exp();
+    (s * w1 - x * e * w2, x * e * (1.0 - w2) - s * (1.0 - w1))
+}
+
+/// OCLPrintf (Vortex test suite): device-side printf plus a data result so
+/// the harness can verify both paths.
+pub fn oclprintf() -> Benchmark {
+    Benchmark {
+        name: "OCLPrintf",
+        origin: "NVIDIA SDK",
+        source: r#"
+            __kernel void oclprintf(__global const int* in, __global int* out) {
+                int i = get_global_id(0);
+                int v = in[i] * 2 + 1;
+                out[i] = v;
+                if (i == 0) {
+                    printf("oclprintf: first=%d n=%d\n", v, get_global_size(0));
+                }
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(64, 1024) as usize;
+            let input: Vec<i32> = (0..n as i32).collect();
+            let want: Vec<i32> = input.iter().map(|v| v * 2 + 1).collect();
+            Workload {
+                buffers: vec![HostData::I32(input), HostData::I32(vec![0; n])],
+                launches: vec![Launch {
+                    kernel: "oclprintf",
+                    nd: NdRange::d1(n as u32, 16),
+                    args: vec![LArg::Buf(0), LArg::Buf(1)],
+                }],
+                check: Box::new(move |bufs| expect_eq_i32(bufs[1].as_i32(), &want, "out")),
+            }
+        },
+    }
+}

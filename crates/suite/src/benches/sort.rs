@@ -1,0 +1,155 @@
+//! Sorting benchmarks: Psort (odd-even transposition) and Hybridsort
+//! (histogram bucketing with atomics — the Table I "Atomics" HLS failure).
+
+use crate::runner::expect_eq_i32;
+use crate::spec::{Benchmark, HostData, LArg, Launch, Prng, Workload};
+use ocl_ir::interp::NdRange;
+
+/// Psort (parallel sort, NVIDIA SDK style): odd-even transposition network,
+/// one launch per phase.
+pub fn psort() -> Benchmark {
+    Benchmark {
+        name: "Psort",
+        origin: "NVIDIA SDK",
+        source: r#"
+            __kernel void psort_phase(__global int* data, int n, int phase) {
+                int i = get_global_id(0);
+                int idx = 2 * i + (phase & 1);
+                if (idx + 1 < n) {
+                    int a = data[idx];
+                    int b = data[idx + 1];
+                    if (a > b) {
+                        data[idx] = b;
+                        data[idx + 1] = a;
+                    }
+                }
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(64, 512) as usize;
+            let mut rng = Prng::new(61);
+            let data: Vec<i32> = (0..n).map(|_| rng.below(10_000) as i32).collect();
+            let mut want = data.clone();
+            want.sort_unstable();
+            let half = (n as u32 / 2).next_multiple_of(16);
+            let launches = (0..n)
+                .map(|phase| Launch {
+                    kernel: "psort_phase",
+                    nd: NdRange::d1(half, 16),
+                    args: vec![
+                        LArg::Buf(0),
+                        LArg::I32(n as i32),
+                        LArg::I32(phase as i32),
+                    ],
+                })
+                .collect();
+            Workload {
+                buffers: vec![HostData::I32(data)],
+                launches,
+                check: Box::new(move |bufs| expect_eq_i32(bufs[0].as_i32(), &want, "psort")),
+            }
+        },
+    }
+}
+
+/// Hybridsort (Rodinia): the bucketing stage — a histogram kernel using
+/// `atomic_add` (what fails HLS synthesis on the MX2100) followed by a
+/// scatter using per-element atomic slot allocation.
+pub fn hybridsort() -> Benchmark {
+    Benchmark {
+        name: "Hybridsort",
+        origin: "Rodinia",
+        source: r#"
+            __kernel void histogram1024(__global const int* data, __global int* histo,
+                                        int n, int shift) {
+                int i = get_global_id(0);
+                if (i < n) {
+                    int bucket = data[i] >> shift;
+                    atomic_add(&histo[bucket], 1);
+                }
+            }
+            __kernel void bucket_scatter(__global const int* data, __global int* offsets,
+                                         __global int* out, int n, int shift) {
+                int i = get_global_id(0);
+                if (i < n) {
+                    int v = data[i];
+                    int bucket = v >> shift;
+                    int slot = atomic_add(&offsets[bucket], 1);
+                    out[slot] = v;
+                }
+            }
+        "#,
+        workload: |scale| {
+            let n = scale.pick(128, 2048) as usize;
+            let buckets = 16usize;
+            let shift = 6i32; // values 0..1024 -> 16 buckets of 64
+            let mut rng = Prng::new(62);
+            let data: Vec<i32> = (0..n).map(|_| rng.below(1024) as i32).collect();
+            let mut want_histo = vec![0i32; buckets];
+            for &v in &data {
+                want_histo[(v >> shift) as usize] += 1;
+            }
+            // Scatter offsets: exclusive prefix sums of the histogram (the
+            // host-side step of hybridsort).
+            let mut offsets = vec![0i32; buckets];
+            let mut acc = 0;
+            for b in 0..buckets {
+                offsets[b] = acc;
+                acc += want_histo[b];
+            }
+            // The scatter is order-nondeterministic within a bucket, so the
+            // check sorts each bucket range (bucket membership is what the
+            // kernel guarantees).
+            let bucket_of = move |v: i32| (v >> shift) as usize;
+            let want_counts = want_histo.clone();
+            let g = (n as u32).next_multiple_of(16);
+            Workload {
+                buffers: vec![
+                    HostData::I32(data),
+                    HostData::I32(vec![0; buckets]),
+                    HostData::I32(offsets),
+                    HostData::I32(vec![-1; n]),
+                ],
+                launches: vec![
+                    Launch {
+                        kernel: "histogram1024",
+                        nd: NdRange::d1(g, 16),
+                        args: vec![
+                            LArg::Buf(0),
+                            LArg::Buf(1),
+                            LArg::I32(n as i32),
+                            LArg::I32(shift),
+                        ],
+                    },
+                    Launch {
+                        kernel: "bucket_scatter",
+                        nd: NdRange::d1(g, 16),
+                        args: vec![
+                            LArg::Buf(0),
+                            LArg::Buf(2),
+                            LArg::Buf(3),
+                            LArg::I32(n as i32),
+                            LArg::I32(shift),
+                        ],
+                    },
+                ],
+                check: Box::new(move |bufs| {
+                    expect_eq_i32(bufs[1].as_i32(), &want_histo, "histogram")?;
+                    let out = bufs[3].as_i32();
+                    let mut start = 0usize;
+                    for (b, &cnt) in want_counts.iter().enumerate() {
+                        for &v in &out[start..start + cnt as usize] {
+                            if bucket_of(v) != b {
+                                return Err(format!(
+                                    "scatter: value {v} landed in bucket {b}"
+                                ));
+                            }
+                        }
+                        start += cnt as usize;
+                    }
+                    Ok(())
+                }),
+            }
+        },
+    }
+}

@@ -1,0 +1,208 @@
+//! Executes a benchmark workload through each of the three back ends and
+//! verifies results — the suite's equivalent of the paper's "identical
+//! source code on both platforms" methodology.
+
+use crate::spec::{Benchmark, HostData, LArg, Scale, Workload};
+use fpga_arch::Device;
+use hls_flow::{synthesize, SynthFailure, SynthOptions};
+use ocl_ir::interp::{self, KernelArg, Limits, Memory};
+use vortex_rt::{Arg, VxSession};
+use vortex_sim::SimConfig;
+
+/// Outcome of running one benchmark on one back end.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Estimated / simulated kernel cycles summed over all launches.
+    pub cycles: u64,
+    /// Total dynamic instructions (interpreter steps or simulator retires).
+    pub instructions: u64,
+    /// Device printf output.
+    pub printf_output: Vec<String>,
+}
+
+/// Run on the reference interpreter and verify.
+pub fn run_reference(b: &Benchmark, scale: Scale) -> Result<RunOutcome, String> {
+    let module = ocl_front::compile(b.source).map_err(|e| format!("{}: {e}", b.name))?;
+    let w = (b.workload)(scale);
+    let mut mem = Memory::new(32 << 20);
+    let addrs: Vec<u32> = w
+        .buffers
+        .iter()
+        .map(|h| mem.alloc_u32(&h.to_words()))
+        .collect();
+    let mut steps = 0;
+    let mut printf_output = Vec::new();
+    for l in &w.launches {
+        let kernel = module
+            .kernel(l.kernel)
+            .ok_or_else(|| format!("kernel `{}` missing", l.kernel))?;
+        let args: Vec<KernelArg> = l
+            .args
+            .iter()
+            .map(|a| match a {
+                LArg::Buf(i) => KernelArg::Ptr(addrs[*i]),
+                LArg::I32(v) => KernelArg::I32(*v),
+                LArg::U32(v) => KernelArg::U32(*v),
+                LArg::F32(v) => KernelArg::F32(*v),
+            })
+            .collect();
+        let r = interp::run_ndrange(kernel, &args, &l.nd, &mut mem, &Limits::default())
+            .map_err(|e| format!("{} interp: {e}", b.name))?;
+        steps += r.steps;
+        printf_output.extend(r.printf_output);
+    }
+    let finals = read_back(&w, &addrs, |addr, len| mem.read_u32_slice(addr, len));
+    (w.check)(&finals)?;
+    Ok(RunOutcome {
+        cycles: 0,
+        instructions: steps,
+        printf_output,
+    })
+}
+
+/// Run on the Vortex flow (compile → simulate) and verify.
+pub fn run_vortex(b: &Benchmark, scale: Scale, cfg: &SimConfig) -> Result<RunOutcome, String> {
+    let module = ocl_front::compile(b.source).map_err(|e| format!("{}: {e}", b.name))?;
+    let opts = vortex_cc::CodegenOpts {
+        threads: cfg.hw.threads,
+    };
+    let kernels = module
+        .kernels
+        .iter()
+        .map(|k| vortex_cc::compile_kernel(k, &opts))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("{} codegen: {e}", b.name))?;
+    let w = (b.workload)(scale);
+    let mut sess = VxSession::with_kernels(cfg.clone(), kernels);
+    let bufs: Vec<vortex_rt::Buffer> = w
+        .buffers
+        .iter()
+        .map(|h| sess.alloc_u32(&h.to_words()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("{} alloc: {e}", b.name))?;
+    let mut cycles = 0;
+    let mut instructions = 0;
+    let mut printf_output = Vec::new();
+    for l in &w.launches {
+        let args: Vec<Arg> = l
+            .args
+            .iter()
+            .map(|a| match a {
+                LArg::Buf(i) => Arg::Buf(bufs[*i]),
+                LArg::I32(v) => Arg::I32(*v),
+                LArg::U32(v) => Arg::U32(*v),
+                LArg::F32(v) => Arg::F32(*v),
+            })
+            .collect();
+        let r = sess
+            .launch_named(l.kernel, &args, &l.nd)
+            .map_err(|e| format!("{} launch `{}`: {e}", b.name, l.kernel))?;
+        cycles += r.stats.cycles;
+        instructions += r.stats.instructions;
+        printf_output.extend(r.printf_output);
+    }
+    let finals = read_back(&w, &bufs, |buf, len| sess.read_u32(buf, len).expect("readback"));
+    (w.check)(&finals)?;
+    Ok(RunOutcome {
+        cycles,
+        instructions,
+        printf_output,
+    })
+}
+
+/// Run on the HLS flow: synthesize for `device`, then execute the pipelined
+/// model and verify. Synthesis failures (the Table I ✗ cases) are returned
+/// as `Ok(Err(failure))` so coverage harnesses can report them.
+#[allow(clippy::type_complexity)]
+pub fn run_hls(
+    b: &Benchmark,
+    scale: Scale,
+    device: &Device,
+) -> Result<Result<RunOutcome, SynthFailure>, String> {
+    let module = ocl_front::compile(b.source).map_err(|e| format!("{}: {e}", b.name))?;
+    let report = match synthesize(&module, device, &SynthOptions::default()) {
+        Ok(r) => r,
+        Err(f) => return Ok(Err(f)),
+    };
+    let _ = report;
+    let w = (b.workload)(scale);
+    let mut mem = Memory::new(32 << 20);
+    let addrs: Vec<u32> = w
+        .buffers
+        .iter()
+        .map(|h| mem.alloc_u32(&h.to_words()))
+        .collect();
+    let mut cycles = 0;
+    let mut instructions = 0;
+    let mut printf_output = Vec::new();
+    for l in &w.launches {
+        let kernel = module
+            .kernel(l.kernel)
+            .ok_or_else(|| format!("kernel `{}` missing", l.kernel))?;
+        let args: Vec<KernelArg> = l
+            .args
+            .iter()
+            .map(|a| match a {
+                LArg::Buf(i) => KernelArg::Ptr(addrs[*i]),
+                LArg::I32(v) => KernelArg::I32(*v),
+                LArg::U32(v) => KernelArg::U32(*v),
+                LArg::F32(v) => KernelArg::F32(*v),
+            })
+            .collect();
+        let r = hls_flow::execute_ndrange(kernel, &args, &l.nd, &mut mem, device)
+            .map_err(|e| format!("{} hls exec: {e}", b.name))?;
+        cycles += r.cycles;
+        instructions += r.exec.steps;
+        printf_output.extend(r.exec.printf_output);
+    }
+    let finals = read_back(&w, &addrs, |addr, len| mem.read_u32_slice(addr, len));
+    (w.check)(&finals)?;
+    Ok(Ok(RunOutcome {
+        cycles,
+        instructions,
+        printf_output,
+    }))
+}
+
+fn read_back<H: Copy>(
+    w: &Workload,
+    handles: &[H],
+    read: impl Fn(H, usize) -> Vec<u32>,
+) -> Vec<HostData> {
+    w.buffers
+        .iter()
+        .zip(handles)
+        .map(|(h, &handle)| h.from_words(read(handle, h.words())))
+        .collect()
+}
+
+/// Assert two float slices match within `tol` (shared by benchmark checks).
+pub fn expect_close(got: &[f32], want: &[f32], tol: f32, what: &str) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!(
+            "{what}: length mismatch {} vs {}",
+            got.len(),
+            want.len()
+        ));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let scale = w.abs().max(1.0);
+        if (g - w).abs() > tol * scale {
+            return Err(format!("{what}[{i}]: got {g}, want {w}"));
+        }
+    }
+    Ok(())
+}
+
+/// Assert two int slices match exactly.
+pub fn expect_eq_i32(got: &[i32], want: &[i32], what: &str) -> Result<(), String> {
+    if got != want {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            if g != w {
+                return Err(format!("{what}[{i}]: got {g}, want {w}"));
+            }
+        }
+        return Err(format!("{what}: length mismatch"));
+    }
+    Ok(())
+}

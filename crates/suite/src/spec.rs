@@ -1,0 +1,182 @@
+//! Benchmark specification types.
+
+use ocl_ir::interp::NdRange;
+
+/// Problem-size scale: `Test` keeps cycle-level simulation fast; `Paper`
+/// approaches the evaluation sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Test,
+    Paper,
+}
+
+impl Scale {
+    /// Pick a size by scale.
+    pub fn pick(self, test: u32, paper: u32) -> u32 {
+        match self {
+            Scale::Test => test,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Host-side buffer contents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostData {
+    F32(Vec<f32>),
+    I32(Vec<i32>),
+    U32(Vec<u32>),
+}
+
+impl HostData {
+    /// Length in 32-bit words.
+    pub fn words(&self) -> usize {
+        match self {
+            HostData::F32(v) => v.len(),
+            HostData::I32(v) => v.len(),
+            HostData::U32(v) => v.len(),
+        }
+    }
+
+    /// Raw little-endian words.
+    pub fn to_words(&self) -> Vec<u32> {
+        match self {
+            HostData::F32(v) => v.iter().map(|x| x.to_bits()).collect(),
+            HostData::I32(v) => v.iter().map(|x| *x as u32).collect(),
+            HostData::U32(v) => v.clone(),
+        }
+    }
+
+    /// Interpret raw words back with this buffer's type.
+    pub fn from_words(&self, words: Vec<u32>) -> HostData {
+        match self {
+            HostData::F32(_) => HostData::F32(words.into_iter().map(f32::from_bits).collect()),
+            HostData::I32(_) => HostData::I32(words.into_iter().map(|w| w as i32).collect()),
+            HostData::U32(_) => HostData::U32(words),
+        }
+    }
+
+    /// The f32 view (panics if the buffer is integer — test-code only).
+    pub fn as_f32(&self) -> &[f32] {
+        match self {
+            HostData::F32(v) => v,
+            other => panic!("expected f32 buffer, found {other:?}"),
+        }
+    }
+
+    /// The i32 view.
+    pub fn as_i32(&self) -> &[i32] {
+        match self {
+            HostData::I32(v) => v,
+            other => panic!("expected i32 buffer, found {other:?}"),
+        }
+    }
+
+    /// The u32 view.
+    pub fn as_u32(&self) -> &[u32] {
+        match self {
+            HostData::U32(v) => v,
+            other => panic!("expected u32 buffer, found {other:?}"),
+        }
+    }
+}
+
+/// A launch argument: a workload buffer by index or an immediate scalar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LArg {
+    Buf(usize),
+    I32(i32),
+    U32(u32),
+    F32(f32),
+}
+
+/// One kernel launch within a benchmark run.
+#[derive(Debug, Clone)]
+pub struct Launch {
+    pub kernel: &'static str,
+    pub nd: NdRange,
+    pub args: Vec<LArg>,
+}
+
+/// Verification callback over the final buffer states.
+pub type Check = Box<dyn Fn(&[HostData]) -> Result<(), String>>;
+
+/// A concrete workload: buffers, launch sequence, verifier.
+pub struct Workload {
+    pub buffers: Vec<HostData>,
+    pub launches: Vec<Launch>,
+    pub check: Check,
+}
+
+/// A benchmark of the suite.
+pub struct Benchmark {
+    /// Table I name.
+    pub name: &'static str,
+    /// Originating suite ("Rodinia" / "NVIDIA SDK").
+    pub origin: &'static str,
+    /// OpenCL-C subset source (all kernels).
+    pub source: &'static str,
+    /// Build a workload at the given scale.
+    pub workload: fn(Scale) -> Workload,
+}
+
+/// Deterministic xorshift PRNG so workloads are reproducible without
+/// threading a seed through every benchmark constructor.
+pub struct Prng(u64);
+
+impl Prng {
+    pub fn new(seed: u64) -> Self {
+        Prng(seed.max(1))
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        (x >> 32) as u32
+    }
+
+    /// Uniform float in [0, 1).
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 / (1 << 24) as f32
+    }
+
+    /// Uniform integer in [0, n).
+    pub fn below(&mut self, n: u32) -> u32 {
+        self.next_u32() % n.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hostdata_roundtrip() {
+        let d = HostData::F32(vec![1.5, -2.0]);
+        let w = d.to_words();
+        assert_eq!(d.from_words(w), d);
+        let i = HostData::I32(vec![-3, 4]);
+        assert_eq!(i.from_words(i.to_words()), i);
+    }
+
+    #[test]
+    fn prng_is_deterministic() {
+        let mut a = Prng::new(42);
+        let mut b = Prng::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        let f = a.next_f32();
+        assert!((0.0..1.0).contains(&f));
+        assert!(a.below(10) < 10);
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Test.pick(8, 256), 8);
+        assert_eq!(Scale::Paper.pick(8, 256), 256);
+    }
+}

@@ -1,0 +1,179 @@
+//! Disassembly (Display) for instructions — used in simulator traces and
+//! compiler debug output.
+
+use crate::*;
+use std::fmt;
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Lui { rd, imm } => write!(f, "lui x{rd}, {imm:#x}"),
+            Instr::OpImm { op, rd, rs1, imm } => {
+                write!(f, "{}i x{rd}, x{rs1}, {imm}", alu_name(op))
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                write!(f, "{} x{rd}, x{rs1}, x{rs2}", alu_name(op))
+            }
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                let n = match op {
+                    MulOp::Mul => "mul",
+                    MulOp::Mulh => "mulh",
+                    MulOp::Mulhu => "mulhu",
+                    MulOp::Div => "div",
+                    MulOp::Divu => "divu",
+                    MulOp::Rem => "rem",
+                    MulOp::Remu => "remu",
+                };
+                write!(f, "{n} x{rd}, x{rs1}, x{rs2}")
+            }
+            Instr::Lw { rd, rs1, imm } => write!(f, "lw x{rd}, {imm}(x{rs1})"),
+            Instr::Sw { rs1, rs2, imm } => write!(f, "sw x{rs2}, {imm}(x{rs1})"),
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let n = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                    BranchCond::Ltu => "bltu",
+                    BranchCond::Geu => "bgeu",
+                };
+                write!(f, "{n} x{rs1}, x{rs2}, {offset:+}")
+            }
+            Instr::Jal { rd, offset } => write!(f, "jal x{rd}, {offset:+}"),
+            Instr::Jalr { rd, rs1, imm } => write!(f, "jalr x{rd}, {imm}(x{rs1})"),
+            Instr::Flw { rd, rs1, imm } => write!(f, "flw f{rd}, {imm}(x{rs1})"),
+            Instr::Fsw { rs1, rs2, imm } => write!(f, "fsw f{rs2}, {imm}(x{rs1})"),
+            Instr::FpOp { op, rd, rs1, rs2 } => {
+                let n = match op {
+                    FpOp::Add => "fadd.s",
+                    FpOp::Sub => "fsub.s",
+                    FpOp::Mul => "fmul.s",
+                    FpOp::Div => "fdiv.s",
+                    FpOp::Min => "fmin.s",
+                    FpOp::Max => "fmax.s",
+                    FpOp::Sgnj => "fsgnj.s",
+                    FpOp::SgnjN => "fsgnjn.s",
+                    FpOp::SgnjX => "fsgnjx.s",
+                };
+                write!(f, "{n} f{rd}, f{rs1}, f{rs2}")
+            }
+            Instr::FpUn { op, rd, rs1 } => {
+                let n = match op {
+                    FpUnOp::Sqrt => "fsqrt.s",
+                    FpUnOp::Exp => "vx.fexp",
+                    FpUnOp::Log => "vx.flog",
+                    FpUnOp::Sin => "vx.fsin",
+                    FpUnOp::Cos => "vx.fcos",
+                    FpUnOp::Floor => "vx.ffloor",
+                };
+                write!(f, "{n} f{rd}, f{rs1}")
+            }
+            Instr::FpCmp { op, rd, rs1, rs2 } => {
+                let n = match op {
+                    FpCmpOp::Eq => "feq.s",
+                    FpCmpOp::Lt => "flt.s",
+                    FpCmpOp::Le => "fle.s",
+                };
+                write!(f, "{n} x{rd}, f{rs1}, f{rs2}")
+            }
+            Instr::FpCvt { op, rd, rs1 } => match op {
+                CvtOp::F2I => write!(f, "fcvt.w.s x{rd}, f{rs1}"),
+                CvtOp::F2U => write!(f, "fcvt.wu.s x{rd}, f{rs1}"),
+                CvtOp::I2F => write!(f, "fcvt.s.w f{rd}, x{rs1}"),
+                CvtOp::U2F => write!(f, "fcvt.s.wu f{rd}, x{rs1}"),
+                CvtOp::MvF2X => write!(f, "fmv.x.w x{rd}, f{rs1}"),
+                CvtOp::MvX2F => write!(f, "fmv.w.x f{rd}, x{rs1}"),
+            },
+            Instr::Amo { op, rd, rs1, rs2 } => {
+                let n = match op {
+                    AmoOp::Add => "amoadd.w",
+                    AmoOp::Swap => "amoswap.w",
+                    AmoOp::And => "amoand.w",
+                    AmoOp::Or => "amoor.w",
+                    AmoOp::Xor => "amoxor.w",
+                    AmoOp::Min => "amomin.w",
+                    AmoOp::Max => "amomax.w",
+                    AmoOp::Minu => "amominu.w",
+                    AmoOp::Maxu => "amomaxu.w",
+                };
+                write!(f, "{n} x{rd}, x{rs2}, (x{rs1})")
+            }
+            Instr::CsrRead { rd, csr } => write!(f, "csrr x{rd}, {csr:?}"),
+            Instr::Tmc { rs1 } => write!(f, "vx.tmc x{rs1}"),
+            Instr::Wspawn { rs1, rs2 } => write!(f, "vx.wspawn x{rs1}, x{rs2}"),
+            Instr::Split { rs1, else_off } => write!(f, "vx.split x{rs1}, {else_off:+}"),
+            Instr::Join { off } => write!(f, "vx.join {off:+}"),
+            Instr::Pred { rs1, rs2, exit_off } => {
+                write!(f, "vx.pred x{rs1}, x{rs2}, {exit_off:+}")
+            }
+            Instr::Bar { rs1, rs2 } => write!(f, "vx.bar x{rs1}, x{rs2}"),
+            Instr::Print { fmt } => write!(f, "vx.print #{fmt}"),
+            Instr::Halt => write!(f, "vx.halt"),
+        }
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Xor => "xor",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+    }
+}
+
+/// Render a whole program with instruction indices.
+pub fn disassemble(instrs: &[Instr]) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(instrs.len() * 24);
+    for (i, instr) in instrs.iter().enumerate() {
+        writeln!(s, "{i:6}: {instr}").expect("string write");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_core_and_extension_forms() {
+        assert_eq!(
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                imm: -3
+            }
+            .to_string(),
+            "addi x1, x2, -3"
+        );
+        assert_eq!(
+            Instr::Split {
+                rs1: 7,
+                else_off: 4
+            }
+            .to_string(),
+            "vx.split x7, +4"
+        );
+        assert_eq!(Instr::Halt.to_string(), "vx.halt");
+    }
+
+    #[test]
+    fn disassemble_numbers_lines() {
+        let s = disassemble(&[Instr::Halt, Instr::Join { off: -2 }]);
+        assert!(s.contains("0: vx.halt"));
+        assert!(s.contains("1: vx.join -2"));
+    }
+}

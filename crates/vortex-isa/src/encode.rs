@@ -1,0 +1,755 @@
+//! Binary encoding/decoding of the instruction set.
+//!
+//! Instructions encode to 32-bit words in RISC-V-style formats. The Vortex
+//! SIMT extension uses the custom opcode 0x6B like the real hardware. The
+//! encoding exists so the soft-GPU flow produces a genuine *binary* (the
+//! "Kernel binary" box of the paper's Figure 2) and so the simulator's
+//! fetch/decode path operates on words rather than on a Rust enum.
+
+use crate::*;
+
+/// Decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    pub word: u32,
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot decode {:#010x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Major opcodes.
+const OP_LUI: u32 = 0x37;
+const OP_IMM: u32 = 0x13;
+const OP_REG: u32 = 0x33;
+const OP_LOAD: u32 = 0x03;
+const OP_STORE: u32 = 0x23;
+const OP_BRANCH: u32 = 0x63;
+const OP_JAL: u32 = 0x6F;
+const OP_JALR: u32 = 0x67;
+const OP_FLW: u32 = 0x07;
+const OP_FSW: u32 = 0x27;
+const OP_FP: u32 = 0x53;
+const OP_AMO: u32 = 0x2F;
+const OP_SYSTEM: u32 = 0x73;
+/// Vortex custom opcode (matches the real hardware's extension space).
+const OP_VX: u32 = 0x6B;
+
+fn rd(w: u32) -> Reg {
+    ((w >> 7) & 31) as Reg
+}
+fn rs1(w: u32) -> Reg {
+    ((w >> 15) & 31) as Reg
+}
+fn rs2(w: u32) -> Reg {
+    ((w >> 20) & 31) as Reg
+}
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 7
+}
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+fn r_type(op: u32, f3: u32, f7: u32, rdr: Reg, r1: Reg, r2: Reg) -> u32 {
+    op | ((rdr as u32) << 7) | (f3 << 12) | ((r1 as u32) << 15) | ((r2 as u32) << 20) | (f7 << 25)
+}
+
+fn i_type(op: u32, f3: u32, rdr: Reg, r1: Reg, imm: i32) -> u32 {
+    debug_assert!((-2048..2048).contains(&imm), "I-imm out of range: {imm}");
+    op | ((rdr as u32) << 7) | (f3 << 12) | ((r1 as u32) << 15) | (((imm as u32) & 0xFFF) << 20)
+}
+
+fn i_imm(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+fn s_type(op: u32, f3: u32, r1: Reg, r2: Reg, imm: i32) -> u32 {
+    debug_assert!((-2048..2048).contains(&imm), "S-imm out of range: {imm}");
+    let u = (imm as u32) & 0xFFF;
+    op | ((u & 31) << 7) | (f3 << 12) | ((r1 as u32) << 15) | ((r2 as u32) << 20) | ((u >> 5) << 25)
+}
+
+fn s_imm(w: u32) -> i32 {
+    let u = ((w >> 7) & 31) | (((w >> 25) & 0x7F) << 5);
+    ((u << 20) as i32) >> 20
+}
+
+/// Branch/split/join offsets are instruction-indexed and stored like an
+/// S-type immediate (12 bits, signed).
+fn b_off_ok(offset: i32) -> bool {
+    (-2048..2048).contains(&offset)
+}
+
+/// Encode one instruction to a 32-bit word.
+///
+/// # Panics
+/// Panics (debug assertion) if an immediate exceeds its field; the assembler
+/// validates ranges before calling.
+pub fn encode(i: &Instr) -> u32 {
+    match *i {
+        Instr::Lui { rd: r, imm } => OP_LUI | ((r as u32) << 7) | (((imm as u32) & 0xFFFFF) << 12),
+        Instr::OpImm { op, rd: r, rs1: a, imm } => {
+            let (f3, f7imm) = match op {
+                AluOp::Add => (0b000, None),
+                AluOp::Slt => (0b010, None),
+                AluOp::Sltu => (0b011, None),
+                AluOp::Xor => (0b100, None),
+                AluOp::Or => (0b110, None),
+                AluOp::And => (0b111, None),
+                AluOp::Sll => (0b001, Some(0)),
+                AluOp::Srl => (0b101, Some(0)),
+                AluOp::Sra => (0b101, Some(0x20)),
+                AluOp::Sub => panic!("subi is not encodable; use addi with -imm"),
+            };
+            match f7imm {
+                None => i_type(OP_IMM, f3, r, a, imm),
+                Some(f7) => i_type(OP_IMM, f3, r, a, (imm & 31) | (f7 << 5)),
+            }
+        }
+        Instr::Op { op, rd: r, rs1: a, rs2: b } => {
+            let (f3, f7) = match op {
+                AluOp::Add => (0b000, 0x00),
+                AluOp::Sub => (0b000, 0x20),
+                AluOp::Sll => (0b001, 0x00),
+                AluOp::Slt => (0b010, 0x00),
+                AluOp::Sltu => (0b011, 0x00),
+                AluOp::Xor => (0b100, 0x00),
+                AluOp::Srl => (0b101, 0x00),
+                AluOp::Sra => (0b101, 0x20),
+                AluOp::Or => (0b110, 0x00),
+                AluOp::And => (0b111, 0x00),
+            };
+            r_type(OP_REG, f3, f7, r, a, b)
+        }
+        Instr::MulDiv { op, rd: r, rs1: a, rs2: b } => {
+            let f3 = match op {
+                MulOp::Mul => 0b000,
+                MulOp::Mulh => 0b001,
+                MulOp::Mulhu => 0b011,
+                MulOp::Div => 0b100,
+                MulOp::Divu => 0b101,
+                MulOp::Rem => 0b110,
+                MulOp::Remu => 0b111,
+            };
+            r_type(OP_REG, f3, 0x01, r, a, b)
+        }
+        Instr::Lw { rd: r, rs1: a, imm } => i_type(OP_LOAD, 0b010, r, a, imm),
+        Instr::Sw { rs1: a, rs2: b, imm } => s_type(OP_STORE, 0b010, a, b, imm),
+        Instr::Branch { cond, rs1: a, rs2: b, offset } => {
+            assert!(b_off_ok(offset), "branch offset {offset} out of range");
+            let f3 = match cond {
+                BranchCond::Eq => 0b000,
+                BranchCond::Ne => 0b001,
+                BranchCond::Lt => 0b100,
+                BranchCond::Ge => 0b101,
+                BranchCond::Ltu => 0b110,
+                BranchCond::Geu => 0b111,
+            };
+            s_type(OP_BRANCH, f3, a, b, offset)
+        }
+        Instr::Jal { rd: r, offset } => {
+            assert!(
+                (-(1 << 19)..(1 << 19)).contains(&offset),
+                "jal offset out of range"
+            );
+            OP_JAL | ((r as u32) << 7) | (((offset as u32) & 0xFFFFF) << 12)
+        }
+        Instr::Jalr { rd: r, rs1: a, imm } => i_type(OP_JALR, 0b000, r, a, imm),
+        Instr::Flw { rd: r, rs1: a, imm } => i_type(OP_FLW, 0b010, r, a, imm),
+        Instr::Fsw { rs1: a, rs2: b, imm } => s_type(OP_FSW, 0b010, a, b, imm),
+        Instr::FpOp { op, rd: r, rs1: a, rs2: b } => {
+            let (f7, f3) = match op {
+                FpOp::Add => (0x00, 0),
+                FpOp::Sub => (0x04, 0),
+                FpOp::Mul => (0x08, 0),
+                FpOp::Div => (0x0C, 0),
+                FpOp::Min => (0x14, 0),
+                FpOp::Max => (0x14, 1),
+                FpOp::Sgnj => (0x10, 0),
+                FpOp::SgnjN => (0x10, 1),
+                FpOp::SgnjX => (0x10, 2),
+            };
+            r_type(OP_FP, f3, f7, r, a, b)
+        }
+        Instr::FpUn { op, rd: r, rs1: a } => {
+            // fsqrt is standard (f7=0x2C); the SFU ops use reserved f7
+            // values with rs2 as a selector.
+            match op {
+                FpUnOp::Sqrt => r_type(OP_FP, 0, 0x2C, r, a, 0),
+                FpUnOp::Exp => r_type(OP_FP, 0, 0x7B, r, a, 0),
+                FpUnOp::Log => r_type(OP_FP, 0, 0x7B, r, a, 1),
+                FpUnOp::Sin => r_type(OP_FP, 0, 0x7B, r, a, 2),
+                FpUnOp::Cos => r_type(OP_FP, 0, 0x7B, r, a, 3),
+                FpUnOp::Floor => r_type(OP_FP, 0, 0x7B, r, a, 4),
+            }
+        }
+        Instr::FpCmp { op, rd: r, rs1: a, rs2: b } => {
+            let f3 = match op {
+                FpCmpOp::Eq => 0b010,
+                FpCmpOp::Lt => 0b001,
+                FpCmpOp::Le => 0b000,
+            };
+            r_type(OP_FP, f3, 0x50, r, a, b)
+        }
+        Instr::FpCvt { op, rd: r, rs1: a } => match op {
+            CvtOp::F2I => r_type(OP_FP, 0, 0x60, r, a, 0),
+            CvtOp::F2U => r_type(OP_FP, 0, 0x60, r, a, 1),
+            CvtOp::I2F => r_type(OP_FP, 0, 0x68, r, a, 0),
+            CvtOp::U2F => r_type(OP_FP, 0, 0x68, r, a, 1),
+            CvtOp::MvF2X => r_type(OP_FP, 0, 0x70, r, a, 0),
+            CvtOp::MvX2F => r_type(OP_FP, 0, 0x78, r, a, 0),
+        },
+        Instr::Amo { op, rd: r, rs1: a, rs2: b } => {
+            let f5 = match op {
+                AmoOp::Add => 0x00,
+                AmoOp::Swap => 0x01,
+                AmoOp::Xor => 0x04,
+                AmoOp::Or => 0x08,
+                AmoOp::And => 0x0C,
+                AmoOp::Min => 0x10,
+                AmoOp::Max => 0x14,
+                AmoOp::Minu => 0x18,
+                AmoOp::Maxu => 0x1C,
+            };
+            r_type(OP_AMO, 0b010, f5 << 2, r, a, b)
+        }
+        Instr::CsrRead { rd: r, csr } => {
+            let addr: u32 = match csr {
+                Csr::ThreadId => 0xCC0,
+                Csr::WarpId => 0xCC1,
+                Csr::CoreId => 0xCC2,
+                Csr::NumThreads => 0xFC0,
+                Csr::NumWarps => 0xFC1,
+                Csr::NumCores => 0xFC2,
+                Csr::Tmask => 0xCC3,
+            };
+            OP_SYSTEM | ((r as u32) << 7) | (0b010 << 12) | (addr << 20)
+        }
+        Instr::Tmc { rs1: a } => r_type(OP_VX, 0, 0, 0, a, 0),
+        Instr::Wspawn { rs1: a, rs2: b } => r_type(OP_VX, 1, 0, 0, a, b),
+        Instr::Split { rs1: a, else_off } => {
+            assert!(b_off_ok(else_off), "split offset out of range");
+            s_type(OP_VX, 2, a, 0, else_off)
+        }
+        Instr::Join { off } => {
+            assert!(b_off_ok(off), "join offset out of range");
+            s_type(OP_VX, 3, 0, 0, off)
+        }
+        Instr::Pred { rs1: a, rs2: b, exit_off } => {
+            assert!(b_off_ok(exit_off), "pred offset out of range");
+            s_type(OP_VX, 4, a, b, exit_off)
+        }
+        Instr::Bar { rs1: a, rs2: b } => r_type(OP_VX, 5, 0, 0, a, b),
+        Instr::Print { fmt } => r_type(OP_VX, 6, 0, 0, (fmt & 31) as Reg, (fmt >> 5) as Reg),
+        Instr::Halt => r_type(OP_VX, 7, 0, 0, 0, 0),
+    }
+}
+
+/// Decode a 32-bit word back to an instruction.
+pub fn decode(w: u32) -> Result<Instr, DecodeError> {
+    let op = w & 0x7F;
+    let e = |reason| DecodeError { word: w, reason };
+    Ok(match op {
+        OP_LUI => Instr::Lui {
+            rd: rd(w),
+            imm: ((w >> 12) & 0xFFFFF) as i32,
+        },
+        OP_IMM => {
+            let f3 = funct3(w);
+            let imm = i_imm(w);
+            let aop = match f3 {
+                0b000 => AluOp::Add,
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b110 => AluOp::Or,
+                0b111 => AluOp::And,
+                0b001 => {
+                    return Ok(Instr::OpImm {
+                        op: AluOp::Sll,
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        imm: imm & 31,
+                    })
+                }
+                0b101 => {
+                    let sra = (imm >> 5) & 0x7F == 0x20;
+                    return Ok(Instr::OpImm {
+                        op: if sra { AluOp::Sra } else { AluOp::Srl },
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        imm: imm & 31,
+                    });
+                }
+                _ => return Err(e("bad OP-IMM funct3")),
+            };
+            Instr::OpImm {
+                op: aop,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+            }
+        }
+        OP_REG => {
+            let (f3, f7) = (funct3(w), funct7(w));
+            if f7 == 0x01 {
+                let mop = match f3 {
+                    0b000 => MulOp::Mul,
+                    0b001 => MulOp::Mulh,
+                    0b011 => MulOp::Mulhu,
+                    0b100 => MulOp::Div,
+                    0b101 => MulOp::Divu,
+                    0b110 => MulOp::Rem,
+                    0b111 => MulOp::Remu,
+                    _ => return Err(e("bad MULDIV funct3")),
+                };
+                return Ok(Instr::MulDiv {
+                    op: mop,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                });
+            }
+            let aop = match (f3, f7) {
+                (0b000, 0x00) => AluOp::Add,
+                (0b000, 0x20) => AluOp::Sub,
+                (0b001, 0x00) => AluOp::Sll,
+                (0b010, 0x00) => AluOp::Slt,
+                (0b011, 0x00) => AluOp::Sltu,
+                (0b100, 0x00) => AluOp::Xor,
+                (0b101, 0x00) => AluOp::Srl,
+                (0b101, 0x20) => AluOp::Sra,
+                (0b110, 0x00) => AluOp::Or,
+                (0b111, 0x00) => AluOp::And,
+                _ => return Err(e("bad OP funct")),
+            };
+            Instr::Op {
+                op: aop,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            }
+        }
+        OP_LOAD => match funct3(w) {
+            0b010 => Instr::Lw {
+                rd: rd(w),
+                rs1: rs1(w),
+                imm: i_imm(w),
+            },
+            _ => return Err(e("only lw is supported")),
+        },
+        OP_STORE => match funct3(w) {
+            0b010 => Instr::Sw {
+                rs1: rs1(w),
+                rs2: rs2(w),
+                imm: s_imm(w),
+            },
+            _ => return Err(e("only sw is supported")),
+        },
+        OP_BRANCH => {
+            let cond = match funct3(w) {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return Err(e("bad branch funct3")),
+            };
+            Instr::Branch {
+                cond,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: s_imm(w),
+            }
+        }
+        OP_JAL => Instr::Jal {
+            rd: rd(w),
+            offset: (((w >> 12) << 12) as i32) >> 12,
+        },
+        OP_JALR => Instr::Jalr {
+            rd: rd(w),
+            rs1: rs1(w),
+            imm: i_imm(w),
+        },
+        OP_FLW => Instr::Flw {
+            rd: rd(w),
+            rs1: rs1(w),
+            imm: i_imm(w),
+        },
+        OP_FSW => Instr::Fsw {
+            rs1: rs1(w),
+            rs2: rs2(w),
+            imm: s_imm(w),
+        },
+        OP_FP => {
+            let (f3, f7) = (funct3(w), funct7(w));
+            match f7 {
+                0x00 => Instr::FpOp { op: FpOp::Add, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
+                0x04 => Instr::FpOp { op: FpOp::Sub, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
+                0x08 => Instr::FpOp { op: FpOp::Mul, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
+                0x0C => Instr::FpOp { op: FpOp::Div, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
+                0x14 => Instr::FpOp {
+                    op: if f3 == 0 { FpOp::Min } else { FpOp::Max },
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                },
+                0x10 => Instr::FpOp {
+                    op: match f3 {
+                        0 => FpOp::Sgnj,
+                        1 => FpOp::SgnjN,
+                        2 => FpOp::SgnjX,
+                        _ => return Err(e("bad sgnj funct3")),
+                    },
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                },
+                0x2C => Instr::FpUn { op: FpUnOp::Sqrt, rd: rd(w), rs1: rs1(w) },
+                0x7B => Instr::FpUn {
+                    op: match rs2(w) {
+                        0 => FpUnOp::Exp,
+                        1 => FpUnOp::Log,
+                        2 => FpUnOp::Sin,
+                        3 => FpUnOp::Cos,
+                        4 => FpUnOp::Floor,
+                        _ => return Err(e("bad SFU selector")),
+                    },
+                    rd: rd(w),
+                    rs1: rs1(w),
+                },
+                0x50 => Instr::FpCmp {
+                    op: match f3 {
+                        0b010 => FpCmpOp::Eq,
+                        0b001 => FpCmpOp::Lt,
+                        0b000 => FpCmpOp::Le,
+                        _ => return Err(e("bad fcmp funct3")),
+                    },
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                },
+                0x60 => Instr::FpCvt {
+                    op: if rs2(w) == 0 { CvtOp::F2I } else { CvtOp::F2U },
+                    rd: rd(w),
+                    rs1: rs1(w),
+                },
+                0x68 => Instr::FpCvt {
+                    op: if rs2(w) == 0 { CvtOp::I2F } else { CvtOp::U2F },
+                    rd: rd(w),
+                    rs1: rs1(w),
+                },
+                0x70 => Instr::FpCvt { op: CvtOp::MvF2X, rd: rd(w), rs1: rs1(w) },
+                0x78 => Instr::FpCvt { op: CvtOp::MvX2F, rd: rd(w), rs1: rs1(w) },
+                _ => return Err(e("bad FP funct7")),
+            }
+        }
+        OP_AMO => {
+            let aop = match funct7(w) >> 2 {
+                0x00 => AmoOp::Add,
+                0x01 => AmoOp::Swap,
+                0x04 => AmoOp::Xor,
+                0x08 => AmoOp::Or,
+                0x0C => AmoOp::And,
+                0x10 => AmoOp::Min,
+                0x14 => AmoOp::Max,
+                0x18 => AmoOp::Minu,
+                0x1C => AmoOp::Maxu,
+                _ => return Err(e("bad AMO funct5")),
+            };
+            Instr::Amo {
+                op: aop,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            }
+        }
+        OP_SYSTEM => {
+            let csr = match w >> 20 {
+                0xCC0 => Csr::ThreadId,
+                0xCC1 => Csr::WarpId,
+                0xCC2 => Csr::CoreId,
+                0xFC0 => Csr::NumThreads,
+                0xFC1 => Csr::NumWarps,
+                0xFC2 => Csr::NumCores,
+                0xCC3 => Csr::Tmask,
+                _ => return Err(e("unknown CSR")),
+            };
+            Instr::CsrRead { rd: rd(w), csr }
+        }
+        OP_VX => match funct3(w) {
+            0 => Instr::Tmc { rs1: rs1(w) },
+            1 => Instr::Wspawn { rs1: rs1(w), rs2: rs2(w) },
+            2 => Instr::Split { rs1: rs1(w), else_off: s_imm(w) },
+            3 => Instr::Join { off: s_imm(w) },
+            4 => Instr::Pred { rs1: rs1(w), rs2: rs2(w), exit_off: s_imm(w) },
+            5 => Instr::Bar { rs1: rs1(w), rs2: rs2(w) },
+            6 => Instr::Print {
+                fmt: (rs1(w) as u16) | ((rs2(w) as u16) << 5),
+            },
+            7 => Instr::Halt,
+            _ => return Err(e("bad VX funct3")),
+        },
+        _ => return Err(e("unknown opcode")),
+    })
+}
+
+/// Encode a whole program to little-endian words.
+pub fn encode_program(p: &[Instr]) -> Vec<u32> {
+    p.iter().map(encode).collect()
+}
+
+/// Decode a word stream back into instructions.
+pub fn decode_program(words: &[u32]) -> Result<Vec<Instr>, DecodeError> {
+    words.iter().map(|&w| decode(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        0u8..32
+    }
+
+    fn arb_imm12() -> impl Strategy<Value = i32> {
+        -2048i32..2048
+    }
+
+    fn arb_instr() -> impl Strategy<Value = Instr> {
+        prop_oneof![
+            (arb_reg(), 0i32..(1 << 20)).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+            (arb_reg(), arb_reg(), arb_imm12()).prop_map(|(rd, rs1, imm)| Instr::OpImm {
+                op: AluOp::Add,
+                rd,
+                rs1,
+                imm
+            }),
+            (arb_reg(), arb_reg(), 0i32..32).prop_map(|(rd, rs1, imm)| Instr::OpImm {
+                op: AluOp::Sra,
+                rd,
+                rs1,
+                imm
+            }),
+            (
+                prop_oneof![
+                    Just(AluOp::Add),
+                    Just(AluOp::Sub),
+                    Just(AluOp::Sll),
+                    Just(AluOp::Slt),
+                    Just(AluOp::Sltu),
+                    Just(AluOp::Xor),
+                    Just(AluOp::Srl),
+                    Just(AluOp::Sra),
+                    Just(AluOp::Or),
+                    Just(AluOp::And)
+                ],
+                arb_reg(),
+                arb_reg(),
+                arb_reg()
+            )
+                .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
+            (
+                prop_oneof![
+                    Just(MulOp::Mul),
+                    Just(MulOp::Mulh),
+                    Just(MulOp::Mulhu),
+                    Just(MulOp::Div),
+                    Just(MulOp::Divu),
+                    Just(MulOp::Rem),
+                    Just(MulOp::Remu)
+                ],
+                arb_reg(),
+                arb_reg(),
+                arb_reg()
+            )
+                .prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 }),
+            (arb_reg(), arb_reg(), arb_imm12())
+                .prop_map(|(rd, rs1, imm)| Instr::Lw { rd, rs1, imm }),
+            (arb_reg(), arb_reg(), arb_imm12())
+                .prop_map(|(rs1, rs2, imm)| Instr::Sw { rs1, rs2, imm }),
+            (
+                prop_oneof![
+                    Just(BranchCond::Eq),
+                    Just(BranchCond::Ne),
+                    Just(BranchCond::Lt),
+                    Just(BranchCond::Ge),
+                    Just(BranchCond::Ltu),
+                    Just(BranchCond::Geu)
+                ],
+                arb_reg(),
+                arb_reg(),
+                arb_imm12()
+            )
+                .prop_map(|(cond, rs1, rs2, offset)| Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset
+                }),
+            (arb_reg(), -(1i32 << 19)..(1 << 19))
+                .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
+            (arb_reg(), arb_reg(), arb_imm12())
+                .prop_map(|(rd, rs1, imm)| Instr::Jalr { rd, rs1, imm }),
+            (arb_reg(), arb_reg(), arb_imm12())
+                .prop_map(|(rd, rs1, imm)| Instr::Flw { rd, rs1, imm }),
+            (arb_reg(), arb_reg(), arb_imm12())
+                .prop_map(|(rs1, rs2, imm)| Instr::Fsw { rs1, rs2, imm }),
+            (
+                prop_oneof![
+                    Just(FpOp::Add),
+                    Just(FpOp::Sub),
+                    Just(FpOp::Mul),
+                    Just(FpOp::Div),
+                    Just(FpOp::Min),
+                    Just(FpOp::Max),
+                    Just(FpOp::Sgnj),
+                    Just(FpOp::SgnjN),
+                    Just(FpOp::SgnjX)
+                ],
+                arb_reg(),
+                arb_reg(),
+                arb_reg()
+            )
+                .prop_map(|(op, rd, rs1, rs2)| Instr::FpOp { op, rd, rs1, rs2 }),
+            (
+                prop_oneof![
+                    Just(FpUnOp::Sqrt),
+                    Just(FpUnOp::Exp),
+                    Just(FpUnOp::Log),
+                    Just(FpUnOp::Sin),
+                    Just(FpUnOp::Cos),
+                    Just(FpUnOp::Floor)
+                ],
+                arb_reg(),
+                arb_reg()
+            )
+                .prop_map(|(op, rd, rs1)| Instr::FpUn { op, rd, rs1 }),
+            (
+                prop_oneof![Just(FpCmpOp::Eq), Just(FpCmpOp::Lt), Just(FpCmpOp::Le)],
+                arb_reg(),
+                arb_reg(),
+                arb_reg()
+            )
+                .prop_map(|(op, rd, rs1, rs2)| Instr::FpCmp { op, rd, rs1, rs2 }),
+            (
+                prop_oneof![
+                    Just(CvtOp::F2I),
+                    Just(CvtOp::F2U),
+                    Just(CvtOp::I2F),
+                    Just(CvtOp::U2F),
+                    Just(CvtOp::MvF2X),
+                    Just(CvtOp::MvX2F)
+                ],
+                arb_reg(),
+                arb_reg()
+            )
+                .prop_map(|(op, rd, rs1)| Instr::FpCvt { op, rd, rs1 }),
+            (
+                prop_oneof![
+                    Just(AmoOp::Add),
+                    Just(AmoOp::Swap),
+                    Just(AmoOp::And),
+                    Just(AmoOp::Or),
+                    Just(AmoOp::Xor),
+                    Just(AmoOp::Min),
+                    Just(AmoOp::Max),
+                    Just(AmoOp::Minu),
+                    Just(AmoOp::Maxu)
+                ],
+                arb_reg(),
+                arb_reg(),
+                arb_reg()
+            )
+                .prop_map(|(op, rd, rs1, rs2)| Instr::Amo { op, rd, rs1, rs2 }),
+            (
+                prop_oneof![
+                    Just(Csr::ThreadId),
+                    Just(Csr::WarpId),
+                    Just(Csr::CoreId),
+                    Just(Csr::NumThreads),
+                    Just(Csr::NumWarps),
+                    Just(Csr::NumCores),
+                    Just(Csr::Tmask)
+                ],
+                arb_reg()
+            )
+                .prop_map(|(csr, rd)| Instr::CsrRead { rd, csr }),
+            arb_reg().prop_map(|rs1| Instr::Tmc { rs1 }),
+            (arb_reg(), arb_reg()).prop_map(|(rs1, rs2)| Instr::Wspawn { rs1, rs2 }),
+            (arb_reg(), arb_imm12()).prop_map(|(rs1, else_off)| Instr::Split { rs1, else_off }),
+            arb_imm12().prop_map(|off| Instr::Join { off }),
+            (arb_reg(), arb_reg(), arb_imm12())
+                .prop_map(|(rs1, rs2, exit_off)| Instr::Pred { rs1, rs2, exit_off }),
+            (arb_reg(), arb_reg()).prop_map(|(rs1, rs2)| Instr::Bar { rs1, rs2 }),
+            (0u16..1024).prop_map(|fmt| Instr::Print { fmt }),
+            Just(Instr::Halt),
+        ]
+    }
+
+    proptest! {
+        /// The headline property: encode/decode is the identity on every
+        /// instruction the code generator can emit.
+        #[test]
+        fn encode_decode_roundtrip(i in arb_instr()) {
+            let w = encode(&i);
+            let back = decode(w).expect("decodes");
+            prop_assert_eq!(back, i);
+        }
+    }
+
+    #[test]
+    fn known_encodings_stable() {
+        // addi x1, x0, 5 — classic RISC-V encoding.
+        let w = encode(&Instr::OpImm {
+            op: AluOp::Add,
+            rd: 1,
+            rs1: 0,
+            imm: 5,
+        });
+        assert_eq!(w, 0x0050_0093);
+        // add x3, x1, x2.
+        let w = encode(&Instr::Op {
+            op: AluOp::Add,
+            rd: 3,
+            rs1: 1,
+            rs2: 2,
+        });
+        assert_eq!(w, 0x0020_81B3);
+    }
+
+    #[test]
+    fn negative_store_offset_roundtrips() {
+        let i = Instr::Sw {
+            rs1: 2,
+            rs2: 8,
+            imm: -4,
+        };
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn garbage_word_rejected() {
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0x0000_0000).is_err());
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let p = vec![
+            Instr::Lui { rd: 5, imm: 0x12345 },
+            Instr::Tmc { rs1: 5 },
+            Instr::Halt,
+        ];
+        let words = encode_program(&p);
+        assert_eq!(decode_program(&words).unwrap(), p);
+    }
+}

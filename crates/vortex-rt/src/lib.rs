@@ -1,0 +1,303 @@
+//! `vortex-rt` — the host runtime for the soft-GPU flow.
+//!
+//! The counterpart of the extended PoCL runtime in the paper's Figure 5: it
+//! owns device memory allocation, kernel-argument marshalling, NDRange
+//! launch (writing the argument block the `vortex-cc` scheduler prologue
+//! reads), and result readback from the simulator.
+//!
+//! Launch-time validation enforces the documented scheduling constraints of
+//! the group-per-core scheduler: for kernels using barriers or `__local`
+//! memory the flattened work-group size must be a multiple of the warp width
+//! and fit within one core's warps × threads.
+
+use ocl_ir::interp::NdRange;
+use vortex_cc::CompiledKernel;
+use vortex_isa::layout::{self, arg};
+use vortex_sim::{SimConfig, SimError, SimResult, Simulator};
+
+/// A device buffer handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Buffer {
+    pub addr: u32,
+    pub bytes: u32,
+}
+
+/// A kernel argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arg {
+    Buf(Buffer),
+    I32(i32),
+    U32(u32),
+    F32(f32),
+}
+
+impl Arg {
+    fn bits(&self) -> u32 {
+        match self {
+            Arg::Buf(b) => b.addr,
+            Arg::I32(v) => *v as u32,
+            Arg::U32(v) => *v,
+            Arg::F32(v) => v.to_bits(),
+        }
+    }
+}
+
+/// Runtime failure modes.
+#[derive(Debug)]
+pub enum RtError {
+    Sim(SimError),
+    BadLaunch(String),
+    OutOfMemory { requested: u32, available: u32 },
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::Sim(e) => write!(f, "simulator: {e}"),
+            RtError::BadLaunch(m) => write!(f, "bad launch: {m}"),
+            RtError::OutOfMemory {
+                requested,
+                available,
+            } => write!(f, "device out of memory: need {requested}, have {available}"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+impl From<SimError> for RtError {
+    fn from(e: SimError) -> Self {
+        RtError::Sim(e)
+    }
+}
+
+/// A device session bound to one or more compiled kernels: allocate
+/// buffers, launch any of them by name, read back. Device memory persists
+/// across launches, so multi-kernel applications (gaussian's Fan1/Fan2,
+/// sort phases, …) chain launches the way an OpenCL command queue does.
+pub struct VxSession {
+    sim: Simulator,
+    heap_next: u32,
+    heap_limit: u32,
+    kernels: Vec<CompiledKernel>,
+    current: usize,
+}
+
+impl VxSession {
+    /// Create a session for one kernel on a machine described by `cfg`.
+    pub fn new(cfg: SimConfig, kernel: CompiledKernel) -> Self {
+        Self::with_kernels(cfg, vec![kernel])
+    }
+
+    /// Create a session holding several compiled kernels.
+    ///
+    /// # Panics
+    /// Panics if any kernel was compiled for a different warp width than
+    /// `cfg` specifies, or if no kernels are given — host-programming
+    /// errors, not data errors.
+    pub fn with_kernels(cfg: SimConfig, kernels: Vec<CompiledKernel>) -> Self {
+        assert!(!kernels.is_empty(), "session needs at least one kernel");
+        for k in &kernels {
+            assert_eq!(
+                k.threads, cfg.hw.threads,
+                "kernel `{}` compiled for {} threads/warp, machine has {}",
+                k.name, k.threads, cfg.hw.threads
+            );
+        }
+        let mem_top = cfg.global_mem_bytes;
+        let total_warps = cfg.hw.cores * cfg.hw.warps;
+        let max_stack = kernels
+            .iter()
+            .map(|k| k.warp_stack_bytes)
+            .max()
+            .expect("nonempty");
+        let stack_bytes = total_warps * max_stack;
+        let sim = Simulator::new(cfg, kernels[0].program.clone());
+        VxSession {
+            sim,
+            heap_next: layout::HEAP_BASE,
+            heap_limit: mem_top - stack_bytes,
+            kernels,
+            current: 0,
+        }
+    }
+
+    /// Allocate `bytes` of device memory (16-byte aligned).
+    pub fn alloc(&mut self, bytes: u32) -> Result<Buffer, RtError> {
+        let addr = self.heap_next;
+        let next = (addr + bytes + 15) & !15;
+        if next > self.heap_limit {
+            return Err(RtError::OutOfMemory {
+                requested: bytes,
+                available: self.heap_limit.saturating_sub(addr),
+            });
+        }
+        self.heap_next = next;
+        Ok(Buffer { addr, bytes })
+    }
+
+    /// Allocate and fill from host f32 data.
+    pub fn alloc_f32(&mut self, data: &[f32]) -> Result<Buffer, RtError> {
+        let b = self.alloc((data.len() * 4) as u32)?;
+        self.write_f32(b, data)?;
+        Ok(b)
+    }
+
+    /// Allocate and fill from host i32 data.
+    pub fn alloc_i32(&mut self, data: &[i32]) -> Result<Buffer, RtError> {
+        let b = self.alloc((data.len() * 4) as u32)?;
+        self.write_i32(b, data)?;
+        Ok(b)
+    }
+
+    /// Allocate and fill from host u32 data.
+    pub fn alloc_u32(&mut self, data: &[u32]) -> Result<Buffer, RtError> {
+        let b = self.alloc((data.len() * 4) as u32)?;
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.sim.mem.write_bytes(b.addr, &bytes)?;
+        Ok(b)
+    }
+
+    /// Host -> device copy.
+    pub fn write_f32(&mut self, b: Buffer, data: &[f32]) -> Result<(), RtError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.sim.mem.write_bytes(b.addr, &bytes)?;
+        Ok(())
+    }
+
+    /// Host -> device copy.
+    pub fn write_i32(&mut self, b: Buffer, data: &[i32]) -> Result<(), RtError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.sim.mem.write_bytes(b.addr, &bytes)?;
+        Ok(())
+    }
+
+    /// Device -> host copy.
+    pub fn read_f32(&self, b: Buffer, len: usize) -> Result<Vec<f32>, RtError> {
+        let bytes = self.sim.mem.read_bytes(b.addr, len * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Device -> host copy.
+    pub fn read_i32(&self, b: Buffer, len: usize) -> Result<Vec<i32>, RtError> {
+        let bytes = self.sim.mem.read_bytes(b.addr, len * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Device -> host copy.
+    pub fn read_u32(&self, b: Buffer, len: usize) -> Result<Vec<u32>, RtError> {
+        let bytes = self.sim.mem.read_bytes(b.addr, len * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Launch the session's (single) kernel over `nd`.
+    pub fn launch(&mut self, args: &[Arg], nd: &NdRange) -> Result<SimResult, RtError> {
+        let name = self.kernels[self.current].name.clone();
+        self.launch_named(&name, args, nd)
+    }
+
+    /// Launch kernel `name` over `nd` and run the machine to completion.
+    pub fn launch_named(
+        &mut self,
+        name: &str,
+        args: &[Arg],
+        nd: &NdRange,
+    ) -> Result<SimResult, RtError> {
+        let idx = self
+            .kernels
+            .iter()
+            .position(|k| k.name == name)
+            .ok_or_else(|| RtError::BadLaunch(format!("kernel `{name}` not in session")))?;
+        if idx != self.current {
+            self.current = idx;
+            self.sim.set_program(self.kernels[idx].program.clone());
+        }
+        let kernel = &self.kernels[self.current];
+        nd.validate()
+            .map_err(|e| RtError::BadLaunch(e.to_string()))?;
+        if args.len() != kernel.num_args {
+            return Err(RtError::BadLaunch(format!(
+                "kernel `{}` takes {} arguments, {} given",
+                kernel.name,
+                kernel.num_args,
+                args.len()
+            )));
+        }
+        let cfg = self.sim.cfg.clone();
+        let gsize = nd.group_size();
+        if kernel.group_mode {
+            let wt = cfg.hw.warps * cfg.hw.threads;
+            if !gsize.is_multiple_of(cfg.hw.threads) || gsize > wt {
+                return Err(RtError::BadLaunch(format!(
+                    "group-mode kernel `{}` needs group size ({gsize}) to be a \
+                     multiple of threads/warp ({}) and at most warps*threads ({wt})",
+                    kernel.name, cfg.hw.threads
+                )));
+            }
+            if kernel.local_bytes > cfg.local_mem_bytes {
+                return Err(RtError::BadLaunch(format!(
+                    "kernel needs {} bytes of local memory, core has {}",
+                    kernel.local_bytes, cfg.local_mem_bytes
+                )));
+            }
+        }
+        let warp_stack_bytes = kernel.warp_stack_bytes;
+        // Write the argument block.
+        let groups = nd.num_groups();
+        let base = layout::ARG_BASE;
+        let w = |sim: &mut Simulator, off: u32, v: u32| sim.mem.write_u32(base + off, v);
+        w(&mut self.sim, arg::GLOBAL_X, nd.global[0])?;
+        w(&mut self.sim, arg::GLOBAL_Y, nd.global[1])?;
+        w(&mut self.sim, arg::GLOBAL_Z, nd.global[2])?;
+        w(&mut self.sim, arg::LOCAL_X, nd.local[0])?;
+        w(&mut self.sim, arg::LOCAL_Y, nd.local[1])?;
+        w(&mut self.sim, arg::LOCAL_Z, nd.local[2])?;
+        w(&mut self.sim, arg::GROUPS_X, groups[0])?;
+        w(&mut self.sim, arg::GROUPS_Y, groups[1])?;
+        w(&mut self.sim, arg::GROUPS_Z, groups[2])?;
+        w(&mut self.sim, arg::STACK_TOP, cfg.global_mem_bytes)?;
+        w(&mut self.sim, arg::STACK_STRIDE, warp_stack_bytes)?;
+        w(
+            &mut self.sim,
+            arg::BARRIER_WARPS,
+            (gsize / cfg.hw.threads).max(1),
+        )?;
+        for (i, a) in args.iter().enumerate() {
+            w(
+                &mut self.sim,
+                arg::KERNEL_ARGS + 4 * i as u32,
+                a.bits(),
+            )?;
+        }
+        Ok(self.sim.run()?)
+    }
+}
+
+/// Compile `src` and launch kernel `name` in one step — the convenience
+/// entry point examples and tests use.
+pub fn compile_for(
+    src: &str,
+    name: &str,
+    cfg: &SimConfig,
+) -> Result<CompiledKernel, Box<dyn std::error::Error>> {
+    let module = ocl_front::compile(src)?;
+    let kernel = module
+        .kernel(name)
+        .ok_or_else(|| format!("kernel `{name}` not found"))?;
+    let compiled = vortex_cc::compile_kernel(
+        kernel,
+        &vortex_cc::CodegenOpts {
+            threads: cfg.hw.threads,
+        },
+    )?;
+    Ok(compiled)
+}

@@ -1,0 +1,467 @@
+//! Differential tests: every kernel is executed both by the reference
+//! NDRange interpreter (`ocl_ir::interp`) and by the full soft-GPU flow
+//! (front end → vortex-cc → cycle simulator); outputs must agree
+//! bit-for-bit. This is the soft-GPU half of the paper's methodology, where
+//! identical source runs on both platforms.
+
+use fpga_arch::VortexConfig;
+use ocl_ir::interp::{run_ndrange, KernelArg, Limits, Memory, NdRange};
+use vortex_rt::{Arg, VxSession};
+use vortex_sim::SimConfig;
+
+/// Buffer specification for the harness below.
+enum Buf {
+    F32(Vec<f32>),
+    I32(Vec<i32>),
+    OutF32(usize),
+    OutI32(usize),
+    ScalarI32(i32),
+    ScalarF32(f32),
+}
+
+/// Run `src`'s kernel `name` through both back ends on the given buffers and
+/// compare every buffer's final contents.
+fn diff_run(src: &str, name: &str, hw: VortexConfig, nd: NdRange, bufs: Vec<Buf>) {
+    // Reference interpreter.
+    let module = ocl_front::compile(src).unwrap_or_else(|e| panic!("compile: {e}"));
+    let kernel = module.expect_kernel(name);
+    let mut imem = Memory::new(16 << 20);
+    let mut iargs = Vec::new();
+    let mut iptrs = Vec::new();
+    for b in &bufs {
+        match b {
+            Buf::F32(v) => {
+                let p = imem.alloc_f32(v);
+                iargs.push(KernelArg::Ptr(p));
+                iptrs.push(Some((p, v.len())));
+            }
+            Buf::I32(v) => {
+                let p = imem.alloc_i32(v);
+                iargs.push(KernelArg::Ptr(p));
+                iptrs.push(Some((p, v.len())));
+            }
+            Buf::OutF32(n) | Buf::OutI32(n) => {
+                let p = imem.alloc((*n * 4) as u32);
+                iargs.push(KernelArg::Ptr(p));
+                iptrs.push(Some((p, *n)));
+            }
+            Buf::ScalarI32(v) => {
+                iargs.push(KernelArg::I32(*v));
+                iptrs.push(None);
+            }
+            Buf::ScalarF32(v) => {
+                iargs.push(KernelArg::F32(*v));
+                iptrs.push(None);
+            }
+        }
+    }
+    run_ndrange(kernel, &iargs, &nd, &mut imem, &Limits::default())
+        .unwrap_or_else(|e| panic!("interp: {e}"));
+
+    // Soft-GPU flow.
+    let cfg = SimConfig::new(hw);
+    let compiled = vortex_rt::compile_for(src, name, &cfg).unwrap_or_else(|e| panic!("cc: {e}"));
+    let mut sess = VxSession::new(cfg, compiled);
+    let mut vargs = Vec::new();
+    let mut vbufs = Vec::new();
+    for b in &bufs {
+        match b {
+            Buf::F32(v) => {
+                let d = sess.alloc_f32(v).unwrap();
+                vargs.push(Arg::Buf(d));
+                vbufs.push(Some(d));
+            }
+            Buf::I32(v) => {
+                let d = sess.alloc_i32(v).unwrap();
+                vargs.push(Arg::Buf(d));
+                vbufs.push(Some(d));
+            }
+            Buf::OutF32(n) | Buf::OutI32(n) => {
+                let d = sess.alloc((*n * 4) as u32).unwrap();
+                vargs.push(Arg::Buf(d));
+                vbufs.push(Some(d));
+            }
+            Buf::ScalarI32(v) => {
+                vargs.push(Arg::I32(*v));
+                vbufs.push(None);
+            }
+            Buf::ScalarF32(v) => {
+                vargs.push(Arg::F32(*v));
+                vbufs.push(None);
+            }
+        }
+    }
+    let r = sess.launch(&vargs, &nd).unwrap_or_else(|e| panic!("launch: {e}"));
+    assert!(r.stats.cycles > 0);
+    assert!(r.stats.instructions > 0);
+
+    // Compare every buffer word-for-word.
+    for (i, (ip, vp)) in iptrs.iter().zip(&vbufs).enumerate() {
+        let (Some((iaddr, len)), Some(vbuf)) = (ip, vp) else {
+            continue;
+        };
+        let want = imem.read_u32_slice(*iaddr, *len);
+        let got = sess.read_u32(*vbuf, *len).unwrap();
+        for (j, (w, g)) in want.iter().zip(&got).enumerate() {
+            assert_eq!(
+                w, g,
+                "arg {i} word {j}: interp {w:#x} vs vortex {g:#x} \
+                 (as f32: {} vs {})",
+                f32::from_bits(*w),
+                f32::from_bits(*g)
+            );
+        }
+    }
+}
+
+const VECADD: &str = r#"
+    __kernel void vecadd(__global const float* a, __global const float* b,
+                         __global float* c) {
+        int i = get_global_id(0);
+        c[i] = a[i] + b[i];
+    }
+"#;
+
+#[test]
+fn vecadd_matches_interp() {
+    let a: Vec<f32> = (0..256).map(|i| i as f32 * 0.5).collect();
+    let b: Vec<f32> = (0..256).map(|i| (i * i % 97) as f32).collect();
+    diff_run(
+        VECADD,
+        "vecadd",
+        VortexConfig::new(2, 4, 4),
+        NdRange::d1(256, 16),
+        vec![Buf::F32(a), Buf::F32(b), Buf::OutF32(256)],
+    );
+}
+
+#[test]
+fn vecadd_ragged_tail() {
+    // Global size not a multiple of the hart count: exercises the PRED tail.
+    let n = 100;
+    let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let b: Vec<f32> = (0..n).map(|i| -(i as f32)).collect();
+    diff_run(
+        VECADD,
+        "vecadd",
+        VortexConfig::new(1, 2, 8),
+        NdRange::d1(n as u32, 4),
+        vec![Buf::F32(a), Buf::F32(b), Buf::OutF32(n)],
+    );
+}
+
+#[test]
+fn float_scalar_arg() {
+    let src = r#"
+        __kernel void scalef(__global float* y, float k) {
+            int i = get_global_id(0);
+            y[i] = y[i] * k;
+        }
+    "#;
+    let y: Vec<f32> = (0..32).map(|i| i as f32).collect();
+    diff_run(
+        src,
+        "scalef",
+        VortexConfig::new(1, 2, 4),
+        NdRange::d1(32, 8),
+        vec![Buf::F32(y), Buf::ScalarF32(1.5)],
+    );
+}
+
+#[test]
+fn scalar_args_and_int_math() {
+    let src = r#"
+        __kernel void axpbi(__global const int* x, __global int* y, int a, int b) {
+            int i = get_global_id(0);
+            y[i] = a * x[i] + b * i;
+        }
+    "#;
+    let x: Vec<i32> = (0..64).map(|i| i * 3 - 17).collect();
+    diff_run(
+        src,
+        "axpbi",
+        VortexConfig::new(1, 4, 4),
+        NdRange::d1(64, 8),
+        vec![
+            Buf::I32(x),
+            Buf::OutI32(64),
+            Buf::ScalarI32(-3),
+            Buf::ScalarI32(7),
+        ],
+    );
+}
+
+#[test]
+fn divergent_if_else() {
+    let src = r#"
+        __kernel void dv(__global const int* a, __global int* o) {
+            int i = get_global_id(0);
+            if (a[i] % 3 == 0) {
+                o[i] = a[i] * 2;
+            } else {
+                o[i] = a[i] - 5;
+            }
+        }
+    "#;
+    let a: Vec<i32> = (0..64).map(|i| i * 7 % 23).collect();
+    diff_run(
+        src,
+        "dv",
+        VortexConfig::new(1, 2, 8),
+        NdRange::d1(64, 8),
+        vec![Buf::I32(a), Buf::OutI32(64)],
+    );
+}
+
+#[test]
+fn nested_divergence() {
+    let src = r#"
+        __kernel void nest(__global const int* a, __global int* o) {
+            int i = get_global_id(0);
+            int v = 0;
+            if (a[i] > 10) {
+                if (a[i] > 20) v = 3; else v = 2;
+            } else {
+                if (a[i] > 5) v = 1;
+            }
+            o[i] = v;
+        }
+    "#;
+    let a: Vec<i32> = (0..96).map(|i| i % 30).collect();
+    diff_run(
+        src,
+        "nest",
+        VortexConfig::new(2, 2, 4),
+        NdRange::d1(96, 8),
+        vec![Buf::I32(a), Buf::OutI32(96)],
+    );
+}
+
+#[test]
+fn divergent_loop_trip_counts() {
+    let src = r#"
+        __kernel void tri(__global int* o) {
+            int i = get_global_id(0);
+            int acc = 0;
+            for (int j = 0; j <= i % 13; j++) acc += j;
+            o[i] = acc;
+        }
+    "#;
+    diff_run(
+        src,
+        "tri",
+        VortexConfig::new(1, 2, 8),
+        NdRange::d1(64, 8),
+        vec![Buf::OutI32(64)],
+    );
+}
+
+#[test]
+fn uniform_inner_loop_float() {
+    let src = r#"
+        __kernel void poly(__global const float* x, __global float* y, int n) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            float p = 1.0f;
+            for (int k = 0; k < n; k++) {
+                acc += p;
+                p *= x[i];
+            }
+            y[i] = acc;
+        }
+    "#;
+    let x: Vec<f32> = (0..32).map(|i| 0.9 + (i as f32) * 0.001).collect();
+    diff_run(
+        src,
+        "poly",
+        VortexConfig::new(1, 2, 4),
+        NdRange::d1(32, 4),
+        vec![Buf::F32(x), Buf::OutF32(32), Buf::ScalarI32(6)],
+    );
+}
+
+#[test]
+fn atomics_accumulate() {
+    let src = r#"
+        __kernel void hist(__global const int* data, __global int* bins) {
+            int v = data[get_global_id(0)];
+            atomic_add(&bins[v % 8], 1);
+            atomic_max(&bins[8], v);
+        }
+    "#;
+    let data: Vec<i32> = (0..128).map(|i| i * 5 % 41).collect();
+    diff_run(
+        src,
+        "hist",
+        VortexConfig::new(2, 2, 4),
+        NdRange::d1(128, 16),
+        vec![Buf::I32(data), Buf::OutI32(9)],
+    );
+}
+
+#[test]
+fn barrier_local_memory_reduction() {
+    let src = r#"
+        __kernel void reduce(__global const float* in, __global float* out) {
+            __local float tile[16];
+            int lid = get_local_id(0);
+            int gid = get_global_id(0);
+            int grp = get_group_id(0);
+            tile[lid] = in[gid];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            for (int s = 8; s > 0; s = s / 2) {
+                if (lid < s) tile[lid] += tile[lid + s];
+                barrier(CLK_LOCAL_MEM_FENCE);
+            }
+            if (lid == 0) out[grp] = tile[0];
+        }
+    "#;
+    let input: Vec<f32> = (0..64).map(|i| (i % 10) as f32).collect();
+    diff_run(
+        src,
+        "reduce",
+        VortexConfig::new(2, 4, 4),
+        NdRange::d1(64, 16),
+        vec![Buf::F32(input), Buf::OutF32(4)],
+    );
+}
+
+#[test]
+fn two_dimensional_ids() {
+    let src = r#"
+        __kernel void t2d(__global float* o, int w) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            o[y * w + x] = (float)(x * 100 + y);
+        }
+    "#;
+    diff_run(
+        src,
+        "t2d",
+        VortexConfig::new(2, 2, 4),
+        NdRange::d2(16, 8, 4, 4),
+        vec![Buf::OutF32(128), Buf::ScalarI32(16)],
+    );
+}
+
+#[test]
+fn math_builtins_bitexact() {
+    let src = r#"
+        __kernel void mb(__global const float* x, __global float* o) {
+            int i = get_global_id(0);
+            float v = x[i];
+            o[i] = sqrt(fabs(v)) + exp(v * 0.1f) - log(fabs(v) + 1.0f)
+                 + fmin(v, 0.5f) * fmax(v, -0.5f) + floor(v);
+        }
+    "#;
+    let x: Vec<f32> = (0..48).map(|i| (i as f32 - 24.0) * 0.3).collect();
+    diff_run(
+        src,
+        "mb",
+        VortexConfig::new(1, 2, 8),
+        NdRange::d1(48, 8),
+        vec![Buf::F32(x), Buf::OutF32(48)],
+    );
+}
+
+#[test]
+fn select_and_ternary() {
+    let src = r#"
+        __kernel void sel(__global const float* x, __global float* o) {
+            int i = get_global_id(0);
+            o[i] = x[i] > 0.0f ? x[i] * 2.0f : -x[i];
+        }
+    "#;
+    let x: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) * 1.5).collect();
+    diff_run(
+        src,
+        "sel",
+        VortexConfig::new(1, 2, 4),
+        NdRange::d1(32, 8),
+        vec![Buf::F32(x), Buf::OutF32(32)],
+    );
+}
+
+#[test]
+fn printf_reaches_host() {
+    let src = r#"
+        __kernel void p(__global const int* a) {
+            int i = get_global_id(0);
+            if (i == 0) printf("first=%d\n", a[0]);
+        }
+    "#;
+    let cfg = SimConfig::new(VortexConfig::new(1, 1, 2));
+    let compiled = vortex_rt::compile_for(src, "p", &cfg).unwrap();
+    let mut sess = VxSession::new(cfg, compiled);
+    let a = sess.alloc_i32(&[42, 1]).unwrap();
+    let r = sess.launch(&[Arg::Buf(a)], &NdRange::d1(2, 2)).unwrap();
+    assert_eq!(r.printf_output, vec!["first=42\n"]);
+}
+
+#[test]
+fn launch_validation_errors() {
+    let cfg = SimConfig::new(VortexConfig::new(1, 2, 4));
+    let compiled = vortex_rt::compile_for(VECADD, "vecadd", &cfg).unwrap();
+    let mut sess = VxSession::new(cfg, compiled);
+    let b = sess.alloc(64).unwrap();
+    // Wrong arg count.
+    let e = sess.launch(&[Arg::Buf(b)], &NdRange::d1(16, 4)).unwrap_err();
+    assert!(e.to_string().contains("arguments"), "{e}");
+    // Bad ndrange.
+    let e = sess
+        .launch(
+            &[Arg::Buf(b), Arg::Buf(b), Arg::Buf(b)],
+            &NdRange::d1(10, 3),
+        )
+        .unwrap_err();
+    assert!(e.to_string().contains("divisible"), "{e}");
+}
+
+#[test]
+fn group_mode_constraint_enforced() {
+    let src = r#"
+        __kernel void gk(__global float* o) {
+            __local float t[64];
+            int lid = get_local_id(0);
+            t[lid] = (float)lid;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            o[get_global_id(0)] = t[0];
+        }
+    "#;
+    let cfg = SimConfig::new(VortexConfig::new(1, 2, 4));
+    let compiled = vortex_rt::compile_for(src, "gk", &cfg).unwrap();
+    let mut sess = VxSession::new(cfg, compiled);
+    let o = sess.alloc(4 * 64).unwrap();
+    // Group of 16 > warps*threads (8): rejected.
+    let e = sess.launch(&[Arg::Buf(o)], &NdRange::d1(64, 16)).unwrap_err();
+    assert!(e.to_string().contains("group size"), "{e}");
+    // Group of 8 works.
+    sess.launch(&[Arg::Buf(o)], &NdRange::d1(64, 8)).unwrap();
+}
+
+#[test]
+fn stats_are_plausible() {
+    let a: Vec<f32> = (0..512).map(|i| i as f32).collect();
+    let b = a.clone();
+    let src = VECADD;
+    let cfg = SimConfig::new(VortexConfig::new(4, 4, 4));
+    let compiled = vortex_rt::compile_for(src, "vecadd", &cfg).unwrap();
+    let mut sess = VxSession::new(cfg, compiled);
+    let da = sess.alloc_f32(&a).unwrap();
+    let db = sess.alloc_f32(&b).unwrap();
+    let dc = sess.alloc(512 * 4).unwrap();
+    let r = sess
+        .launch(
+            &[Arg::Buf(da), Arg::Buf(db), Arg::Buf(dc)],
+            &NdRange::d1(512, 16),
+        )
+        .unwrap();
+    let s = &r.stats;
+    assert!(s.loads >= 512 * 2 / 4, "loads {}", s.loads);
+    assert!(s.stores >= 1, "stores {}", s.stores);
+    assert!(s.ipc() > 0.1 && s.ipc() < 4.0, "ipc {}", s.ipc());
+    assert!(
+        s.dram_accesses > 0,
+        "streaming kernel must reach DRAM: {s:?}"
+    );
+}

@@ -1,0 +1,875 @@
+//! One SIMT core: warps, register files, scoreboard, LSU and the Vortex
+//! SIMT control-flow semantics (Figure 4 of the paper).
+
+use crate::cache::Cache;
+use crate::dram::DramModel;
+use crate::mem::SimMemory;
+use crate::stats::CoreStats;
+use crate::{SimConfig, SimError};
+use vortex_isa::layout::{PRINTF_BASE, PRINTF_STRIDE};
+use vortex_isa::{
+    AluOp, AmoOp, BranchCond, Csr, CvtOp, FpCmpOp, FpOp, FpUnOp, Instr, MulOp, PrintArg, Program,
+};
+
+/// IPDOM stack entries for SPLIT/JOIN (§II-D).
+#[derive(Debug, Clone, Copy)]
+enum Ipdom {
+    /// Restore this mask and continue at the join target.
+    Reconv { mask: u64 },
+    /// Run the else path at `pc` with this mask, keeping the Reconv entry
+    /// below for the second JOIN.
+    Else { mask: u64, pc: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct Warp {
+    active: bool,
+    pc: u32,
+    tmask: u64,
+    stack: Vec<Ipdom>,
+    /// Some((id, count)) while waiting at a barrier.
+    barrier: Option<(u32, u32)>,
+}
+
+/// Why the warp at the head of the round-robin could not issue.
+enum Blocked {
+    Scoreboard,
+    Lsu,
+}
+
+/// A single core.
+pub struct Core {
+    id: u32,
+    warps_n: u32,
+    threads_n: u32,
+    warps: Vec<Warp>,
+    /// Integer registers: [warp][reg][lane].
+    iregs: Vec<u32>,
+    /// Float registers, same layout.
+    fregs: Vec<u32>,
+    /// Scoreboard: cycle each (warp, int reg) becomes ready.
+    ireg_ready: Vec<u64>,
+    /// Scoreboard for float regs.
+    freg_ready: Vec<u64>,
+    /// MSHR slots: cycle each becomes free.
+    mshr_free: Vec<u64>,
+    /// LSU pipeline: next cycle the LSU can accept a line.
+    lsu_next_free: u64,
+    dcache: Cache,
+    rr_next: usize,
+    full_mask: u64,
+    // Cached latencies.
+    lat_alu: u32,
+    lat_mul: u32,
+    lat_div: u32,
+    lat_fpu: u32,
+    lat_fdiv: u32,
+    lat_sfu: u32,
+    lat_dcache: u32,
+    lat_l2: u32,
+    num_cores: u32,
+    pub stats: CoreStats,
+}
+
+impl Core {
+    pub fn new(id: u32, cfg: &SimConfig) -> Self {
+        let w = cfg.hw.warps;
+        let t = cfg.hw.threads;
+        assert!(t <= 64, "thread mask is 64 bits");
+        let regs = (w * 32 * t) as usize;
+        Core {
+            id,
+            warps_n: w,
+            threads_n: t,
+            warps: vec![
+                Warp {
+                    active: false,
+                    pc: 0,
+                    tmask: 0,
+                    stack: Vec::new(),
+                    barrier: None,
+                };
+                w as usize
+            ],
+            iregs: vec![0; regs],
+            fregs: vec![0; regs],
+            ireg_ready: vec![0; (w * 32) as usize],
+            freg_ready: vec![0; (w * 32) as usize],
+            mshr_free: vec![0; cfg.mshrs as usize],
+            lsu_next_free: 0,
+            dcache: Cache::new(cfg.dcache),
+            rr_next: 0,
+            full_mask: if t == 64 { u64::MAX } else { (1u64 << t) - 1 },
+            lat_alu: cfg.lat_alu,
+            lat_mul: cfg.lat_mul,
+            lat_div: cfg.lat_div,
+            lat_fpu: cfg.lat_fpu,
+            lat_fdiv: cfg.lat_fdiv,
+            lat_sfu: cfg.lat_sfu,
+            lat_dcache: cfg.lat_dcache,
+            lat_l2: cfg.lat_l2,
+            num_cores: cfg.hw.cores,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Activate warp 0 with one thread at `entry` (runtime doorbell).
+    pub fn reset_for_launch(&mut self, entry: u32) {
+        for w in &mut self.warps {
+            w.active = false;
+            w.tmask = 0;
+            w.stack.clear();
+            w.barrier = None;
+        }
+        self.warps[0].active = true;
+        self.warps[0].pc = entry;
+        self.warps[0].tmask = 1;
+        self.iregs.fill(0);
+        self.fregs.fill(0);
+        self.ireg_ready.fill(0);
+        self.freg_ready.fill(0);
+        self.mshr_free.fill(0);
+        self.lsu_next_free = 0;
+        self.dcache.flush();
+        self.rr_next = 0;
+    }
+
+    /// True while any warp is live.
+    pub fn any_active(&self) -> bool {
+        self.warps.iter().any(|w| w.active)
+    }
+
+    #[inline]
+    fn ireg_idx(&self, warp: u32, reg: u8, lane: u32) -> usize {
+        ((warp * 32 + reg as u32) * self.threads_n + lane) as usize
+    }
+
+    fn read_int(&self, warp: u32, reg: u8, lane: u32) -> u32 {
+        if reg == 0 {
+            0
+        } else {
+            self.iregs[self.ireg_idx(warp, reg, lane)]
+        }
+    }
+
+    fn write_int(&mut self, warp: u32, reg: u8, lane: u32, v: u32) {
+        if reg != 0 {
+            let i = self.ireg_idx(warp, reg, lane);
+            self.iregs[i] = v;
+        }
+    }
+
+    fn read_fp(&self, warp: u32, reg: u8, lane: u32) -> u32 {
+        self.fregs[self.ireg_idx(warp, reg, lane)]
+    }
+
+    fn write_fp(&mut self, warp: u32, reg: u8, lane: u32, v: u32) {
+        let i = self.ireg_idx(warp, reg, lane);
+        self.fregs[i] = v;
+    }
+
+    /// Value of an integer register in the first active lane (used by the
+    /// warp-uniform instructions: branches, tmc, wspawn, bar, jalr).
+    fn read_uniform(&self, warp: u32, reg: u8) -> u32 {
+        let lane = self.warps[warp as usize].tmask.trailing_zeros();
+        self.read_int(warp, reg, lane.min(self.threads_n - 1))
+    }
+
+    /// Source/destination registers of an instruction for the scoreboard:
+    /// (int sources, fp sources, int dest, fp dest).
+    #[allow(clippy::type_complexity)]
+    fn regs_of(i: &Instr) -> (Vec<u8>, Vec<u8>, Option<u8>, Option<u8>) {
+        match *i {
+            Instr::Lui { rd, .. } => (vec![], vec![], Some(rd), None),
+            Instr::OpImm { rd, rs1, .. } => (vec![rs1], vec![], Some(rd), None),
+            Instr::Op { rd, rs1, rs2, .. } | Instr::MulDiv { rd, rs1, rs2, .. } => {
+                (vec![rs1, rs2], vec![], Some(rd), None)
+            }
+            Instr::Lw { rd, rs1, .. } => (vec![rs1], vec![], Some(rd), None),
+            Instr::Sw { rs1, rs2, .. } => (vec![rs1, rs2], vec![], None, None),
+            Instr::Branch { rs1, rs2, .. } => (vec![rs1, rs2], vec![], None, None),
+            Instr::Jal { rd, .. } => (vec![], vec![], Some(rd), None),
+            Instr::Jalr { rd, rs1, .. } => (vec![rs1], vec![], Some(rd), None),
+            Instr::Flw { rd, rs1, .. } => (vec![rs1], vec![], None, Some(rd)),
+            Instr::Fsw { rs1, rs2, .. } => (vec![rs1], vec![rs2], None, None),
+            Instr::FpOp { rd, rs1, rs2, .. } => (vec![], vec![rs1, rs2], None, Some(rd)),
+            Instr::FpUn { rd, rs1, .. } => (vec![], vec![rs1], None, Some(rd)),
+            Instr::FpCmp { rd, rs1, rs2, .. } => (vec![], vec![rs1, rs2], Some(rd), None),
+            Instr::FpCvt { op, rd, rs1 } => match op {
+                CvtOp::F2I | CvtOp::F2U | CvtOp::MvF2X => (vec![], vec![rs1], Some(rd), None),
+                CvtOp::I2F | CvtOp::U2F | CvtOp::MvX2F => (vec![rs1], vec![], None, Some(rd)),
+            },
+            Instr::Amo { rd, rs1, rs2, .. } => (vec![rs1, rs2], vec![], Some(rd), None),
+            Instr::CsrRead { rd, .. } => (vec![], vec![], Some(rd), None),
+            Instr::Tmc { rs1 } => (vec![rs1], vec![], None, None),
+            Instr::Wspawn { rs1, rs2 } => (vec![rs1, rs2], vec![], None, None),
+            Instr::Split { rs1, .. } => (vec![rs1], vec![], None, None),
+            Instr::Join { .. } | Instr::Halt | Instr::Print { .. } => (vec![], vec![], None, None),
+            Instr::Pred { rs1, rs2, .. } => (vec![rs1, rs2], vec![], None, None),
+            Instr::Bar { rs1, rs2 } => (vec![rs1, rs2], vec![], None, None),
+        }
+    }
+
+    fn scoreboard_ready(&self, warp: u32, i: &Instr, now: u64) -> bool {
+        let (isrc, fsrc, idst, fdst) = Self::regs_of(i);
+        let base = (warp * 32) as usize;
+        isrc.iter()
+            .chain(idst.iter())
+            .all(|&r| self.ireg_ready[base + r as usize] <= now)
+            && fsrc
+                .iter()
+                .chain(fdst.iter())
+                .all(|&r| self.freg_ready[base + r as usize] <= now)
+    }
+
+    fn mark_dest(&mut self, warp: u32, i: &Instr, ready_at: u64) {
+        let (_, _, idst, fdst) = Self::regs_of(i);
+        let base = (warp * 32) as usize;
+        if let Some(r) = idst {
+            if r != 0 {
+                self.ireg_ready[base + r as usize] = ready_at;
+            }
+        }
+        if let Some(r) = fdst {
+            self.freg_ready[base + r as usize] = ready_at;
+        }
+    }
+
+    /// Advance this core by one cycle: release barriers, then try to issue
+    /// one warp-instruction.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        program: &Program,
+        mem: &mut SimMemory,
+        l2: &mut Cache,
+        dram: &mut DramModel,
+        printf_out: &mut Vec<String>,
+    ) -> Result<(), SimError> {
+        self.release_barriers();
+        // Pick a ready warp, round-robin.
+        let n = self.warps_n as usize;
+        let mut blocked: Option<Blocked> = None;
+        let mut any_waiting_barrier = false;
+        for k in 0..n {
+            let wi = (self.rr_next + k) % n;
+            let w = &self.warps[wi];
+            if !w.active {
+                continue;
+            }
+            if w.barrier.is_some() {
+                any_waiting_barrier = true;
+                continue;
+            }
+            let pc = w.pc;
+            let instr = *program.instrs.get(pc as usize).ok_or(SimError::BadPc {
+                core: self.id,
+                warp: wi as u32,
+                pc,
+            })?;
+            if !self.scoreboard_ready(wi as u32, &instr, now) {
+                blocked.get_or_insert(Blocked::Scoreboard);
+                continue;
+            }
+            if Self::is_mem(&instr) && !self.mshr_available(now) {
+                blocked.get_or_insert(Blocked::Lsu);
+                continue;
+            }
+            // Issue.
+            self.rr_next = (wi + 1) % n;
+            self.stats.instructions += 1;
+            self.execute(now, wi as u32, instr, program, mem, l2, dram, printf_out)?;
+            return Ok(());
+        }
+        if any_waiting_barrier && blocked.is_none() {
+            self.stats.stall_barrier += 1;
+        } else {
+            match blocked {
+                Some(Blocked::Scoreboard) => self.stats.stall_scoreboard += 1,
+                Some(Blocked::Lsu) => self.stats.stall_lsu += 1,
+                None => self.stats.stall_idle += 1,
+            }
+        }
+        Ok(())
+    }
+
+    fn is_mem(i: &Instr) -> bool {
+        matches!(
+            i,
+            Instr::Lw { .. } | Instr::Sw { .. } | Instr::Flw { .. } | Instr::Fsw { .. } | Instr::Amo { .. }
+        )
+    }
+
+    fn mshr_available(&self, now: u64) -> bool {
+        self.mshr_free.iter().any(|&t| t <= now)
+    }
+
+    fn release_barriers(&mut self) {
+        // Group waiting warps by barrier id; release when count reached.
+        for wi in 0..self.warps.len() {
+            if let Some((id, count)) = self.warps[wi].barrier {
+                let waiting = self
+                    .warps
+                    .iter()
+                    .filter(|w| w.active && w.barrier == Some((id, count)))
+                    .count() as u32;
+                if waiting >= count {
+                    for w in &mut self.warps {
+                        if w.barrier == Some((id, count)) {
+                            w.barrier = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &mut self,
+        now: u64,
+        wi: u32,
+        instr: Instr,
+        program: &Program,
+        mem: &mut SimMemory,
+        l2: &mut Cache,
+        dram: &mut DramModel,
+        printf_out: &mut Vec<String>,
+    ) -> Result<(), SimError> {
+        let t_n = self.threads_n;
+        let tmask = self.warps[wi as usize].tmask;
+        let pc = self.warps[wi as usize].pc;
+        let mut next_pc = pc.wrapping_add(1);
+        let mut lat = self.lat_alu;
+        let lanes: Vec<u32> = (0..t_n).filter(|&t| tmask >> t & 1 == 1).collect();
+        match instr {
+            Instr::Lui { rd, imm } => {
+                for &t in &lanes {
+                    self.write_int(wi, rd, t, (imm as u32) << 12);
+                }
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                for &t in &lanes {
+                    let a = self.read_int(wi, rs1, t);
+                    self.write_int(wi, rd, t, alu(op, a, imm as u32));
+                }
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                for &t in &lanes {
+                    let a = self.read_int(wi, rs1, t);
+                    let b = self.read_int(wi, rs2, t);
+                    self.write_int(wi, rd, t, alu(op, a, b));
+                }
+            }
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                lat = match op {
+                    MulOp::Mul | MulOp::Mulh | MulOp::Mulhu => self.lat_mul,
+                    _ => self.lat_div,
+                };
+                for &t in &lanes {
+                    let a = self.read_int(wi, rs1, t);
+                    let b = self.read_int(wi, rs2, t);
+                    self.write_int(wi, rd, t, muldiv(op, a, b));
+                }
+            }
+            Instr::Lw { rd, rs1, imm } | Instr::Flw { rd, rs1, imm } => {
+                self.stats.loads += 1;
+                let is_fp = matches!(instr, Instr::Flw { .. });
+                let mut addrs = Vec::with_capacity(lanes.len());
+                for &t in &lanes {
+                    let addr = self.read_int(wi, rs1, t).wrapping_add(imm as u32);
+                    let v = mem.load(self.id, addr).map_err(|e| at_pc(e, pc))?;
+                    if is_fp {
+                        self.write_fp(wi, rd, t, v);
+                    } else {
+                        self.write_int(wi, rd, t, v);
+                    }
+                    addrs.push(addr);
+                }
+                let done = self.memory_time(now, &addrs, l2, dram);
+                self.mark_dest(wi, &instr, done);
+                self.warps[wi as usize].pc = next_pc;
+                return Ok(());
+            }
+            Instr::Sw { rs1, rs2, imm } | Instr::Fsw { rs1, rs2, imm } => {
+                self.stats.stores += 1;
+                let is_fp = matches!(instr, Instr::Fsw { .. });
+                let mut addrs = Vec::with_capacity(lanes.len());
+                for &t in &lanes {
+                    let addr = self.read_int(wi, rs1, t).wrapping_add(imm as u32);
+                    let v = if is_fp {
+                        self.read_fp(wi, rs2, t)
+                    } else {
+                        self.read_int(wi, rs2, t)
+                    };
+                    mem.store(self.id, addr, v).map_err(|e| at_pc(e, pc))?;
+                    addrs.push(addr);
+                }
+                // Stores retire through the same LSU path (write-through),
+                // consuming bandwidth but not blocking a destination.
+                let _ = self.memory_time(now, &addrs, l2, dram);
+                self.warps[wi as usize].pc = next_pc;
+                return Ok(());
+            }
+            Instr::Amo { op, rd, rs1, rs2 } => {
+                self.stats.loads += 1;
+                self.stats.stores += 1;
+                // Atomics bypass coalescing: one serialized access per lane.
+                let mut done = now;
+                for &t in &lanes {
+                    let addr = self.read_int(wi, rs1, t);
+                    let v = self.read_int(wi, rs2, t);
+                    let old = mem.load(self.id, addr).map_err(|e| at_pc(e, pc))?;
+                    let new = amo(op, old, v);
+                    mem.store(self.id, addr, new).map_err(|e| at_pc(e, pc))?;
+                    self.write_int(wi, rd, t, old);
+                    done = done.max(self.memory_time(now, &[addr], l2, dram));
+                }
+                self.mark_dest(wi, &instr, done);
+                self.warps[wi as usize].pc = next_pc;
+                return Ok(());
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                // Branches are warp-uniform by construction: the compiler
+                // SPLIT-lowers divergent conditions (§II-D), so evaluating
+                // in the first active lane is sound.
+                let a = self.read_uniform(wi, rs1);
+                let b = self.read_uniform(wi, rs2);
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i32) < (b as i32),
+                    BranchCond::Ge => (a as i32) >= (b as i32),
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Instr::Jal { rd, offset } => {
+                for &t in &lanes {
+                    self.write_int(wi, rd, t, pc + 1);
+                }
+                next_pc = pc.wrapping_add(offset as u32);
+            }
+            Instr::Jalr { rd, rs1, imm } => {
+                let target = self.read_uniform(wi, rs1).wrapping_add(imm as u32);
+                for &t in &lanes {
+                    self.write_int(wi, rd, t, pc + 1);
+                }
+                next_pc = target;
+            }
+            Instr::FpOp { op, rd, rs1, rs2 } => {
+                lat = match op {
+                    FpOp::Div => self.lat_fdiv,
+                    _ => self.lat_fpu,
+                };
+                for &t in &lanes {
+                    let a = f32::from_bits(self.read_fp(wi, rs1, t));
+                    let b = f32::from_bits(self.read_fp(wi, rs2, t));
+                    let r = match op {
+                        FpOp::Add => a + b,
+                        FpOp::Sub => a - b,
+                        FpOp::Mul => a * b,
+                        FpOp::Div => a / b,
+                        FpOp::Min => a.min(b),
+                        FpOp::Max => a.max(b),
+                        FpOp::Sgnj => a.copysign(b),
+                        FpOp::SgnjN => a.copysign(-b),
+                        FpOp::SgnjX => f32::from_bits(
+                            a.to_bits() ^ (b.to_bits() & 0x8000_0000),
+                        ),
+                    };
+                    self.write_fp(wi, rd, t, r.to_bits());
+                }
+            }
+            Instr::FpUn { op, rd, rs1 } => {
+                lat = match op {
+                    FpUnOp::Sqrt => self.lat_fdiv,
+                    _ => self.lat_sfu,
+                };
+                for &t in &lanes {
+                    let a = f32::from_bits(self.read_fp(wi, rs1, t));
+                    let r = match op {
+                        FpUnOp::Sqrt => a.sqrt(),
+                        FpUnOp::Exp => a.exp(),
+                        FpUnOp::Log => a.ln(),
+                        FpUnOp::Sin => a.sin(),
+                        FpUnOp::Cos => a.cos(),
+                        FpUnOp::Floor => a.floor(),
+                    };
+                    self.write_fp(wi, rd, t, r.to_bits());
+                }
+            }
+            Instr::FpCmp { op, rd, rs1, rs2 } => {
+                lat = self.lat_fpu;
+                for &t in &lanes {
+                    let a = f32::from_bits(self.read_fp(wi, rs1, t));
+                    let b = f32::from_bits(self.read_fp(wi, rs2, t));
+                    let r = match op {
+                        FpCmpOp::Eq => a == b,
+                        FpCmpOp::Lt => a < b,
+                        FpCmpOp::Le => a <= b,
+                    };
+                    self.write_int(wi, rd, t, r as u32);
+                }
+            }
+            Instr::FpCvt { op, rd, rs1 } => {
+                lat = self.lat_fpu;
+                for &t in &lanes {
+                    match op {
+                        CvtOp::F2I => {
+                            let a = f32::from_bits(self.read_fp(wi, rs1, t));
+                            let v = if a.is_nan() {
+                                i32::MAX
+                            } else {
+                                (a as i64).clamp(i32::MIN as i64, i32::MAX as i64) as i32
+                            };
+                            self.write_int(wi, rd, t, v as u32);
+                        }
+                        CvtOp::F2U => {
+                            let a = f32::from_bits(self.read_fp(wi, rs1, t));
+                            let v = if a.is_nan() || a < 0.0 {
+                                0
+                            } else {
+                                (a as u64).min(u32::MAX as u64) as u32
+                            };
+                            self.write_int(wi, rd, t, v);
+                        }
+                        CvtOp::I2F => {
+                            let a = self.read_int(wi, rs1, t) as i32;
+                            self.write_fp(wi, rd, t, (a as f32).to_bits());
+                        }
+                        CvtOp::U2F => {
+                            let a = self.read_int(wi, rs1, t);
+                            self.write_fp(wi, rd, t, (a as f32).to_bits());
+                        }
+                        CvtOp::MvF2X => {
+                            let a = self.read_fp(wi, rs1, t);
+                            self.write_int(wi, rd, t, a);
+                        }
+                        CvtOp::MvX2F => {
+                            let a = self.read_int(wi, rs1, t);
+                            self.write_fp(wi, rd, t, a);
+                        }
+                    }
+                }
+            }
+            Instr::CsrRead { rd, csr } => {
+                for &t in &lanes {
+                    let v = match csr {
+                        Csr::ThreadId => t,
+                        Csr::WarpId => wi,
+                        Csr::CoreId => self.id,
+                        Csr::NumThreads => self.threads_n,
+                        Csr::NumWarps => self.warps_n,
+                        Csr::NumCores => self.num_cores,
+                        Csr::Tmask => tmask as u32,
+                    };
+                    self.write_int(wi, rd, t, v);
+                }
+            }
+            Instr::Tmc { rs1 } => {
+                lat = self.lat_sfu;
+                let mask = self.read_uniform(wi, rs1) as u64 & self.full_mask;
+                let w = &mut self.warps[wi as usize];
+                w.tmask = mask;
+                if mask == 0 {
+                    w.active = false;
+                }
+            }
+            Instr::Wspawn { rs1, rs2 } => {
+                lat = self.lat_sfu;
+                let count = self.read_uniform(wi, rs1).min(self.warps_n);
+                let entry = self.read_uniform(wi, rs2);
+                for w in 1..count {
+                    let warp = &mut self.warps[w as usize];
+                    warp.active = true;
+                    warp.pc = entry;
+                    warp.tmask = 1;
+                    warp.stack.clear();
+                    warp.barrier = None;
+                }
+            }
+            Instr::Split { rs1, else_off } => {
+                lat = self.lat_sfu;
+                let mut taken = 0u64;
+                for &t in &lanes {
+                    if self.read_int(wi, rs1, t) != 0 {
+                        taken |= 1 << t;
+                    }
+                }
+                let else_mask = tmask & !taken;
+                let w = &mut self.warps[wi as usize];
+                if else_mask == 0 {
+                    // No divergence, all true: push reconv only.
+                    w.stack.push(Ipdom::Reconv { mask: tmask });
+                } else if taken == 0 {
+                    // All false: jump straight to else.
+                    w.stack.push(Ipdom::Reconv { mask: tmask });
+                    next_pc = pc.wrapping_add(else_off as u32);
+                } else {
+                    w.stack.push(Ipdom::Reconv { mask: tmask });
+                    w.stack.push(Ipdom::Else {
+                        mask: else_mask,
+                        pc: pc.wrapping_add(else_off as u32),
+                    });
+                    w.tmask = taken;
+                }
+            }
+            Instr::Join { off } => {
+                lat = self.lat_sfu;
+                let w = &mut self.warps[wi as usize];
+                match w.stack.pop() {
+                    Some(Ipdom::Else { mask, pc: else_pc }) => {
+                        w.tmask = mask;
+                        next_pc = else_pc;
+                    }
+                    Some(Ipdom::Reconv { mask }) => {
+                        w.tmask = mask;
+                        next_pc = pc.wrapping_add(off as u32);
+                    }
+                    None => {
+                        // Unbalanced join: treat as no-op jump (compiler
+                        // never emits this; hand-written tests might).
+                        next_pc = pc.wrapping_add(off as u32);
+                    }
+                }
+            }
+            Instr::Pred { rs1, rs2, exit_off } => {
+                lat = self.lat_sfu;
+                let mut live = 0u64;
+                for &t in &lanes {
+                    if self.read_int(wi, rs1, t) != 0 {
+                        live |= 1 << t;
+                    }
+                }
+                if live != 0 {
+                    self.warps[wi as usize].tmask = live;
+                } else {
+                    let restore = self.read_uniform(wi, rs2) as u64 & self.full_mask;
+                    self.warps[wi as usize].tmask = restore;
+                    next_pc = pc.wrapping_add(exit_off as u32);
+                }
+            }
+            Instr::Bar { rs1, rs2 } => {
+                lat = self.lat_sfu;
+                let id = self.read_uniform(wi, rs1);
+                let count = self.read_uniform(wi, rs2).max(1);
+                self.warps[wi as usize].barrier = Some((id, count));
+            }
+            Instr::Print { fmt } => {
+                let entry = program
+                    .printf_table
+                    .get(fmt as usize)
+                    .cloned()
+                    .unwrap_or(vortex_isa::PrintfFmt {
+                        fmt: format!("<bad printf id {fmt}>"),
+                        args: vec![],
+                    });
+                for &t in &lanes {
+                    let hart = (self.id * self.warps_n + wi) * self.threads_n + t;
+                    let buf = PRINTF_BASE + hart * PRINTF_STRIDE;
+                    let mut out = String::with_capacity(entry.fmt.len() + 8);
+                    let mut argi = 0u32;
+                    let mut chars = entry.fmt.chars().peekable();
+                    while let Some(c) = chars.next() {
+                        if c == '{' && chars.peek() == Some(&'}') {
+                            chars.next();
+                            let bits = mem
+                                .load(self.id, buf + argi * 4)
+                                .map_err(|e| at_pc(e, pc))?;
+                            match entry.args.get(argi as usize) {
+                                Some(PrintArg::F32) => {
+                                    out.push_str(&format!("{}", f32::from_bits(bits)))
+                                }
+                                Some(PrintArg::I32) => out.push_str(&format!("{}", bits as i32)),
+                                _ => out.push_str(&format!("{bits}")),
+                            }
+                            argi += 1;
+                        } else {
+                            out.push(c);
+                        }
+                    }
+                    printf_out.push(out);
+                }
+            }
+            Instr::Halt => {
+                let w = &mut self.warps[wi as usize];
+                w.tmask = 0;
+                w.active = false;
+            }
+        }
+        let done = now + lat as u64;
+        self.mark_dest(wi, &instr, done);
+        self.warps[wi as usize].pc = next_pc;
+        Ok(())
+    }
+
+    /// Timing for a warp memory access over the given lane addresses:
+    /// coalesce to lines, walk D-cache → L2 → DRAM, consume LSU + MSHR
+    /// resources. Local-window accesses complete at D-cache speed.
+    fn memory_time(
+        &mut self,
+        now: u64,
+        addrs: &[u32],
+        l2: &mut Cache,
+        dram: &mut DramModel,
+    ) -> u64 {
+        let mut lines: Vec<u32> = addrs
+            .iter()
+            .filter(|&&a| !SimMemory::is_local(a))
+            .map(|&a| self.dcache.line_of(a))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        if lines.is_empty() {
+            // Pure local-memory access: SRAM-speed, with bank-conflict
+            // serialization of distinct words beyond the bank count (4).
+            let words = addrs.len().div_ceil(4) as u64;
+            self.lsu_next_free = self.lsu_next_free.max(now) + words;
+            return self.lsu_next_free + self.lat_dcache as u64;
+        }
+        // The banked D-cache ingests at most 4 lane requests per cycle, so
+        // wide warps occupy the LSU for T/4 cycles even on hits — the
+        // per-thread cost §III-C attributes vecadd's LSU stalls to.
+        let lane_cycles = (addrs.len().div_ceil(4) as u64).saturating_sub(lines.len() as u64);
+        self.lsu_next_free = self.lsu_next_free.max(now) + lane_cycles;
+        let line_bytes = self.dcache.config().line_bytes;
+        let mut done = now;
+        for line in lines {
+            // LSU accepts one line per cycle.
+            self.lsu_next_free = self.lsu_next_free.max(now) + 1;
+            let t0 = self.lsu_next_free;
+            let addr = line * line_bytes;
+            if self.dcache.access(addr, t0) {
+                self.stats.dcache_hits += 1;
+                done = done.max(t0 + self.lat_dcache as u64);
+            } else {
+                self.stats.dcache_misses += 1;
+                // Take the earliest-free MSHR (backpressure as latency).
+                let slot = self
+                    .mshr_free
+                    .iter_mut()
+                    .min()
+                    .expect("at least one MSHR");
+                let start = t0.max(*slot);
+                let fill = if l2.access(addr, start) {
+                    start + self.lat_l2 as u64
+                } else {
+                    dram.access(addr, line_bytes, start + self.lat_l2 as u64)
+                };
+                *slot = fill;
+                done = done.max(fill + self.lat_dcache as u64);
+            }
+        }
+        done
+    }
+}
+
+fn at_pc(e: SimError, pc: u32) -> SimError {
+    match e {
+        SimError::BadAccess { addr, .. } => SimError::BadAccess { addr, pc },
+        other => other,
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+        AluOp::Sltu => (a < b) as u32,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+fn muldiv(op: MulOp, a: u32, b: u32) -> u32 {
+    match op {
+        MulOp::Mul => a.wrapping_mul(b),
+        MulOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        MulOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+        MulOp::Div => {
+            let (x, y) = (a as i32, b as i32);
+            if y == 0 {
+                u32::MAX
+            } else if x == i32::MIN && y == -1 {
+                x as u32
+            } else {
+                (x / y) as u32
+            }
+        }
+        MulOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+        MulOp::Rem => {
+            let (x, y) = (a as i32, b as i32);
+            if y == 0 {
+                a
+            } else if x == i32::MIN && y == -1 {
+                0
+            } else {
+                (x % y) as u32
+            }
+        }
+        MulOp::Remu => a.checked_rem(b).unwrap_or(a),
+    }
+}
+
+fn amo(op: AmoOp, old: u32, v: u32) -> u32 {
+    match op {
+        AmoOp::Add => old.wrapping_add(v),
+        AmoOp::Swap => v,
+        AmoOp::And => old & v,
+        AmoOp::Or => old | v,
+        AmoOp::Xor => old ^ v,
+        AmoOp::Min => ((old as i32).min(v as i32)) as u32,
+        AmoOp::Max => ((old as i32).max(v as i32)) as u32,
+        AmoOp::Minu => old.min(v),
+        AmoOp::Maxu => old.max(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(alu(AluOp::Add, 2, 3), 5);
+        assert_eq!(alu(AluOp::Sub, 2, 3), u32::MAX);
+        assert_eq!(alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
+        assert_eq!(alu(AluOp::Srl, 0x8000_0000, 31), 1);
+        assert_eq!(alu(AluOp::Slt, u32::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(alu(AluOp::Sltu, u32::MAX, 0), 0);
+    }
+
+    #[test]
+    fn muldiv_riscv_edge_cases() {
+        assert_eq!(muldiv(MulOp::Div, 7, 0), u32::MAX);
+        assert_eq!(muldiv(MulOp::Rem, 7, 0), 7);
+        assert_eq!(
+            muldiv(MulOp::Div, i32::MIN as u32, -1i32 as u32),
+            i32::MIN as u32
+        );
+        assert_eq!(muldiv(MulOp::Mulh, -2i32 as u32, 3), u32::MAX);
+        assert_eq!(muldiv(MulOp::Mulhu, 1 << 31, 2), 1);
+    }
+
+    #[test]
+    fn amo_semantics() {
+        assert_eq!(amo(AmoOp::Add, 5, 3), 8);
+        assert_eq!(amo(AmoOp::Min, -5i32 as u32, 3), -5i32 as u32);
+        assert_eq!(amo(AmoOp::Maxu, 5, u32::MAX), u32::MAX);
+        assert_eq!(amo(AmoOp::Swap, 1, 2), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Functional memory: flat global space plus per-core local (work-group)
+//! memory windows.
+
+use crate::SimError;
+use vortex_isa::layout::LOCAL_BASE;
+
+/// Byte-addressed functional memory.
+#[derive(Debug, Clone)]
+pub struct SimMemory {
+    global: Vec<u8>,
+    /// One local window per core.
+    locals: Vec<Vec<u8>>,
+}
+
+impl SimMemory {
+    pub fn new(global_bytes: u32, cores: u32, local_bytes: u32) -> Self {
+        SimMemory {
+            global: vec![0; global_bytes as usize],
+            locals: (0..cores).map(|_| vec![0; local_bytes as usize]).collect(),
+        }
+    }
+
+    /// True if `addr` is in the per-core local window.
+    pub fn is_local(addr: u32) -> bool {
+        addr >= LOCAL_BASE
+    }
+
+    /// Read a word from `addr` (global space).
+    pub fn read_u32(&self, addr: u32) -> Result<u32, SimError> {
+        let a = addr as usize;
+        if a + 4 > self.global.len() {
+            return Err(SimError::BadAccess { addr, pc: 0 });
+        }
+        Ok(u32::from_le_bytes(self.global[a..a + 4].try_into().unwrap()))
+    }
+
+    /// Write a word to `addr` (global space).
+    pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), SimError> {
+        let a = addr as usize;
+        if a + 4 > self.global.len() {
+            return Err(SimError::BadAccess { addr, pc: 0 });
+        }
+        self.global[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Read a word as seen by `core` (routing local-window addresses).
+    pub fn load(&self, core: u32, addr: u32) -> Result<u32, SimError> {
+        if Self::is_local(addr) {
+            let off = (addr - LOCAL_BASE) as usize;
+            let l = &self.locals[core as usize];
+            if off + 4 > l.len() {
+                return Err(SimError::BadAccess { addr, pc: 0 });
+            }
+            Ok(u32::from_le_bytes(l[off..off + 4].try_into().unwrap()))
+        } else {
+            self.read_u32(addr)
+        }
+    }
+
+    /// Write a word as seen by `core`.
+    pub fn store(&mut self, core: u32, addr: u32, v: u32) -> Result<(), SimError> {
+        if Self::is_local(addr) {
+            let off = (addr - LOCAL_BASE) as usize;
+            let l = &mut self.locals[core as usize];
+            if off + 4 > l.len() {
+                return Err(SimError::BadAccess { addr, pc: 0 });
+            }
+            l[off..off + 4].copy_from_slice(&v.to_le_bytes());
+            Ok(())
+        } else {
+            self.write_u32(addr, v)
+        }
+    }
+
+    /// Bulk copy into global memory (runtime buffer writes).
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), SimError> {
+        let a = addr as usize;
+        if a + data.len() > self.global.len() {
+            return Err(SimError::BadAccess { addr, pc: 0 });
+        }
+        self.global[a..a + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Bulk copy out of global memory (runtime buffer reads).
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Result<&[u8], SimError> {
+        let a = addr as usize;
+        if a + len > self.global.len() {
+            return Err(SimError::BadAccess { addr, pc: 0 });
+        }
+        Ok(&self.global[a..a + len])
+    }
+
+    /// Global capacity in bytes.
+    pub fn global_len(&self) -> u32 {
+        self.global.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_roundtrip() {
+        let mut m = SimMemory::new(4096, 1, 256);
+        m.write_u32(16, 0xDEADBEEF).unwrap();
+        assert_eq!(m.read_u32(16).unwrap(), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn locals_are_per_core() {
+        let mut m = SimMemory::new(4096, 2, 256);
+        m.store(0, LOCAL_BASE, 1).unwrap();
+        m.store(1, LOCAL_BASE, 2).unwrap();
+        assert_eq!(m.load(0, LOCAL_BASE).unwrap(), 1);
+        assert_eq!(m.load(1, LOCAL_BASE).unwrap(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = SimMemory::new(64, 1, 64);
+        assert!(m.read_u32(64).is_err());
+        assert!(m.store(0, LOCAL_BASE + 64, 0).is_err());
+        assert!(m.write_bytes(60, &[0; 8]).is_err());
+    }
+
+    #[test]
+    fn bulk_copies() {
+        let mut m = SimMemory::new(128, 1, 0);
+        m.write_bytes(8, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.read_bytes(8, 4).unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(m.read_u32(8).unwrap(), u32::from_le_bytes([1, 2, 3, 4]));
+    }
+}

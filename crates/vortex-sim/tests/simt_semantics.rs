@@ -1,0 +1,393 @@
+//! Direct tests of the SIMT control-flow semantics (§II-D) with
+//! hand-assembled programs: SPLIT/JOIN reconvergence in all mask cases,
+//! PRED loop masking and restore, TMC halting, and BAR synchronization.
+
+use fpga_arch::VortexConfig;
+use vortex_isa::layout::HEAP_BASE;
+use vortex_isa::{abi, AluOp, Asm, BranchCond, Csr, Instr, Program};
+use vortex_sim::{SimConfig, Simulator};
+
+const T0: u8 = abi::T0;
+const T1: u8 = abi::T1;
+const T2: u8 = abi::T2;
+
+/// Prologue: enable all lanes of warp 0, set T2 = lane id, T1 = HEAP_BASE +
+/// 4*lane (per-lane output slot).
+fn prologue(a: &mut Asm) {
+    a.emit(Instr::CsrRead {
+        rd: T0,
+        csr: Csr::NumThreads,
+    });
+    a.emit(Instr::OpImm {
+        op: AluOp::Add,
+        rd: T1,
+        rs1: abi::ZERO,
+        imm: 1,
+    });
+    a.emit(Instr::Op {
+        op: AluOp::Sll,
+        rd: T1,
+        rs1: T1,
+        rs2: T0,
+    });
+    a.emit(Instr::OpImm {
+        op: AluOp::Add,
+        rd: T1,
+        rs1: T1,
+        imm: -1,
+    });
+    a.emit(Instr::Tmc { rs1: T1 });
+    a.emit(Instr::CsrRead {
+        rd: T2,
+        csr: Csr::ThreadId,
+    });
+    a.emit(Instr::OpImm {
+        op: AluOp::Sll,
+        rd: T1,
+        rs1: T2,
+        imm: 2,
+    });
+    a.emit(Instr::Lui {
+        rd: T0,
+        imm: (HEAP_BASE >> 12) as i32,
+    });
+    a.emit(Instr::Op {
+        op: AluOp::Add,
+        rd: T1,
+        rs1: T1,
+        rs2: T0,
+    });
+}
+
+fn run(asm: Asm, threads: u32) -> Simulator {
+    let program = Program {
+        instrs: asm.finish().unwrap(),
+        printf_table: vec![],
+        entry: 0,
+    };
+    let cfg = SimConfig::new(VortexConfig::new(1, 1, threads));
+    let mut sim = Simulator::new(cfg, program);
+    sim.run().unwrap();
+    sim
+}
+
+fn outputs(sim: &Simulator, threads: u32) -> Vec<u32> {
+    (0..threads)
+        .map(|t| sim.mem.read_u32(HEAP_BASE + 4 * t).unwrap())
+        .collect()
+}
+
+/// if (lane < 2) out = 100 else out = 200; both paths execute, mask
+/// restored, every lane writes exactly its own value.
+#[test]
+fn split_join_both_paths() {
+    let mut a = Asm::new();
+    prologue(&mut a);
+    let els = a.label();
+    let join = a.label();
+    // pred = lane < 2 (per-lane).
+    a.emit(Instr::OpImm {
+        op: AluOp::Slt,
+        rd: abi::T0,
+        rs1: T2,
+        imm: 2,
+    });
+    a.split(abi::T0, els);
+    // then: out = 100.
+    let store = |a: &mut Asm, v: i32| {
+        a.emit(Instr::OpImm {
+            op: AluOp::Add,
+            rd: 9,
+            rs1: abi::ZERO,
+            imm: v,
+        });
+        a.emit(Instr::Sw {
+            rs1: T1,
+            rs2: 9,
+            imm: 0,
+        });
+    };
+    store(&mut a, 100);
+    a.join(join);
+    a.bind(els);
+    store(&mut a, 200);
+    a.join(join);
+    a.bind(join);
+    // After reconvergence every lane adds 1 (proves full mask restored).
+    a.emit(Instr::Lw {
+        rd: 9,
+        rs1: T1,
+        imm: 0,
+    });
+    a.emit(Instr::OpImm {
+        op: AluOp::Add,
+        rd: 9,
+        rs1: 9,
+        imm: 1,
+    });
+    a.emit(Instr::Sw {
+        rs1: T1,
+        rs2: 9,
+        imm: 0,
+    });
+    a.emit(Instr::Tmc { rs1: abi::ZERO });
+    let sim = run(a, 4);
+    assert_eq!(outputs(&sim, 4), vec![101, 101, 201, 201]);
+}
+
+/// All-true and all-false predicates skip the inactive path entirely.
+#[test]
+fn split_join_uniform_masks() {
+    for (pred_imm, want) in [(1, 7), (0, 9)] {
+        let mut a = Asm::new();
+        prologue(&mut a);
+        let els = a.label();
+        let join = a.label();
+        a.emit(Instr::OpImm {
+            op: AluOp::Add,
+            rd: abi::T0,
+            rs1: abi::ZERO,
+            imm: pred_imm,
+        });
+        a.split(abi::T0, els);
+        a.emit(Instr::OpImm {
+            op: AluOp::Add,
+            rd: 9,
+            rs1: abi::ZERO,
+            imm: 7,
+        });
+        a.emit(Instr::Sw {
+            rs1: T1,
+            rs2: 9,
+            imm: 0,
+        });
+        a.join(join);
+        a.bind(els);
+        a.emit(Instr::OpImm {
+            op: AluOp::Add,
+            rd: 9,
+            rs1: abi::ZERO,
+            imm: 9,
+        });
+        a.emit(Instr::Sw {
+            rs1: T1,
+            rs2: 9,
+            imm: 0,
+        });
+        a.join(join);
+        a.bind(join);
+        a.emit(Instr::Tmc { rs1: abi::ZERO });
+        let sim = run(a, 4);
+        assert_eq!(outputs(&sim, 4), vec![want; 4], "pred={pred_imm}");
+    }
+}
+
+/// Divergent loop: lane t iterates t+1 times; PRED masks lanes off as they
+/// finish and restores the saved mask at exit.
+#[test]
+fn pred_loop_divergent_trip_counts() {
+    let mut a = Asm::new();
+    prologue(&mut a);
+    // x10 = counter = lane + 1; x11 = accumulator.
+    a.emit(Instr::OpImm {
+        op: AluOp::Add,
+        rd: 10,
+        rs1: T2,
+        imm: 1,
+    });
+    a.emit(Instr::OpImm {
+        op: AluOp::Add,
+        rd: 11,
+        rs1: abi::ZERO,
+        imm: 0,
+    });
+    // Save mask.
+    a.emit(Instr::CsrRead {
+        rd: 12,
+        csr: Csr::Tmask,
+    });
+    let head = a.label();
+    let exit = a.label();
+    a.bind(head);
+    // live = counter > 0.
+    a.emit(Instr::Op {
+        op: AluOp::Slt,
+        rd: abi::T0,
+        rs1: abi::ZERO,
+        rs2: 10,
+    });
+    a.pred(abi::T0, 12, exit);
+    a.emit(Instr::OpImm {
+        op: AluOp::Add,
+        rd: 11,
+        rs1: 11,
+        imm: 10,
+    });
+    a.emit(Instr::OpImm {
+        op: AluOp::Add,
+        rd: 10,
+        rs1: 10,
+        imm: -1,
+    });
+    a.jump(head);
+    a.bind(exit);
+    // Every lane (mask restored) writes its accumulator.
+    a.emit(Instr::Sw {
+        rs1: T1,
+        rs2: 11,
+        imm: 0,
+    });
+    a.emit(Instr::Tmc { rs1: abi::ZERO });
+    let sim = run(a, 4);
+    assert_eq!(outputs(&sim, 4), vec![10, 20, 30, 40]);
+}
+
+/// Two warps synchronize at a barrier: warp 1 must observe warp 0's store.
+#[test]
+fn barrier_orders_cross_warp_stores() {
+    let mut a = Asm::new();
+    // Warp 0 lane 0 active at entry.
+    let after_spawn = a.label();
+    a.emit(Instr::CsrRead {
+        rd: T0,
+        csr: Csr::WarpId,
+    });
+    a.branch(BranchCond::Ne, T0, abi::ZERO, after_spawn);
+    a.emit(Instr::OpImm {
+        op: AluOp::Add,
+        rd: T0,
+        rs1: abi::ZERO,
+        imm: 2,
+    });
+    a.emit(Instr::Wspawn {
+        rs1: T0,
+        rs2: abi::ZERO,
+    });
+    a.bind(after_spawn);
+    // T1 = HEAP_BASE.
+    a.emit(Instr::Lui {
+        rd: T1,
+        imm: (HEAP_BASE >> 12) as i32,
+    });
+    let wait = a.label();
+    let done = a.label();
+    a.emit(Instr::CsrRead {
+        rd: T0,
+        csr: Csr::WarpId,
+    });
+    a.branch(BranchCond::Ne, T0, abi::ZERO, wait);
+    // Warp 0: store 42 to HEAP, then barrier.
+    a.emit(Instr::OpImm {
+        op: AluOp::Add,
+        rd: 9,
+        rs1: abi::ZERO,
+        imm: 42,
+    });
+    a.emit(Instr::Sw {
+        rs1: T1,
+        rs2: 9,
+        imm: 0,
+    });
+    a.bind(wait);
+    a.emit(Instr::OpImm {
+        op: AluOp::Add,
+        rd: T2,
+        rs1: abi::ZERO,
+        imm: 2,
+    });
+    a.emit(Instr::Bar {
+        rs1: abi::ZERO,
+        rs2: T2,
+    });
+    // Warp 1: after the barrier, copy HEAP[0] to HEAP[4].
+    a.emit(Instr::CsrRead {
+        rd: T0,
+        csr: Csr::WarpId,
+    });
+    a.branch(BranchCond::Eq, T0, abi::ZERO, done);
+    a.emit(Instr::Lw {
+        rd: 9,
+        rs1: T1,
+        imm: 0,
+    });
+    a.emit(Instr::Sw {
+        rs1: T1,
+        rs2: 9,
+        imm: 4,
+    });
+    a.bind(done);
+    a.emit(Instr::Tmc { rs1: abi::ZERO });
+    let program = Program {
+        instrs: a.finish().unwrap(),
+        printf_table: vec![],
+        entry: 0,
+    };
+    let cfg = SimConfig::new(VortexConfig::new(1, 2, 1));
+    let mut sim = Simulator::new(cfg, program);
+    sim.run().unwrap();
+    assert_eq!(sim.mem.read_u32(HEAP_BASE).unwrap(), 42);
+    assert_eq!(sim.mem.read_u32(HEAP_BASE + 4).unwrap(), 42);
+}
+
+/// Nested SPLITs reconverge inside-out.
+#[test]
+fn nested_split_join() {
+    let mut a = Asm::new();
+    prologue(&mut a);
+    let outer_els = a.label();
+    let outer_join = a.label();
+    let inner_els = a.label();
+    let inner_join = a.label();
+    // outer: lane < 2.
+    a.emit(Instr::OpImm {
+        op: AluOp::Slt,
+        rd: abi::T0,
+        rs1: T2,
+        imm: 2,
+    });
+    a.split(abi::T0, outer_els);
+    // inner: lane < 1 (i.e. lane 0 only).
+    a.emit(Instr::OpImm {
+        op: AluOp::Slt,
+        rd: abi::T0,
+        rs1: T2,
+        imm: 1,
+    });
+    a.split(abi::T0, inner_els);
+    a.emit(Instr::OpImm {
+        op: AluOp::Add,
+        rd: 9,
+        rs1: abi::ZERO,
+        imm: 1,
+    });
+    a.join(inner_join);
+    a.bind(inner_els);
+    a.emit(Instr::OpImm {
+        op: AluOp::Add,
+        rd: 9,
+        rs1: abi::ZERO,
+        imm: 2,
+    });
+    a.join(inner_join);
+    a.bind(inner_join);
+    // The then-path of the *outer* split reconverges here: this must be a
+    // JOIN (popping the outer Else entry), not a plain jump.
+    a.join(outer_join);
+    a.bind(outer_els);
+    a.emit(Instr::OpImm {
+        op: AluOp::Add,
+        rd: 9,
+        rs1: abi::ZERO,
+        imm: 3,
+    });
+    a.join(outer_join);
+    a.bind(outer_join);
+    a.emit(Instr::Sw {
+        rs1: T1,
+        rs2: 9,
+        imm: 0,
+    });
+    a.emit(Instr::Tmc { rs1: abi::ZERO });
+    let sim = run(a, 4);
+    assert_eq!(outputs(&sim, 4), vec![1, 2, 3, 3]);
+}

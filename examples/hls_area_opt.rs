@@ -1,0 +1,67 @@
+//! The paper's §III-B case study as a runnable walkthrough: take the
+//! backprop kernels through the three optimization stages (Figure 6) and
+//! watch the HLS resource estimate cross from "does not fit" (188% BRAM) to
+//! synthesizable (<100%), then show the automated IR-level variable-reuse
+//! pass reaching the same point as the manual rewrite.
+//!
+//! ```sh
+//! cargo run --release --example hls_area_opt
+//! ```
+
+use fpga_arch::Device;
+use hls_flow::{synthesize, SynthFailure, SynthOptions};
+use ocl_suite::benches::ml::{BACKPROP_O1, BACKPROP_O2, BACKPROP_ORIGINAL};
+
+fn report(label: &str, src: &str) -> Result<u64, Box<dyn std::error::Error>> {
+    let device = Device::mx2100();
+    let module = ocl_front::compile(src)?;
+    match synthesize(&module, &device, &SynthOptions::default()) {
+        Ok(r) => {
+            println!(
+                "{label:22} {:>9} ALUTs {:>9} FFs {:>6} BRAMs ({:>3.0}%)  -> synthesizes in {:.1} h",
+                r.area.aluts, r.area.ffs, r.area.brams, r.utilization.brams_pct, r.hours
+            );
+            Ok(r.area.brams)
+        }
+        Err(SynthFailure::NotEnoughResources {
+            required, hours, ..
+        }) => {
+            let pct = device.utilization(&required).brams_pct;
+            println!(
+                "{label:22} {:>9} ALUTs {:>9} FFs {:>6} BRAMs ({:>3.0}%)  -> FAILS after {hours:.1} h",
+                required.aluts, required.ffs, required.brams, pct
+            );
+            Ok(required.brams)
+        }
+        Err(other) => Err(other.into()),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Backprop on the Intel-HLS flow, MX2100 (6,847 M20K blocks):\n");
+    let orig = report("original (Listing 1)", BACKPROP_ORIGINAL)?;
+    let o1 = report("O1 variable reuse", BACKPROP_O1)?;
+    let o2 = report("O2 pipelined load", BACKPROP_O2)?;
+    assert!(orig > o1 && o1 > o2, "cumulative optimizations must shrink");
+
+    // Automated O1: the IR CSE pass on the *original* source.
+    let mut module = ocl_front::compile(BACKPROP_ORIGINAL)?;
+    let stats =
+        ocl_ir::passes::optimize_module(&mut module, ocl_ir::passes::OptLevel::VariableReuse);
+    let device = Device::mx2100();
+    let auto = match synthesize(&module, &device, &SynthOptions::default()) {
+        Ok(r) => r.area.brams,
+        Err(SynthFailure::NotEnoughResources { required, .. }) => required.brams,
+        Err(other) => return Err(other.into()),
+    };
+    println!(
+        "\nautomated O1 via IR CSE: {auto} BRAMs ({} loads/exprs reused, {} dead ops removed)",
+        stats.cse_replaced, stats.dce_removed
+    );
+    assert_eq!(auto, o1, "the pass must match the manual rewrite");
+    println!(
+        "== the manual Listing-2 rewrite, reproduced by the compiler — closing \
+         the §IV-B automation gap."
+    );
+    Ok(())
+}
