@@ -1,14 +1,14 @@
 //! Stratix 10 device models and resource-vector arithmetic.
 
 use crate::memory::MemorySystem;
-use serde::{Deserialize, Serialize};
+use repro_util::{Json, ToJson};
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
 /// A vector of the four FPGA resource classes the paper's area reports use
 /// (Tables II, III, IV): adaptive LUTs, flip-flops, M20K block RAMs, and DSP
 /// blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ResourceVector {
     pub aluts: u64,
     pub ffs: u64,
@@ -97,8 +97,19 @@ impl fmt::Display for ResourceVector {
     }
 }
 
+impl ToJson for ResourceVector {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("aluts", self.aluts.to_json()),
+            ("ffs", self.ffs.to_json()),
+            ("brams", self.brams.to_json()),
+            ("dsps", self.dsps.to_json()),
+        ])
+    }
+}
+
 /// Per-class utilization of a device, as percentages.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Utilization {
     pub aluts_pct: f64,
     pub ffs_pct: f64,
@@ -107,7 +118,7 @@ pub struct Utilization {
 }
 
 /// The Stratix 10 family members used in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// Stratix 10 MX2100 — HBM2 board, used for the Intel HLS flow.
     StratixMx2100,
@@ -116,7 +127,7 @@ pub enum DeviceKind {
 }
 
 /// An FPGA device: capacities plus its off-chip memory system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Device {
     pub kind: DeviceKind,
     pub name: &'static str,

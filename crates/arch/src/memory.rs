@@ -4,17 +4,15 @@
 //! HBM2 memory, whereas the SX2800 relies solely on DDR4 off-chip memory"
 //! (§III). Both flows' performance models consume these descriptors.
 
-use serde::{Deserialize, Serialize};
-
 /// Memory technology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryKind {
     Hbm2,
     Ddr4,
 }
 
 /// A device memory system, in units of the 200 MHz fabric clock.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemorySystem {
     pub kind: MemoryKind,
     /// Number of independent channels (HBM2 pseudo-channels / DDR4 DIMMs).

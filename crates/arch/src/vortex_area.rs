@@ -13,10 +13,9 @@
 //!   EXPERIMENTS.md.
 
 use crate::device::ResourceVector;
-use serde::{Deserialize, Serialize};
 
 /// A Vortex hardware configuration: cores, warps per core, threads per warp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VortexConfig {
     pub cores: u32,
     pub warps: u32,
@@ -157,10 +156,7 @@ mod tests {
         let dev = crate::Device::sx2800();
         for (cfg, _) in table4_reference() {
             let a = vortex_area(&cfg);
-            assert!(
-                a.fits_in(&dev.capacity),
-                "{cfg} should fit the SX2800: {a}"
-            );
+            assert!(a.fits_in(&dev.capacity), "{cfg} should fit the SX2800: {a}");
         }
     }
 

@@ -6,9 +6,9 @@
 //! * D-cache size sensitivity of the cycle simulator;
 //! * compiler-stage costs (front end, passes, codegen).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpga_arch::{Device, VortexConfig};
 use ocl_ir::interp::{KernelArg, Memory, NdRange};
+use repro_util::timing::{bench, report};
 use vortex_sim::{CacheConfig, SimConfig};
 
 const BURST: &str = r#"
@@ -44,14 +44,11 @@ fn hls_cycles(src: &str, n: u32) -> u64 {
     .cycles
 }
 
-fn bench_lsu_style(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/lsu_style");
+fn bench_lsu_style() {
     for (label, src) in [("burst", BURST), ("pipelined", PIPED)] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &src, |b, src| {
-            b.iter(|| hls_cycles(src, 4096))
-        });
+        let s = bench(20, || hls_cycles(src, 4096));
+        report(&format!("ablation/lsu_style/{label}"), &s);
     }
-    g.finish();
     // Report the modeled trade-off once, outside the timing loop.
     let (cb, cp) = (hls_cycles(BURST, 4096), hls_cycles(PIPED, 4096));
     eprintln!("ablation/lsu_style modeled kernel cycles: burst={cb} pipelined={cp}");
@@ -86,16 +83,12 @@ fn vortex_cycles(src: &str, cfg: &SimConfig) -> u64 {
     r.stats.cycles
 }
 
-fn bench_divergence_lowering(c: &mut Criterion) {
+fn bench_divergence_lowering() {
     let cfg = SimConfig::new(VortexConfig::new(2, 4, 8));
-    let mut g = c.benchmark_group("ablation/divergence");
     for (label, src) in [("split_join", DIVERGENT), ("ternary", SELECTED)] {
-        let cfg = cfg.clone();
-        g.bench_with_input(BenchmarkId::from_parameter(label), &src, move |b, src| {
-            b.iter(|| vortex_cycles(src, &cfg))
-        });
+        let s = bench(20, || vortex_cycles(src, &cfg));
+        report(&format!("ablation/divergence/{label}"), &s);
     }
-    g.finish();
     let (cd, cs) = (
         vortex_cycles(DIVERGENT, &cfg),
         vortex_cycles(SELECTED, &cfg),
@@ -106,9 +99,7 @@ fn bench_divergence_lowering(c: &mut Criterion) {
     );
 }
 
-fn bench_dcache_sensitivity(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/dcache_size");
-    g.sample_size(10);
+fn bench_dcache_sensitivity() {
     for kb in [1u32, 4, 16] {
         let mut cfg = SimConfig::new(VortexConfig::new(4, 8, 8));
         cfg.dcache = CacheConfig {
@@ -117,46 +108,41 @@ fn bench_dcache_sensitivity(c: &mut Criterion) {
             line_bytes: 64,
         };
         let b = ocl_suite::benchmark("Transpose").unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(kb), &cfg, |bch, cfg| {
-            bch.iter(|| ocl_suite::run_vortex(&b, ocl_suite::Scale::Test, cfg).unwrap())
+        let s = bench(10, || {
+            ocl_suite::run_vortex(&b, ocl_suite::Scale::Test, &cfg).unwrap()
         });
+        report(&format!("ablation/dcache_size/{kb}kb"), &s);
     }
-    g.finish();
 }
 
-fn bench_compiler_stages(c: &mut Criterion) {
+fn bench_compiler_stages() {
     let b = ocl_suite::benchmark("Gaussian").unwrap();
-    c.bench_function("compiler/frontend", |bch| {
-        bch.iter(|| ocl_front::compile(b.source).unwrap())
-    });
+    let s = bench(50, || ocl_front::compile(b.source).unwrap());
+    report("compiler/frontend", &s);
     let module = ocl_front::compile(b.source).unwrap();
-    c.bench_function("compiler/passes", |bch| {
-        bch.iter(|| {
-            let mut m = module.clone();
-            ocl_ir::passes::optimize_module(&mut m, ocl_ir::passes::OptLevel::VariableReuse)
-        })
+    let s = bench(50, || {
+        let mut m = module.clone();
+        ocl_ir::passes::optimize_module(&mut m, ocl_ir::passes::OptLevel::VariableReuse)
     });
-    c.bench_function("compiler/vortex_codegen", |bch| {
-        bch.iter(|| {
-            module
-                .kernels
-                .iter()
-                .map(|k| {
-                    vortex_cc::compile_kernel(k, &vortex_cc::CodegenOpts { threads: 8 })
-                        .unwrap()
-                        .program
-                        .len()
-                })
-                .sum::<usize>()
-        })
+    report("compiler/passes", &s);
+    let s = bench(50, || {
+        module
+            .kernels
+            .iter()
+            .map(|k| {
+                vortex_cc::compile_kernel(k, &vortex_cc::CodegenOpts { threads: 8 })
+                    .unwrap()
+                    .program
+                    .len()
+            })
+            .sum::<usize>()
     });
+    report("compiler/vortex_codegen", &s);
 }
 
-criterion_group!(
-    benches,
-    bench_lsu_style,
-    bench_divergence_lowering,
-    bench_dcache_sensitivity,
-    bench_compiler_stages
-);
-criterion_main!(benches);
+fn main() {
+    bench_lsu_style();
+    bench_divergence_lowering();
+    bench_dcache_sensitivity();
+    bench_compiler_stages();
+}

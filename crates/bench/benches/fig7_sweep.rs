@@ -1,39 +1,35 @@
 //! Bench target for Figure 7 (and Table IV's simulator side): cycle-level
 //! simulation throughput of the two Figure 7 benchmarks across hardware
-//! configurations, plus the Vortex area model.
+//! configurations, plus the Vortex area model. Plain wall-clock harness
+//! (`cargo bench -p repro-bench --bench fig7_sweep`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpga_arch::{vortex_area, VortexConfig};
 use ocl_suite::{benchmark, run_vortex, Scale};
+use repro_util::timing::{bench, report};
 use vortex_sim::SimConfig;
 
-fn bench_fig7_cells(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7/sim_cell");
-    g.sample_size(10);
+fn bench_fig7_cells() {
     for name in ["Vecadd", "Transpose"] {
         for (w, t) in [(4u32, 4u32), (8, 8), (16, 16)] {
             let b = benchmark(name).unwrap();
             let cfg = SimConfig::new(VortexConfig::new(4, w, t));
-            g.bench_with_input(
-                BenchmarkId::new(name, format!("{w}w{t}t")),
-                &(b, cfg),
-                |bch, (b, cfg)| bch.iter(|| run_vortex(b, Scale::Test, cfg).unwrap()),
-            );
+            let s = bench(10, || run_vortex(&b, Scale::Test, &cfg).unwrap());
+            report(&format!("fig7/sim_cell/{name}/{w}w{t}t"), &s);
         }
     }
-    g.finish();
 }
 
-fn bench_table4_area_model(c: &mut Criterion) {
-    c.bench_function("table4/vortex_area_model", |b| {
-        b.iter(|| {
-            fpga_arch::vortex_area::table4_reference()
-                .iter()
-                .map(|(cfg, _)| vortex_area(cfg).brams)
-                .sum::<u64>()
-        })
+fn bench_table4_area_model() {
+    let s = bench(100, || {
+        fpga_arch::vortex_area::table4_reference()
+            .iter()
+            .map(|(cfg, _)| vortex_area(cfg).brams)
+            .sum::<u64>()
     });
+    report("table4/vortex_area_model", &s);
 }
 
-criterion_group!(benches, bench_fig7_cells, bench_table4_area_model);
-criterion_main!(benches);
+fn main() {
+    bench_fig7_cells();
+    bench_table4_area_model();
+}

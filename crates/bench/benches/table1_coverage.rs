@@ -2,35 +2,30 @@
 //! of a benchmark (HLS synthesis decision; Vortex compile + execute). Run
 //! with `cargo bench -p repro-bench --bench table1_coverage`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpga_arch::{Device, VortexConfig};
 use ocl_suite::{benchmark, run_hls, run_vortex, Scale};
+use repro_util::timing::{bench, report};
 use vortex_sim::SimConfig;
 
-fn bench_hls_coverage(c: &mut Criterion) {
+fn bench_hls_coverage() {
     let device = Device::mx2100();
-    let mut g = c.benchmark_group("table1/hls_synthesis");
     for name in ["Vecadd", "Gaussian", "Backprop", "Hybridsort"] {
         let b = benchmark(name).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(name), &b, |bch, b| {
-            bch.iter(|| run_hls(b, Scale::Test, &device).unwrap())
-        });
+        let s = bench(20, || run_hls(&b, Scale::Test, &device).unwrap());
+        report(&format!("table1/hls_synthesis/{name}"), &s);
     }
-    g.finish();
 }
 
-fn bench_vortex_coverage(c: &mut Criterion) {
+fn bench_vortex_coverage() {
     let cfg = SimConfig::new(VortexConfig::new(2, 4, 16));
-    let mut g = c.benchmark_group("table1/vortex_execute");
-    g.sample_size(10);
     for name in ["Vecadd", "Dotproduct", "BFS", "Hybridsort"] {
         let b = benchmark(name).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(name), &b, |bch, b| {
-            bch.iter(|| run_vortex(b, Scale::Test, &cfg).unwrap())
-        });
+        let s = bench(10, || run_vortex(&b, Scale::Test, &cfg).unwrap());
+        report(&format!("table1/vortex_execute/{name}"), &s);
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_hls_coverage, bench_vortex_coverage);
-criterion_main!(benches);
+fn main() {
+    bench_hls_coverage();
+    bench_vortex_coverage();
+}

@@ -1,11 +1,12 @@
 //! Bench target for Tables II and III: the HLS analysis + area-estimation
 //! pipeline on the backprop variants and the Table III benchmarks, plus the
-//! automated-O1 pass pipeline.
+//! automated-O1 pass pipeline. Run with
+//! `cargo bench -p repro-bench --bench table2_hls_area`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpga_arch::Device;
 use hls_flow::{synthesize, SynthOptions};
 use ocl_suite::benches::ml::{BACKPROP_O1, BACKPROP_O2, BACKPROP_ORIGINAL};
+use repro_util::timing::{bench, report};
 
 fn synth_area(src: &str) -> u64 {
     let m = ocl_front::compile(src).unwrap();
@@ -16,39 +17,35 @@ fn synth_area(src: &str) -> u64 {
     }
 }
 
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2/backprop_variants");
+fn bench_table2() {
     for (label, src) in [
         ("original", BACKPROP_ORIGINAL),
         ("o1", BACKPROP_O1),
         ("o2", BACKPROP_O2),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &src, |b, src| {
-            b.iter(|| synth_area(src))
-        });
+        let s = bench(20, || synth_area(src));
+        report(&format!("table2/backprop_variants/{label}"), &s);
     }
-    g.finish();
 }
 
-fn bench_automated_o1(c: &mut Criterion) {
-    c.bench_function("table2/automated_o1_pass_pipeline", |b| {
-        b.iter(|| {
-            let mut m = ocl_front::compile(BACKPROP_ORIGINAL).unwrap();
-            ocl_ir::passes::optimize_module(&mut m, ocl_ir::passes::OptLevel::VariableReuse)
-        })
+fn bench_automated_o1() {
+    let s = bench(20, || {
+        let mut m = ocl_front::compile(BACKPROP_ORIGINAL).unwrap();
+        ocl_ir::passes::optimize_module(&mut m, ocl_ir::passes::OptLevel::VariableReuse)
     });
+    report("table2/automated_o1_pass_pipeline", &s);
 }
 
-fn bench_table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3/area_estimation");
+fn bench_table3() {
     for name in ["Vecadd", "Matmul", "Gaussian", "BFS"] {
         let b = ocl_suite::benchmark(name).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(name), &b.source, |bch, src| {
-            bch.iter(|| synth_area(src))
-        });
+        let s = bench(20, || synth_area(b.source));
+        report(&format!("table3/area_estimation/{name}"), &s);
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_table2, bench_automated_o1, bench_table3);
-criterion_main!(benches);
+fn main() {
+    bench_table2();
+    bench_automated_o1();
+    bench_table3();
+}

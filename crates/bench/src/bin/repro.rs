@@ -7,7 +7,8 @@
 //! repro table4              Table IV  Vortex area across configurations
 //! repro fig7 [--fast]       Figure 7  warp/thread cycle sweep + §III-C numbers
 //! repro analytic            §IV-A     analytical model vs cycle simulator
-//! repro all [--fast]        everything above
+//! repro bench-sim [--fast]  scheduler wall-clock: fast-forward vs dense loop
+//! repro all [--fast]        everything above (bench-sim runs separately)
 //! ```
 //!
 //! `--fast` shrinks the Figure 7 problem sizes (useful without `--release`).
@@ -20,13 +21,11 @@ use repro_core::report;
 use repro_core::{coverage_table, fig7_grid, fig7_summary, table2, table3, table4};
 use std::fs;
 
-fn save_json(name: &str, value: &impl serde::Serialize) {
+fn save_json(name: &str, value: &impl repro_util::ToJson) {
     let dir = std::path::Path::new("target/repro");
     if fs::create_dir_all(dir).is_ok() {
         let path = dir.join(format!("{name}.json"));
-        if let Ok(s) = serde_json::to_string_pretty(value) {
-            let _ = fs::write(path, s);
-        }
+        let _ = fs::write(path, value.to_json().to_pretty());
     }
 }
 
@@ -77,7 +76,10 @@ fn run_table4() {
     println!("## Table IV — Synthesis area report from Vortex\n");
     let rows = table4();
     print!("{}", report::render_table4(&rows));
-    save_json("table4", &rows.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
+    save_json(
+        "table4",
+        &rows.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+    );
 }
 
 fn run_fig7(fast: bool) {
@@ -137,9 +139,7 @@ fn run_analytic() {
                 .params
                 .iter()
                 .map(|p| match p.ty {
-                    ocl_ir::Type::Ptr(_) => {
-                        vortex_rt::Arg::Buf(sess.alloc(4 * 128 * 128).unwrap())
-                    }
+                    ocl_ir::Type::Ptr(_) => vortex_rt::Arg::Buf(sess.alloc(4 * 128 * 128).unwrap()),
                     _ => vortex_rt::Arg::I32(128),
                 })
                 .collect();
@@ -155,6 +155,89 @@ fn run_analytic() {
     }
 }
 
+/// Time the cycle simulator on a fixed Figure 7 sub-grid under both run
+/// loops — event-driven fast-forward (the default) and the dense reference
+/// loop — in the same process, and write `BENCH_sim.json`. Cycle counts are
+/// asserted equal along the way, so the timing run doubles as a
+/// differential check.
+fn run_bench_sim(fast: bool) {
+    use repro_util::timing::bench;
+    use repro_util::{Json, ToJson};
+    use vortex_sim::SimConfig;
+    let scale = if fast { Scale::Test } else { Scale::Paper };
+    let iters = if fast { 3 } else { 2 };
+    println!("## Simulator scheduler wall-clock (fast-forward vs dense reference)\n");
+    println!("| benchmark | config | sim cycles | dense s | fast s | dense cyc/s | fast cyc/s | speedup |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let mut cells: Vec<Json> = Vec::new();
+    let (mut dense_total, mut fast_total) = (0.0f64, 0.0f64);
+    // The {4,8,16}² corner of the Figure 7 grid: the region the paper's
+    // §III-C scaling discussion is about (vecadd saturating, transpose
+    // scaling), and where warp-level parallelism gives the scheduler real
+    // spans to skip.
+    for name in ["Vecadd", "Transpose"] {
+        let b = ocl_suite::benchmark(name).unwrap();
+        for w in [4u32, 8, 16] {
+            for t in [4u32, 8, 16] {
+                let mut cfg = SimConfig::new(VortexConfig::new(4, w, t));
+                let ff = bench(iters, || {
+                    ocl_suite::run_vortex(&b, scale, &cfg).unwrap().cycles
+                });
+                let cycles = ocl_suite::run_vortex(&b, scale, &cfg).unwrap().cycles;
+                cfg.reference_mode = true;
+                let dn = bench(iters, || {
+                    ocl_suite::run_vortex(&b, scale, &cfg).unwrap().cycles
+                });
+                let dense_cycles = ocl_suite::run_vortex(&b, scale, &cfg).unwrap().cycles;
+                assert_eq!(
+                    cycles, dense_cycles,
+                    "{name} 4c{w}w{t}t: schedulers disagree"
+                );
+                let speedup = dn.best_secs / ff.best_secs;
+                dense_total += dn.best_secs;
+                fast_total += ff.best_secs;
+                println!(
+                "| {name} | 4c{w}w{t}t | {cycles} | {:.4} | {:.4} | {:.3e} | {:.3e} | {speedup:.2}x |",
+                dn.best_secs,
+                ff.best_secs,
+                cycles as f64 / dn.best_secs,
+                cycles as f64 / ff.best_secs,
+            );
+                cells.push(Json::obj(vec![
+                    ("benchmark", name.to_json()),
+                    ("cores", 4u32.to_json()),
+                    ("warps", w.to_json()),
+                    ("threads", t.to_json()),
+                    ("sim_cycles", cycles.to_json()),
+                    ("dense_host_secs", dn.best_secs.to_json()),
+                    ("fast_host_secs", ff.best_secs.to_json()),
+                    (
+                        "dense_cycles_per_sec",
+                        (cycles as f64 / dn.best_secs).to_json(),
+                    ),
+                    (
+                        "fast_cycles_per_sec",
+                        (cycles as f64 / ff.best_secs).to_json(),
+                    ),
+                    ("speedup", speedup.to_json()),
+                ]));
+            }
+        }
+    }
+    let overall = dense_total / fast_total;
+    println!("\nOverall: dense {dense_total:.3}s vs fast-forward {fast_total:.3}s = {overall:.2}x");
+    let doc = Json::obj(vec![
+        ("scale", if fast { "test" } else { "paper" }.to_json()),
+        ("timing_iters_best_of", (iters as u64).to_json()),
+        ("grid", Json::Array(cells)),
+        ("dense_total_secs", dense_total.to_json()),
+        ("fast_total_secs", fast_total.to_json()),
+        ("speedup", overall.to_json()),
+    ]);
+    let _ = fs::write("BENCH_sim.json", doc.to_pretty());
+    save_json("bench_sim", &doc);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -167,6 +250,7 @@ fn main() {
         "table4" => run_table4(),
         "fig7" => run_fig7(fast),
         "analytic" => run_analytic(),
+        "bench-sim" => run_bench_sim(fast),
         "all" => {
             run_table1(true);
             println!();

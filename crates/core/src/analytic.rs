@@ -21,14 +21,23 @@
 
 use fpga_arch::VortexConfig;
 use ocl_ir::interp::{ExecResult, NdRange};
-use serde::Serialize;
+use repro_util::{Json, ToJson};
 use vortex_sim::SimConfig;
 
 /// Model output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AnalyticPrediction {
     pub cycles: f64,
     pub bound: &'static str,
+}
+
+impl ToJson for AnalyticPrediction {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cycles", self.cycles.to_json()),
+            ("bound", self.bound.to_json()),
+        ])
+    }
 }
 
 /// Predict kernel cycles for `hw` given the dynamic counts of a reference
@@ -63,13 +72,12 @@ pub fn predict(exec: &ExecResult, nd: &NdRange, cfg: &SimConfig) -> AnalyticPred
     let hiding = w.min(cfg.mshrs as f64).max(1.0);
     let latency = misses * (cfg.dram.base_latency as f64 + 12.0) / (hiding * c);
 
-    let (bound, dominant) = [
-        ("issue", issue),
-        ("memory", memory),
-        ("latency", latency),
-    ]
-    .into_iter()
-    .fold(("issue", 0.0f64), |acc, x| if x.1 > acc.1 { x } else { acc });
+    let (bound, dominant) = [("issue", issue), ("memory", memory), ("latency", latency)]
+        .into_iter()
+        .fold(
+            ("issue", 0.0f64),
+            |acc, x| if x.1 > acc.1 { x } else { acc },
+        );
 
     AnalyticPrediction {
         cycles: dominant + 500.0,

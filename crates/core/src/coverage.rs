@@ -2,11 +2,11 @@
 
 use fpga_arch::{Device, VortexConfig};
 use ocl_suite::{all_benchmarks, run_vortex, Scale};
-use serde::Serialize;
+use repro_util::{Json, ToJson};
 use vortex_sim::SimConfig;
 
 /// One row of Table I.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CoverageRow {
     pub name: String,
     /// Vortex outcome: `Ok(cycles)` or the failure message.
@@ -15,6 +15,17 @@ pub struct CoverageRow {
     /// "Atomics"), with wall-clock hours either way.
     pub hls: Result<u64, String>,
     pub hls_hours: f64,
+}
+
+impl ToJson for CoverageRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("vortex", self.vortex.to_json()),
+            ("hls", self.hls.to_json()),
+            ("hls_hours", self.hls_hours.to_json()),
+        ])
+    }
 }
 
 impl CoverageRow {

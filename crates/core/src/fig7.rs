@@ -2,18 +2,18 @@
 //! configurations on the 4-core Vortex simulator, plus the §III-C derived
 //! degradation percentages.
 //!
-//! Grid cells are independent simulations, so they fan out across a
-//! `crossbeam` scope (the configuration-sweep parallelism DESIGN.md calls
-//! out); results land in a `parking_lot`-guarded accumulator.
+//! Grid cells are independent simulations, so they fan out through
+//! [`repro_util::par_map`] (the configuration-sweep parallelism DESIGN.md
+//! calls out): a worker pool bounded by the host's core count, ordered
+//! results, no locks.
 
 use fpga_arch::VortexConfig;
 use ocl_suite::{benchmark, run_vortex, Scale};
-use parking_lot::Mutex;
-use serde::Serialize;
+use repro_util::{par_map, Json, ToJson};
 use vortex_sim::SimConfig;
 
 /// One grid cell.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Fig7Cell {
     pub warps: u32,
     pub threads: u32,
@@ -22,12 +22,33 @@ pub struct Fig7Cell {
     pub normalized: f64,
 }
 
+impl ToJson for Fig7Cell {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("warps", self.warps.to_json()),
+            ("threads", self.threads.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("normalized", self.normalized.to_json()),
+        ])
+    }
+}
+
 /// The full grid for one benchmark.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Grid {
     pub benchmark: String,
     pub cores: u32,
     pub cells: Vec<Fig7Cell>,
+}
+
+impl ToJson for Fig7Grid {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("benchmark", self.benchmark.to_json()),
+            ("cores", self.cores.to_json()),
+            ("cells", self.cells.to_json()),
+        ])
+    }
 }
 
 impl Fig7Grid {
@@ -60,31 +81,23 @@ pub fn fig7_grid(
     thread_range: &[u32],
     scale: Scale,
 ) -> Fig7Grid {
-    let cells: Vec<(u32, u32)> = warp_range
+    let mut grid: Vec<(u32, u32)> = warp_range
         .iter()
         .flat_map(|&w| thread_range.iter().map(move |&t| (w, t)))
         .collect();
-    let results: Mutex<Vec<Fig7Cell>> = Mutex::new(Vec::with_capacity(cells.len()));
-    crossbeam::scope(|s| {
-        for &(w, t) in &cells {
-            let results = &results;
-            s.spawn(move |_| {
-                let b = benchmark(bench_name).expect("benchmark exists");
-                let cfg = SimConfig::new(VortexConfig::new(cores, w, t));
-                let out = run_vortex(&b, scale, &cfg)
-                    .unwrap_or_else(|e| panic!("{bench_name} {w}w{t}t: {e}"));
-                results.lock().push(Fig7Cell {
-                    warps: w,
-                    threads: t,
-                    cycles: out.cycles,
-                    normalized: 0.0,
-                });
-            });
+    grid.sort_unstable();
+    let mut cells = par_map(&grid, |&(w, t)| {
+        let b = benchmark(bench_name).expect("benchmark exists");
+        let cfg = SimConfig::new(VortexConfig::new(cores, w, t));
+        let out =
+            run_vortex(&b, scale, &cfg).unwrap_or_else(|e| panic!("{bench_name} {w}w{t}t: {e}"));
+        Fig7Cell {
+            warps: w,
+            threads: t,
+            cycles: out.cycles,
+            normalized: 0.0,
         }
-    })
-    .expect("sweep threads join");
-    let mut cells = results.into_inner();
-    cells.sort_by_key(|c| (c.warps, c.threads));
+    });
     let min = cells.iter().map(|c| c.cycles).min().expect("nonempty") as f64;
     for c in &mut cells {
         c.normalized = c.cycles as f64 / min;
@@ -97,7 +110,7 @@ pub fn fig7_grid(
 }
 
 /// The §III-C prose numbers derived from the two grids.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Summary {
     pub vecadd_best: (u32, u32),
     pub transpose_best: (u32, u32),
@@ -108,6 +121,19 @@ pub struct Fig7Summary {
     /// Both at the 8w4t "suboptimal for both" point (paper: 11% / 17%).
     pub vecadd_8w4t_pct: f64,
     pub transpose_8w4t_pct: f64,
+}
+
+impl ToJson for Fig7Summary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("vecadd_best", self.vecadd_best.to_json()),
+            ("transpose_best", self.transpose_best.to_json()),
+            ("vecadd_8w8t_pct", self.vecadd_8w8t_pct.to_json()),
+            ("transpose_4w4t_pct", self.transpose_4w4t_pct.to_json()),
+            ("vecadd_8w4t_pct", self.vecadd_8w4t_pct.to_json()),
+            ("transpose_8w4t_pct", self.transpose_8w4t_pct.to_json()),
+        ])
+    }
 }
 
 /// Derive the summary; grids must contain the referenced cells.
@@ -143,9 +169,6 @@ mod tests {
     fn degradation_is_relative_to_best() {
         let g = fig7_grid("Transpose", 1, &[2, 4], &[2, 4], Scale::Test);
         let best = g.best();
-        assert_eq!(
-            g.degradation_pct(best.warps, best.threads).unwrap(),
-            0.0
-        );
+        assert_eq!(g.degradation_pct(best.warps, best.threads).unwrap(), 0.0);
     }
 }

@@ -40,8 +40,14 @@ pub fn render_area_table(title: &str, rows: &[AreaRow]) -> String {
         let _ = writeln!(
             s,
             "| {} | {} | {} | {} | {} | {:.0}% | {} | {} |",
-            r.label, r.model.aluts, r.model.ffs, r.model.brams, r.model.dsps, r.bram_pct,
-            paper, delta
+            r.label,
+            r.model.aluts,
+            r.model.ffs,
+            r.model.brams,
+            r.model.dsps,
+            r.bram_pct,
+            paper,
+            delta
         );
     }
     s
@@ -168,8 +174,18 @@ mod tests {
             benchmark: "Vecadd".into(),
             cores: 4,
             cells: vec![
-                Fig7Cell { warps: 2, threads: 2, cycles: 100, normalized: 1.0 },
-                Fig7Cell { warps: 2, threads: 4, cycles: 150, normalized: 1.5 },
+                Fig7Cell {
+                    warps: 2,
+                    threads: 2,
+                    cycles: 100,
+                    normalized: 1.0,
+                },
+                Fig7Cell {
+                    warps: 2,
+                    threads: 4,
+                    cycles: 150,
+                    normalized: 1.5,
+                },
             ],
         };
         let s = render_fig7(&g);

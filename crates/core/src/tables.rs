@@ -3,16 +3,27 @@
 use fpga_arch::{vortex_area, Device, ResourceVector, VortexConfig};
 use hls_flow::{synthesize, SynthOptions};
 use ocl_suite::benches::ml::{BACKPROP_O1, BACKPROP_O2, BACKPROP_ORIGINAL};
-use serde::Serialize;
+use repro_util::{Json, ToJson};
 
 /// One area-report row, with the paper's value for side-by-side output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AreaRow {
     pub label: String,
     pub model: ResourceVector,
     pub paper: Option<ResourceVector>,
     /// BRAM utilization of the MX2100 in percent (the §III-B headline).
     pub bram_pct: f64,
+}
+
+impl ToJson for AreaRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", self.label.to_json()),
+            ("model", self.model.to_json()),
+            ("paper", self.paper.to_json()),
+            ("bram_pct", self.bram_pct.to_json()),
+        ])
+    }
 }
 
 fn area_of(src: &str) -> ResourceVector {
@@ -143,7 +154,13 @@ mod tests {
         for r in &rows {
             let paper = r.paper.unwrap();
             let rel = (r.model.brams as f64 - paper.brams as f64).abs() / paper.brams as f64;
-            assert!(rel < 0.25, "{}: model {} paper {}", r.label, r.model.brams, paper.brams);
+            assert!(
+                rel < 0.25,
+                "{}: model {} paper {}",
+                r.label,
+                r.model.brams,
+                paper.brams
+            );
         }
     }
 

@@ -457,18 +457,26 @@ fn lex_number(s: &str) -> Result<(Tok, usize), String> {
     let body = &s[..i];
     // Suffixes.
     if i < bytes.len() && (bytes[i] == b'f' || bytes[i] == b'F') {
-        let v: f32 = body.parse().map_err(|_| "malformed float literal".to_string())?;
+        let v: f32 = body
+            .parse()
+            .map_err(|_| "malformed float literal".to_string())?;
         return Ok((Tok::FloatLit(v), i + 1));
     }
     if i < bytes.len() && (bytes[i] == b'u' || bytes[i] == b'U') {
-        let v: i64 = body.parse().map_err(|_| "malformed integer literal".to_string())?;
+        let v: i64 = body
+            .parse()
+            .map_err(|_| "malformed integer literal".to_string())?;
         return Ok((Tok::IntLit(v), i + 1));
     }
     if is_float {
-        let v: f32 = body.parse().map_err(|_| "malformed float literal".to_string())?;
+        let v: f32 = body
+            .parse()
+            .map_err(|_| "malformed float literal".to_string())?;
         Ok((Tok::FloatLit(v), i))
     } else {
-        let v: i64 = body.parse().map_err(|_| "malformed integer literal".to_string())?;
+        let v: i64 = body
+            .parse()
+            .map_err(|_| "malformed integer literal".to_string())?;
         Ok((Tok::IntLit(v), i))
     }
 }

@@ -19,9 +19,21 @@ use ocl_ir::Module;
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompileError {
     Preprocess(preprocess::PreprocessError),
-    Lex { message: String, line: usize, col: usize },
-    Parse { message: String, line: usize, col: usize },
-    Lower { message: String, line: usize, col: usize },
+    Lex {
+        message: String,
+        line: usize,
+        col: usize,
+    },
+    Parse {
+        message: String,
+        line: usize,
+        col: usize,
+    },
+    Lower {
+        message: String,
+        line: usize,
+        col: usize,
+    },
     Verify(String),
 }
 
@@ -51,10 +63,7 @@ pub fn compile(src: &str) -> Result<Module, CompileError> {
 }
 
 /// Compile with `-D`-style predefined macros.
-pub fn compile_with_defines(
-    src: &str,
-    defines: &[(&str, &str)],
-) -> Result<Module, CompileError> {
+pub fn compile_with_defines(src: &str, defines: &[(&str, &str)]) -> Result<Module, CompileError> {
     let pp = preprocess::preprocess(src, defines).map_err(CompileError::Preprocess)?;
     let tokens = lex::lex(&pp).map_err(|e| {
         let (line, col) = e.span.line_col(&pp);
@@ -80,7 +89,6 @@ pub fn compile_with_defines(
             col,
         }
     })?;
-    ocl_ir::verify::verify_module(&module)
-        .map_err(|e| CompileError::Verify(e.to_string()))?;
+    ocl_ir::verify::verify_module(&module).map_err(|e| CompileError::Verify(e.to_string()))?;
     Ok(module)
 }

@@ -358,7 +358,10 @@ impl Lowerer {
         match e {
             Expr::IntLit(v, span) => {
                 if *v > u32::MAX as i64 || *v < i32::MIN as i64 {
-                    return Err(err(format!("integer literal {v} out of 32-bit range"), *span));
+                    return Err(err(
+                        format!("integer literal {v} out of 32-bit range"),
+                        *span,
+                    ));
                 }
                 Ok(TV {
                     op: Operand::imm_i32(*v as i32),
@@ -495,7 +498,10 @@ impl Lowerer {
                 *span,
             )),
             Expr::Assign {
-                target, op, value, span,
+                target,
+                op,
+                value,
+                span,
             } => {
                 let place = self.lvalue(target)?;
                 let rhs = self.rvalue(value)?;
@@ -600,7 +606,8 @@ impl Lowerer {
                 self.int_cast(Operand::Reg(i), Scalar::U32)
             }
             (Scalar::F32, Scalar::Bool) => {
-                self.b.cmp(CmpOp::Ne, Scalar::F32, tv.op, Operand::imm_f32(0.0))
+                self.b
+                    .cmp(CmpOp::Ne, Scalar::F32, tv.op, Operand::imm_f32(0.0))
             }
             (Scalar::I32 | Scalar::U32, Scalar::Bool) => {
                 self.b.cmp(CmpOp::Ne, from, tv.op, Operand::imm_i32(0))
@@ -613,8 +620,14 @@ impl Lowerer {
     /// Bit-preserving integer retype.
     fn int_cast(&mut self, op: Operand, to: Scalar) -> VReg {
         let r = self.b.fresh(to);
-        self.b
-            .push_into(r, ocl_ir::Op::Un { op: UnOp::IntCast, ty: to, a: op });
+        self.b.push_into(
+            r,
+            ocl_ir::Op::Un {
+                op: UnOp::IntCast,
+                ty: to,
+                a: op,
+            },
+        );
         r
     }
 
@@ -639,7 +652,8 @@ impl Lowerer {
             }
             self.b.switch_to(short_bb);
             let short_val = ocl_ir::Const::Bool(op == AstBinOp::LogOr);
-            self.b.assign(result, Scalar::Bool, Operand::Const(short_val));
+            self.b
+                .assign(result, Scalar::Bool, Operand::Const(short_val));
             self.b.br(join_bb);
             self.b.switch_to(rhs_bb);
             let rv = self.condition(rhs)?;
@@ -704,7 +718,11 @@ impl Lowerer {
             AstBinOp::Xor => (false, BinOp::Xor),
             AstBinOp::Shl => (false, BinOp::Shl),
             AstBinOp::Shr => (false, BinOp::Shr),
-            AstBinOp::Lt | AstBinOp::Le | AstBinOp::Gt | AstBinOp::Ge | AstBinOp::Eq
+            AstBinOp::Lt
+            | AstBinOp::Le
+            | AstBinOp::Gt
+            | AstBinOp::Ge
+            | AstBinOp::Eq
             | AstBinOp::Ne => (true, BinOp::Add),
             AstBinOp::LogAnd | AstBinOp::LogOr => unreachable!("handled in binary()"),
         };
@@ -733,7 +751,11 @@ impl Lowerer {
             return Err(err("bitwise operator on float operands", span));
         }
         // Arithmetic on bools promotes to int.
-        let arith = if common == Scalar::Bool { Scalar::I32 } else { common };
+        let arith = if common == Scalar::Bool {
+            Scalar::I32
+        } else {
+            common
+        };
         let va = if arith != common {
             Operand::Reg(self.int_cast(va, arith))
         } else {
@@ -761,9 +783,7 @@ impl Lowerer {
                     "assigning to a pointer parameter is not supported",
                     *span,
                 )),
-                Symbol::LocalArray(..) => {
-                    Err(err("cannot assign to an array name", *span))
-                }
+                Symbol::LocalArray(..) => Err(err("cannot assign to an array name", *span)),
             },
             Expr::Index {
                 base,
@@ -960,7 +980,11 @@ impl Lowerer {
                 let [a, b] = self.exact_args::<2>(name, args, span)?;
                 let va = self.coerce(a, Scalar::F32, span)?;
                 let vb = self.coerce(b, Scalar::F32, span)?;
-                let op = if name == "fmin" { BinOp::Min } else { BinOp::Max };
+                let op = if name == "fmin" {
+                    BinOp::Min
+                } else {
+                    BinOp::Max
+                };
                 let r = self.b.bin(op, Scalar::F32, va, vb);
                 Ok(TV {
                     op: Operand::Reg(r),
@@ -974,7 +998,11 @@ impl Lowerer {
                 let common = unify(sa, sb);
                 let va = self.coerce(a, common, span)?;
                 let vb = self.coerce(b, common, span)?;
-                let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+                let op = if name == "min" {
+                    BinOp::Min
+                } else {
+                    BinOp::Max
+                };
                 let r = self.b.bin(op, common, va, vb);
                 Ok(TV {
                     op: Operand::Reg(r),
@@ -1027,7 +1055,9 @@ impl Lowerer {
                 })
             }
             _ if name.starts_with("atomic_") || name.starts_with("atom_") => {
-                let short = name.trim_start_matches("atomic_").trim_start_matches("atom_");
+                let short = name
+                    .trim_start_matches("atomic_")
+                    .trim_start_matches("atom_");
                 let (op, implicit_one) = match short {
                     "add" => (AtomicOp::Add, false),
                     "sub" => (AtomicOp::Sub, false),
@@ -1041,9 +1071,10 @@ impl Lowerer {
                     "dec" => (AtomicOp::Sub, true),
                     other => return Err(err(format!("unknown atomic `{other}`"), span)),
                 };
-                let ptr = self.rvalue(args.first().ok_or_else(|| {
-                    err(format!("`{name}` needs a pointer argument"), span)
-                })?)?;
+                let ptr = self
+                    .rvalue(args.first().ok_or_else(|| {
+                        err(format!("`{name}` needs a pointer argument"), span)
+                    })?)?;
                 let LTy::P(space, elem) = ptr.ty else {
                     return Err(err(format!("`{name}` needs a pointer argument"), span));
                 };
@@ -1080,7 +1111,10 @@ impl Lowerer {
     ) -> Result<[TV; N], LowerError> {
         if args.len() != N {
             return Err(err(
-                format!("`{name}` takes exactly {N} argument(s), {} given", args.len()),
+                format!(
+                    "`{name}` takes exactly {N} argument(s), {} given",
+                    args.len()
+                ),
                 span,
             ));
         }

@@ -153,9 +153,7 @@ impl<'a> Parser<'a> {
             Some(space.unwrap_or(PtrSpace::Global))
         } else {
             if space.is_some() {
-                return Err(self.err(
-                    "address-space qualifier on a non-pointer parameter".into(),
-                ));
+                return Err(self.err("address-space qualifier on a non-pointer parameter".into()));
             }
             None
         };
@@ -709,11 +707,23 @@ mod tests {
 
     #[test]
     fn precedence_mul_over_add() {
-        let unit = parse_src("__kernel void k(int a, int b, int c, __global int* o) { o[0] = a + b * c; }");
+        let unit = parse_src(
+            "__kernel void k(int a, int b, int c, __global int* o) { o[0] = a + b * c; }",
+        );
         match &unit.kernels[0].body[0] {
             Stmt::Expr(Expr::Assign { value, .. }) => match value.as_ref() {
-                Expr::Binary { op: AstBinOp::Add, rhs, .. } => {
-                    assert!(matches!(rhs.as_ref(), Expr::Binary { op: AstBinOp::Mul, .. }));
+                Expr::Binary {
+                    op: AstBinOp::Add,
+                    rhs,
+                    ..
+                } => {
+                    assert!(matches!(
+                        rhs.as_ref(),
+                        Expr::Binary {
+                            op: AstBinOp::Mul,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("unexpected {other:?}"),
             },
@@ -763,16 +773,16 @@ mod tests {
 
     #[test]
     fn parses_multiple_kernels() {
-        let unit = parse_src(
-            "__kernel void a() { } __kernel void b(__global float* x) { x[0] = 1.0f; }",
-        );
+        let unit =
+            parse_src("__kernel void a() { } __kernel void b(__global float* x) { x[0] = 1.0f; }");
         assert_eq!(unit.kernels.len(), 2);
         assert_eq!(unit.kernels[1].name, "b");
     }
 
     #[test]
     fn parses_inc_dec_forms() {
-        let unit = parse_src("__kernel void k(__global int* a) { int i = 0; i++; ++i; a[i--] = i; }");
+        let unit =
+            parse_src("__kernel void k(__global int* a) { int i = 0; i++; ++i; a[i--] = i; }");
         assert_eq!(unit.kernels[0].body.len(), 4);
     }
 

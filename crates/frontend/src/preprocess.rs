@@ -14,7 +14,11 @@ pub struct PreprocessError {
 
 impl std::fmt::Display for PreprocessError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "preprocess error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "preprocess error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -24,10 +28,7 @@ impl std::error::Error for PreprocessError {}
 ///
 /// `predefined` allows the host to inject `-D`-style macros (used by suite
 /// benchmarks to set problem-size constants).
-pub fn preprocess(
-    src: &str,
-    predefined: &[(&str, &str)],
-) -> Result<String, PreprocessError> {
+pub fn preprocess(src: &str, predefined: &[(&str, &str)]) -> Result<String, PreprocessError> {
     let mut macros: FxHashMap<String, String> = predefined
         .iter()
         .map(|(k, v)| (k.to_string(), v.to_string()))

@@ -55,7 +55,11 @@ fn end_to_end_loop_and_branch() {
     let pout = mem.alloc(16 * 4);
     run_ndrange(
         k,
-        &[KernelArg::Ptr(pin), KernelArg::Ptr(pout), KernelArg::I32(16)],
+        &[
+            KernelArg::Ptr(pin),
+            KernelArg::Ptr(pout),
+            KernelArg::I32(16),
+        ],
         &NdRange::d1(16, 4),
         &mut mem,
         &Limits::default(),

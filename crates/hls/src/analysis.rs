@@ -1,8 +1,6 @@
 //! Kernel datapath analysis: LSU inference and operation census.
 
-use ocl_ir::{
-    BinOp, Builtin, Function, LoadHint, Op, Operand, Scalar, UnOp, VReg,
-};
+use ocl_ir::{BinOp, Builtin, Function, LoadHint, Op, Operand, Scalar, UnOp, VReg};
 use rustc_hash::FxHashMap;
 
 /// How the address of a memory access site relates to the work-item id —
@@ -106,9 +104,7 @@ pub fn profile(f: &Function) -> KernelProfile {
                     _ => p.int_alu_ops += 1,
                 },
                 Op::Un { op, .. } => match op {
-                    UnOp::Sqrt | UnOp::Exp | UnOp::Log | UnOp::Sin | UnOp::Cos => {
-                        p.sfu_sites += 1
-                    }
+                    UnOp::Sqrt | UnOp::Exp | UnOp::Log | UnOp::Sin | UnOp::Cos => p.sfu_sites += 1,
                     UnOp::I2F | UnOp::U2F | UnOp::F2I | UnOp::Floor => p.fadd_sites += 1,
                     _ => p.int_alu_ops += 1,
                 },
@@ -212,9 +208,7 @@ fn infer(op: &Op, aff: &FxHashMap<VReg, Aff>) -> Aff {
             // Dimension 0 is the fastest-varying: adjacent work items have
             // adjacent ids, so unit-stride addressing coalesces.
             Builtin::GlobalId(0) | Builtin::LocalId(0) => Aff::UnitAffine,
-            Builtin::GlobalId(_) | Builtin::LocalId(_) | Builtin::GroupId(_) => {
-                Aff::StridedAffine
-            }
+            Builtin::GlobalId(_) | Builtin::LocalId(_) | Builtin::GroupId(_) => Aff::StridedAffine,
             _ => Aff::Uniform,
         },
         Op::Mov { a, .. } => operand_aff(a, aff),
@@ -237,9 +231,10 @@ fn infer(op: &Op, aff: &FxHashMap<VReg, Aff>) -> Aff {
                     }
                     // Sum of two affine terms: still affine but no longer
                     // provably unit stride.
-                    (Aff::UnitAffine | Aff::StridedAffine, Aff::UnitAffine | Aff::StridedAffine) => {
-                        Aff::StridedAffine
-                    }
+                    (
+                        Aff::UnitAffine | Aff::StridedAffine,
+                        Aff::UnitAffine | Aff::StridedAffine,
+                    ) => Aff::StridedAffine,
                     _ => Aff::Other,
                 },
                 BinOp::Mul | BinOp::Shl => match (x, y) {
@@ -255,14 +250,12 @@ fn infer(op: &Op, aff: &FxHashMap<VReg, Aff>) -> Aff {
                 },
             }
         }
-        Op::Gep { base, index, .. } => {
-            match (operand_aff(base, aff), operand_aff(index, aff)) {
-                (Aff::Uniform, Aff::Uniform) => Aff::Uniform,
-                (Aff::Uniform, i) if i != Aff::Other => i,
-                (b, Aff::Uniform) if b != Aff::Other => b,
-                _ => Aff::Other,
-            }
-        }
+        Op::Gep { base, index, .. } => match (operand_aff(base, aff), operand_aff(index, aff)) {
+            (Aff::Uniform, Aff::Uniform) => Aff::Uniform,
+            (Aff::Uniform, i) if i != Aff::Other => i,
+            (b, Aff::Uniform) if b != Aff::Other => b,
+            _ => Aff::Other,
+        },
         // Loaded values and atomics are data-dependent.
         Op::Load { .. } | Op::AtomicRmw { .. } => Aff::Other,
         Op::Select { .. } => Aff::Other,

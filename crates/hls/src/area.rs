@@ -84,8 +84,7 @@ pub fn kernel_area(p: &KernelProfile) -> ResourceVector {
                     AccessPattern::ThreadAffine => LOAD_UNIT_BRAM_AFFINE,
                     AccessPattern::Computed => LOAD_UNIT_BRAM_COMPUTED,
                 };
-                r += ResourceVector::new(LOAD_UNIT_ALUT, LOAD_UNIT_FF, bram, 0)
-                    .scaled(BURST_UNITS);
+                r += ResourceVector::new(LOAD_UNIT_ALUT, LOAD_UNIT_FF, bram, 0).scaled(BURST_UNITS);
             }
             LoadHint::Pipelined => {
                 r += ResourceVector::new(PIPELINED_ALUT, PIPELINED_FF, PIPELINED_BRAM, 0);
@@ -99,8 +98,7 @@ pub fn kernel_area(p: &KernelProfile) -> ResourceVector {
         };
         r += ResourceVector::new(STORE_UNIT_ALUT, STORE_UNIT_FF, bram, 0).scaled(STORE_UNITS);
     }
-    r += ResourceVector::new(ATOMIC_ALUT, ATOMIC_FF, ATOMIC_BRAM, 0)
-        .scaled(p.atomic_sites as u64);
+    r += ResourceVector::new(ATOMIC_ALUT, ATOMIC_FF, ATOMIC_BRAM, 0).scaled(p.atomic_sites as u64);
     for &(bytes, accesses) in &p.local_arrays {
         let base_banks = (bytes as u64).div_ceil(M20K_BYTES);
         let replication = (accesses as u64).div_ceil(LOCAL_PORTS_PER_BANKSET).max(1);
@@ -142,7 +140,8 @@ mod tests {
         module_area(&profiles)
     }
 
-    const VECADD: &str = "__kernel void v(__global const float* a, __global const float* b, __global float* c) {
+    const VECADD: &str =
+        "__kernel void v(__global const float* a, __global const float* b, __global float* c) {
         int i = get_global_id(0);
         c[i] = a[i] + b[i];
     }";
@@ -152,9 +151,7 @@ mod tests {
         // Paper Table III: Vecadd = 83,792 ALUTs / 263,632 FFs / 1,065
         // BRAMs / 1 DSP. The model must land within 15% on every class.
         let a = area_of(VECADD);
-        let close = |got: u64, want: u64| {
-            ((got as f64 - want as f64).abs() / want as f64) < 0.15
-        };
+        let close = |got: u64, want: u64| ((got as f64 - want as f64).abs() / want as f64) < 0.15;
         assert!(close(a.aluts, 83_792), "ALUTs {}", a.aluts);
         assert!(close(a.ffs, 263_632), "FFs {}", a.ffs);
         assert!(close(a.brams, 1_065), "BRAMs {}", a.brams);

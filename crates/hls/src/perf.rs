@@ -178,6 +178,11 @@ mod tests {
         }
         // Streaming at this size is compute-bound on HBM but the DDR board
         // must never be faster.
-        assert!(cycles[0] <= cycles[1], "hbm {} ddr {}", cycles[0], cycles[1]);
+        assert!(
+            cycles[0] <= cycles[1],
+            "hbm {} ddr {}",
+            cycles[0],
+            cycles[1]
+        );
     }
 }

@@ -108,9 +108,7 @@ pub fn synthesize(
     let profiles: Vec<KernelProfile> = module.kernels.iter().map(profile).collect();
     // Feature check first: the Intel SDK rejects atomics against HBM's
     // heterogeneous memory system during RTL generation (fast failure).
-    if device.memory.kind == MemoryKind::Hbm2
-        && profiles.iter().any(|p| p.atomic_sites > 0)
-    {
+    if device.memory.kind == MemoryKind::Hbm2 && profiles.iter().any(|p| p.atomic_sites > 0) {
         return Err(SynthFailure::AtomicsUnsupported { hours: 0.4 });
     }
     let area = module_area(&profiles);
@@ -126,7 +124,11 @@ pub fn synthesize(
         area,
         utilization: device.utilization(&area),
         hours: synth_hours(&area, true),
-        profiles: if opts.keep_profiles { profiles } else { Vec::new() },
+        profiles: if opts.keep_profiles {
+            profiles
+        } else {
+            Vec::new()
+        },
     })
 }
 

@@ -82,12 +82,7 @@ impl Dominators {
         Self::compute(&cfg.rpo, &cfg.rpo_index, &cfg.preds, cfg.succs.len())
     }
 
-    fn compute(
-        rpo: &[BlockId],
-        rpo_index: &[usize],
-        preds: &[Vec<BlockId>],
-        n: usize,
-    ) -> Self {
+    fn compute(rpo: &[BlockId], rpo_index: &[usize], preds: &[Vec<BlockId>], n: usize) -> Self {
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         if rpo.is_empty() {
             return Dominators { idom };

@@ -70,7 +70,10 @@ impl fmt::Display for OpDisplay<'_> {
                 write!(f, "load.{ty}.{space} {ptr}{h}")
             }
             Op::Store {
-                ptr, value, ty, space,
+                ptr,
+                value,
+                ty,
+                space,
             } => write!(f, "store.{ty}.{space} {ptr}, {value}"),
             Op::AtomicRmw {
                 op,

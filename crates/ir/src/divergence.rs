@@ -196,12 +196,7 @@ mod tests {
         let exit = b.new_block();
         b.br(head);
         b.switch_to(head);
-        let c = b.cmp(
-            CmpOp::Lt,
-            Scalar::I32,
-            i.into(),
-            Operand::Reg(b.param(0)),
-        );
+        let c = b.cmp(CmpOp::Lt, Scalar::I32, i.into(), Operand::Reg(b.param(0)));
         b.cond_br(c.into(), body, exit);
         b.switch_to(body);
         let i2 = b.bin(BinOp::Add, Scalar::I32, i.into(), Operand::imm_i32(1));
@@ -211,7 +206,10 @@ mod tests {
         b.ret();
         let f = b.finish();
         let d = DivergenceInfo::analyze(&f);
-        assert!(!d.is_divergent_branch(BlockId(1)), "uniform loop marked divergent");
+        assert!(
+            !d.is_divergent_branch(BlockId(1)),
+            "uniform loop marked divergent"
+        );
         assert_eq!(d.divergent_branch_count(), 0);
     }
 

@@ -178,10 +178,13 @@ mod tests {
     use crate::{BinOp, Scalar};
 
     fn tiny_kernel() -> Function {
-        let mut b = FunctionBuilder::new("t", vec![Param {
-            name: "out".into(),
-            ty: Type::Ptr(AddressSpace::Global),
-        }]);
+        let mut b = FunctionBuilder::new(
+            "t",
+            vec![Param {
+                name: "out".into(),
+                ty: Type::Ptr(AddressSpace::Global),
+            }],
+        );
         let gid = b.workitem(crate::Builtin::GlobalId(0));
         let two = b.bin(BinOp::Mul, Scalar::I32, gid.into(), Operand::imm_i32(2));
         let addr = b.gep(Operand::Reg(VReg(0)), gid.into(), 4, AddressSpace::Global);

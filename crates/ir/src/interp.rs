@@ -11,8 +11,8 @@
 
 use crate::func::{BlockId, Function};
 use crate::inst::{AtomicOp, BinOp, Builtin, CmpOp, Op, Terminator, UnOp};
-use crate::value::{Operand, VReg};
 use crate::types::AddressSpace;
+use crate::value::{Operand, VReg};
 
 /// Base address of the first allocation in [`Memory`]; keeps address 0
 /// unmapped so null-pointer bugs in kernels surface as errors.
@@ -44,7 +44,10 @@ impl std::fmt::Display for InterpError {
                 write!(f, "{space} memory access out of bounds at {addr:#x}")
             }
             InterpError::StepLimit { item } => {
-                write!(f, "work-item {item:?} exceeded the step limit (infinite loop?)")
+                write!(
+                    f,
+                    "work-item {item:?} exceeded the step limit (infinite loop?)"
+                )
             }
             InterpError::BadNdRange(s) => write!(f, "bad ndrange: {s}"),
             InterpError::BadArgs(s) => write!(f, "bad kernel arguments: {s}"),
@@ -382,7 +385,16 @@ fn run_group(
                 if item.steps > limits.max_steps_per_item {
                     return Err(InterpError::StepLimit { item: item.gid });
                 }
-                match step(f, item, nd, group, mem, &mut local_mem, local_offsets, result)? {
+                match step(
+                    f,
+                    item,
+                    nd,
+                    group,
+                    mem,
+                    &mut local_mem,
+                    local_offsets,
+                    result,
+                )? {
                     StepOutcome::Continue => {}
                     StepOutcome::Barrier => {
                         item.at_barrier = true;
@@ -801,9 +813,24 @@ mod tests {
     fn vecadd_kernel() -> Function {
         let mut b = FunctionBuilder::new("vecadd", vec![gptr("a"), gptr("b"), gptr("c")]);
         let gid = b.workitem(Builtin::GlobalId(0));
-        let pa = b.gep(Operand::Reg(b.param(0)), gid.into(), 4, AddressSpace::Global);
-        let pb = b.gep(Operand::Reg(b.param(1)), gid.into(), 4, AddressSpace::Global);
-        let pc = b.gep(Operand::Reg(b.param(2)), gid.into(), 4, AddressSpace::Global);
+        let pa = b.gep(
+            Operand::Reg(b.param(0)),
+            gid.into(),
+            4,
+            AddressSpace::Global,
+        );
+        let pb = b.gep(
+            Operand::Reg(b.param(1)),
+            gid.into(),
+            4,
+            AddressSpace::Global,
+        );
+        let pc = b.gep(
+            Operand::Reg(b.param(2)),
+            gid.into(),
+            4,
+            AddressSpace::Global,
+        );
         let va = b.load(pa.into(), Scalar::F32, AddressSpace::Global);
         let vb = b.load(pb.into(), Scalar::F32, AddressSpace::Global);
         let s = b.bin(BinOp::Add, Scalar::F32, va.into(), vb.into());
@@ -822,11 +849,7 @@ mod tests {
         let pa = mem.alloc_f32(&a);
         let pb = mem.alloc_f32(&b);
         let pc = mem.alloc(4 * n as u32);
-        let args = [
-            KernelArg::Ptr(pa),
-            KernelArg::Ptr(pb),
-            KernelArg::Ptr(pc),
-        ];
+        let args = [KernelArg::Ptr(pa), KernelArg::Ptr(pb), KernelArg::Ptr(pc)];
         let nd = NdRange::d1(n as u32, 16);
         run_ndrange(&f, &args, &nd, &mut mem, &Limits::default()).unwrap();
         let out = mem.read_f32_slice(pc, n);
@@ -842,7 +865,12 @@ mod tests {
         let tile = b.local_array("tile", Scalar::F32, 8);
         let lid = b.workitem(Builtin::LocalId(0));
         let base = b.local_addr(tile);
-        let pin = b.gep(Operand::Reg(b.param(0)), lid.into(), 4, AddressSpace::Global);
+        let pin = b.gep(
+            Operand::Reg(b.param(0)),
+            lid.into(),
+            4,
+            AddressSpace::Global,
+        );
         let v = b.load(pin.into(), Scalar::F32, AddressSpace::Global);
         let pl = b.gep(base.into(), lid.into(), 4, AddressSpace::Local);
         b.store(pl.into(), v.into(), Scalar::F32, AddressSpace::Local);
@@ -884,7 +912,12 @@ mod tests {
         b.switch_to(wr);
         let p0 = b.gep(base.into(), Operand::imm_u32(0), 4, AddressSpace::Local);
         let r = b.load(p0.into(), Scalar::F32, AddressSpace::Local);
-        let pout = b.gep(Operand::Reg(b.param(1)), Operand::imm_u32(0), 4, AddressSpace::Global);
+        let pout = b.gep(
+            Operand::Reg(b.param(1)),
+            Operand::imm_u32(0),
+            4,
+            AddressSpace::Global,
+        );
         b.store(pout.into(), r.into(), Scalar::F32, AddressSpace::Global);
         b.br(done);
         b.switch_to(done);
@@ -911,7 +944,12 @@ mod tests {
     #[test]
     fn atomic_add_counts_all_items() {
         let mut b = FunctionBuilder::new("count", vec![gptr("ctr")]);
-        let p = b.gep(Operand::Reg(b.param(0)), Operand::imm_u32(0), 4, AddressSpace::Global);
+        let p = b.gep(
+            Operand::Reg(b.param(0)),
+            Operand::imm_u32(0),
+            4,
+            AddressSpace::Global,
+        );
         b.atomic(
             AtomicOp::Add,
             p.into(),
@@ -924,7 +962,14 @@ mod tests {
         let mut mem = Memory::new(1 << 12);
         let ctr = mem.alloc_i32(&[0]);
         let nd = NdRange::d1(128, 16);
-        run_ndrange(&f, &[KernelArg::Ptr(ctr)], &nd, &mut mem, &Limits::default()).unwrap();
+        run_ndrange(
+            &f,
+            &[KernelArg::Ptr(ctr)],
+            &nd,
+            &mut mem,
+            &Limits::default(),
+        )
+        .unwrap();
         assert_eq!(mem.read_i32_slice(ctr, 1)[0], 128);
     }
 
@@ -937,7 +982,12 @@ mod tests {
             4,
             AddressSpace::Global,
         );
-        b.store(addr.into(), Operand::imm_i32(1), Scalar::I32, AddressSpace::Global);
+        b.store(
+            addr.into(),
+            Operand::imm_i32(1),
+            Scalar::I32,
+            AddressSpace::Global,
+        );
         b.ret();
         let f = b.finish();
         let mut mem = Memory::new(1 << 12);

@@ -33,7 +33,13 @@ pub fn run(f: &mut Function) -> usize {
             }
             // Try to evaluate.
             if let Some(c) = eval(&inst.op) {
-                if !matches!(inst.op, Op::Mov { a: Operand::Const(_), .. }) {
+                if !matches!(
+                    inst.op,
+                    Op::Mov {
+                        a: Operand::Const(_),
+                        ..
+                    }
+                ) {
                     inst.op = Op::Mov {
                         ty: c.scalar(),
                         a: Operand::Const(c),
@@ -282,10 +288,7 @@ mod tests {
 
     #[test]
     fn folds_float_math() {
-        assert_eq!(
-            eval_un(UnOp::Sqrt, Const::F32(9.0)),
-            Some(Const::F32(3.0))
-        );
+        assert_eq!(eval_un(UnOp::Sqrt, Const::F32(9.0)), Some(Const::F32(3.0)));
         assert_eq!(
             eval_bin(BinOp::Max, Const::F32(1.0), Const::F32(2.0)),
             Some(Const::F32(2.0))

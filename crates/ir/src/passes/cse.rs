@@ -39,7 +39,9 @@ fn alias_class(f: &Function, insts: &[crate::inst::Inst], upto: usize, ptr: Oper
     let mut cur = ptr;
     // Bounded walk to guard against pathological chains.
     for _ in 0..64 {
-        let Operand::Reg(r) = cur else { return AliasClass::Any };
+        let Operand::Reg(r) = cur else {
+            return AliasClass::Any;
+        };
         if (r.index()) < f.params.len() {
             return if matches!(f.vreg_type(r), Type::Ptr(_)) {
                 AliasClass::Param(r.0)
@@ -49,11 +51,10 @@ fn alias_class(f: &Function, insts: &[crate::inst::Inst], upto: usize, ptr: Oper
         }
         // Find the latest assignment to r before `upto` in this block; if
         // none, the value came from another block: give up.
-        let def = insts[..upto]
-            .iter()
-            .rev()
-            .find(|i| i.result == Some(r));
-        let Some(def) = def else { return AliasClass::Any };
+        let def = insts[..upto].iter().rev().find(|i| i.result == Some(r));
+        let Some(def) = def else {
+            return AliasClass::Any;
+        };
         match &def.op {
             Op::Gep { base, .. } => cur = *base,
             Op::Mov { a, .. } => cur = *a,
@@ -169,9 +170,9 @@ impl BlockState {
             ),
             Op::WorkItem(b) => Key::WorkItem(*b),
             Op::LocalAddr(id) => Key::LocalAddr(id.0),
-            Op::Load {
-                ptr, ty, space, ..
-            } => Key::Load(self.key_operand(*ptr), *ty, *space, load_epoch),
+            Op::Load { ptr, ty, space, .. } => {
+                Key::Load(self.key_operand(*ptr), *ty, *space, load_epoch)
+            }
             _ => return None,
         })
     }
@@ -200,9 +201,7 @@ fn run_block(f: &mut Function, bi: usize) -> usize {
             _ => {}
         }
         let load_epoch = match &op {
-            Op::Load { ptr, .. } => {
-                st.epoch_of(alias_class(f, &f.blocks[bi].insts, ii, *ptr))
-            }
+            Op::Load { ptr, .. } => st.epoch_of(alias_class(f, &f.blocks[bi].insts, ii, *ptr)),
             _ => 0,
         };
         let dest = f.blocks[bi].insts[ii].result;
@@ -346,7 +345,12 @@ mod tests {
             AddressSpace::Global,
         );
         let v1 = b.load(p.into(), Scalar::F32, AddressSpace::Global);
-        b.store(p.into(), Operand::imm_f32(0.0), Scalar::F32, AddressSpace::Global);
+        b.store(
+            p.into(),
+            Operand::imm_f32(0.0),
+            Scalar::F32,
+            AddressSpace::Global,
+        );
         let v2 = b.load(p.into(), Scalar::F32, AddressSpace::Global);
         let s = b.bin(BinOp::Add, Scalar::F32, v1.into(), v2.into());
         let _ = s;

@@ -46,7 +46,8 @@ pub fn run(f: &mut Function) -> usize {
             });
         }
         let mut it = keep.iter();
-        b.insts.retain(|_| *it.next().expect("keep mask matches length"));
+        b.insts
+            .retain(|_| *it.next().expect("keep mask matches length"));
     }
     removed
 }
@@ -86,7 +87,12 @@ mod tests {
             4,
             AddressSpace::Global,
         );
-        b.store(addr.into(), Operand::imm_f32(1.0), Scalar::F32, AddressSpace::Global);
+        b.store(
+            addr.into(),
+            Operand::imm_f32(1.0),
+            Scalar::F32,
+            AddressSpace::Global,
+        );
         b.ret();
         let mut f = b.finish();
         assert_eq!(run(&mut f), 0);

@@ -18,7 +18,11 @@ pub struct VerifyError {
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "verify error in kernel `{}`: {}", self.kernel, self.detail)
+        write!(
+            f,
+            "verify error in kernel `{}`: {}",
+            self.kernel, self.detail
+        )
     }
 }
 
@@ -114,10 +118,9 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
                         }
                     }
                 }
-                Op::LocalAddr(id)
-                    if id.index() >= f.local_arrays.len() => {
-                        return Err(err(format!("{at}: local array #{} undeclared", id.0)));
-                    }
+                Op::LocalAddr(id) if id.index() >= f.local_arrays.len() => {
+                    return Err(err(format!("{at}: local array #{} undeclared", id.0)));
+                }
                 _ => {}
             }
         }

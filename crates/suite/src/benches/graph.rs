@@ -275,11 +275,7 @@ pub fn btree() -> Benchmark {
                     },
                 ],
                 check: Box::new(move |bufs| {
-                    expect_eq_i32(
-                        &bufs[4].as_i32()[..want_find.len()],
-                        &want_find,
-                        "find_k",
-                    )?;
+                    expect_eq_i32(&bufs[4].as_i32()[..want_find.len()], &want_find, "find_k")?;
                     expect_eq_i32(
                         &bufs[5].as_i32()[..want_range.len()],
                         &want_range,

@@ -61,9 +61,7 @@ pub fn sgemm() -> Benchmark {
                         LArg::F32(beta),
                     ],
                 }],
-                check: Box::new(move |bufs| {
-                    expect_close(bufs[2].as_f32(), &want, 1e-3, "sgemm C")
-                }),
+                check: Box::new(move |bufs| expect_close(bufs[2].as_f32(), &want, 1e-3, "sgemm C")),
             }
         },
     }
@@ -256,9 +254,7 @@ pub fn gaussian() -> Benchmark {
                             let g = got[i * nn + j];
                             let w = ra[i * nn + j];
                             if (g - w).abs() > 1e-2 * w.abs().max(1.0) {
-                                return Err(format!(
-                                    "gaussian a[{i}][{j}]: got {g}, want {w}"
-                                ));
+                                return Err(format!("gaussian a[{i}][{j}]: got {g}, want {w}"));
                             }
                         }
                     }
@@ -443,9 +439,7 @@ pub fn lud() -> Benchmark {
                     HostData::F32(vec![0.0; n]),
                 ],
                 launches,
-                check: Box::new(move |bufs| {
-                    expect_close(bufs[0].as_f32(), &want, 5e-2, "lud a")
-                }),
+                check: Box::new(move |bufs| expect_close(bufs[0].as_f32(), &want, 5e-2, "lud a")),
             }
         },
     }

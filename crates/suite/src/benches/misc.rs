@@ -155,12 +155,7 @@ pub fn particlefilter() -> Benchmark {
                     Launch {
                         kernel: "pf_likelihood",
                         nd: NdRange::d1(n as u32, 16),
-                        args: vec![
-                            LArg::Buf(0),
-                            LArg::Buf(1),
-                            LArg::F32(z),
-                            LArg::F32(inv_var),
-                        ],
+                        args: vec![LArg::Buf(0), LArg::Buf(1), LArg::F32(z), LArg::F32(inv_var)],
                     },
                     Launch {
                         kernel: "pf_resample",

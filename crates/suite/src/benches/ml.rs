@@ -211,9 +211,7 @@ pub fn streamcluster() -> Benchmark {
                         LArg::I32(dims as i32),
                     ],
                 }],
-                check: Box::new(move |bufs| {
-                    expect_close(bufs[3].as_f32(), &want, 1e-4, "sc cost")
-                }),
+                check: Box::new(move |bufs| expect_close(bufs[3].as_f32(), &want, 1e-4, "sc cost")),
             }
         },
     }

@@ -76,9 +76,7 @@ pub fn spmv() -> Benchmark {
                         LArg::I32(n as i32),
                     ],
                 }],
-                check: Box::new(move |bufs| {
-                    expect_close(bufs[4].as_f32(), &want, 1e-4, "spmv y")
-                }),
+                check: Box::new(move |bufs| expect_close(bufs[4].as_f32(), &want, 1e-4, "spmv y")),
             }
         },
     }
@@ -320,12 +318,7 @@ pub fn lbm() -> Benchmark {
                 }],
                 check: Box::new(move |bufs| {
                     for d in 0..5 {
-                        expect_close(
-                            bufs[5 + d].as_f32(),
-                            &want[d],
-                            1e-4,
-                            &format!("lbm g{d}"),
-                        )?;
+                        expect_close(bufs[5 + d].as_f32(), &want[d], 1e-4, &format!("lbm g{d}"))?;
                     }
                     Ok(())
                 }),
@@ -365,7 +358,9 @@ pub fn lavamd() -> Benchmark {
             let window = 8i32;
             let a2 = 0.01f32;
             let mut rng = Prng::new(45);
-            let pos: Vec<f32> = (0..n).map(|i| i as f32 * 0.3 + rng.next_f32() * 0.1).collect();
+            let pos: Vec<f32> = (0..n)
+                .map(|i| i as f32 * 0.3 + rng.next_f32() * 0.1)
+                .collect();
             let charge: Vec<f32> = (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
             let want: Vec<f32> = (0..n)
                 .map(|i| {

@@ -67,9 +67,7 @@ pub fn saxpy() -> Benchmark {
                     nd: NdRange::d1(n as u32, 16),
                     args: vec![LArg::Buf(0), LArg::Buf(1), LArg::F32(alpha)],
                 }],
-                check: Box::new(move |bufs| {
-                    expect_close(bufs[1].as_f32(), &want, 1e-5, "saxpy y")
-                }),
+                check: Box::new(move |bufs| expect_close(bufs[1].as_f32(), &want, 1e-5, "saxpy y")),
             }
         },
     }
@@ -104,8 +102,7 @@ pub fn dotproduct() -> Benchmark {
             let mut want = vec![0.0f32; groups];
             for g in 0..groups {
                 // Sum in the same tree order as the kernel for tight bounds.
-                let mut tile: Vec<f32> =
-                    (0..16).map(|l| a[g * 16 + l] * b[g * 16 + l]).collect();
+                let mut tile: Vec<f32> = (0..16).map(|l| a[g * 16 + l] * b[g * 16 + l]).collect();
                 let mut s = 8;
                 while s > 0 {
                     for l in 0..s {

@@ -36,11 +36,7 @@ pub fn psort() -> Benchmark {
                 .map(|phase| Launch {
                     kernel: "psort_phase",
                     nd: NdRange::d1(half, 16),
-                    args: vec![
-                        LArg::Buf(0),
-                        LArg::I32(n as i32),
-                        LArg::I32(phase as i32),
-                    ],
+                    args: vec![LArg::Buf(0), LArg::I32(n as i32), LArg::I32(phase as i32)],
                 })
                 .collect();
             Workload {
@@ -140,9 +136,7 @@ pub fn hybridsort() -> Benchmark {
                     for (b, &cnt) in want_counts.iter().enumerate() {
                         for &v in &out[start..start + cnt as usize] {
                             if bucket_of(v) != b {
-                                return Err(format!(
-                                    "scatter: value {v} landed in bucket {b}"
-                                ));
+                                return Err(format!("scatter: value {v} landed in bucket {b}"));
                             }
                         }
                         start += cnt as usize;

@@ -101,11 +101,88 @@ pub fn run_vortex(b: &Benchmark, scale: Scale, cfg: &SimConfig) -> Result<RunOut
         instructions += r.stats.instructions;
         printf_output.extend(r.printf_output);
     }
-    let finals = read_back(&w, &bufs, |buf, len| sess.read_u32(buf, len).expect("readback"));
+    let finals = read_back(&w, &bufs, |buf, len| {
+        sess.read_u32(buf, len).expect("readback")
+    });
     (w.check)(&finals)?;
     Ok(RunOutcome {
         cycles,
         instructions,
+        printf_output,
+    })
+}
+
+/// Everything observable about a Vortex run, for differential testing of
+/// the simulator's schedulers: full per-launch statistics (including the
+/// stall breakdown) and the final word-level contents of every buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VortexTrace {
+    /// Full simulator statistics, one entry per launch.
+    pub launch_stats: Vec<vortex_sim::SimStats>,
+    /// Final contents of each workload buffer, in declaration order.
+    pub buffers: Vec<Vec<u32>>,
+    /// Device printf output across all launches.
+    pub printf_output: Vec<String>,
+}
+
+/// Run on the Vortex flow like [`run_vortex`], but capture the full
+/// observable state instead of the summary counters. The workload's result
+/// check still runs, so a trace is also a correctness witness.
+pub fn run_vortex_trace(
+    b: &Benchmark,
+    scale: Scale,
+    cfg: &SimConfig,
+) -> Result<VortexTrace, String> {
+    let module = ocl_front::compile(b.source).map_err(|e| format!("{}: {e}", b.name))?;
+    let opts = vortex_cc::CodegenOpts {
+        threads: cfg.hw.threads,
+    };
+    let kernels = module
+        .kernels
+        .iter()
+        .map(|k| vortex_cc::compile_kernel(k, &opts))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("{} codegen: {e}", b.name))?;
+    let w = (b.workload)(scale);
+    let mut sess = VxSession::with_kernels(cfg.clone(), kernels);
+    let bufs: Vec<vortex_rt::Buffer> = w
+        .buffers
+        .iter()
+        .map(|h| sess.alloc_u32(&h.to_words()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("{} alloc: {e}", b.name))?;
+    let mut launch_stats = Vec::with_capacity(w.launches.len());
+    let mut printf_output = Vec::new();
+    for l in &w.launches {
+        let args: Vec<Arg> = l
+            .args
+            .iter()
+            .map(|a| match a {
+                LArg::Buf(i) => Arg::Buf(bufs[*i]),
+                LArg::I32(v) => Arg::I32(*v),
+                LArg::U32(v) => Arg::U32(*v),
+                LArg::F32(v) => Arg::F32(*v),
+            })
+            .collect();
+        let r = sess
+            .launch_named(l.kernel, &args, &l.nd)
+            .map_err(|e| format!("{} launch `{}`: {e}", b.name, l.kernel))?;
+        launch_stats.push(r.stats);
+        printf_output.extend(r.printf_output);
+    }
+    let buffers: Vec<Vec<u32>> = w
+        .buffers
+        .iter()
+        .zip(&bufs)
+        .map(|(h, &buf)| sess.read_u32(buf, h.words()).expect("readback"))
+        .collect();
+    let finals = read_back(&w, &bufs, |buf, len| {
+        sess.read_u32(buf, len).expect("readback")
+    });
+    (w.check)(&finals)?;
+    Ok(VortexTrace {
+        launch_stats,
+        buffers,
         printf_output,
     })
 }

@@ -51,7 +51,10 @@ fn hls_coverage_matches_table1() {
                 );
             }
             (Ok(_), Some((_, reason))) => {
-                panic!("{} should fail HLS synthesis with `{reason}` but passed", b.name)
+                panic!(
+                    "{} should fail HLS synthesis with `{reason}` but passed",
+                    b.name
+                )
             }
             (Err(f), None) => panic!("{} unexpectedly failed HLS synthesis: {f}", b.name),
         }
@@ -63,7 +66,11 @@ fn oclprintf_emits_device_output_on_both_flows() {
     let b = benchmark("OCLPrintf").unwrap();
     let r = run_reference(&b, Scale::Test).unwrap();
     assert_eq!(r.printf_output.len(), 1);
-    assert!(r.printf_output[0].contains("first=1"), "{:?}", r.printf_output);
+    assert!(
+        r.printf_output[0].contains("first=1"),
+        "{:?}",
+        r.printf_output
+    );
     let cfg = SimConfig::new(VortexConfig::new(1, 2, 8));
     let v = run_vortex(&b, Scale::Test, &cfg).unwrap();
     assert_eq!(v.printf_output, r.printf_output);
@@ -81,8 +88,7 @@ fn vortex_runs_on_multiple_configs() {
         let cfg = SimConfig::new(hw);
         for name in ["Vecadd", "Transpose", "BFS"] {
             let b = benchmark(name).unwrap();
-            run_vortex(&b, Scale::Test, &cfg)
-                .unwrap_or_else(|e| panic!("{name} on {hw}: {e}"));
+            run_vortex(&b, Scale::Test, &cfg).unwrap_or_else(|e| panic!("{name} on {hw}: {e}"));
         }
     }
 }

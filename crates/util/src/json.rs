@@ -1,0 +1,281 @@
+//! Minimal JSON emission: a value tree, a pretty printer, and a `ToJson`
+//! trait for the artifact types the `repro` harness writes to
+//! `target/repro/*.json` and `BENCH_sim.json`.
+//!
+//! Only serialization is provided — nothing in the workspace parses JSON.
+//! `Result<T, E>` serializes as `{"Ok": …}` / `{"Err": …}`, matching the
+//! externally-tagged convention the previous serde-based output used, so
+//! downstream consumers of the artifact files see an unchanged schema.
+
+use std::fmt::Write;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    /// Insertion-ordered object (field order is part of the artifact
+    /// schema, as with `#[derive(Serialize)]` field order).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Pretty-print with two-space indentation and a trailing newline,
+    /// like `serde_json::to_string_pretty`.
+    pub fn to_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write_pretty(&mut s, 0);
+        s
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // Shortest roundtrip form; integral floats keep a ".0"
+                    // so the value stays typed as a number with decimals.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        let _ = write!(out, "{v:.1}");
+                    } else {
+                        let _ = write!(out, "{v}");
+                    }
+                } else {
+                    // JSON has no NaN/Inf; serde_json errors, we degrade.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] tree.
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+macro_rules! impl_tojson_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_tojson_uint!(u8, u16, u32, u64, usize);
+impl_tojson_int!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self as f64)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson, E: ToJson> ToJson for Result<T, E> {
+    fn to_json(&self) -> Json {
+        match self {
+            Ok(v) => Json::obj(vec![("Ok", v.to_json())]),
+            Err(e) => Json::obj(vec![("Err", e.to_json())]),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings_render() {
+        assert_eq!(42u64.to_json().to_pretty(), "42");
+        assert_eq!((-3i32).to_json().to_pretty(), "-3");
+        assert_eq!(1.5f64.to_json().to_pretty(), "1.5");
+        assert_eq!(2.0f64.to_json().to_pretty(), "2.0");
+        assert_eq!("a\"b\n".to_json().to_pretty(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn nested_structure_pretty_prints() {
+        let v = Json::obj(vec![
+            ("name", "vecadd".to_json()),
+            ("cells", vec![1u64, 2].to_json()),
+            ("empty", Json::Array(vec![])),
+        ]);
+        let s = v.to_pretty();
+        assert!(s.starts_with("{\n  \"name\": \"vecadd\""), "{s}");
+        assert!(s.contains("\"cells\": [\n    1,\n    2\n  ]"), "{s}");
+        assert!(s.contains("\"empty\": []"), "{s}");
+    }
+
+    #[test]
+    fn result_uses_externally_tagged_form() {
+        let ok: Result<u64, String> = Ok(7);
+        let err: Result<u64, String> = Err("boom".into());
+        assert_eq!(ok.to_json().to_pretty(), "{\n  \"Ok\": 7\n}");
+        assert_eq!(err.to_json().to_pretty(), "{\n  \"Err\": \"boom\"\n}");
+    }
+
+    #[test]
+    fn option_and_nonfinite_degrade_to_null() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_json().to_pretty(), "null");
+        assert_eq!(f64::NAN.to_json().to_pretty(), "null");
+    }
+}

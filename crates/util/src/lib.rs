@@ -1,0 +1,22 @@
+//! `repro-util` — dependency-free support code shared across the workspace.
+//!
+//! The build environment is fully offline, so the usual crates.io helpers
+//! (serde, rayon, rand, proptest) are replaced by the three small modules
+//! here:
+//!
+//! * [`json`] — a minimal JSON value tree + pretty printer and the
+//!   [`json::ToJson`] trait, covering exactly what the `repro` harness
+//!   serializes;
+//! * [`par`] — [`par::par_map`], a bounded-parallelism ordered map over a
+//!   slice (the sweep-driver fan-out primitive);
+//! * [`rng`] — a deterministic SplitMix64 generator for the randomized
+//!   differential tests.
+
+pub mod json;
+pub mod par;
+pub mod rng;
+pub mod timing;
+
+pub use json::{Json, ToJson};
+pub use par::par_map;
+pub use rng::Rng;

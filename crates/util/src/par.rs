@@ -1,0 +1,94 @@
+//! Bounded-parallelism ordered map — the sweep-driver fan-out primitive.
+//!
+//! The configuration sweeps (Figure 7 grids, coverage tables, the bench
+//! harness) previously spawned one OS thread per grid cell and funneled
+//! results through a `Mutex<Vec<_>>`, so a 64-cell sweep launched 64
+//! threads regardless of core count. [`par_map`] instead runs a fixed pool
+//! of `min(available_parallelism, items)` workers that pull indices from a
+//! shared atomic counter and write into private buffers; results are
+//! scattered back into input order after the join, so no lock is held on
+//! the hot path and the output is deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` in parallel with bounded workers, preserving input
+/// order in the output. Panics in `f` propagate after all workers stop.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                s.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("par_map worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map(&none, |&x| x).is_empty());
+        assert_eq!(par_map(&[5u32], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn every_item_visited_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let calls = AtomicU32::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        let out = par_map(&items, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+}

@@ -104,7 +104,9 @@ pub fn compile(f: &Function, opts: &CodegenOpts) -> Result<CompiledKernel, Codeg
     let slot_count = NUM_ID_SLOTS + num_mask_slots + spill_slots;
     let warp_stack_bytes = (slot_count as u32 * 4 * opts.threads).next_multiple_of(64);
 
-    let instrs = e.a.finish().map_err(|er| CodegenError::Limit(er.to_string()))?;
+    let instrs =
+        e.a.finish()
+            .map_err(|er| CodegenError::Limit(er.to_string()))?;
     Ok(CompiledKernel {
         program: Program {
             instrs,
@@ -262,7 +264,12 @@ impl<'f> Emitter<'f> {
     }
 
     /// Materialize a float operand into an fp register.
-    fn fp_operand(&mut self, o: Operand, fscratch: Reg, iscratch: Reg) -> Result<Reg, CodegenError> {
+    fn fp_operand(
+        &mut self,
+        o: Operand,
+        fscratch: Reg,
+        iscratch: Reg,
+    ) -> Result<Reg, CodegenError> {
         match o {
             Operand::Reg(v) => match self.alloc.locs[v.index()] {
                 Loc::Fp(r) => Ok(r),
@@ -317,10 +324,7 @@ impl<'f> Emitter<'f> {
     }
 
     fn is_fp_class(&self, v: VReg) -> bool {
-        matches!(
-            self.alloc.locs[v.index()],
-            Loc::Fp(_) | Loc::SpillFp(_)
-        )
+        matches!(self.alloc.locs[v.index()], Loc::Fp(_) | Loc::SpillFp(_))
     }
 
     // ---- prologue -------------------------------------------------------
@@ -662,11 +666,7 @@ impl<'f> Emitter<'f> {
     fn emit_stride_ids(&mut self) -> Result<(), CodegenError> {
         let u = self.used;
         let any_hi = u.gid[1] | u.gid[2] | u.lid[1] | u.lid[2] | u.grp[1] | u.grp[2];
-        let dims: &[(u32, usize)] = &[
-            (arg::GLOBAL_X, 0),
-            (arg::GLOBAL_Y, 1),
-            (arg::GLOBAL_Z, 2),
-        ];
+        let dims: &[(u32, usize)] = &[(arg::GLOBAL_X, 0), (arg::GLOBAL_Y, 1), (arg::GLOBAL_Z, 2)];
         // gid decomposition: x3 = ((gid2*gy)+gid1)*gx + gid0.
         self.mv(T0, X_IDX);
         for &(off, d) in dims {
@@ -778,8 +778,7 @@ impl<'f> Emitter<'f> {
         let body_start = self.a.label();
         self.a.bind(group_loop);
         // if g >= total: finish.
-        self.a
-            .branch(BranchCond::Ltu, X_IDX, X_LIMIT, body_start);
+        self.a.branch(BranchCond::Ltu, X_IDX, X_LIMIT, body_start);
         self.a.jump(finish);
         self.a.bind(body_start);
         // Participation: warps with wid >= barrier_warps skip the body.
@@ -792,8 +791,7 @@ impl<'f> Emitter<'f> {
             rd: T1,
             csr: Csr::WarpId,
         });
-        self.a
-            .branch(BranchCond::Geu, T1, T0, group_done);
+        self.a.branch(BranchCond::Geu, T1, T0, group_done);
         self.emit_group_ids()?;
         self.emit_body()?;
         self.a.bind(self.item_done);
@@ -974,7 +972,7 @@ impl<'f> Emitter<'f> {
                         let reconv_l = self.block_labels[reconv.index()];
                         let else_entry = if *else_bb == reconv {
                             // Empty else: stub that immediately rejoins.
-                            
+
                             self.a.label()
                         } else {
                             self.block_labels[else_bb.index()]
@@ -1007,8 +1005,7 @@ impl<'f> Emitter<'f> {
                             });
                             T1
                         };
-                        self.a
-                            .pred(stay, T2, self.block_labels[exit.index()]);
+                        self.a.pred(stay, T2, self.block_labels[exit.index()]);
                         self.a.jump(self.block_labels[body.index()]);
                     }
                 }
@@ -1175,7 +1172,12 @@ impl<'f> Emitter<'f> {
                             BinOp::Or => AluOp::Or,
                             _ => AluOp::Xor,
                         };
-                        self.a.emit(Instr::OpImm { op: aop, rd, rs1: ra, imm });
+                        self.a.emit(Instr::OpImm {
+                            op: aop,
+                            rd,
+                            rs1: ra,
+                            imm,
+                        });
                         true
                     }
                     BinOp::Shl if (0..32).contains(&imm) => {
@@ -1307,7 +1309,13 @@ impl<'f> Emitter<'f> {
         self.finish_int_dest(spill, rd)
     }
 
-    fn emit_un(&mut self, dest: VReg, op: UnOp, ty: Scalar, a: Operand) -> Result<(), CodegenError> {
+    fn emit_un(
+        &mut self,
+        dest: VReg,
+        op: UnOp,
+        ty: Scalar,
+        a: Operand,
+    ) -> Result<(), CodegenError> {
         match op {
             UnOp::Sqrt | UnOp::Exp | UnOp::Log | UnOp::Sin | UnOp::Cos | UnOp::Floor => {
                 let (rd, spill) = self.fp_dest(dest);
@@ -1320,7 +1328,11 @@ impl<'f> Emitter<'f> {
                     UnOp::Cos => FpUnOp::Cos,
                     _ => FpUnOp::Floor,
                 };
-                self.a.emit(Instr::FpUn { op: fop, rd, rs1: ra });
+                self.a.emit(Instr::FpUn {
+                    op: fop,
+                    rd,
+                    rs1: ra,
+                });
                 self.finish_fp_dest(spill, rd)
             }
             UnOp::Neg if ty == Scalar::F32 => {
@@ -1349,7 +1361,11 @@ impl<'f> Emitter<'f> {
                 let (rd, spill) = self.fp_dest(dest);
                 let ra = self.int_operand(a, T0)?;
                 self.a.emit(Instr::FpCvt {
-                    op: if op == UnOp::I2F { CvtOp::I2F } else { CvtOp::U2F },
+                    op: if op == UnOp::I2F {
+                        CvtOp::I2F
+                    } else {
+                        CvtOp::U2F
+                    },
                     rd,
                     rs1: ra,
                 });
@@ -1680,11 +1696,19 @@ impl<'f> Emitter<'f> {
         let rp = self.int_operand(ptr, T0)?;
         if ty == Scalar::F32 {
             let (rd, spill) = self.fp_dest(dest);
-            self.a.emit(Instr::Flw { rd, rs1: rp, imm: 0 });
+            self.a.emit(Instr::Flw {
+                rd,
+                rs1: rp,
+                imm: 0,
+            });
             self.finish_fp_dest(spill, rd)
         } else {
             let (rd, spill) = self.int_dest(dest);
-            self.a.emit(Instr::Lw { rd, rs1: rp, imm: 0 });
+            self.a.emit(Instr::Lw {
+                rd,
+                rs1: rp,
+                imm: 0,
+            });
             self.finish_int_dest(spill, rd)
         }
     }
@@ -1811,11 +1835,7 @@ impl<'f> Emitter<'f> {
         self.finish_int_dest(spill, rd)
     }
 
-    fn emit_printf(
-        &mut self,
-        fmt: &str,
-        args: &[(Operand, Scalar)],
-    ) -> Result<(), CodegenError> {
+    fn emit_printf(&mut self, fmt: &str, args: &[(Operand, Scalar)]) -> Result<(), CodegenError> {
         // hart = ((core*NW + wid)*NT + tid); buf = PRINTF_BASE + hart*64.
         let a = &mut self.a;
         a.emit(Instr::CsrRead {

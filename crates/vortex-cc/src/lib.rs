@@ -76,7 +76,10 @@ impl std::fmt::Display for CodegenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodegenError::Unstructured { kernel, detail } => {
-                write!(f, "kernel `{kernel}`: unsupported divergent control flow: {detail}")
+                write!(
+                    f,
+                    "kernel `{kernel}`: unsupported divergent control flow: {detail}"
+                )
             }
             CodegenError::Limit(m) => write!(f, "codegen limit: {m}"),
         }

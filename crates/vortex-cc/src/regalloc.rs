@@ -155,7 +155,11 @@ pub fn allocate(f: &Function) -> Allocation {
                         Loc::SpillInt(spill_slots)
                     };
                     spill_slots += 1;
-                    locs[v.index()] = if fp { Loc::Fp(far_phys) } else { Loc::Int(far_phys) };
+                    locs[v.index()] = if fp {
+                        Loc::Fp(far_phys)
+                    } else {
+                        Loc::Int(far_phys)
+                    };
                     active[far_i] = (end[v.index()], v, far_phys);
                 } else {
                     locs[v.index()] = if fp {
@@ -270,7 +274,7 @@ mod tests {
     }
 
     #[test]
-    fn fp_and_int_pools_are_independent()     {
+    fn fp_and_int_pools_are_independent() {
         let mut b = FunctionBuilder::new("k", vec![gptr()]);
         let i = b.mov(Scalar::I32, Operand::imm_i32(1));
         let x = b.mov(Scalar::F32, Operand::imm_f32(1.0));

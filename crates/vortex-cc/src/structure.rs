@@ -97,11 +97,7 @@ pub fn find_loops(f: &Function, cfg: &Cfg, dom: &Dominators) -> Loops {
 }
 
 /// Build the lowering plan, or reject the kernel.
-pub fn plan(
-    f: &Function,
-    cfg: &Cfg,
-    div: &DivergenceInfo,
-) -> Result<DivPlan, crate::CodegenError> {
+pub fn plan(f: &Function, cfg: &Cfg, div: &DivergenceInfo) -> Result<DivPlan, crate::CodegenError> {
     let dom = Dominators::new(cfg);
     let pdom = PostDominators::new(f, cfg);
     let loops = find_loops(f, cfg, &dom);
@@ -377,7 +373,12 @@ mod tests {
         let c = b.cmp(CmpOp::Lt, Scalar::U32, i.into(), gid.into());
         b.cond_br(c.into(), body, exit);
         b.switch_to(body);
-        let i2 = b.bin(ocl_ir::BinOp::Add, Scalar::U32, i.into(), Operand::imm_u32(1));
+        let i2 = b.bin(
+            ocl_ir::BinOp::Add,
+            Scalar::U32,
+            i.into(),
+            Operand::imm_u32(1),
+        );
         b.assign(i, Scalar::U32, i2.into());
         b.br(head);
         b.switch_to(exit);

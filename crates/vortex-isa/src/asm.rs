@@ -74,10 +74,7 @@ impl Asm {
 
     /// Bind `l` to the current position.
     pub fn bind(&mut self, l: Label) {
-        assert!(
-            self.labels[l.0 as usize].is_none(),
-            "label bound twice"
-        );
+        assert!(self.labels[l.0 as usize].is_none(), "label bound twice");
         self.labels[l.0 as usize] = Some(self.here());
     }
 
@@ -242,7 +239,13 @@ mod tests {
         a.bind(join);
         a.emit(Instr::Halt); // 5
         let code = a.finish().unwrap();
-        assert_eq!(code[0], Instr::Split { rs1: 9, else_off: 3 });
+        assert_eq!(
+            code[0],
+            Instr::Split {
+                rs1: 9,
+                else_off: 3
+            }
+        );
         assert_eq!(code[2], Instr::Join { off: 3 });
         assert_eq!(code[4], Instr::Join { off: 1 });
     }

@@ -159,11 +159,26 @@ pub enum Instr {
     /// rd = imm << 12.
     Lui { rd: Reg, imm: i32 },
     /// rd = rs1 op imm (Sub is not a valid OP-IMM form).
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// rd = rs1 op rs2.
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// rd = rs1 op rs2 (M extension).
-    MulDiv { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg },
+    MulDiv {
+        op: MulOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// rd = mem32[rs1 + imm].
     Lw { rd: Reg, rs1: Reg, imm: i32 },
     /// mem32[rs1 + imm] = rs2.
@@ -184,7 +199,12 @@ pub enum Instr {
     /// mem32[rs1 + imm] = frs2.
     Fsw { rs1: Reg, rs2: Reg, imm: i32 },
     /// frd = frs1 op frs2.
-    FpOp { op: FpOp, rd: Reg, rs1: Reg, rs2: Reg },
+    FpOp {
+        op: FpOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// frd = op(frs1).
     FpUn { op: FpUnOp, rd: Reg, rs1: Reg },
     /// rd = frs1 cmp frs2.
@@ -197,7 +217,12 @@ pub enum Instr {
     /// Conversions / moves between the register files.
     FpCvt { op: CvtOp, rd: Reg, rs1: Reg },
     /// `rd = old mem32[rs1]; mem32[rs1] = old op rs2`.
-    Amo { op: AmoOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Amo {
+        op: AmoOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// rd = csr.
     CsrRead { rd: Reg, csr: Csr },
     // ---- Vortex SIMT extension ----
@@ -214,11 +239,7 @@ pub enum Instr {
     Join { off: i32 },
     /// Divergent loop guard: threads failing rs1 are masked off; when none
     /// remain the mask is restored from rs2 and control jumps to exit_off.
-    Pred {
-        rs1: Reg,
-        rs2: Reg,
-        exit_off: i32,
-    },
+    Pred { rs1: Reg, rs2: Reg, exit_off: i32 },
     /// Work-group barrier: id rs1, warp count rs2.
     Bar { rs1: Reg, rs2: Reg },
     /// Device printf: format-table entry `fmt`, arguments in the calling

@@ -58,7 +58,10 @@ impl std::fmt::Display for RtError {
             RtError::OutOfMemory {
                 requested,
                 available,
-            } => write!(f, "device out of memory: need {requested}, have {available}"),
+            } => write!(
+                f,
+                "device out of memory: need {requested}, have {available}"
+            ),
         }
     }
 }
@@ -272,11 +275,7 @@ impl VxSession {
             (gsize / cfg.hw.threads).max(1),
         )?;
         for (i, a) in args.iter().enumerate() {
-            w(
-                &mut self.sim,
-                arg::KERNEL_ARGS + 4 * i as u32,
-                a.bits(),
-            )?;
+            w(&mut self.sim, arg::KERNEL_ARGS + 4 * i as u32, a.bits())?;
         }
         Ok(self.sim.run()?)
     }

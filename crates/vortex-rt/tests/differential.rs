@@ -91,7 +91,9 @@ fn diff_run(src: &str, name: &str, hw: VortexConfig, nd: NdRange, bufs: Vec<Buf>
             }
         }
     }
-    let r = sess.launch(&vargs, &nd).unwrap_or_else(|e| panic!("launch: {e}"));
+    let r = sess
+        .launch(&vargs, &nd)
+        .unwrap_or_else(|e| panic!("launch: {e}"));
     assert!(r.stats.cycles > 0);
     assert!(r.stats.instructions > 0);
 
@@ -104,7 +106,8 @@ fn diff_run(src: &str, name: &str, hw: VortexConfig, nd: NdRange, bufs: Vec<Buf>
         let got = sess.read_u32(*vbuf, *len).unwrap();
         for (j, (w, g)) in want.iter().zip(&got).enumerate() {
             assert_eq!(
-                w, g,
+                w,
+                g,
                 "arg {i} word {j}: interp {w:#x} vs vortex {g:#x} \
                  (as f32: {} vs {})",
                 f32::from_bits(*w),
@@ -405,7 +408,9 @@ fn launch_validation_errors() {
     let mut sess = VxSession::new(cfg, compiled);
     let b = sess.alloc(64).unwrap();
     // Wrong arg count.
-    let e = sess.launch(&[Arg::Buf(b)], &NdRange::d1(16, 4)).unwrap_err();
+    let e = sess
+        .launch(&[Arg::Buf(b)], &NdRange::d1(16, 4))
+        .unwrap_err();
     assert!(e.to_string().contains("arguments"), "{e}");
     // Bad ndrange.
     let e = sess
@@ -433,7 +438,9 @@ fn group_mode_constraint_enforced() {
     let mut sess = VxSession::new(cfg, compiled);
     let o = sess.alloc(4 * 64).unwrap();
     // Group of 16 > warps*threads (8): rejected.
-    let e = sess.launch(&[Arg::Buf(o)], &NdRange::d1(64, 16)).unwrap_err();
+    let e = sess
+        .launch(&[Arg::Buf(o)], &NdRange::d1(64, 16))
+        .unwrap_err();
     assert!(e.to_string().contains("group size"), "{e}");
     // Group of 8 works.
     sess.launch(&[Arg::Buf(o)], &NdRange::d1(64, 8)).unwrap();

@@ -37,6 +37,54 @@ enum Blocked {
     Lsu,
 }
 
+/// Scoreboard-relevant registers of one instruction, in fixed storage: at
+/// most two sources per register file and one destination on each.
+#[derive(Debug, Clone, Copy, Default)]
+struct Operands {
+    isrc: [u8; 2],
+    isrc_n: u8,
+    fsrc: [u8; 2],
+    fsrc_n: u8,
+    idst: Option<u8>,
+    fdst: Option<u8>,
+}
+
+impl Operands {
+    fn mixed(isrc: &[u8], fsrc: &[u8], idst: Option<u8>, fdst: Option<u8>) -> Operands {
+        let mut o = Operands {
+            idst,
+            fdst,
+            isrc_n: isrc.len() as u8,
+            fsrc_n: fsrc.len() as u8,
+            ..Operands::default()
+        };
+        o.isrc[..isrc.len()].copy_from_slice(isrc);
+        o.fsrc[..fsrc.len()].copy_from_slice(fsrc);
+        o
+    }
+
+    fn int(isrc: &[u8], idst: Option<u8>) -> Operands {
+        Operands::mixed(isrc, &[], idst, None)
+    }
+
+    /// All integer-file registers the scoreboard must check (sources, then
+    /// the destination for WAW).
+    fn ints(&self) -> impl Iterator<Item = u8> + '_ {
+        self.isrc[..self.isrc_n as usize]
+            .iter()
+            .copied()
+            .chain(self.idst)
+    }
+
+    /// All float-file registers the scoreboard must check.
+    fn floats(&self) -> impl Iterator<Item = u8> + '_ {
+        self.fsrc[..self.fsrc_n as usize]
+            .iter()
+            .copied()
+            .chain(self.fdst)
+    }
+}
+
 /// A single core.
 pub struct Core {
     id: u32,
@@ -58,6 +106,16 @@ pub struct Core {
     dcache: Cache,
     rr_next: usize,
     full_mask: u64,
+    /// Warps currently parked per (barrier id, release count), updated at
+    /// arrival time so barrier release costs O(arrivals), not a per-cycle
+    /// O(warps²) rescan. At most a handful of barriers are ever live, so a
+    /// small vec beats a hash map.
+    barrier_waiters: Vec<((u32, u32), u32)>,
+    /// After a tick that issued nothing: the earliest cycle some warp could
+    /// issue (`u64::MAX` if only barrier-parked warps remain). Computed as
+    /// a by-product of the issue scan so the event-driven run loop never
+    /// needs a second pass over the warps.
+    next_event: u64,
     // Cached latencies.
     lat_alu: u32,
     lat_mul: u32,
@@ -100,6 +158,8 @@ impl Core {
             dcache: Cache::new(cfg.dcache),
             rr_next: 0,
             full_mask: if t == 64 { u64::MAX } else { (1u64 << t) - 1 },
+            barrier_waiters: Vec::new(),
+            next_event: 0,
             lat_alu: cfg.lat_alu,
             lat_mul: cfg.lat_mul,
             lat_div: cfg.lat_div,
@@ -132,6 +192,11 @@ impl Core {
         self.lsu_next_free = 0;
         self.dcache.flush();
         self.rr_next = 0;
+        self.barrier_waiters.clear();
+        self.next_event = 0;
+        // Counters are per-launch: each `Simulator::run` reports only its
+        // own work, so a launch's issued + stalled cycles tile its runtime.
+        self.stats = CoreStats::default();
     }
 
     /// True while any warp is live.
@@ -175,68 +240,64 @@ impl Core {
         self.read_int(warp, reg, lane.min(self.threads_n - 1))
     }
 
-    /// Source/destination registers of an instruction for the scoreboard:
-    /// (int sources, fp sources, int dest, fp dest).
-    #[allow(clippy::type_complexity)]
-    fn regs_of(i: &Instr) -> (Vec<u8>, Vec<u8>, Option<u8>, Option<u8>) {
+    /// Source/destination registers of an instruction for the scoreboard.
+    /// Fixed-size (at most two sources per file, one destination each) so
+    /// the per-cycle issue scan never allocates.
+    fn regs_of(i: &Instr) -> Operands {
         match *i {
-            Instr::Lui { rd, .. } => (vec![], vec![], Some(rd), None),
-            Instr::OpImm { rd, rs1, .. } => (vec![rs1], vec![], Some(rd), None),
+            Instr::Lui { rd, .. } => Operands::int(&[], Some(rd)),
+            Instr::OpImm { rd, rs1, .. } => Operands::int(&[rs1], Some(rd)),
             Instr::Op { rd, rs1, rs2, .. } | Instr::MulDiv { rd, rs1, rs2, .. } => {
-                (vec![rs1, rs2], vec![], Some(rd), None)
+                Operands::int(&[rs1, rs2], Some(rd))
             }
-            Instr::Lw { rd, rs1, .. } => (vec![rs1], vec![], Some(rd), None),
-            Instr::Sw { rs1, rs2, .. } => (vec![rs1, rs2], vec![], None, None),
-            Instr::Branch { rs1, rs2, .. } => (vec![rs1, rs2], vec![], None, None),
-            Instr::Jal { rd, .. } => (vec![], vec![], Some(rd), None),
-            Instr::Jalr { rd, rs1, .. } => (vec![rs1], vec![], Some(rd), None),
-            Instr::Flw { rd, rs1, .. } => (vec![rs1], vec![], None, Some(rd)),
-            Instr::Fsw { rs1, rs2, .. } => (vec![rs1], vec![rs2], None, None),
-            Instr::FpOp { rd, rs1, rs2, .. } => (vec![], vec![rs1, rs2], None, Some(rd)),
-            Instr::FpUn { rd, rs1, .. } => (vec![], vec![rs1], None, Some(rd)),
-            Instr::FpCmp { rd, rs1, rs2, .. } => (vec![], vec![rs1, rs2], Some(rd), None),
+            Instr::Lw { rd, rs1, .. } => Operands::int(&[rs1], Some(rd)),
+            Instr::Sw { rs1, rs2, .. } => Operands::int(&[rs1, rs2], None),
+            Instr::Branch { rs1, rs2, .. } => Operands::int(&[rs1, rs2], None),
+            Instr::Jal { rd, .. } => Operands::int(&[], Some(rd)),
+            Instr::Jalr { rd, rs1, .. } => Operands::int(&[rs1], Some(rd)),
+            Instr::Flw { rd, rs1, .. } => Operands::mixed(&[rs1], &[], None, Some(rd)),
+            Instr::Fsw { rs1, rs2, .. } => Operands::mixed(&[rs1], &[rs2], None, None),
+            Instr::FpOp { rd, rs1, rs2, .. } => Operands::mixed(&[], &[rs1, rs2], None, Some(rd)),
+            Instr::FpUn { rd, rs1, .. } => Operands::mixed(&[], &[rs1], None, Some(rd)),
+            Instr::FpCmp { rd, rs1, rs2, .. } => Operands::mixed(&[], &[rs1, rs2], Some(rd), None),
             Instr::FpCvt { op, rd, rs1 } => match op {
-                CvtOp::F2I | CvtOp::F2U | CvtOp::MvF2X => (vec![], vec![rs1], Some(rd), None),
-                CvtOp::I2F | CvtOp::U2F | CvtOp::MvX2F => (vec![rs1], vec![], None, Some(rd)),
+                CvtOp::F2I | CvtOp::F2U | CvtOp::MvF2X => {
+                    Operands::mixed(&[], &[rs1], Some(rd), None)
+                }
+                CvtOp::I2F | CvtOp::U2F | CvtOp::MvX2F => {
+                    Operands::mixed(&[rs1], &[], None, Some(rd))
+                }
             },
-            Instr::Amo { rd, rs1, rs2, .. } => (vec![rs1, rs2], vec![], Some(rd), None),
-            Instr::CsrRead { rd, .. } => (vec![], vec![], Some(rd), None),
-            Instr::Tmc { rs1 } => (vec![rs1], vec![], None, None),
-            Instr::Wspawn { rs1, rs2 } => (vec![rs1, rs2], vec![], None, None),
-            Instr::Split { rs1, .. } => (vec![rs1], vec![], None, None),
-            Instr::Join { .. } | Instr::Halt | Instr::Print { .. } => (vec![], vec![], None, None),
-            Instr::Pred { rs1, rs2, .. } => (vec![rs1, rs2], vec![], None, None),
-            Instr::Bar { rs1, rs2 } => (vec![rs1, rs2], vec![], None, None),
+            Instr::Amo { rd, rs1, rs2, .. } => Operands::int(&[rs1, rs2], Some(rd)),
+            Instr::CsrRead { rd, .. } => Operands::int(&[], Some(rd)),
+            Instr::Tmc { rs1 } => Operands::int(&[rs1], None),
+            Instr::Wspawn { rs1, rs2 } => Operands::int(&[rs1, rs2], None),
+            Instr::Split { rs1, .. } => Operands::int(&[rs1], None),
+            Instr::Join { .. } | Instr::Halt | Instr::Print { .. } => Operands::int(&[], None),
+            Instr::Pred { rs1, rs2, .. } => Operands::int(&[rs1, rs2], None),
+            Instr::Bar { rs1, rs2 } => Operands::int(&[rs1, rs2], None),
         }
     }
 
-    fn scoreboard_ready(&self, warp: u32, i: &Instr, now: u64) -> bool {
-        let (isrc, fsrc, idst, fdst) = Self::regs_of(i);
-        let base = (warp * 32) as usize;
-        isrc.iter()
-            .chain(idst.iter())
-            .all(|&r| self.ireg_ready[base + r as usize] <= now)
-            && fsrc
-                .iter()
-                .chain(fdst.iter())
-                .all(|&r| self.freg_ready[base + r as usize] <= now)
-    }
-
     fn mark_dest(&mut self, warp: u32, i: &Instr, ready_at: u64) {
-        let (_, _, idst, fdst) = Self::regs_of(i);
+        let ops = Self::regs_of(i);
         let base = (warp * 32) as usize;
-        if let Some(r) = idst {
+        if let Some(r) = ops.idst {
             if r != 0 {
                 self.ireg_ready[base + r as usize] = ready_at;
             }
         }
-        if let Some(r) = fdst {
+        if let Some(r) = ops.fdst {
             self.freg_ready[base + r as usize] = ready_at;
         }
     }
 
-    /// Advance this core by one cycle: release barriers, then try to issue
-    /// one warp-instruction.
+    /// Advance this core by one cycle: try to issue one warp-instruction,
+    /// round-robin. Returns whether an instruction issued; a `false` cycle
+    /// is accounted to the stall counters exactly as [`fast_forward_stalls`]
+    /// would account it in bulk.
+    ///
+    /// [`fast_forward_stalls`]: Core::fast_forward_stalls
     pub fn tick(
         &mut self,
         now: u64,
@@ -245,12 +306,16 @@ impl Core {
         l2: &mut Cache,
         dram: &mut DramModel,
         printf_out: &mut Vec<String>,
-    ) -> Result<(), SimError> {
-        self.release_barriers();
-        // Pick a ready warp, round-robin.
+    ) -> Result<bool, SimError> {
+        // Pick a ready warp, round-robin. Along the way, compute each
+        // blocked warp's exact first-issuable cycle — the same operand walk
+        // the ready check needs anyway — so a failed tick leaves
+        // `next_event` behind for the event-driven run loop at no extra
+        // cost.
         let n = self.warps_n as usize;
         let mut blocked: Option<Blocked> = None;
         let mut any_waiting_barrier = false;
+        let mut next_event = u64::MAX;
         for k in 0..n {
             let wi = (self.rr_next + k) % n;
             let w = &self.warps[wi];
@@ -267,20 +332,30 @@ impl Core {
                 warp: wi as u32,
                 pc,
             })?;
-            if !self.scoreboard_ready(wi as u32, &instr, now) {
-                blocked.get_or_insert(Blocked::Scoreboard);
-                continue;
-            }
-            if Self::is_mem(&instr) && !self.mshr_available(now) {
-                blocked.get_or_insert(Blocked::Lsu);
+            let t_sb = self.operands_ready_at(wi as u32, &instr);
+            let t_ready = if Self::is_mem(&instr) {
+                // Both conditions must hold at once; both are monotone, so
+                // the max is the exact first issuable cycle for this warp.
+                t_sb.max(self.mshr_free.iter().copied().min().unwrap_or(0))
+            } else {
+                t_sb
+            };
+            if t_ready > now {
+                blocked.get_or_insert(if t_sb > now {
+                    Blocked::Scoreboard
+                } else {
+                    Blocked::Lsu
+                });
+                next_event = next_event.min(t_ready);
                 continue;
             }
             // Issue.
             self.rr_next = (wi + 1) % n;
             self.stats.instructions += 1;
             self.execute(now, wi as u32, instr, program, mem, l2, dram, printf_out)?;
-            return Ok(());
+            return Ok(true);
         }
+        self.next_event = next_event;
         if any_waiting_barrier && blocked.is_none() {
             self.stats.stall_barrier += 1;
         } else {
@@ -290,36 +365,160 @@ impl Core {
                 None => self.stats.stall_idle += 1,
             }
         }
-        Ok(())
+        Ok(false)
+    }
+
+    /// Earliest cycle at which some warp of this core could issue, given
+    /// that the tick at `now` issued nothing. Scoreboard ready-times and
+    /// MSHR free-times are monotone facts that only an *issue* can change,
+    /// so until this cycle the core is provably idle. Returns `u64::MAX`
+    /// when every live warp is parked at a barrier: arrivals can only come
+    /// from this core's own warps, so the core can never progress again and
+    /// only the cycle limit bounds the run.
+    ///
+    /// This is the from-scratch recomputation of the value `tick` caches in
+    /// [`next_event`](Core::next_event); the run loop uses the cache and
+    /// debug-asserts it against this.
+    pub fn next_issue_cycle(&self, now: u64, program: &Program) -> u64 {
+        let mut t = u64::MAX;
+        for (wi, w) in self.warps.iter().enumerate() {
+            if !w.active || w.barrier.is_some() {
+                continue;
+            }
+            let Some(instr) = program.instrs.get(w.pc as usize) else {
+                // Bad PC: step densely so the next tick reports it.
+                return now + 1;
+            };
+            let mut ready = self.operands_ready_at(wi as u32, instr);
+            if Self::is_mem(instr) {
+                let mshr = self.mshr_free.iter().copied().min().unwrap_or(0);
+                ready = ready.max(mshr);
+            }
+            t = t.min(ready);
+        }
+        debug_assert!(t > now, "next_issue_cycle called while a warp is issuable");
+        t
+    }
+
+    /// Bulk-account the stall cycles in `[from, to)` exactly as `to - from`
+    /// dense ticks would have. During a no-issue span nothing about the
+    /// core changes, so the dense loop's per-cycle classification is fully
+    /// determined by the state at `from`:
+    ///
+    /// * no active non-barrier warp → every cycle is a barrier stall;
+    /// * otherwise the first active non-barrier warp in round-robin order
+    ///   is the classifying warp: scoreboard stalls until its operands are
+    ///   ready, and (for memory instructions) LSU stalls from then on while
+    ///   it waits for an MSHR.
+    ///
+    /// `stall_idle` cannot occur here: a core with no active warp is never
+    /// ticked or fast-forwarded.
+    pub fn fast_forward_stalls(&mut self, from: u64, to: u64, program: &Program) {
+        if to <= from {
+            return;
+        }
+        let span = to - from;
+        let n = self.warps_n as usize;
+        let mut first: Option<(u32, u32)> = None;
+        for k in 0..n {
+            let wi = (self.rr_next + k) % n;
+            let w = &self.warps[wi];
+            if w.active && w.barrier.is_none() {
+                first = Some((wi as u32, w.pc));
+                break;
+            }
+        }
+        let Some((wi, pc)) = first else {
+            self.stats.stall_barrier += span;
+            return;
+        };
+        let Some(instr) = program.instrs.get(pc as usize) else {
+            // Unreachable: next_issue_cycle forces dense stepping on a bad
+            // PC, so no span is ever opened over one.
+            return;
+        };
+        let ready = self.operands_ready_at(wi, instr);
+        let sb_cycles = ready.clamp(from, to) - from;
+        if Self::is_mem(instr) {
+            self.stats.stall_scoreboard += sb_cycles;
+            self.stats.stall_lsu += span - sb_cycles;
+        } else {
+            // A non-memory warp blocks only on the scoreboard, so its
+            // operands cannot come ready inside the span.
+            debug_assert_eq!(sb_cycles, span);
+            self.stats.stall_scoreboard += span;
+        }
+    }
+
+    /// Latest ready-cycle over the scoreboard operands of `i`: the first
+    /// cycle at which the scoreboard no longer blocks the instruction.
+    fn operands_ready_at(&self, warp: u32, i: &Instr) -> u64 {
+        let ops = Self::regs_of(i);
+        let base = (warp * 32) as usize;
+        let ir = ops
+            .ints()
+            .map(|r| self.ireg_ready[base + r as usize])
+            .max()
+            .unwrap_or(0);
+        let fr = ops
+            .floats()
+            .map(|r| self.freg_ready[base + r as usize])
+            .max()
+            .unwrap_or(0);
+        ir.max(fr)
     }
 
     fn is_mem(i: &Instr) -> bool {
         matches!(
             i,
-            Instr::Lw { .. } | Instr::Sw { .. } | Instr::Flw { .. } | Instr::Fsw { .. } | Instr::Amo { .. }
+            Instr::Lw { .. }
+                | Instr::Sw { .. }
+                | Instr::Flw { .. }
+                | Instr::Fsw { .. }
+                | Instr::Amo { .. }
         )
     }
 
-    fn mshr_available(&self, now: u64) -> bool {
-        self.mshr_free.iter().any(|&t| t <= now)
+    /// The next-event cycle cached by the last tick that issued nothing.
+    pub fn next_event(&self) -> u64 {
+        self.next_event
     }
 
-    fn release_barriers(&mut self) {
-        // Group waiting warps by barrier id; release when count reached.
-        for wi in 0..self.warps.len() {
-            if let Some((id, count)) = self.warps[wi].barrier {
-                let waiting = self
-                    .warps
-                    .iter()
-                    .filter(|w| w.active && w.barrier == Some((id, count)))
-                    .count() as u32;
-                if waiting >= count {
-                    for w in &mut self.warps {
-                        if w.barrier == Some((id, count)) {
-                            w.barrier = None;
-                        }
-                    }
+    /// A warp arrived at barrier `(id, count)`: bump the waiter count and,
+    /// once `count` warps are parked, release them all. Doing this at
+    /// arrival is observably identical to a start-of-cycle release scan —
+    /// parked warps cannot execute, so between the arrival and the next
+    /// cycle nothing can see the difference — and it removes the scan from
+    /// the per-cycle path entirely.
+    fn barrier_arrive(&mut self, id: u32, count: u32) {
+        let key = (id, count);
+        let waiting = match self.barrier_waiters.iter_mut().find(|(k, _)| *k == key) {
+            Some(entry) => {
+                entry.1 += 1;
+                entry.1
+            }
+            None => {
+                self.barrier_waiters.push((key, 1));
+                1
+            }
+        };
+        if waiting >= count {
+            for w in &mut self.warps {
+                if w.barrier == Some(key) {
+                    w.barrier = None;
                 }
+            }
+            self.barrier_waiters.retain(|(k, _)| *k != key);
+        }
+    }
+
+    /// A parked warp left barrier `key` without releasing it (its slot was
+    /// overwritten by WSPAWN).
+    fn barrier_leave(&mut self, key: (u32, u32)) {
+        if let Some(pos) = self.barrier_waiters.iter().position(|(k, _)| *k == key) {
+            self.barrier_waiters[pos].1 -= 1;
+            if self.barrier_waiters[pos].1 == 0 {
+                self.barrier_waiters.swap_remove(pos);
             }
         }
     }
@@ -482,9 +681,7 @@ impl Core {
                         FpOp::Max => a.max(b),
                         FpOp::Sgnj => a.copysign(b),
                         FpOp::SgnjN => a.copysign(-b),
-                        FpOp::SgnjX => f32::from_bits(
-                            a.to_bits() ^ (b.to_bits() & 0x8000_0000),
-                        ),
+                        FpOp::SgnjX => f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000)),
                     };
                     self.write_fp(wi, rd, t, r.to_bits());
                 }
@@ -594,7 +791,10 @@ impl Core {
                     warp.pc = entry;
                     warp.tmask = 1;
                     warp.stack.clear();
-                    warp.barrier = None;
+                    if let Some(key) = warp.barrier.take() {
+                        // Respawning a parked warp shrinks its barrier group.
+                        self.barrier_leave(key);
+                    }
                 }
             }
             Instr::Split { rs1, else_off } => {
@@ -663,16 +863,15 @@ impl Core {
                 let id = self.read_uniform(wi, rs1);
                 let count = self.read_uniform(wi, rs2).max(1);
                 self.warps[wi as usize].barrier = Some((id, count));
+                self.barrier_arrive(id, count);
             }
             Instr::Print { fmt } => {
-                let entry = program
-                    .printf_table
-                    .get(fmt as usize)
-                    .cloned()
-                    .unwrap_or(vortex_isa::PrintfFmt {
+                let entry = program.printf_table.get(fmt as usize).cloned().unwrap_or(
+                    vortex_isa::PrintfFmt {
                         fmt: format!("<bad printf id {fmt}>"),
                         args: vec![],
-                    });
+                    },
+                );
                 for &t in &lanes {
                     let hart = (self.id * self.warps_n + wi) * self.threads_n + t;
                     let buf = PRINTF_BASE + hart * PRINTF_STRIDE;
@@ -754,11 +953,7 @@ impl Core {
             } else {
                 self.stats.dcache_misses += 1;
                 // Take the earliest-free MSHR (backpressure as latency).
-                let slot = self
-                    .mshr_free
-                    .iter_mut()
-                    .min()
-                    .expect("at least one MSHR");
+                let slot = self.mshr_free.iter_mut().min().expect("at least one MSHR");
                 let start = t0.max(*slot);
                 let fill = if l2.access(addr, start) {
                     start + self.lat_l2 as u64
@@ -842,6 +1037,109 @@ fn amo(op: AmoOp, old: u32, v: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fpga_arch::VortexConfig;
+    use vortex_isa::abi;
+
+    fn test_core(warps: u32, threads: u32) -> Core {
+        let cfg = SimConfig::new(VortexConfig::new(1, warps, threads));
+        let mut core = Core::new(0, &cfg);
+        core.reset_for_launch(0);
+        core
+    }
+
+    fn one_instr(i: Instr) -> Program {
+        Program {
+            instrs: vec![i],
+            printf_table: vec![],
+            entry: 0,
+        }
+    }
+
+    #[test]
+    fn next_event_is_the_scoreboard_ready_time() {
+        let mut core = test_core(2, 4);
+        let p = one_instr(Instr::OpImm {
+            op: AluOp::Add,
+            rd: abi::T0,
+            rs1: abi::T0,
+            imm: 1,
+        });
+        core.ireg_ready[abi::T0 as usize] = 40;
+        assert_eq!(core.next_issue_cycle(7, &p), 40);
+        // The whole span is a scoreboard stall for a non-memory instruction.
+        core.fast_forward_stalls(8, 40, &p);
+        assert_eq!(core.stats.stall_scoreboard, 32);
+        assert_eq!(core.stats.stall_lsu, 0);
+        assert_eq!(core.stats.stall_barrier, 0);
+    }
+
+    #[test]
+    fn next_event_waits_for_an_mshr_on_memory_instructions() {
+        let mut core = test_core(1, 4);
+        let p = one_instr(Instr::Lw {
+            rd: abi::T1,
+            rs1: abi::T0,
+            imm: 0,
+        });
+        core.ireg_ready[abi::T0 as usize] = 10;
+        core.mshr_free.fill(33);
+        // Operands ready at 10, but every MSHR is busy until 33.
+        assert_eq!(core.next_issue_cycle(7, &p), 33);
+        // Cycles 8..10 classify as scoreboard, 10..33 as LSU — exactly what
+        // the dense loop would count tick by tick.
+        core.fast_forward_stalls(8, 33, &p);
+        assert_eq!(core.stats.stall_scoreboard, 2);
+        assert_eq!(core.stats.stall_lsu, 23);
+    }
+
+    #[test]
+    fn next_event_with_only_barrier_warps_is_unbounded() {
+        let mut core = test_core(2, 4);
+        core.warps[0].barrier = Some((0, 2));
+        let p = one_instr(Instr::Halt);
+        assert_eq!(core.next_issue_cycle(5, &p), u64::MAX);
+        core.fast_forward_stalls(6, 20, &p);
+        assert_eq!(core.stats.stall_barrier, 14);
+        assert_eq!(core.stats.stall_scoreboard, 0);
+    }
+
+    #[test]
+    fn barrier_releases_exactly_at_count() {
+        let mut core = test_core(4, 2);
+        core.warps[1].active = true;
+        core.warps[2].active = true;
+        core.warps[0].barrier = Some((1, 3));
+        core.barrier_arrive(1, 3);
+        core.warps[1].barrier = Some((1, 3));
+        core.barrier_arrive(1, 3);
+        assert!(core.warps[0].barrier.is_some(), "2 of 3 arrived: parked");
+        core.warps[2].barrier = Some((1, 3));
+        core.barrier_arrive(1, 3);
+        assert!(
+            core.warps.iter().all(|w| w.barrier.is_none()),
+            "third arrival releases the whole group"
+        );
+        assert!(core.barrier_waiters.is_empty());
+    }
+
+    #[test]
+    fn wspawn_over_a_parked_warp_shrinks_its_barrier_group() {
+        let mut core = test_core(4, 2);
+        core.warps[1].active = true;
+        core.warps[1].barrier = Some((0, 2));
+        core.barrier_arrive(0, 2);
+        // WSPAWN re-targets warp 1, abandoning its barrier slot.
+        core.warps[1].barrier = None;
+        core.barrier_leave((0, 2));
+        // A later arrival must not see the abandoned slot as progress.
+        core.warps[2].active = true;
+        core.warps[2].barrier = Some((0, 2));
+        core.barrier_arrive(0, 2);
+        assert!(
+            core.warps[2].barrier.is_some(),
+            "group restarted from zero after the leave"
+        );
+    }
 
     #[test]
     fn alu_semantics() {

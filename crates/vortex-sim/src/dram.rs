@@ -191,11 +191,7 @@ mod tests {
         let mut d2 = DramModel::new(cfg);
         let mut single_done = 0;
         for i in 0..8u32 {
-            single_done = single_done.max(d2.access(
-                i * cfg.row_bytes * cfg.banks,
-                64,
-                0,
-            ));
+            single_done = single_done.max(d2.access(i * cfg.row_bytes * cfg.banks, 64, 0));
         }
         assert!(
             multi_done < single_done,

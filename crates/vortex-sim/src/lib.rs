@@ -64,6 +64,11 @@ pub struct SimConfig {
     pub lat_l2: u32,
     /// Safety limit on simulated cycles.
     pub max_cycles: u64,
+    /// Force the dense cycle-by-cycle loop instead of event-driven
+    /// fast-forwarding. The two produce bit-identical results (cycles,
+    /// stall breakdown, memory state); this is the escape hatch for
+    /// differential testing and for debugging the scheduler itself.
+    pub reference_mode: bool,
 }
 
 impl SimConfig {
@@ -95,6 +100,7 @@ impl SimConfig {
             lat_dcache: 2,
             lat_l2: 10,
             max_cycles: 2_000_000_000,
+            reference_mode: false,
         }
     }
 }
@@ -149,9 +155,7 @@ pub struct Simulator {
 impl Simulator {
     /// Build a machine and load `program`.
     pub fn new(cfg: SimConfig, program: Program) -> Self {
-        let cores = (0..cfg.hw.cores)
-            .map(|c| Core::new(c, &cfg))
-            .collect();
+        let cores = (0..cfg.hw.cores).map(|c| Core::new(c, &cfg)).collect();
         Simulator {
             mem: SimMemory::new(cfg.global_mem_bytes, cfg.hw.cores, cfg.local_mem_bytes),
             l2: Cache::new(cfg.l2),
@@ -178,36 +182,21 @@ impl Simulator {
 
     /// Run until every warp has halted. Returns statistics and console
     /// output.
+    ///
+    /// The default scheduler is event-driven (see [`Simulator::run_events`]);
+    /// [`SimConfig::reference_mode`] selects the dense cycle-by-cycle loop.
+    /// The two are bit-identical in every observable: final cycle count,
+    /// stall breakdown, cache/DRAM counters, memory state, printf output.
     pub fn run(&mut self) -> Result<SimResult, SimError> {
         self.start();
         let mut printf_output = Vec::new();
-        let mut cycle: u64 = 0;
-        loop {
-            let mut any_alive = false;
-            for ci in 0..self.cores.len() {
-                let core = &mut self.cores[ci];
-                if core.any_active() {
-                    any_alive = true;
-                    core.tick(
-                        cycle,
-                        &self.program,
-                        &mut self.mem,
-                        &mut self.l2,
-                        &mut self.dram,
-                        &mut printf_output,
-                    )?;
-                }
-            }
-            if !any_alive {
-                break;
-            }
-            cycle += 1;
-            if cycle > self.cfg.max_cycles {
-                return Err(SimError::CycleLimit(cycle));
-            }
-        }
+        let cycles = if self.cfg.reference_mode {
+            self.run_dense(&mut printf_output)?
+        } else {
+            self.run_events(&mut printf_output)?
+        };
         let mut stats = SimStats {
-            cycles: cycle,
+            cycles,
             ..SimStats::default()
         };
         for core in &self.cores {
@@ -222,6 +211,109 @@ impl Simulator {
             stats,
             printf_output,
         })
+    }
+
+    /// The dense reference loop: every core ticks every cycle while any
+    /// warp is live. This is the semantic definition the event-driven
+    /// scheduler must reproduce bit-for-bit; keep it boring.
+    fn run_dense(&mut self, printf_output: &mut Vec<String>) -> Result<u64, SimError> {
+        let mut cycle: u64 = 0;
+        loop {
+            let mut any_alive = false;
+            for ci in 0..self.cores.len() {
+                let core = &mut self.cores[ci];
+                if core.any_active() {
+                    any_alive = true;
+                    core.tick(
+                        cycle,
+                        &self.program,
+                        &mut self.mem,
+                        &mut self.l2,
+                        &mut self.dram,
+                        printf_output,
+                    )?;
+                }
+            }
+            if !any_alive {
+                return Ok(cycle);
+            }
+            cycle += 1;
+            if cycle > self.cfg.max_cycles {
+                return Err(SimError::CycleLimit(cycle));
+            }
+        }
+    }
+
+    /// The event-driven scheduler: each core carries the next cycle it must
+    /// be ticked at, and the clock jumps straight to the earliest one.
+    ///
+    /// Why this is exact: a core that fails to issue at cycle `c` cannot
+    /// issue before [`Core::next_issue_cycle`] — scoreboard ready-times,
+    /// MSHR free-times and barrier membership are core-local facts that
+    /// only one of the core's *own* issues can change. Other cores interact
+    /// only through the shared L2/DRAM/memory at execute time, which
+    /// affects the latency of *future* issues, not whether this core can
+    /// issue; and since due cores are ticked in core order at each event
+    /// cycle, those shared structures see the exact access sequence of the
+    /// dense loop. The skipped cycles are bulk-accounted by
+    /// [`Core::fast_forward_stalls`] with the dense loop's per-cycle
+    /// classification.
+    fn run_events(&mut self, printf_output: &mut Vec<String>) -> Result<u64, SimError> {
+        let limit = self.cfg.max_cycles;
+        let n = self.cores.len();
+        let mut next_tick = vec![0u64; n];
+        let mut end: u64 = 0;
+        loop {
+            let mut cycle = u64::MAX;
+            let mut any_alive = false;
+            for (ci, core) in self.cores.iter().enumerate() {
+                if core.any_active() {
+                    any_alive = true;
+                    cycle = cycle.min(next_tick[ci]);
+                }
+            }
+            if !any_alive {
+                // Every warp has halted; the dense loop would have broken
+                // out one cycle after the last issue.
+                return Ok(end);
+            }
+            if cycle > limit {
+                // Includes the barrier-deadlock case (next event = MAX):
+                // the dense loop errors as soon as its counter passes the
+                // limit, always with value limit + 1.
+                return Err(SimError::CycleLimit(limit.saturating_add(1)));
+            }
+            for (ci, tick_at) in next_tick.iter_mut().enumerate() {
+                if *tick_at != cycle || !self.cores[ci].any_active() {
+                    continue;
+                }
+                let issued = self.cores[ci].tick(
+                    cycle,
+                    &self.program,
+                    &mut self.mem,
+                    &mut self.l2,
+                    &mut self.dram,
+                    printf_output,
+                )?;
+                if issued {
+                    *tick_at = cycle + 1;
+                } else {
+                    let target = self.cores[ci].next_event();
+                    debug_assert_eq!(
+                        target,
+                        self.cores[ci].next_issue_cycle(cycle, &self.program),
+                        "cached next-event diverged from recomputation"
+                    );
+                    self.cores[ci].fast_forward_stalls(
+                        cycle + 1,
+                        target.min(limit.saturating_add(1)),
+                        &self.program,
+                    );
+                    *tick_at = target;
+                }
+            }
+            end = cycle + 1;
+        }
     }
 }
 
@@ -263,10 +355,7 @@ mod tests {
         let cfg = SimConfig::new(VortexConfig::new(1, 2, 4));
         let mut sim = Simulator::new(cfg, store42());
         let r = sim.run().unwrap();
-        assert_eq!(
-            sim.mem.read_u32(vortex_isa::layout::HEAP_BASE).unwrap(),
-            42
-        );
+        assert_eq!(sim.mem.read_u32(vortex_isa::layout::HEAP_BASE).unwrap(), 42);
         assert!(r.stats.cycles > 0);
         assert!(r.stats.instructions >= 4);
     }
@@ -282,6 +371,175 @@ mod tests {
         cfg.max_cycles = 10_000;
         let mut sim = Simulator::new(cfg, p);
         assert!(matches!(sim.run(), Err(SimError::CycleLimit(_))));
+    }
+
+    /// WSPAWN fan-out + BAR rendezvous: both schedulers must agree on every
+    /// counter and on memory. This exercises the barrier wake path, where a
+    /// span's end is another warp's arrival rather than a scoreboard time.
+    #[test]
+    fn fast_forward_matches_dense_across_wspawn_and_barriers() {
+        use vortex_isa::layout::HEAP_BASE;
+        // warp 0 spawns NW warps; each warp stores its id, waits at a
+        // barrier for all NW warps, then re-reads a neighbour's slot and
+        // stores the sum — wrong if the barrier releases early or late.
+        let p = Program {
+            instrs: vec![
+                Instr::CsrRead {
+                    rd: abi::T0,
+                    csr: Csr::NumWarps,
+                },
+                Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: abi::T1,
+                    rs1: abi::ZERO,
+                    imm: 3,
+                },
+                Instr::Wspawn {
+                    rs1: abi::T0,
+                    rs2: abi::T1,
+                },
+                // entry (pc=3): x5 = wid, x6 = wid*4, x7 = HEAP_BASE
+                Instr::CsrRead {
+                    rd: abi::T0,
+                    csr: Csr::WarpId,
+                },
+                Instr::OpImm {
+                    op: AluOp::Sll,
+                    rd: abi::T1,
+                    rs1: abi::T0,
+                    imm: 2,
+                },
+                Instr::Lui {
+                    rd: abi::T2,
+                    imm: (HEAP_BASE >> 12) as i32,
+                },
+                Instr::Op {
+                    op: AluOp::Add,
+                    rd: abi::T2,
+                    rs1: abi::T2,
+                    rs2: abi::T1,
+                },
+                Instr::Sw {
+                    rs1: abi::T2,
+                    rs2: abi::T0,
+                    imm: 0,
+                },
+                // bar(id = 0 (x0), count = NW (x8 = NumWarps))
+                Instr::CsrRead {
+                    rd: 8,
+                    csr: Csr::NumWarps,
+                },
+                Instr::Bar {
+                    rs1: abi::ZERO,
+                    rs2: 8,
+                },
+                // x9 = neighbour (wid+1 mod NW) slot value; store wid+it
+                Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: 9,
+                    rs1: abi::T0,
+                    imm: 1,
+                },
+                Instr::MulDiv {
+                    op: vortex_isa::MulOp::Remu,
+                    rd: 9,
+                    rs1: 9,
+                    rs2: 8,
+                },
+                Instr::OpImm {
+                    op: AluOp::Sll,
+                    rd: 9,
+                    rs1: 9,
+                    imm: 2,
+                },
+                Instr::Lui {
+                    rd: 10,
+                    imm: (HEAP_BASE >> 12) as i32,
+                },
+                Instr::Op {
+                    op: AluOp::Add,
+                    rd: 10,
+                    rs1: 10,
+                    rs2: 9,
+                },
+                Instr::Lw {
+                    rd: 11,
+                    rs1: 10,
+                    imm: 0,
+                },
+                Instr::Op {
+                    op: AluOp::Add,
+                    rd: 11,
+                    rs1: 11,
+                    rs2: abi::T0,
+                },
+                Instr::Sw {
+                    rs1: abi::T2,
+                    rs2: 11,
+                    imm: 0,
+                },
+                Instr::Tmc { rs1: abi::ZERO },
+            ],
+            printf_table: vec![],
+            entry: 0,
+        };
+        for (w, t) in [(2u32, 2u32), (4, 4), (8, 2)] {
+            let mut cfg = SimConfig::new(VortexConfig::new(1, w, t));
+            let mut fast = Simulator::new(cfg.clone(), p.clone());
+            let fast_r = fast.run().unwrap();
+            cfg.reference_mode = true;
+            let mut dense = Simulator::new(cfg, p.clone());
+            let dense_r = dense.run().unwrap();
+            assert_eq!(fast_r.stats, dense_r.stats, "{w}w{t}t stats diverge");
+            for wi in 0..w {
+                let addr = vortex_isa::layout::HEAP_BASE + wi * 4;
+                assert_eq!(
+                    fast.mem.read_u32(addr).unwrap(),
+                    dense.mem.read_u32(addr).unwrap(),
+                    "{w}w{t}t: heap slot {wi} diverges"
+                );
+                // Slot holds neighbour-id + own-id after the barrier.
+                assert_eq!(
+                    fast.mem.read_u32(addr).unwrap(),
+                    (wi + 1) % w + wi,
+                    "{w}w{t}t: barrier released at the wrong time"
+                );
+            }
+        }
+    }
+
+    /// A barrier that can never be satisfied deadlocks the core; both
+    /// schedulers must hit the cycle limit at the same cycle. The fast path
+    /// sees `u64::MAX` as the next event and clamps to the limit.
+    #[test]
+    fn barrier_deadlock_hits_cycle_limit_in_both_modes() {
+        let p = Program {
+            instrs: vec![
+                // x5 = 2, but only warp 0 exists: bar(0, 2) never releases.
+                Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: abi::T0,
+                    rs1: abi::ZERO,
+                    imm: 2,
+                },
+                Instr::Bar {
+                    rs1: abi::ZERO,
+                    rs2: abi::T0,
+                },
+                Instr::Tmc { rs1: abi::ZERO },
+            ],
+            printf_table: vec![],
+            entry: 0,
+        };
+        let mut cfg = SimConfig::new(VortexConfig::new(1, 2, 2));
+        cfg.max_cycles = 10_000;
+        let mut fast = Simulator::new(cfg.clone(), p.clone());
+        let fast_err = fast.run().unwrap_err();
+        cfg.reference_mode = true;
+        let mut dense = Simulator::new(cfg, p);
+        let dense_err = dense.run().unwrap_err();
+        assert_eq!(fast_err, SimError::CycleLimit(10_001));
+        assert_eq!(fast_err, dense_err);
     }
 
     #[test]

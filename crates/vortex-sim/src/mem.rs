@@ -31,7 +31,9 @@ impl SimMemory {
         if a + 4 > self.global.len() {
             return Err(SimError::BadAccess { addr, pc: 0 });
         }
-        Ok(u32::from_le_bytes(self.global[a..a + 4].try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            self.global[a..a + 4].try_into().unwrap(),
+        ))
     }
 
     /// Write a word to `addr` (global space).

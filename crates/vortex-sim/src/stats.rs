@@ -13,8 +13,9 @@ pub enum StallKind {
     Idle,
 }
 
-/// Aggregated counters for one simulation.
-#[derive(Debug, Clone, Default)]
+/// Aggregated counters for one simulation. `Eq` so differential tests can
+/// assert the event-driven scheduler reproduces the dense loop bit-for-bit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     pub cycles: u64,
     pub instructions: u64,
@@ -33,7 +34,7 @@ pub struct SimStats {
 }
 
 /// Per-core counters merged into [`SimStats`] at the end of a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoreStats {
     pub instructions: u64,
     pub stall_scoreboard: u64,

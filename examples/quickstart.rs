@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let py = mem.alloc_f32(&ys);
     let hls = hls_flow::execute_ndrange(
         &module.kernels[0],
-        &[KernelArg::Ptr(px), KernelArg::Ptr(py), KernelArg::F32(alpha)],
+        &[
+            KernelArg::Ptr(px),
+            KernelArg::Ptr(py),
+            KernelArg::F32(alpha),
+        ],
         &nd,
         &mut mem,
         &device,

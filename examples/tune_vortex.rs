@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for t in [2u32, 4, 8, 16] {
             let hw = VortexConfig::new(4, w, t);
             let cfg = SimConfig::new(hw);
-            let out = run_vortex(&b, Scale::Test, &cfg)
-                .map_err(|e| format!("{hw}: {e}"))?;
+            let out = run_vortex(&b, Scale::Test, &cfg).map_err(|e| format!("{hw}: {e}"))?;
             let area = vortex_area(&hw);
             let fits = area.fits_in(&device.capacity);
             println!(

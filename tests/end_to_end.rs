@@ -37,7 +37,11 @@ fn three_backends_agree_bit_for_bit() {
     let po = mem_i.alloc(n * 4);
     run_ndrange(
         k,
-        &[KernelArg::Ptr(pa), KernelArg::Ptr(po), KernelArg::I32(n as i32)],
+        &[
+            KernelArg::Ptr(pa),
+            KernelArg::Ptr(po),
+            KernelArg::I32(n as i32),
+        ],
         &nd,
         &mut mem_i,
         &Limits::default(),
@@ -51,11 +55,8 @@ fn three_backends_agree_bit_for_bit() {
     let mut sess = VxSession::new(cfg, compiled);
     let da = sess.alloc_f32(&input).unwrap();
     let dout = sess.alloc(n * 4).unwrap();
-    sess.launch(
-        &[Arg::Buf(da), Arg::Buf(dout), Arg::I32(n as i32)],
-        &nd,
-    )
-    .unwrap();
+    sess.launch(&[Arg::Buf(da), Arg::Buf(dout), Arg::I32(n as i32)], &nd)
+        .unwrap();
     let vx_out = sess.read_u32(dout, n as usize).unwrap();
     assert_eq!(vx_out, ref_out, "vortex != interpreter");
 
@@ -65,7 +66,11 @@ fn three_backends_agree_bit_for_bit() {
     let ho = mem_h.alloc(n * 4);
     hls::execute_ndrange(
         k,
-        &[KernelArg::Ptr(ha), KernelArg::Ptr(ho), KernelArg::I32(n as i32)],
+        &[
+            KernelArg::Ptr(ha),
+            KernelArg::Ptr(ho),
+            KernelArg::I32(n as i32),
+        ],
         &nd,
         &mut mem_h,
         &Device::mx2100(),
@@ -109,15 +114,19 @@ fn optimized_ir_produces_identical_vortex_results() {
     };
     let baseline = ocl_front::compile(src).unwrap();
     let mut optimized = baseline.clone();
-    let stats = ocl_ir::passes::optimize_module(
-        &mut optimized,
-        ocl_ir::passes::OptLevel::VariableReuse,
+    let stats =
+        ocl_ir::passes::optimize_module(&mut optimized, ocl_ir::passes::OptLevel::VariableReuse);
+    assert!(
+        stats.cse_replaced > 0,
+        "CSE should fire on the duplicate expr"
     );
-    assert!(stats.cse_replaced > 0, "CSE should fire on the duplicate expr");
     let (out_base, size_base) = run(&baseline);
     let (out_opt, size_opt) = run(&optimized);
     assert_eq!(out_base, out_opt, "optimization changed results");
-    assert!(size_opt < size_base, "optimization should shrink the kernel");
+    assert!(
+        size_opt < size_base,
+        "optimization should shrink the kernel"
+    );
 }
 
 /// The binary encoding round-trips through a real compiled kernel.
@@ -138,8 +147,7 @@ fn representative_suite_benchmarks_roundtrip() {
     let cfg = SimConfig::new(VortexConfig::new(2, 4, 16));
     for name in ["Dotproduct", "Hybridsort", "Backprop"] {
         let b = suite::benchmark(name).unwrap();
-        suite::run_vortex(&b, Scale::Test, &cfg)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        suite::run_vortex(&b, Scale::Test, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
     // HLS: hybridsort fails on atomics (MX2100), runs fine on the DDR4
     // board the paper puts Vortex on.

@@ -1,0 +1,85 @@
+//! Differential harness for the event-driven scheduler: run each benchmark
+//! under both the fast-forward run loop and the dense reference loop
+//! (`SimConfig::reference_mode`) and require *bit-identical* results —
+//! per-launch cycle counts, the full stall breakdown, cache/DRAM counters,
+//! final buffer contents, and printf output.
+//!
+//! The benchmark set is chosen to cover the stall sources the scheduler
+//! reasons about: vecadd/transpose (MSHR/LSU pressure and DRAM row
+//! behavior), dotproduct and backprop (BAR barriers and WSPAWN fan-out,
+//! multi-kernel launches), gaussian (divergent control flow with long
+//! dependence chains), across single- and multi-core shapes.
+
+use fpga_gpu_repro::arch::VortexConfig;
+use fpga_gpu_repro::suite::{benchmark, run_vortex_trace, Scale};
+use fpga_gpu_repro::vsim::SimConfig;
+
+// Shapes must satisfy each benchmark's group-size constraint (dotproduct
+// runs 16-wide work groups, backprop 64-wide: the group must be a multiple
+// of threads/warp and fit in warps×threads).
+type Shape = (u32, u32, u32);
+
+const SHAPES: &[Shape] = &[(1, 4, 4), (1, 2, 8), (2, 4, 8), (2, 8, 16), (1, 16, 4)];
+const WIDE_SHAPES: &[Shape] = &[(1, 8, 8), (1, 4, 16), (2, 8, 8), (2, 16, 4)];
+
+fn bench_matrix() -> Vec<(&'static str, &'static [Shape])> {
+    vec![
+        ("Vecadd", SHAPES),
+        ("Dotproduct", SHAPES),
+        ("Transpose", SHAPES),
+        ("Gaussian", SHAPES),
+        ("Backprop", WIDE_SHAPES),
+    ]
+}
+
+#[test]
+fn fast_forward_is_bit_identical_to_dense_loop() {
+    for (name, shapes) in bench_matrix() {
+        let b = benchmark(name).expect("benchmark exists");
+        for &(c, w, t) in shapes {
+            let mut fast_cfg = SimConfig::new(VortexConfig::new(c, w, t));
+            assert!(!fast_cfg.reference_mode, "fast-forward must be the default");
+            let fast = run_vortex_trace(&b, Scale::Test, &fast_cfg)
+                .unwrap_or_else(|e| panic!("{name} {c}c{w}w{t}t fast: {e}"));
+
+            fast_cfg.reference_mode = true;
+            let dense = run_vortex_trace(&b, Scale::Test, &fast_cfg)
+                .unwrap_or_else(|e| panic!("{name} {c}c{w}w{t}t dense: {e}"));
+
+            assert_eq!(
+                fast.launch_stats, dense.launch_stats,
+                "{name} {c}c{w}w{t}t: stats diverge between schedulers"
+            );
+            assert_eq!(
+                fast.buffers, dense.buffers,
+                "{name} {c}c{w}w{t}t: final memory diverges between schedulers"
+            );
+            assert_eq!(
+                fast.printf_output, dense.printf_output,
+                "{name} {c}c{w}w{t}t: printf output diverges between schedulers"
+            );
+        }
+    }
+}
+
+/// The stall breakdown must tile the timeline in both modes: every cycle a
+/// core is live is either an issue or exactly one kind of stall, so the
+/// bulk-accounted fast path can't silently drop or double-count cycles.
+#[test]
+fn stall_breakdown_accounts_for_every_cycle_single_core() {
+    for &name in &["Vecadd", "Dotproduct", "Gaussian"] {
+        let b = benchmark(name).expect("benchmark exists");
+        let cfg = SimConfig::new(VortexConfig::new(1, 4, 8));
+        let trace =
+            run_vortex_trace(&b, Scale::Test, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for (li, s) in trace.launch_stats.iter().enumerate() {
+            let accounted =
+                s.instructions + s.stall_scoreboard + s.stall_lsu + s.stall_barrier + s.stall_idle;
+            assert_eq!(
+                accounted, s.cycles,
+                "{name} launch {li}: {} issued + stalled cycles vs {} total",
+                accounted, s.cycles
+            );
+        }
+    }
+}

@@ -1,134 +1,134 @@
-//! Property-based differential testing: generate random kernels in the
+//! Randomized differential testing: generate random kernels in the
 //! OpenCL subset, run them through the reference interpreter and the full
 //! Vortex flow (front end → codegen → cycle simulator), and require
 //! bit-identical memory. This hammers the whole stack — expression
 //! lowering, divergence lowering, register allocation, the scheduler
 //! prologue, and the simulator's SIMT semantics — with shapes no
 //! hand-written test covers.
+//!
+//! Cases are drawn from a fixed-seed [`repro_util::Rng`], so every run
+//! replays the same sequence and a failing `case` index is a full repro.
 
 use fpga_gpu_repro::arch::VortexConfig;
 use fpga_gpu_repro::ir::interp::{run_ndrange, KernelArg, Limits, Memory, NdRange};
 use fpga_gpu_repro::vrt::{Arg, VxSession};
 use fpga_gpu_repro::vsim::SimConfig;
-use proptest::prelude::*;
+use repro_util::Rng;
 
 /// A random integer expression over `i` (the gid), `v` (a loaded value) and
 /// `acc`, rendered into kernel source.
-fn arb_int_expr(depth: u32) -> BoxedStrategy<String> {
+fn arb_int_expr(r: &mut Rng, depth: u32) -> String {
     if depth == 0 {
-        prop_oneof![
-            Just("i".to_string()),
-            Just("v".to_string()),
-            Just("acc".to_string()),
-            (1i32..64).prop_map(|c| c.to_string()),
-        ]
-        .boxed()
-    } else {
-        let sub = arb_int_expr(depth - 1);
-        prop_oneof![
-            (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
-            (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
-            (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
-            // Divisors/shift amounts kept well-defined.
-            (sub.clone(), 1i32..16).prop_map(|(a, b)| format!("({a} / {b})")),
-            (sub.clone(), 1i32..16).prop_map(|(a, b)| format!("({a} % {b})")),
-            (sub.clone(), 0i32..8).prop_map(|(a, b)| format!("({a} >> {b})")),
-            (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("({a} ^ {b})")),
-            (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("min({a}, {b})")),
-            sub.clone().prop_map(|a| format!("(-{a})")),
-        ]
-        .boxed()
+        return match r.below(4) {
+            0 => "i".to_string(),
+            1 => "v".to_string(),
+            2 => "acc".to_string(),
+            _ => r.range_i32(1, 64).to_string(),
+        };
+    }
+    let a = arb_int_expr(r, depth - 1);
+    match r.below(9) {
+        0 => format!("({a} + {})", arb_int_expr(r, depth - 1)),
+        1 => format!("({a} - {})", arb_int_expr(r, depth - 1)),
+        2 => format!("({a} * {})", arb_int_expr(r, depth - 1)),
+        // Divisors/shift amounts kept well-defined.
+        3 => format!("({a} / {})", r.range_i32(1, 16)),
+        4 => format!("({a} % {})", r.range_i32(1, 16)),
+        5 => format!("({a} >> {})", r.range_i32(0, 8)),
+        6 => format!("({a} ^ {})", arb_int_expr(r, depth - 1)),
+        7 => format!("min({a}, {})", arb_int_expr(r, depth - 1)),
+        _ => format!("(-{a})"),
     }
 }
 
 /// A random kernel: loads a[i], optionally loops (uniform or divergent
 /// bound), optionally branches divergently, writes one output.
-fn arb_kernel() -> impl Strategy<Value = String> {
-    (
-        arb_int_expr(2),
-        arb_int_expr(1),
-        arb_int_expr(1),
-        0u8..3,   // loop kind: none / uniform / divergent
-        any::<bool>(), // divergent if?
-        1u32..6,  // uniform loop trips
+fn arb_kernel(r: &mut Rng) -> String {
+    let body_e = arb_int_expr(r, 2);
+    let then_e = arb_int_expr(r, 1);
+    let cond_e = arb_int_expr(r, 1);
+    let loop_kind = r.below(3);
+    let div_if = r.bool();
+    let trips = r.range_i32(1, 6);
+    let loop_hdr = match loop_kind {
+        1 => format!("for (int j = 0; j < {trips}; j++)"),
+        2 => "for (int j = 0; j < i % 4 + 1; j++)".to_string(),
+        _ => "for (int j = 0; j < 1; j++)".to_string(),
+    };
+    let branch = if div_if {
+        format!("if ((({cond_e}) & 3) == 1) {{ acc += {then_e}; }} else {{ acc -= 1; }}")
+    } else {
+        format!("acc += {then_e};")
+    };
+    format!(
+        "__kernel void fuzz(__global const int* a, __global int* o, int n) {{
+            int i = get_global_id(0);
+            int v = a[i];
+            int acc = 0;
+            {loop_hdr} {{
+                acc = acc + ({body_e});
+                {branch}
+            }}
+            o[i] = acc;
+        }}"
     )
-        .prop_map(|(body_e, then_e, cond_e, loop_kind, div_if, trips)| {
-            let loop_hdr = match loop_kind {
-                1 => format!("for (int j = 0; j < {trips}; j++)"),
-                2 => "for (int j = 0; j < i % 4 + 1; j++)".to_string(),
-                _ => "for (int j = 0; j < 1; j++)".to_string(),
-            };
-            let branch = if div_if {
-                format!(
-                    "if ((({cond_e}) & 3) == 1) {{ acc += {then_e}; }} else {{ acc -= 1; }}"
-                )
-            } else {
-                format!("acc += {then_e};")
-            };
-            format!(
-                "__kernel void fuzz(__global const int* a, __global int* o, int n) {{
-                    int i = get_global_id(0);
-                    int v = a[i];
-                    int acc = 0;
-                    {loop_hdr} {{
-                        acc = acc + ({body_e});
-                        {branch}
-                    }}
-                    o[i] = acc;
-                }}"
-            )
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
+const CASES: u64 = 48;
 
-    #[test]
-    fn vortex_matches_interpreter_on_random_kernels(src in arb_kernel(), seed in 0u64..1000) {
+#[test]
+fn vortex_matches_interpreter_on_random_kernels() {
+    let mut r = Rng::new(0xD1FF_0001);
+    for case in 0..CASES {
+        let src = arb_kernel(&mut r);
+        let seed = r.below(1000);
         let n = 64u32;
         let nd = NdRange::d1(n, 8);
         let input: Vec<i32> = (0..n as i64)
             .map(|i| ((i.wrapping_mul(2654435761) + seed as i64) % 199 - 99) as i32)
             .collect();
 
-        let module = match ocl_front::compile(&src) {
-            Ok(m) => m,
-            Err(e) => return Err(TestCaseError::fail(format!("gen produced invalid source: {e}\n{src}"))),
-        };
+        let module = ocl_front::compile(&src)
+            .unwrap_or_else(|e| panic!("case {case}: gen produced invalid source: {e}\n{src}"));
         let k = module.expect_kernel("fuzz");
         let mut mem = Memory::new(1 << 20);
         let pa = mem.alloc_i32(&input);
         let po = mem.alloc(n * 4);
         run_ndrange(
             k,
-            &[KernelArg::Ptr(pa), KernelArg::Ptr(po), KernelArg::I32(n as i32)],
+            &[
+                KernelArg::Ptr(pa),
+                KernelArg::Ptr(po),
+                KernelArg::I32(n as i32),
+            ],
             &nd,
             &mut mem,
             &Limits::default(),
         )
-        .map_err(|e| TestCaseError::fail(format!("interp: {e}\n{src}")))?;
+        .unwrap_or_else(|e| panic!("case {case}: interp: {e}\n{src}"));
         let want = mem.read_i32_slice(po, n as usize);
 
         let cfg = SimConfig::new(VortexConfig::new(1, 2, 4));
         let compiled = fpga_gpu_repro::vrt::compile_for(&src, "fuzz", &cfg)
-            .map_err(|e| TestCaseError::fail(format!("codegen: {e}\n{src}")))?;
+            .unwrap_or_else(|e| panic!("case {case}: codegen: {e}\n{src}"));
         let mut sess = VxSession::new(cfg, compiled);
         let da = sess.alloc_i32(&input).unwrap();
         let dout = sess.alloc(n * 4).unwrap();
         sess.launch(&[Arg::Buf(da), Arg::Buf(dout), Arg::I32(n as i32)], &nd)
-            .map_err(|e| TestCaseError::fail(format!("launch: {e}\n{src}")))?;
+            .unwrap_or_else(|e| panic!("case {case}: launch: {e}\n{src}"));
         let got = sess.read_i32(dout, n as usize).unwrap();
-        prop_assert_eq!(got, want, "kernel:\n{}", src);
+        assert_eq!(got, want, "case {case}: kernel:\n{src}");
     }
+}
 
-    /// The optimization pipeline preserves interpreter semantics on random
-    /// kernels (CSE alias reasoning, const-fold, copy-prop, DCE).
-    #[test]
-    fn passes_preserve_semantics(src in arb_kernel(), seed in 0u64..1000) {
+/// The optimization pipeline preserves interpreter semantics on random
+/// kernels (CSE alias reasoning, const-fold, copy-prop, DCE).
+#[test]
+fn passes_preserve_semantics() {
+    let mut r = Rng::new(0xD1FF_0002);
+    for case in 0..CASES {
+        let src = arb_kernel(&mut r);
+        let seed = r.below(1000);
         let n = 32u32;
         let nd = NdRange::d1(n, 8);
         let input: Vec<i32> = (0..n as i64)
@@ -140,27 +140,31 @@ proptest! {
             .collect();
         let module = match ocl_front::compile(&src) {
             Ok(m) => m,
-            Err(_) => return Ok(()),
+            Err(_) => continue,
         };
         let mut optimized = module.clone();
         ocl_ir::passes::optimize_module(&mut optimized, ocl_ir::passes::OptLevel::VariableReuse);
         ocl_ir::verify::verify_module(&optimized)
-            .map_err(|e| TestCaseError::fail(format!("verify after passes: {e}\n{src}")))?;
+            .unwrap_or_else(|e| panic!("case {case}: verify after passes: {e}\n{src}"));
         let run = |m: &ocl_ir::Module| {
             let mut mem = Memory::new(1 << 20);
             let pa = mem.alloc_i32(&input);
             let po = mem.alloc(n * 4);
             run_ndrange(
                 m.expect_kernel("fuzz"),
-                &[KernelArg::Ptr(pa), KernelArg::Ptr(po), KernelArg::I32(n as i32)],
+                &[
+                    KernelArg::Ptr(pa),
+                    KernelArg::Ptr(po),
+                    KernelArg::I32(n as i32),
+                ],
                 &nd,
                 &mut mem,
                 &Limits::default(),
             )
             .map(|_| mem.read_i32_slice(po, n as usize))
         };
-        let base = run(&module).map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
-        let opt = run(&optimized).map_err(|e| TestCaseError::fail(format!("opt: {e}\n{src}")))?;
-        prop_assert_eq!(base, opt, "kernel:\n{}", src);
+        let base = run(&module).unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
+        let opt = run(&optimized).unwrap_or_else(|e| panic!("case {case}: opt: {e}\n{src}"));
+        assert_eq!(base, opt, "case {case}: kernel:\n{src}");
     }
 }
