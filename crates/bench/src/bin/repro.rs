@@ -8,6 +8,8 @@
 //! repro fig7 [--fast]       Figure 7  warp/thread cycle sweep + §III-C numbers
 //! repro analytic            §IV-A     analytical model vs cycle simulator
 //! repro bench-sim [--fast]  scheduler wall-clock: fast-forward vs dense loop
+//! repro trace <bench>       chrome://tracing export of a Vortex run
+//! repro profile <bench>     hot-PC + stall-attribution profile of a Vortex run
 //! repro all [--fast]        everything above (bench-sim runs separately)
 //! ```
 //!
@@ -238,6 +240,89 @@ fn run_bench_sim(fast: bool) {
     save_json("bench_sim", &doc);
 }
 
+/// The machine shape `repro trace` / `repro profile` simulate: one core
+/// keeps the trace readable, 8×8 warps/threads satisfies every benchmark's
+/// group-size constraint at `Scale::Test`.
+fn trace_config() -> vortex_sim::SimConfig {
+    vortex_sim::SimConfig::new(VortexConfig::new(1, 8, 8))
+}
+
+/// Run `name` traced and return the benchmark, observable state, and the
+/// per-launch event streams.
+fn traced_run(
+    name: &str,
+) -> (
+    ocl_suite::Benchmark,
+    ocl_suite::VortexTrace,
+    Vec<Vec<vortex_sim::TraceEvent>>,
+) {
+    let Some(b) = ocl_suite::benchmark(name) else {
+        eprintln!("unknown benchmark `{name}`");
+        std::process::exit(2);
+    };
+    let cfg = trace_config();
+    match ocl_suite::run_vortex_events(&b, Scale::Test, &cfg) {
+        Ok((trace, launches)) => (b, trace, launches),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_trace(name: &str) {
+    let (b, trace, launches) = traced_run(name);
+    let doc = repro_core::chrome_trace(&launches);
+    let file = format!("trace_{}", b.name.to_lowercase());
+    save_json(&file, &doc);
+    let events: usize = launches.iter().map(Vec::len).sum();
+    println!(
+        "## Trace — {} ({} launches, {} events, {} cycles)\n",
+        b.name,
+        launches.len(),
+        events,
+        trace.launch_stats.iter().map(|s| s.cycles).sum::<u64>()
+    );
+    println!("wrote target/repro/{file}.json — load it in chrome://tracing or Perfetto");
+}
+
+fn run_profile(name: &str) {
+    use vortex_sim::LaunchProfile;
+    let (b, trace, launches) = traced_run(name);
+    let cfg = trace_config();
+    // Recompile for disassembly of the hot PCs (same options as the run).
+    let module = ocl_front::compile(b.source).expect("already compiled once");
+    let opts = vortex_cc::CodegenOpts {
+        threads: cfg.hw.threads,
+    };
+    let disasm_of = |kernel: &str| -> Vec<String> {
+        module
+            .kernel(kernel)
+            .and_then(|k| vortex_cc::compile_kernel(k, &opts).ok())
+            .map(|c| c.program.instrs.iter().map(|i| i.to_string()).collect())
+            .unwrap_or_default()
+    };
+    let w = (b.workload)(Scale::Test);
+    let sections: Vec<report::ProfileSection> = launches
+        .iter()
+        .zip(&w.launches)
+        .zip(&trace.launch_stats)
+        .map(|((events, l), stats)| {
+            let profile = LaunchProfile::from_events(events);
+            if let Err(e) = profile.verify_tiling(stats) {
+                eprintln!("launch `{}`: trace does not tile with stats: {e}", l.kernel);
+                std::process::exit(1);
+            }
+            report::ProfileSection {
+                kernel: l.kernel.to_string(),
+                profile,
+                disasm: disasm_of(l.kernel),
+            }
+        })
+        .collect();
+    print!("{}", report::render_profile(b.name, &sections, 8));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -251,6 +336,17 @@ fn main() {
         "fig7" => run_fig7(fast),
         "analytic" => run_analytic(),
         "bench-sim" => run_bench_sim(fast),
+        "trace" | "profile" => {
+            let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("usage: repro {cmd} <bench>");
+                std::process::exit(2);
+            };
+            if cmd == "trace" {
+                run_trace(bench);
+            } else {
+                run_profile(bench);
+            }
+        }
         "all" => {
             run_table1(true);
             println!();

@@ -12,14 +12,18 @@
 //! * [`analytic`] — the analytical Vortex performance model the paper's
 //!   §IV-A calls for as future work, validated against the cycle simulator;
 //! * [`report`] — markdown / JSON rendering shared by the `repro` binary
-//!   and EXPERIMENTS.md.
+//!   and EXPERIMENTS.md;
+//! * [`chrome_trace`] — chrome://tracing export of the Vortex simulator's
+//!   event stream (the `repro trace` artifact).
 
 pub mod analytic;
+pub mod chrome_trace;
 pub mod coverage;
 pub mod fig7;
 pub mod report;
 pub mod tables;
 
+pub use chrome_trace::chrome_trace;
 pub use coverage::{coverage_table, CoverageRow};
 pub use fig7::{fig7_grid, fig7_summary, Fig7Cell, Fig7Grid};
 pub use tables::{table2, table3, table4, AreaRow};

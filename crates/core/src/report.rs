@@ -6,6 +6,7 @@ use crate::fig7::{Fig7Grid, Fig7Summary};
 use crate::tables::AreaRow;
 use fpga_arch::VortexConfig;
 use std::fmt::Write;
+use vortex_sim::LaunchProfile;
 
 /// Render Table I as markdown.
 pub fn render_table1(rows: &[CoverageRow]) -> String {
@@ -121,6 +122,82 @@ pub fn render_fig7(grid: &Fig7Grid) -> String {
     s
 }
 
+/// One launch's slice of a `repro profile` report.
+pub struct ProfileSection {
+    /// Kernel name of the launch.
+    pub kernel: String,
+    /// Aggregated trace profile of the launch.
+    pub profile: LaunchProfile,
+    /// Disassembly text per instruction index; empty renders pc-only rows.
+    pub disasm: Vec<String>,
+}
+
+/// Render the `repro profile` report: per-launch stall attribution with
+/// the top stall sources first, then the hot-PC histogram (top `top_n`
+/// rows of each).
+pub fn render_profile(bench: &str, sections: &[ProfileSection], top_n: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "## Profile — {bench}");
+    for (li, sec) in sections.iter().enumerate() {
+        let p = &sec.profile;
+        let stall_total = p.stall_total();
+        let live = p.instructions + stall_total;
+        let _ = writeln!(s, "\n### Launch {li} — `{}`", sec.kernel);
+        let _ = writeln!(
+            s,
+            "\n{} instructions, {} stall cycles ({} live cycles across {} cores)",
+            p.instructions,
+            stall_total,
+            live,
+            p.per_core.len()
+        );
+        let _ = writeln!(
+            s,
+            "dcache {}/{} hits, l2 {}/{} hits, dram {} ({} row hits), \
+             {} barriers, {} wspawns",
+            p.dcache_hits,
+            p.dcache_hits + p.dcache_misses,
+            p.l2_hits,
+            p.l2_hits + p.l2_misses,
+            p.dram_accesses,
+            p.dram_row_hits,
+            p.barrier_arrivals,
+            p.wspawns
+        );
+        let _ = writeln!(s, "\nTop stall sources:");
+        let _ = writeln!(s, "| rank | source | cycles | share of stalls |");
+        let _ = writeln!(s, "|---|---|---|---|");
+        for (rank, (kind, cycles)) in p.stall_ranking().into_iter().take(top_n).enumerate() {
+            let share = if stall_total > 0 {
+                100.0 * cycles as f64 / stall_total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {:.1}% |",
+                rank + 1,
+                kind.label(),
+                cycles,
+                share
+            );
+        }
+        let _ = writeln!(s, "\nHot PCs:");
+        let _ = writeln!(s, "| pc | instruction | issues | share |");
+        let _ = writeln!(s, "|---|---|---|---|");
+        for &(pc, count) in p.hot_pcs.iter().take(top_n) {
+            let text = sec
+                .disasm
+                .get(pc as usize)
+                .map(String::as_str)
+                .unwrap_or("?");
+            let share = 100.0 * count as f64 / p.instructions.max(1) as f64;
+            let _ = writeln!(s, "| {pc} | `{text}` | {count} | {share:.1}% |");
+        }
+    }
+    s
+}
+
 /// Render the §III-C summary sentence comparisons.
 pub fn render_fig7_summary(sm: &Fig7Summary) -> String {
     format!(
@@ -166,6 +243,46 @@ mod tests {
         }];
         let s = render_area_table("T", &rows);
         assert!(s.contains("+10.0%"), "{s}");
+    }
+
+    #[test]
+    fn profile_report_ranks_stalls_and_pcs() {
+        use vortex_sim::{StallKind, TraceEvent};
+        let events = vec![
+            TraceEvent::Issue {
+                core: 0,
+                warp: 0,
+                cycle: 0,
+                pc: 1,
+            },
+            TraceEvent::Issue {
+                core: 0,
+                warp: 0,
+                cycle: 1,
+                pc: 1,
+            },
+            TraceEvent::Issue {
+                core: 0,
+                warp: 1,
+                cycle: 2,
+                pc: 0,
+            },
+            TraceEvent::Stall {
+                core: 0,
+                kind: StallKind::LsuFull,
+                from: 3,
+                to: 9,
+            },
+        ];
+        let sections = vec![ProfileSection {
+            kernel: "k".into(),
+            profile: LaunchProfile::from_events(&events),
+            disasm: vec!["nop".into(), "add x8, x8, x9".into()],
+        }];
+        let s = render_profile("bench", &sections, 3);
+        assert!(s.contains("### Launch 0 — `k`"), "{s}");
+        assert!(s.contains("| 1 | lsu | 6 | 100.0% |"), "{s}");
+        assert!(s.contains("| 1 | `add x8, x8, x9` | 2 | 66.7% |"), "{s}");
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub mod benches;
 pub mod runner;
 pub mod spec;
 
-pub use runner::{run_hls, run_reference, run_vortex, run_vortex_trace, RunOutcome, VortexTrace};
+pub use runner::{
+    run_hls, run_reference, run_vortex, run_vortex_events, run_vortex_trace, RunOutcome,
+    VortexTrace,
+};
 pub use spec::{Benchmark, HostData, LArg, Launch, Scale, Workload};
 
 /// All 28 benchmarks, in the paper's Table I order.

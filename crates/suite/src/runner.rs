@@ -2,12 +2,12 @@
 //! verifies results — the suite's equivalent of the paper's "identical
 //! source code on both platforms" methodology.
 
-use crate::spec::{Benchmark, HostData, LArg, Scale, Workload};
+use crate::spec::{Benchmark, HostData, LArg, Launch, Scale, Workload};
 use fpga_arch::Device;
 use hls_flow::{synthesize, SynthFailure, SynthOptions};
 use ocl_ir::interp::{self, KernelArg, Limits, Memory};
 use vortex_rt::{Arg, VxSession};
-use vortex_sim::SimConfig;
+use vortex_sim::{RecordingSink, SimConfig, TraceEvent};
 
 /// Outcome of running one benchmark on one back end.
 #[derive(Debug, Clone)]
@@ -62,53 +62,14 @@ pub fn run_reference(b: &Benchmark, scale: Scale) -> Result<RunOutcome, String> 
 
 /// Run on the Vortex flow (compile → simulate) and verify.
 pub fn run_vortex(b: &Benchmark, scale: Scale, cfg: &SimConfig) -> Result<RunOutcome, String> {
-    let module = ocl_front::compile(b.source).map_err(|e| format!("{}: {e}", b.name))?;
-    let opts = vortex_cc::CodegenOpts {
-        threads: cfg.hw.threads,
-    };
-    let kernels = module
-        .kernels
-        .iter()
-        .map(|k| vortex_cc::compile_kernel(k, &opts))
-        .collect::<Result<Vec<_>, _>>()
-        .map_err(|e| format!("{} codegen: {e}", b.name))?;
-    let w = (b.workload)(scale);
-    let mut sess = VxSession::with_kernels(cfg.clone(), kernels);
-    let bufs: Vec<vortex_rt::Buffer> = w
-        .buffers
-        .iter()
-        .map(|h| sess.alloc_u32(&h.to_words()))
-        .collect::<Result<_, _>>()
-        .map_err(|e| format!("{} alloc: {e}", b.name))?;
-    let mut cycles = 0;
-    let mut instructions = 0;
-    let mut printf_output = Vec::new();
-    for l in &w.launches {
-        let args: Vec<Arg> = l
-            .args
-            .iter()
-            .map(|a| match a {
-                LArg::Buf(i) => Arg::Buf(bufs[*i]),
-                LArg::I32(v) => Arg::I32(*v),
-                LArg::U32(v) => Arg::U32(*v),
-                LArg::F32(v) => Arg::F32(*v),
-            })
-            .collect();
-        let r = sess
-            .launch_named(l.kernel, &args, &l.nd)
-            .map_err(|e| format!("{} launch `{}`: {e}", b.name, l.kernel))?;
-        cycles += r.stats.cycles;
-        instructions += r.stats.instructions;
-        printf_output.extend(r.printf_output);
-    }
-    let finals = read_back(&w, &bufs, |buf, len| {
-        sess.read_u32(buf, len).expect("readback")
-    });
-    (w.check)(&finals)?;
+    let trace = run_vortex_with(b, scale, cfg, |sess, l, args| {
+        sess.launch_named(l.kernel, args, &l.nd)
+            .map_err(|e| format!("{} launch `{}`: {e}", b.name, l.kernel))
+    })?;
     Ok(RunOutcome {
-        cycles,
-        instructions,
-        printf_output,
+        cycles: trace.launch_stats.iter().map(|s| s.cycles).sum(),
+        instructions: trace.launch_stats.iter().map(|s| s.instructions).sum(),
+        printf_output: trace.printf_output,
     })
 }
 
@@ -132,6 +93,42 @@ pub fn run_vortex_trace(
     b: &Benchmark,
     scale: Scale,
     cfg: &SimConfig,
+) -> Result<VortexTrace, String> {
+    run_vortex_with(b, scale, cfg, |sess, l, args| {
+        sess.launch_named(l.kernel, args, &l.nd)
+            .map_err(|e| format!("{} launch `{}`: {e}", b.name, l.kernel))
+    })
+}
+
+/// Run on the Vortex flow with event tracing enabled: like
+/// [`run_vortex_trace`], plus the recorded [`TraceEvent`] stream of every
+/// launch (one `Vec` per launch, in launch order).
+pub fn run_vortex_events(
+    b: &Benchmark,
+    scale: Scale,
+    cfg: &SimConfig,
+) -> Result<(VortexTrace, Vec<Vec<TraceEvent>>), String> {
+    let mut launches = Vec::new();
+    let trace = run_vortex_with(b, scale, cfg, |sess, l, args| {
+        let mut sink = RecordingSink::default();
+        let r = sess
+            .launch_named_with_sink(l.kernel, args, &l.nd, &mut sink)
+            .map_err(|e| format!("{} launch `{}`: {e}", b.name, l.kernel))?;
+        launches.push(sink.events);
+        Ok(r)
+    })?;
+    Ok((trace, launches))
+}
+
+/// The compile → codegen → session → alloc → launch-loop → readback
+/// plumbing every Vortex entry point shares. `launch` performs one launch
+/// (so callers choose traced vs untraced) and returns its [`SimResult`]
+/// (vortex_sim::SimResult).
+fn run_vortex_with(
+    b: &Benchmark,
+    scale: Scale,
+    cfg: &SimConfig,
+    mut launch: impl FnMut(&mut VxSession, &Launch, &[Arg]) -> Result<vortex_sim::SimResult, String>,
 ) -> Result<VortexTrace, String> {
     let module = ocl_front::compile(b.source).map_err(|e| format!("{}: {e}", b.name))?;
     let opts = vortex_cc::CodegenOpts {
@@ -164,9 +161,7 @@ pub fn run_vortex_trace(
                 LArg::F32(v) => Arg::F32(*v),
             })
             .collect();
-        let r = sess
-            .launch_named(l.kernel, &args, &l.nd)
-            .map_err(|e| format!("{} launch `{}`: {e}", b.name, l.kernel))?;
+        let r = launch(&mut sess, l, &args)?;
         launch_stats.push(r.stats);
         printf_output.extend(r.printf_output);
     }

@@ -1,8 +1,10 @@
-//! Minimal JSON emission: a value tree, a pretty printer, and a `ToJson`
+//! Minimal JSON support: a value tree, a pretty printer, a `ToJson`
 //! trait for the artifact types the `repro` harness writes to
-//! `target/repro/*.json` and `BENCH_sim.json`.
+//! `target/repro/*.json` and `BENCH_sim.json`, and a small
+//! recursive-descent parser ([`Json::parse`]) so tests and CI checks can
+//! round-trip those artifacts (e.g. validating Chrome-trace exports)
+//! without external dependencies.
 //!
-//! Only serialization is provided — nothing in the workspace parses JSON.
 //! `Result<T, E>` serializes as `{"Ok": …}` / `{"Err": …}`, matching the
 //! externally-tagged convention the previous serde-based output used, so
 //! downstream consumers of the artifact files see an unchanged schema.
@@ -41,6 +43,67 @@ impl Json {
         let mut s = String::new();
         self.write_pretty(&mut s, 0);
         s
+    }
+
+    /// Parse a JSON document (the full input must be one value plus
+    /// optional trailing whitespace). Integers without fraction/exponent
+    /// parse to `UInt`/`Int`; everything else numeric parses to `Float` —
+    /// the same split the emitter produces, so emit → parse round-trips.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64 if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(v) => Some(v),
+            Json::Int(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64 if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::UInt(v) => Some(v as f64),
+            Json::Int(v) => Some(v as f64),
+            Json::Float(v) => Some(v),
+            _ => None,
+        }
     }
 
     fn write_pretty(&self, out: &mut String, indent: usize) {
@@ -132,6 +195,210 @@ fn write_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by our writer;
+                            // map lone surrogates to the replacement char.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                    }
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| format!("bad number `{text}` at byte {start}"))
+    }
 }
 
 /// Conversion into a [`Json`] tree.
@@ -277,5 +544,77 @@ mod tests {
         let none: Option<u32> = None;
         assert_eq!(none.to_json().to_pretty(), "null");
         assert_eq!(f64::NAN.to_json().to_pretty(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_emitter_output() {
+        let v = Json::obj(vec![
+            ("name", "vecadd".to_json()),
+            ("count", 42u64.to_json()),
+            ("delta", (-3i32).to_json()),
+            ("ratio", 1.5f64.to_json()),
+            ("flag", true.to_json()),
+            ("nothing", Json::Null),
+            ("cells", vec![1u64, 2].to_json()),
+            ("empty", Json::Array(vec![])),
+            ("nested", Json::obj(vec![("s", "a\"b\n\t\\".to_json())])),
+        ]);
+        assert_eq!(Json::parse(&v.to_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_handles_compact_and_spaced_forms() {
+        let v = Json::parse(r#"{"a":[1,2.5,-3,true,false,null],"b":{}}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap(),
+            &[
+                Json::UInt(1),
+                Json::Float(2.5),
+                Json::Int(-3),
+                Json::Bool(true),
+                Json::Bool(false),
+                Json::Null
+            ]
+        );
+        assert_eq!(v.get("b"), Some(&Json::Object(vec![])));
+        let spaced = Json::parse(" [ 1 , \"x\" ] ").unwrap();
+        assert_eq!(
+            spaced,
+            Json::Array(vec![Json::UInt(1), Json::Str("x".into())])
+        );
+    }
+
+    #[test]
+    fn parse_unicode_and_number_edges() {
+        assert_eq!(
+            Json::parse("\"\\u0041\\u00e9 é\"").unwrap(),
+            Json::Str("Aé é".into())
+        );
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        assert_eq!(
+            Json::parse("-9223372036854775808").unwrap(),
+            Json::Int(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "tru", "\"abc", "{\"a\" 1}", "1 2", "[1]]"] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_select_by_type() {
+        let v = Json::parse(r#"{"n": 7, "s": "hi", "f": 2.5}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hi"));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(2.5));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("s").unwrap().as_u64(), None);
     }
 }

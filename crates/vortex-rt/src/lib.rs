@@ -13,7 +13,7 @@
 use ocl_ir::interp::NdRange;
 use vortex_cc::CompiledKernel;
 use vortex_isa::layout::{self, arg};
-use vortex_sim::{SimConfig, SimError, SimResult, Simulator};
+use vortex_sim::{SimConfig, SimError, SimResult, Simulator, TraceSink};
 
 /// A device buffer handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,8 +204,19 @@ impl VxSession {
 
     /// Launch the session's (single) kernel over `nd`.
     pub fn launch(&mut self, args: &[Arg], nd: &NdRange) -> Result<SimResult, RtError> {
+        self.launch_with_sink(args, nd, &mut vortex_sim::NopSink)
+    }
+
+    /// Like [`launch`](VxSession::launch), but streams [`TraceEvent`]s
+    /// (vortex_sim::TraceEvent) from the run into `sink`.
+    pub fn launch_with_sink<S: TraceSink>(
+        &mut self,
+        args: &[Arg],
+        nd: &NdRange,
+        sink: &mut S,
+    ) -> Result<SimResult, RtError> {
         let name = self.kernels[self.current].name.clone();
-        self.launch_named(&name, args, nd)
+        self.launch_named_with_sink(&name, args, nd, sink)
     }
 
     /// Launch kernel `name` over `nd` and run the machine to completion.
@@ -214,6 +225,20 @@ impl VxSession {
         name: &str,
         args: &[Arg],
         nd: &NdRange,
+    ) -> Result<SimResult, RtError> {
+        self.launch_named_with_sink(name, args, nd, &mut vortex_sim::NopSink)
+    }
+
+    /// Like [`launch_named`](VxSession::launch_named), but streams trace
+    /// events into `sink`. The untraced entry points pass
+    /// [`NopSink`](vortex_sim::NopSink), whose empty inlined handler keeps
+    /// the simulator's hot loop free of tracing overhead.
+    pub fn launch_named_with_sink<S: TraceSink>(
+        &mut self,
+        name: &str,
+        args: &[Arg],
+        nd: &NdRange,
+        sink: &mut S,
     ) -> Result<SimResult, RtError> {
         let idx = self
             .kernels
@@ -277,7 +302,7 @@ impl VxSession {
         for (i, a) in args.iter().enumerate() {
             w(&mut self.sim, arg::KERNEL_ARGS + 4 * i as u32, a.bits())?;
         }
-        Ok(self.sim.run()?)
+        Ok(self.sim.run_with_sink(sink)?)
     }
 }
 

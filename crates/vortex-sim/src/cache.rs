@@ -82,6 +82,12 @@ impl Cache {
         false
     }
 
+    /// (hits, misses) — the counter pair the simulator folds into
+    /// [`SimStats`](crate::SimStats), mirroring `DramModel::stats`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
     /// Invalidate everything (used between kernel launches).
     pub fn flush(&mut self) {
         for w in &mut self.ways {

@@ -4,7 +4,8 @@
 use crate::cache::Cache;
 use crate::dram::DramModel;
 use crate::mem::SimMemory;
-use crate::stats::CoreStats;
+use crate::stats::{CoreStats, StallKind};
+use crate::trace::{CacheLevel, TraceEvent, TraceSink};
 use crate::{SimConfig, SimError};
 use vortex_isa::layout::{PRINTF_BASE, PRINTF_STRIDE};
 use vortex_isa::{
@@ -29,12 +30,6 @@ struct Warp {
     stack: Vec<Ipdom>,
     /// Some((id, count)) while waiting at a barrier.
     barrier: Option<(u32, u32)>,
-}
-
-/// Why the warp at the head of the round-robin could not issue.
-enum Blocked {
-    Scoreboard,
-    Lsu,
 }
 
 /// Scoreboard-relevant registers of one instruction, in fixed storage: at
@@ -295,10 +290,13 @@ impl Core {
     /// Advance this core by one cycle: try to issue one warp-instruction,
     /// round-robin. Returns whether an instruction issued; a `false` cycle
     /// is accounted to the stall counters exactly as [`fast_forward_stalls`]
-    /// would account it in bulk.
+    /// would account it in bulk. Every observable step is mirrored into
+    /// `sink`; with [`NopSink`](crate::trace::NopSink) the emission sites
+    /// monomorphize away.
     ///
     /// [`fast_forward_stalls`]: Core::fast_forward_stalls
-    pub fn tick(
+    #[allow(clippy::too_many_arguments)]
+    pub fn tick<S: TraceSink>(
         &mut self,
         now: u64,
         program: &Program,
@@ -306,6 +304,7 @@ impl Core {
         l2: &mut Cache,
         dram: &mut DramModel,
         printf_out: &mut Vec<String>,
+        sink: &mut S,
     ) -> Result<bool, SimError> {
         // Pick a ready warp, round-robin. Along the way, compute each
         // blocked warp's exact first-issuable cycle — the same operand walk
@@ -313,7 +312,7 @@ impl Core {
         // `next_event` behind for the event-driven run loop at no extra
         // cost.
         let n = self.warps_n as usize;
-        let mut blocked: Option<Blocked> = None;
+        let mut blocked: Option<StallKind> = None;
         let mut any_waiting_barrier = false;
         let mut next_event = u64::MAX;
         for k in 0..n {
@@ -342,9 +341,9 @@ impl Core {
             };
             if t_ready > now {
                 blocked.get_or_insert(if t_sb > now {
-                    Blocked::Scoreboard
+                    StallKind::Scoreboard
                 } else {
-                    Blocked::Lsu
+                    StallKind::LsuFull
                 });
                 next_event = next_event.min(t_ready);
                 continue;
@@ -352,19 +351,30 @@ impl Core {
             // Issue.
             self.rr_next = (wi + 1) % n;
             self.stats.instructions += 1;
-            self.execute(now, wi as u32, instr, program, mem, l2, dram, printf_out)?;
+            sink.event(&TraceEvent::Issue {
+                core: self.id,
+                warp: wi as u32,
+                cycle: now,
+                pc,
+            });
+            self.execute(
+                now, wi as u32, instr, program, mem, l2, dram, printf_out, sink,
+            )?;
             return Ok(true);
         }
         self.next_event = next_event;
-        if any_waiting_barrier && blocked.is_none() {
-            self.stats.stall_barrier += 1;
+        let kind = if any_waiting_barrier && blocked.is_none() {
+            StallKind::Barrier
         } else {
-            match blocked {
-                Some(Blocked::Scoreboard) => self.stats.stall_scoreboard += 1,
-                Some(Blocked::Lsu) => self.stats.stall_lsu += 1,
-                None => self.stats.stall_idle += 1,
-            }
-        }
+            blocked.unwrap_or(StallKind::Idle)
+        };
+        self.stats.stall(kind, 1);
+        sink.event(&TraceEvent::Stall {
+            core: self.id,
+            kind,
+            from: now,
+            to: now + 1,
+        });
         Ok(false)
     }
 
@@ -413,7 +423,17 @@ impl Core {
     ///
     /// `stall_idle` cannot occur here: a core with no active warp is never
     /// ticked or fast-forwarded.
-    pub fn fast_forward_stalls(&mut self, from: u64, to: u64, program: &Program) {
+    ///
+    /// The skipped span is mirrored into `sink` as aggregate stall events
+    /// with the same classification, so a fast-forward trace canonicalizes
+    /// to the dense loop's per-cycle trace.
+    pub fn fast_forward_stalls<S: TraceSink>(
+        &mut self,
+        from: u64,
+        to: u64,
+        program: &Program,
+        sink: &mut S,
+    ) {
         if to <= from {
             return;
         }
@@ -428,8 +448,20 @@ impl Core {
                 break;
             }
         }
+        let core_id = self.id;
+        let mut charge = |stats: &mut CoreStats, kind: StallKind, a: u64, b: u64| {
+            if b > a {
+                stats.stall(kind, b - a);
+                sink.event(&TraceEvent::Stall {
+                    core: core_id,
+                    kind,
+                    from: a,
+                    to: b,
+                });
+            }
+        };
         let Some((wi, pc)) = first else {
-            self.stats.stall_barrier += span;
+            charge(&mut self.stats, StallKind::Barrier, from, to);
             return;
         };
         let Some(instr) = program.instrs.get(pc as usize) else {
@@ -440,13 +472,18 @@ impl Core {
         let ready = self.operands_ready_at(wi, instr);
         let sb_cycles = ready.clamp(from, to) - from;
         if Self::is_mem(instr) {
-            self.stats.stall_scoreboard += sb_cycles;
-            self.stats.stall_lsu += span - sb_cycles;
+            charge(
+                &mut self.stats,
+                StallKind::Scoreboard,
+                from,
+                from + sb_cycles,
+            );
+            charge(&mut self.stats, StallKind::LsuFull, from + sb_cycles, to);
         } else {
             // A non-memory warp blocks only on the scoreboard, so its
             // operands cannot come ready inside the span.
             debug_assert_eq!(sb_cycles, span);
-            self.stats.stall_scoreboard += span;
+            charge(&mut self.stats, StallKind::Scoreboard, from, to);
         }
     }
 
@@ -490,7 +527,14 @@ impl Core {
     /// parked warps cannot execute, so between the arrival and the next
     /// cycle nothing can see the difference — and it removes the scan from
     /// the per-cycle path entirely.
-    fn barrier_arrive(&mut self, id: u32, count: u32) {
+    fn barrier_arrive<S: TraceSink>(
+        &mut self,
+        warp: u32,
+        now: u64,
+        id: u32,
+        count: u32,
+        sink: &mut S,
+    ) {
         let key = (id, count);
         let waiting = match self.barrier_waiters.iter_mut().find(|(k, _)| *k == key) {
             Some(entry) => {
@@ -502,13 +546,30 @@ impl Core {
                 1
             }
         };
+        sink.event(&TraceEvent::BarrierArrive {
+            core: self.id,
+            warp,
+            cycle: now,
+            id,
+            count,
+            waiting,
+        });
         if waiting >= count {
+            let mut released = 0;
             for w in &mut self.warps {
                 if w.barrier == Some(key) {
                     w.barrier = None;
+                    released += 1;
                 }
             }
             self.barrier_waiters.retain(|(k, _)| *k != key);
+            sink.event(&TraceEvent::BarrierRelease {
+                core: self.id,
+                cycle: now,
+                id,
+                count,
+                released,
+            });
         }
     }
 
@@ -524,7 +585,7 @@ impl Core {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn execute(
+    fn execute<S: TraceSink>(
         &mut self,
         now: u64,
         wi: u32,
@@ -534,6 +595,7 @@ impl Core {
         l2: &mut Cache,
         dram: &mut DramModel,
         printf_out: &mut Vec<String>,
+        sink: &mut S,
     ) -> Result<(), SimError> {
         let t_n = self.threads_n;
         let tmask = self.warps[wi as usize].tmask;
@@ -585,7 +647,7 @@ impl Core {
                     }
                     addrs.push(addr);
                 }
-                let done = self.memory_time(now, &addrs, l2, dram);
+                let done = self.memory_time(now, &addrs, l2, dram, sink);
                 self.mark_dest(wi, &instr, done);
                 self.warps[wi as usize].pc = next_pc;
                 return Ok(());
@@ -606,7 +668,7 @@ impl Core {
                 }
                 // Stores retire through the same LSU path (write-through),
                 // consuming bandwidth but not blocking a destination.
-                let _ = self.memory_time(now, &addrs, l2, dram);
+                let _ = self.memory_time(now, &addrs, l2, dram, sink);
                 self.warps[wi as usize].pc = next_pc;
                 return Ok(());
             }
@@ -622,7 +684,7 @@ impl Core {
                     let new = amo(op, old, v);
                     mem.store(self.id, addr, new).map_err(|e| at_pc(e, pc))?;
                     self.write_int(wi, rd, t, old);
-                    done = done.max(self.memory_time(now, &[addr], l2, dram));
+                    done = done.max(self.memory_time(now, &[addr], l2, dram, sink));
                 }
                 self.mark_dest(wi, &instr, done);
                 self.warps[wi as usize].pc = next_pc;
@@ -785,6 +847,13 @@ impl Core {
                 lat = self.lat_sfu;
                 let count = self.read_uniform(wi, rs1).min(self.warps_n);
                 let entry = self.read_uniform(wi, rs2);
+                sink.event(&TraceEvent::Wspawn {
+                    core: self.id,
+                    warp: wi,
+                    cycle: now,
+                    count,
+                    entry,
+                });
                 for w in 1..count {
                     let warp = &mut self.warps[w as usize];
                     warp.active = true;
@@ -863,7 +932,7 @@ impl Core {
                 let id = self.read_uniform(wi, rs1);
                 let count = self.read_uniform(wi, rs2).max(1);
                 self.warps[wi as usize].barrier = Some((id, count));
-                self.barrier_arrive(id, count);
+                self.barrier_arrive(wi, now, id, count, sink);
             }
             Instr::Print { fmt } => {
                 let entry = program.printf_table.get(fmt as usize).cloned().unwrap_or(
@@ -914,12 +983,13 @@ impl Core {
     /// Timing for a warp memory access over the given lane addresses:
     /// coalesce to lines, walk D-cache → L2 → DRAM, consume LSU + MSHR
     /// resources. Local-window accesses complete at D-cache speed.
-    fn memory_time(
+    fn memory_time<S: TraceSink>(
         &mut self,
         now: u64,
         addrs: &[u32],
         l2: &mut Cache,
         dram: &mut DramModel,
+        sink: &mut S,
     ) -> u64 {
         let mut lines: Vec<u32> = addrs
             .iter()
@@ -947,7 +1017,15 @@ impl Core {
             self.lsu_next_free = self.lsu_next_free.max(now) + 1;
             let t0 = self.lsu_next_free;
             let addr = line * line_bytes;
-            if self.dcache.access(addr, t0) {
+            let dcache_hit = self.dcache.access(addr, t0);
+            sink.event(&TraceEvent::CacheAccess {
+                core: self.id,
+                level: CacheLevel::Dcache,
+                cycle: t0,
+                line_addr: addr,
+                hit: dcache_hit,
+            });
+            if dcache_hit {
                 self.stats.dcache_hits += 1;
                 done = done.max(t0 + self.lat_dcache as u64);
             } else {
@@ -955,12 +1033,34 @@ impl Core {
                 // Take the earliest-free MSHR (backpressure as latency).
                 let slot = self.mshr_free.iter_mut().min().expect("at least one MSHR");
                 let start = t0.max(*slot);
-                let fill = if l2.access(addr, start) {
+                let l2_hit = l2.access(addr, start);
+                sink.event(&TraceEvent::CacheAccess {
+                    core: self.id,
+                    level: CacheLevel::L2,
+                    cycle: start,
+                    line_addr: addr,
+                    hit: l2_hit,
+                });
+                let fill = if l2_hit {
                     start + self.lat_l2 as u64
                 } else {
-                    dram.access(addr, line_bytes, start + self.lat_l2 as u64)
+                    let issue = start + self.lat_l2 as u64;
+                    let (fill, row_hit) = dram.access_info(addr, line_bytes, issue);
+                    sink.event(&TraceEvent::Dram {
+                        core: self.id,
+                        cycle: issue,
+                        line_addr: addr,
+                        row_hit,
+                        done: fill,
+                    });
+                    fill
                 };
                 *slot = fill;
+                sink.event(&TraceEvent::MshrAcquire {
+                    core: self.id,
+                    cycle: start,
+                    fill,
+                });
                 done = done.max(fill + self.lat_dcache as u64);
             }
         }
@@ -1037,6 +1137,7 @@ fn amo(op: AmoOp, old: u32, v: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::NopSink;
     use fpga_arch::VortexConfig;
     use vortex_isa::abi;
 
@@ -1067,7 +1168,7 @@ mod tests {
         core.ireg_ready[abi::T0 as usize] = 40;
         assert_eq!(core.next_issue_cycle(7, &p), 40);
         // The whole span is a scoreboard stall for a non-memory instruction.
-        core.fast_forward_stalls(8, 40, &p);
+        core.fast_forward_stalls(8, 40, &p, &mut NopSink);
         assert_eq!(core.stats.stall_scoreboard, 32);
         assert_eq!(core.stats.stall_lsu, 0);
         assert_eq!(core.stats.stall_barrier, 0);
@@ -1087,7 +1188,7 @@ mod tests {
         assert_eq!(core.next_issue_cycle(7, &p), 33);
         // Cycles 8..10 classify as scoreboard, 10..33 as LSU — exactly what
         // the dense loop would count tick by tick.
-        core.fast_forward_stalls(8, 33, &p);
+        core.fast_forward_stalls(8, 33, &p, &mut NopSink);
         assert_eq!(core.stats.stall_scoreboard, 2);
         assert_eq!(core.stats.stall_lsu, 23);
     }
@@ -1098,7 +1199,7 @@ mod tests {
         core.warps[0].barrier = Some((0, 2));
         let p = one_instr(Instr::Halt);
         assert_eq!(core.next_issue_cycle(5, &p), u64::MAX);
-        core.fast_forward_stalls(6, 20, &p);
+        core.fast_forward_stalls(6, 20, &p, &mut NopSink);
         assert_eq!(core.stats.stall_barrier, 14);
         assert_eq!(core.stats.stall_scoreboard, 0);
     }
@@ -1109,12 +1210,12 @@ mod tests {
         core.warps[1].active = true;
         core.warps[2].active = true;
         core.warps[0].barrier = Some((1, 3));
-        core.barrier_arrive(1, 3);
+        core.barrier_arrive(0, 0, 1, 3, &mut NopSink);
         core.warps[1].barrier = Some((1, 3));
-        core.barrier_arrive(1, 3);
+        core.barrier_arrive(0, 0, 1, 3, &mut NopSink);
         assert!(core.warps[0].barrier.is_some(), "2 of 3 arrived: parked");
         core.warps[2].barrier = Some((1, 3));
-        core.barrier_arrive(1, 3);
+        core.barrier_arrive(0, 0, 1, 3, &mut NopSink);
         assert!(
             core.warps.iter().all(|w| w.barrier.is_none()),
             "third arrival releases the whole group"
@@ -1127,14 +1228,14 @@ mod tests {
         let mut core = test_core(4, 2);
         core.warps[1].active = true;
         core.warps[1].barrier = Some((0, 2));
-        core.barrier_arrive(0, 2);
+        core.barrier_arrive(1, 0, 0, 2, &mut NopSink);
         // WSPAWN re-targets warp 1, abandoning its barrier slot.
         core.warps[1].barrier = None;
         core.barrier_leave((0, 2));
         // A later arrival must not see the abandoned slot as progress.
         core.warps[2].active = true;
         core.warps[2].barrier = Some((0, 2));
-        core.barrier_arrive(0, 2);
+        core.barrier_arrive(1, 0, 0, 2, &mut NopSink);
         assert!(
             core.warps[2].barrier.is_some(),
             "group restarted from zero after the leave"

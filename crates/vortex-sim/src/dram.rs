@@ -82,13 +82,21 @@ impl DramModel {
     /// Service a `bytes`-wide access to `addr` issued at `now`; returns the
     /// completion cycle.
     pub fn access(&mut self, addr: u32, bytes: u32, now: u64) -> u64 {
+        self.access_info(addr, bytes, now).0
+    }
+
+    /// Like [`access`](DramModel::access), but also reports whether the
+    /// access hit the open row — the per-transaction outcome event traces
+    /// record (the aggregate lives in [`stats`](DramModel::stats)).
+    pub fn access_info(&mut self, addr: u32, bytes: u32, now: u64) -> (u64, bool) {
         self.accesses += 1;
         let row_global = addr / self.cfg.row_bytes;
         let bank_idx = (row_global % self.cfg.banks) as usize;
         let row = row_global / self.cfg.banks;
         let bank = &mut self.banks[bank_idx];
         let start = now.max(bank.next_free);
-        let access_cycles = if bank.has_open && bank.open_row == row {
+        let row_hit = bank.has_open && bank.open_row == row;
+        let access_cycles = if row_hit {
             self.row_hits += 1;
             self.cfg.row_hit_cycles
         } else {
@@ -102,7 +110,7 @@ impl DramModel {
         let xfer = (bytes.div_ceil(self.cfg.bus_bytes_per_cycle)).max(1) as u64;
         let bus_start = bank_done.max(self.bus_next_free);
         self.bus_next_free = bus_start + xfer;
-        bus_start + xfer + self.cfg.base_latency as u64
+        (bus_start + xfer + self.cfg.base_latency as u64, row_hit)
     }
 
     /// (total accesses, row-buffer hits).

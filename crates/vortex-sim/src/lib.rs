@@ -23,13 +23,17 @@ pub mod cache;
 pub mod core;
 pub mod dram;
 pub mod mem;
+pub mod profile;
 pub mod stats;
+pub mod trace;
 
 pub use crate::core::Core;
 pub use cache::{Cache, CacheConfig};
 pub use dram::{DramConfig, DramModel};
 pub use mem::SimMemory;
+pub use profile::LaunchProfile;
 pub use stats::{SimStats, StallKind};
+pub use trace::{canonical_core_events, CacheLevel, NopSink, RecordingSink, TraceEvent, TraceSink};
 
 use fpga_arch::VortexConfig;
 use vortex_isa::Program;
@@ -188,12 +192,26 @@ impl Simulator {
     /// The two are bit-identical in every observable: final cycle count,
     /// stall breakdown, cache/DRAM counters, memory state, printf output.
     pub fn run(&mut self) -> Result<SimResult, SimError> {
+        self.run_with_sink(&mut trace::NopSink)
+    }
+
+    /// [`run`](Simulator::run) with an event-trace sink attached. Sinks are
+    /// pure observers: this produces bit-identical results to `run` in both
+    /// scheduler modes (the observer-effect differential tests enforce it),
+    /// and with [`NopSink`] it *is* `run` after monomorphization.
+    pub fn run_with_sink<S: TraceSink>(&mut self, sink: &mut S) -> Result<SimResult, SimError> {
         self.start();
+        // L2/DRAM counters live on the shared device and accumulate across
+        // launches; snapshot them so this launch's stats — like the
+        // per-core counters reset in `reset_for_launch` — report only its
+        // own work and agree with the launch's event trace.
+        let (l2_hits0, l2_misses0) = self.l2.stats();
+        let (dr_acc0, dr_rowhits0) = self.dram.stats();
         let mut printf_output = Vec::new();
         let cycles = if self.cfg.reference_mode {
-            self.run_dense(&mut printf_output)?
+            self.run_dense(&mut printf_output, sink)?
         } else {
-            self.run_events(&mut printf_output)?
+            self.run_events(&mut printf_output, sink)?
         };
         let mut stats = SimStats {
             cycles,
@@ -202,11 +220,12 @@ impl Simulator {
         for core in &self.cores {
             stats.merge_core(&core.stats);
         }
-        stats.l2_hits = self.l2.hits;
-        stats.l2_misses = self.l2.misses;
+        let (l2_hits, l2_misses) = self.l2.stats();
+        stats.l2_hits = l2_hits - l2_hits0;
+        stats.l2_misses = l2_misses - l2_misses0;
         let (dr_acc, dr_rowhits) = self.dram.stats();
-        stats.dram_accesses = dr_acc;
-        stats.dram_row_hits = dr_rowhits;
+        stats.dram_accesses = dr_acc - dr_acc0;
+        stats.dram_row_hits = dr_rowhits - dr_rowhits0;
         Ok(SimResult {
             stats,
             printf_output,
@@ -216,7 +235,11 @@ impl Simulator {
     /// The dense reference loop: every core ticks every cycle while any
     /// warp is live. This is the semantic definition the event-driven
     /// scheduler must reproduce bit-for-bit; keep it boring.
-    fn run_dense(&mut self, printf_output: &mut Vec<String>) -> Result<u64, SimError> {
+    fn run_dense<S: TraceSink>(
+        &mut self,
+        printf_output: &mut Vec<String>,
+        sink: &mut S,
+    ) -> Result<u64, SimError> {
         let mut cycle: u64 = 0;
         loop {
             let mut any_alive = false;
@@ -231,6 +254,7 @@ impl Simulator {
                         &mut self.l2,
                         &mut self.dram,
                         printf_output,
+                        sink,
                     )?;
                 }
             }
@@ -258,7 +282,11 @@ impl Simulator {
     /// dense loop. The skipped cycles are bulk-accounted by
     /// [`Core::fast_forward_stalls`] with the dense loop's per-cycle
     /// classification.
-    fn run_events(&mut self, printf_output: &mut Vec<String>) -> Result<u64, SimError> {
+    fn run_events<S: TraceSink>(
+        &mut self,
+        printf_output: &mut Vec<String>,
+        sink: &mut S,
+    ) -> Result<u64, SimError> {
         let limit = self.cfg.max_cycles;
         let n = self.cores.len();
         let mut next_tick = vec![0u64; n];
@@ -294,6 +322,7 @@ impl Simulator {
                     &mut self.l2,
                     &mut self.dram,
                     printf_output,
+                    sink,
                 )?;
                 if issued {
                     *tick_at = cycle + 1;
@@ -308,6 +337,7 @@ impl Simulator {
                         cycle + 1,
                         target.min(limit.saturating_add(1)),
                         &self.program,
+                        sink,
                     );
                     *tick_at = target;
                 }

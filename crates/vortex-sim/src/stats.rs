@@ -1,7 +1,7 @@
 //! Performance counters, mirroring the counters SimX reports.
 
 /// Why a core failed to issue in a given cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StallKind {
     /// Next instruction's registers busy (RAW / WAW hazard).
     Scoreboard,
@@ -11,6 +11,36 @@ pub enum StallKind {
     Barrier,
     /// No active warp at all (tail of execution).
     Idle,
+}
+
+impl StallKind {
+    /// Every kind, in the fixed order profilers index by.
+    pub const ALL: [StallKind; 4] = [
+        StallKind::Scoreboard,
+        StallKind::LsuFull,
+        StallKind::Barrier,
+        StallKind::Idle,
+    ];
+
+    /// Position in [`StallKind::ALL`] (stable, used as an array index).
+    pub fn index(self) -> usize {
+        match self {
+            StallKind::Scoreboard => 0,
+            StallKind::LsuFull => 1,
+            StallKind::Barrier => 2,
+            StallKind::Idle => 3,
+        }
+    }
+
+    /// Human-readable label for reports and trace tracks.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallKind::Scoreboard => "scoreboard",
+            StallKind::LsuFull => "lsu",
+            StallKind::Barrier => "barrier",
+            StallKind::Idle => "idle",
+        }
+    }
 }
 
 /// Aggregated counters for one simulation. `Eq` so differential tests can
@@ -47,6 +77,20 @@ pub struct CoreStats {
     pub dcache_misses: u64,
 }
 
+impl CoreStats {
+    /// Charge `cycles` stall cycles of the given kind — the single place
+    /// both the dense tick and the fast-forward bulk accounting go through,
+    /// so the two loops cannot classify differently.
+    pub(crate) fn stall(&mut self, kind: StallKind, cycles: u64) {
+        match kind {
+            StallKind::Scoreboard => self.stall_scoreboard += cycles,
+            StallKind::LsuFull => self.stall_lsu += cycles,
+            StallKind::Barrier => self.stall_barrier += cycles,
+            StallKind::Idle => self.stall_idle += cycles,
+        }
+    }
+}
+
 impl SimStats {
     pub(crate) fn merge_core(&mut self, c: &CoreStats) {
         self.instructions += c.instructions;
@@ -58,6 +102,21 @@ impl SimStats {
         self.stores += c.stores;
         self.dcache_hits += c.dcache_hits;
         self.dcache_misses += c.dcache_misses;
+    }
+
+    /// Stalled cycles attributed to `kind`.
+    pub fn stall_of(&self, kind: StallKind) -> u64 {
+        match kind {
+            StallKind::Scoreboard => self.stall_scoreboard,
+            StallKind::LsuFull => self.stall_lsu,
+            StallKind::Barrier => self.stall_barrier,
+            StallKind::Idle => self.stall_idle,
+        }
+    }
+
+    /// Total stalled cycles across every kind.
+    pub fn stall_total(&self) -> u64 {
+        StallKind::ALL.iter().map(|&k| self.stall_of(k)).sum()
     }
 
     /// Instructions per cycle across the whole machine.

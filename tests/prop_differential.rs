@@ -74,7 +74,118 @@ fn arb_kernel(r: &mut Rng) -> String {
     )
 }
 
+/// A random group-mode kernel: every work-item publishes into its own
+/// `__local` slot, synchronizes with `barrier()`, then reads a rotated
+/// neighbor's slot — optionally repeated in a uniform-trip loop with a
+/// trailing barrier protecting the next iteration's store (the Dotproduct
+/// idiom). Barriers stay in uniform top-level control flow (divergent
+/// branches come after), so generated kernels can never deadlock.
+fn arb_local_kernel(r: &mut Rng) -> String {
+    let store_e = arb_int_expr(r, 2);
+    let mix_e = arb_int_expr(r, 1);
+    let shift = r.range_i32(0, 7);
+    let trips = r.range_i32(1, 4);
+    let tail = if r.bool() {
+        format!("if (((v ^ i) & 3) == 2) {{ acc += {mix_e}; }} else {{ acc -= 2; }}")
+    } else {
+        String::new()
+    };
+    format!(
+        "__kernel void fuzz(__global const int* a, __global int* o, int n) {{
+            int i = get_global_id(0);
+            int lid = get_local_id(0);
+            __local int tmp[8];
+            int v = a[i];
+            int acc = 0;
+            for (int j = 0; j < {trips}; j++) {{
+                tmp[lid] = ({store_e}) + j;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                acc += tmp[(lid + {shift}) % 8];
+                barrier(CLK_LOCAL_MEM_FENCE);
+            }}
+            {tail}
+            o[i] = acc;
+        }}"
+    )
+}
+
+/// A random kernel whose only output-buffer writes are atomic
+/// read-modify-writes. Per kernel, ops are drawn from one *commuting
+/// family* — `add`/`sub` together, or a single one of `min`/`max`/`and`/
+/// `or`/`xor` — and return values are discarded, so the final memory is
+/// independent of thread interleaving and the sequential interpreter is a
+/// valid oracle for the parallel simulator.
+fn arb_atomic_kernel(r: &mut Rng) -> String {
+    let family: &[&str] = match r.below(6) {
+        0 => &["atomic_add", "atomic_sub"],
+        1 => &["atomic_min"],
+        2 => &["atomic_max"],
+        3 => &["atomic_and"],
+        4 => &["atomic_or"],
+        _ => &["atomic_xor"],
+    };
+    let mut stmts = String::new();
+    for _ in 0..1 + r.below(3) {
+        let op = family[r.below(family.len() as u64) as usize];
+        let idx = match r.below(3) {
+            0 => format!("(i % {})", r.range_i32(1, 16)),
+            1 => format!("(i & {})", r.range_i32(0, 15)),
+            _ => format!("((i / {}) % 16)", r.range_i32(1, 8)),
+        };
+        let val = arb_int_expr(r, 2);
+        stmts.push_str(&format!("{op}(&o[{idx}], {val});\n            "));
+    }
+    format!(
+        "__kernel void fuzz(__global const int* a, __global int* o, int n) {{
+            int i = get_global_id(0);
+            int v = a[i];
+            int acc = 0;
+            {stmts}
+        }}"
+    )
+}
+
 const CASES: u64 = 48;
+
+/// Deterministic pseudo-random input vector for a case.
+fn case_input(n: u32, seed: u64) -> Vec<i32> {
+    (0..n as i64)
+        .map(|i| ((i.wrapping_mul(2654435761) + seed as i64) % 199 - 99) as i32)
+        .collect()
+}
+
+/// Run `src` through the reference interpreter and the full Vortex flow
+/// with `input` in `a` and `init_out` preloaded into `o`, and require
+/// bit-identical final output memory.
+fn assert_differential(case: u64, src: &str, input: &[i32], init_out: &[i32], nd: &NdRange) {
+    let n = input.len() as i32;
+    let module = ocl_front::compile(src)
+        .unwrap_or_else(|e| panic!("case {case}: gen produced invalid source: {e}\n{src}"));
+    let k = module.expect_kernel("fuzz");
+    let mut mem = Memory::new(1 << 20);
+    let pa = mem.alloc_i32(input);
+    let po = mem.alloc_i32(init_out);
+    run_ndrange(
+        k,
+        &[KernelArg::Ptr(pa), KernelArg::Ptr(po), KernelArg::I32(n)],
+        nd,
+        &mut mem,
+        &Limits::default(),
+    )
+    .unwrap_or_else(|e| panic!("case {case}: interp: {e}\n{src}"));
+    let want = mem.read_i32_slice(po, init_out.len());
+
+    let cfg = SimConfig::new(VortexConfig::new(1, 2, 4));
+    let compiled = fpga_gpu_repro::vrt::compile_for(src, "fuzz", &cfg)
+        .unwrap_or_else(|e| panic!("case {case}: codegen: {e}\n{src}"));
+    let mut sess = VxSession::new(cfg, compiled);
+    let da = sess.alloc_i32(input).unwrap();
+    let dout = sess.alloc_i32(init_out).unwrap();
+    sess.launch(&[Arg::Buf(da), Arg::Buf(dout), Arg::I32(n)], nd)
+        .unwrap_or_else(|e| panic!("case {case}: launch: {e}\n{src}"));
+    let got = sess.read_i32(dout, init_out.len()).unwrap();
+    assert_eq!(got, want, "case {case}: kernel:\n{src}");
+}
 
 #[test]
 fn vortex_matches_interpreter_on_random_kernels() {
@@ -118,6 +229,39 @@ fn vortex_matches_interpreter_on_random_kernels() {
             .unwrap_or_else(|e| panic!("case {case}: launch: {e}\n{src}"));
         let got = sess.read_i32(dout, n as usize).unwrap();
         assert_eq!(got, want, "case {case}: kernel:\n{src}");
+    }
+}
+
+/// Random `__local` + `barrier()` kernels (group mode, local stores,
+/// cross-work-item reads after synchronization) match the interpreter
+/// bit-for-bit through the full Vortex flow.
+#[test]
+fn local_barrier_kernels_match_interpreter() {
+    let mut r = Rng::new(0xD1FF_0003);
+    for case in 0..CASES {
+        let src = arb_local_kernel(&mut r);
+        let seed = r.below(1000);
+        let n = 64u32;
+        let input = case_input(n, seed);
+        let zeros = vec![0i32; n as usize];
+        assert_differential(case, &src, &input, &zeros, &NdRange::d1(n, 8));
+    }
+}
+
+/// Random atomic-RMW kernels produce order-independent final memory, so
+/// the sequential interpreter and the parallel simulator must agree
+/// exactly — on a non-trivially initialized output buffer (so `min`/`max`/
+/// bitwise families see varied prior values).
+#[test]
+fn atomic_kernels_match_interpreter() {
+    let mut r = Rng::new(0xD1FF_0004);
+    for case in 0..CASES {
+        let src = arb_atomic_kernel(&mut r);
+        let seed = r.below(1000);
+        let n = 64u32;
+        let input = case_input(n, seed);
+        let init_out: Vec<i32> = (0..n as i32).map(|i| (i * 37) % 53 - 26).collect();
+        assert_differential(case, &src, &input, &init_out, &NdRange::d1(n, 8));
     }
 }
 
