@@ -290,8 +290,10 @@ fn run_profile(name: &str) {
     use vortex_sim::LaunchProfile;
     let (b, trace, launches) = traced_run(name);
     let cfg = trace_config();
-    // Recompile for disassembly of the hot PCs (same options as the run).
-    let module = ocl_front::compile(b.source).expect("already compiled once");
+    // Recompile for disassembly of the hot PCs (same optimized module and
+    // codegen options as the run, so PCs line up with what executed).
+    let module =
+        ocl_suite::compile_bench(&b, ocl_suite::DEFAULT_OPT).expect("already compiled once");
     let opts = vortex_cc::CodegenOpts {
         threads: cfg.hw.threads,
     };

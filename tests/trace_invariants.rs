@@ -137,7 +137,9 @@ fn profile_tiles_with_stats_in_both_modes() {
 fn vecadd_profile_matches_golden_file() {
     let (b, trace, events) = traced("Vecadd");
     let cfg = trace_config();
-    let module = ocl_front::compile(b.source).unwrap();
+    // Disassembly must come from the same optimized module the run executed.
+    let module = fpga_gpu_repro::suite::compile_bench(&b, fpga_gpu_repro::suite::DEFAULT_OPT)
+        .unwrap_or_else(|e| panic!("{e}"));
     let opts = vortex_cc::CodegenOpts {
         threads: cfg.hw.threads,
     };
