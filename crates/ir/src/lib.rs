@@ -27,6 +27,7 @@ pub mod func;
 pub mod inst;
 pub mod interp;
 pub mod liveness;
+pub mod loops;
 pub mod passes;
 pub mod types;
 pub mod value;

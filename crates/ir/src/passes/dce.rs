@@ -12,6 +12,12 @@ use crate::value::Operand;
 pub fn run(f: &mut Function) -> usize {
     let cfg = Cfg::new(f);
     let lv = Liveness::compute(f, &cfg);
+    run_with(f, &lv)
+}
+
+/// Like [`run`], but reusing a precomputed liveness result (the pass
+/// manager caches analyses across passes).
+pub fn run_with(f: &mut Function, lv: &Liveness) -> usize {
     let mut removed = 0;
     for (bi, b) in f.blocks.iter_mut().enumerate() {
         let mut live = lv.live_out[bi].clone();

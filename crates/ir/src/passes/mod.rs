@@ -1,4 +1,4 @@
-//! IR optimization passes.
+//! The IR middle end: named passes behind a [`PassManager`].
 //!
 //! The pass set deliberately mirrors the transformations the paper leans on:
 //! * [`cse`] is the automated form of the §III-B "O1: variable reuse"
@@ -6,13 +6,28 @@
 //!   subexpressions exactly the way the authors did by hand in Listing 2.
 //! * [`const_fold`] and [`copy_prop`] clean up front-end output.
 //! * [`dce`] removes the dead code those passes leave behind.
+//! * [`licm`], [`strength_reduce`] and [`unroll`] form the loop tier behind
+//!   [`OptLevel::Loop`], built on the natural-loop analysis in
+//!   [`crate::loops`].
+//!
+//! The manager drives the selected pipeline to a fixed point (bounded by
+//! [`MAX_ROUNDS`]), re-verifies the IR after every pass in debug builds,
+//! records per-pass rewrite counts and wall-clock time in a
+//! [`FunctionReport`], and — with the `OCL_IR_SNAPSHOT` environment
+//! variable set — dumps the IR between passes for debugging.
 
 pub mod const_fold;
 pub mod copy_prop;
 pub mod cse;
 pub mod dce;
+pub mod licm;
+pub mod strength_reduce;
+pub mod unroll;
 
+use crate::cfg::{Cfg, Dominators};
 use crate::func::{Function, Module};
+use crate::liveness::Liveness;
+use crate::loops::LoopForest;
 
 /// Optimization level, matching the flags both flows accept.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -24,60 +39,420 @@ pub enum OptLevel {
     Basic,
     /// `Basic` plus CSE / variable-reuse (the automated "O1" of §III-B).
     VariableReuse,
+    /// `VariableReuse` plus the loop tier: invariant code motion, integer
+    /// strength reduction and bounded unrolling of constant-trip loops.
+    Loop,
 }
 
-/// Statistics returned by [`optimize_function`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PassStats {
-    pub folded: usize,
-    pub copies_propagated: usize,
-    pub cse_replaced: usize,
-    pub dce_removed: usize,
-}
+impl OptLevel {
+    /// All levels, weakest first.
+    pub const ALL: [OptLevel; 4] = [
+        OptLevel::None,
+        OptLevel::Basic,
+        OptLevel::VariableReuse,
+        OptLevel::Loop,
+    ];
 
-impl PassStats {
-    fn merge(&mut self, other: PassStats) {
-        self.folded += other.folded;
-        self.copies_propagated += other.copies_propagated;
-        self.cse_replaced += other.cse_replaced;
-        self.dce_removed += other.dce_removed;
+    /// Parse the CLI spelling used by the `--opt` flag.
+    pub fn parse(s: &str) -> Option<OptLevel> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "none" | "o0" => OptLevel::None,
+            "basic" => OptLevel::Basic,
+            "reuse" | "variable-reuse" | "o1" => OptLevel::VariableReuse,
+            "loop" => OptLevel::Loop,
+            _ => return None,
+        })
     }
-}
 
-/// Run the pass pipeline on one function.
-pub fn optimize_function(f: &mut Function, level: OptLevel) -> PassStats {
-    let mut total = PassStats::default();
-    if level == OptLevel::None {
-        return total;
-    }
-    // Two rounds: CSE exposes copies, copy-prop exposes folds, DCE cleans up.
-    for _ in 0..2 {
-        let mut stats = PassStats {
-            folded: const_fold::run(f),
-            copies_propagated: copy_prop::run(f),
-            ..Default::default()
-        };
-        if level == OptLevel::VariableReuse {
-            stats.cse_replaced = cse::run(f);
-            stats.copies_propagated += copy_prop::run(f);
-        }
-        stats.dce_removed = dce::run(f);
-        let quiescent = stats == PassStats::default();
-        total.merge(stats);
-        if quiescent {
-            break;
+    /// The canonical CLI spelling accepted by [`OptLevel::parse`].
+    pub fn flag_name(self) -> &'static str {
+        match self {
+            OptLevel::None => "none",
+            OptLevel::Basic => "basic",
+            OptLevel::VariableReuse => "reuse",
+            OptLevel::Loop => "loop",
         }
     }
-    total
 }
 
-/// Run the pass pipeline on every kernel of a module.
-pub fn optimize_module(m: &mut Module, level: OptLevel) -> PassStats {
-    let mut total = PassStats::default();
-    for k in &mut m.kernels {
-        total.merge(optimize_function(k, level));
+/// Lazily-computed, cached analyses shared by the passes of one pipeline
+/// run. The manager invalidates entries according to each pass's
+/// [`Pass::preserves_cfg`] contract, so a pass that only rewrites operands
+/// does not force a CFG rebuild for the next one.
+#[derive(Default)]
+pub struct Analyses {
+    cfg: Option<Cfg>,
+    dom: Option<Dominators>,
+    live: Option<Liveness>,
+    loops: Option<LoopForest>,
+}
+
+impl Analyses {
+    fn ensure_cfg(&mut self, f: &Function) {
+        if self.cfg.is_none() {
+            self.cfg = Some(Cfg::new(f));
+        }
     }
-    total
+
+    /// The function's CFG.
+    pub fn cfg(&mut self, f: &Function) -> &Cfg {
+        self.ensure_cfg(f);
+        self.cfg.as_ref().unwrap()
+    }
+
+    /// CFG plus dominator tree.
+    pub fn cfg_dom(&mut self, f: &Function) -> (&Cfg, &Dominators) {
+        self.ensure_cfg(f);
+        if self.dom.is_none() {
+            self.dom = Some(Dominators::new(self.cfg.as_ref().unwrap()));
+        }
+        (self.cfg.as_ref().unwrap(), self.dom.as_ref().unwrap())
+    }
+
+    /// CFG plus register liveness.
+    pub fn cfg_live(&mut self, f: &Function) -> (&Cfg, &Liveness) {
+        self.ensure_cfg(f);
+        if self.live.is_none() {
+            self.live = Some(Liveness::compute(f, self.cfg.as_ref().unwrap()));
+        }
+        (self.cfg.as_ref().unwrap(), self.live.as_ref().unwrap())
+    }
+
+    /// Natural loops (computes CFG and dominators on the way).
+    pub fn loops(&mut self, f: &Function) -> &LoopForest {
+        if self.loops.is_none() {
+            let (cfg, dom) = {
+                self.cfg_dom(f);
+                (self.cfg.as_ref().unwrap(), self.dom.as_ref().unwrap())
+            };
+            self.loops = Some(LoopForest::find(f, cfg, dom));
+        }
+        self.loops.as_ref().unwrap()
+    }
+
+    /// Drop everything — the CFG changed.
+    pub fn invalidate_all(&mut self) {
+        *self = Analyses::default();
+    }
+
+    /// Drop the dataflow results but keep the CFG-shaped ones — for passes
+    /// that rewrite instructions without touching block structure.
+    pub fn invalidate_dataflow(&mut self) {
+        self.live = None;
+    }
+}
+
+/// A named transformation over one function.
+pub trait Pass {
+    /// Stable name used in reports and goldens.
+    fn name(&self) -> &'static str;
+    /// Apply the pass; returns the number of rewrites performed (0 means
+    /// the function is unchanged).
+    fn run(&self, f: &mut Function, an: &mut Analyses) -> usize;
+    /// Whether the pass leaves block structure and edges untouched. The
+    /// manager keeps CFG-derived analyses cached across passes that do.
+    fn preserves_cfg(&self) -> bool {
+        true
+    }
+}
+
+/// Constant folding and per-block constant propagation.
+pub struct ConstFold;
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+    fn run(&self, f: &mut Function, _an: &mut Analyses) -> usize {
+        const_fold::run(f)
+    }
+}
+
+/// Per-block copy propagation.
+pub struct CopyProp;
+impl Pass for CopyProp {
+    fn name(&self) -> &'static str {
+        "copy-prop"
+    }
+    fn run(&self, f: &mut Function, _an: &mut Analyses) -> usize {
+        copy_prop::run(f)
+    }
+}
+
+/// Common-subexpression and redundant-load elimination (automated O1).
+pub struct Cse;
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+    fn run(&self, f: &mut Function, _an: &mut Analyses) -> usize {
+        cse::run(f)
+    }
+}
+
+/// Liveness-driven dead-code elimination.
+pub struct Dce;
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+    fn run(&self, f: &mut Function, an: &mut Analyses) -> usize {
+        let (_, lv) = an.cfg_live(f);
+        dce::run_with(f, lv)
+    }
+}
+
+/// Loop-invariant code motion (inserts preheaders).
+pub struct Licm;
+impl Pass for Licm {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+    fn run(&self, f: &mut Function, _an: &mut Analyses) -> usize {
+        licm::run(f)
+    }
+    fn preserves_cfg(&self) -> bool {
+        false
+    }
+}
+
+/// Integer strength reduction and algebraic identities.
+pub struct StrengthReduce;
+impl Pass for StrengthReduce {
+    fn name(&self) -> &'static str {
+        "strength-reduce"
+    }
+    fn run(&self, f: &mut Function, _an: &mut Analyses) -> usize {
+        strength_reduce::run(f)
+    }
+}
+
+/// Bounded full unrolling of constant-trip loops.
+pub struct Unroll;
+impl Pass for Unroll {
+    fn name(&self) -> &'static str {
+        "unroll"
+    }
+    fn run(&self, f: &mut Function, _an: &mut Analyses) -> usize {
+        unroll::run(f)
+    }
+    fn preserves_cfg(&self) -> bool {
+        false
+    }
+}
+
+/// Upper bound on fixed-point rounds. Every pipeline in this crate
+/// converges far below it; hitting the cap means a pass keeps reporting
+/// rewrites without making progress, which debug builds treat as a bug.
+pub const MAX_ROUNDS: usize = 12;
+
+/// Accumulated statistics for one pipeline slot.
+#[derive(Debug, Clone)]
+pub struct PassRunStats {
+    /// [`Pass::name`] of the pass in this slot.
+    pub name: &'static str,
+    /// How many times the slot ran (once per round).
+    pub runs: usize,
+    /// Total rewrites across all rounds.
+    pub rewrites: usize,
+    /// Total wall-clock seconds across all rounds.
+    pub secs: f64,
+}
+
+/// What the pipeline did to one function.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionReport {
+    /// Kernel name.
+    pub name: String,
+    /// Fixed-point rounds executed.
+    pub rounds: usize,
+    /// Static instruction count before the pipeline.
+    pub insts_before: usize,
+    /// Static instruction count after the pipeline.
+    pub insts_after: usize,
+    /// One entry per pipeline slot, in pipeline order. The same pass may
+    /// appear in several slots (e.g. `copy-prop` after CSE).
+    pub passes: Vec<PassRunStats>,
+}
+
+impl FunctionReport {
+    /// Total rewrites across every slot named `pass`.
+    pub fn rewrites(&self, pass: &str) -> usize {
+        self.passes
+            .iter()
+            .filter(|p| p.name == pass)
+            .map(|p| p.rewrites)
+            .sum()
+    }
+
+    /// Total rewrites across the whole pipeline.
+    pub fn total_rewrites(&self) -> usize {
+        self.passes.iter().map(|p| p.rewrites).sum()
+    }
+}
+
+/// Per-kernel reports for a module.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleReport {
+    pub kernels: Vec<FunctionReport>,
+}
+
+impl ModuleReport {
+    /// Total rewrites across every kernel for slots named `pass`.
+    pub fn rewrites(&self, pass: &str) -> usize {
+        self.kernels.iter().map(|k| k.rewrites(pass)).sum()
+    }
+
+    /// Total rewrites across every kernel and slot.
+    pub fn total_rewrites(&self) -> usize {
+        self.kernels.iter().map(|k| k.total_rewrites()).sum()
+    }
+
+    /// Report for one kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&FunctionReport> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+/// An ordered pipeline of passes plus the fixed-point driver.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// An empty pipeline (runs nothing).
+    pub fn new() -> Self {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// Append a pass to the pipeline.
+    pub fn push(&mut self, p: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(p);
+        self
+    }
+
+    /// The standard pipeline for an optimization level. `VariableReuse`
+    /// runs the exact sequence the paper's automated-O1 experiment used;
+    /// `Loop` inserts the loop tier between CSE cleanup and the final DCE.
+    pub fn for_level(level: OptLevel) -> Self {
+        let mut pm = PassManager::new();
+        if level == OptLevel::None {
+            return pm;
+        }
+        pm.push(Box::new(ConstFold));
+        pm.push(Box::new(CopyProp));
+        if matches!(level, OptLevel::VariableReuse | OptLevel::Loop) {
+            pm.push(Box::new(Cse));
+            pm.push(Box::new(CopyProp));
+        }
+        if level == OptLevel::Loop {
+            pm.push(Box::new(Licm));
+            pm.push(Box::new(StrengthReduce));
+            pm.push(Box::new(Unroll));
+        }
+        pm.push(Box::new(Dce));
+        pm
+    }
+
+    /// Drive the pipeline to a fixed point on one function.
+    ///
+    /// In debug builds the IR verifier runs after every pass and panics,
+    /// naming the pass, if a transformation produced malformed IR.
+    pub fn run(&self, f: &mut Function) -> FunctionReport {
+        let insts_before = f.num_insts();
+        let mut slots: Vec<PassRunStats> = self
+            .passes
+            .iter()
+            .map(|p| PassRunStats {
+                name: p.name(),
+                runs: 0,
+                rewrites: 0,
+                secs: 0.0,
+            })
+            .collect();
+        let mut an = Analyses::default();
+        let mut rounds = 0;
+        let mut quiesced = self.passes.is_empty();
+        while !quiesced && rounds < MAX_ROUNDS {
+            rounds += 1;
+            let mut round_rewrites = 0;
+            for (si, p) in self.passes.iter().enumerate() {
+                let (n, secs) = repro_util::timing::time(|| p.run(f, &mut an));
+                if n > 0 {
+                    if p.preserves_cfg() {
+                        an.invalidate_dataflow();
+                    } else {
+                        an.invalidate_all();
+                    }
+                }
+                if cfg!(debug_assertions) {
+                    if let Err(e) = crate::verify::verify_function(f) {
+                        panic!(
+                            "IR verifier failed after pass `{}` on `{}`: {e}\n{f}",
+                            p.name(),
+                            f.name
+                        );
+                    }
+                }
+                snapshot(f, rounds, si, p.name(), n);
+                slots[si].runs += 1;
+                slots[si].rewrites += n;
+                slots[si].secs += secs;
+                round_rewrites += n;
+            }
+            quiesced = round_rewrites == 0;
+        }
+        debug_assert!(
+            quiesced,
+            "pass pipeline did not quiesce within {MAX_ROUNDS} rounds on `{}`",
+            f.name
+        );
+        FunctionReport {
+            name: f.name.clone(),
+            rounds,
+            insts_before,
+            insts_after: f.num_insts(),
+            passes: slots,
+        }
+    }
+}
+
+/// Best-effort IR dump between passes, gated on `OCL_IR_SNAPSHOT`:
+/// `1`/`stderr` prints to stderr, anything else names a directory that
+/// receives one file per (kernel, round, slot) that rewrote something.
+fn snapshot(f: &Function, round: usize, slot: usize, pass: &str, rewrites: usize) {
+    if rewrites == 0 {
+        return;
+    }
+    let Ok(dest) = std::env::var("OCL_IR_SNAPSHOT") else {
+        return;
+    };
+    let text = format!(
+        "; {}: round {round} slot {slot} `{pass}` ({rewrites} rewrites)\n{f}",
+        f.name
+    );
+    if dest == "1" || dest == "stderr" {
+        eprintln!("{text}");
+    } else {
+        let _ = std::fs::create_dir_all(&dest);
+        let _ = std::fs::write(
+            format!("{dest}/{}_r{round:02}_s{slot:02}_{pass}.ir", f.name),
+            text,
+        );
+    }
+}
+
+/// Run the standard pipeline for `level` on one function.
+pub fn optimize_function(f: &mut Function, level: OptLevel) -> FunctionReport {
+    PassManager::for_level(level).run(f)
+}
+
+/// Run the standard pipeline for `level` on every kernel of a module.
+pub fn optimize_module(m: &mut Module, level: OptLevel) -> ModuleReport {
+    let pm = PassManager::for_level(level);
+    ModuleReport {
+        kernels: m.kernels.iter_mut().map(|k| pm.run(k)).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -87,7 +462,7 @@ mod tests {
     use crate::func::Param;
     use crate::types::{AddressSpace, Scalar, Type};
     use crate::value::Operand;
-    use crate::{BinOp, Builtin};
+    use crate::{BinOp, Builtin, CmpOp};
 
     /// Kernel with a redundant load and a foldable constant, shaped like the
     /// backprop Listing 1 pattern.
@@ -141,8 +516,8 @@ mod tests {
     fn variable_reuse_removes_redundant_load() {
         let mut f = redundant_kernel();
         assert_eq!(count_loads(&f), 2);
-        let stats = optimize_function(&mut f, OptLevel::VariableReuse);
-        assert!(stats.cse_replaced >= 1, "stats: {stats:?}");
+        let report = optimize_function(&mut f, OptLevel::VariableReuse);
+        assert!(report.rewrites("cse") >= 1, "report: {report:?}");
         assert_eq!(count_loads(&f), 1, "after:\n{f}");
         crate::verify::verify_function(&f).unwrap();
     }
@@ -159,8 +534,116 @@ mod tests {
     fn opt_none_is_identity() {
         let mut f = redundant_kernel();
         let before = f.clone();
-        let stats = optimize_function(&mut f, OptLevel::None);
-        assert_eq!(stats, PassStats::default());
+        let report = optimize_function(&mut f, OptLevel::None);
+        assert_eq!(report.total_rewrites(), 0);
+        assert_eq!(report.rounds, 0);
         assert_eq!(f, before);
+    }
+
+    #[test]
+    fn report_tracks_rounds_and_sizes() {
+        let mut f = redundant_kernel();
+        let report = optimize_function(&mut f, OptLevel::VariableReuse);
+        assert!(report.rounds >= 1 && report.rounds < MAX_ROUNDS);
+        assert_eq!(report.insts_after, f.num_insts());
+        assert!(report.insts_after < report.insts_before);
+        // Every slot ran every round.
+        for s in &report.passes {
+            assert_eq!(s.runs, report.rounds, "slot {}", s.name);
+        }
+    }
+
+    /// for (i = 0; i < 4; i++) out[i] = x * 8  — exercises the whole loop
+    /// tier: the multiply is hoisted and strength-reduced, the loop is
+    /// unrolled, and the bookkeeping dies.
+    fn loop_kernel() -> Function {
+        let mut b = FunctionBuilder::new(
+            "k",
+            vec![Param {
+                name: "out".into(),
+                ty: Type::Ptr(AddressSpace::Global),
+            }],
+        );
+        let x = b.workitem(Builtin::GlobalId(0));
+        let i = b.mov(Scalar::U32, Operand::imm_u32(0));
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(head);
+        b.switch_to(head);
+        let c = b.cmp(CmpOp::Lt, Scalar::U32, i.into(), Operand::imm_u32(4));
+        b.cond_br(c.into(), body, exit);
+        b.switch_to(body);
+        let v = b.bin(BinOp::Mul, Scalar::U32, x.into(), Operand::imm_u32(8));
+        let addr = b.gep(Operand::Reg(b.param(0)), i.into(), 4, AddressSpace::Global);
+        b.store(addr.into(), v.into(), Scalar::U32, AddressSpace::Global);
+        let i2 = b.bin(BinOp::Add, Scalar::U32, i.into(), Operand::imm_u32(1));
+        b.assign(i, Scalar::U32, i2.into());
+        b.br(head);
+        b.switch_to(exit);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn loop_tier_flattens_constant_loop() {
+        let mut f = loop_kernel();
+        let report = optimize_function(&mut f, OptLevel::Loop);
+        crate::verify::verify_function(&f).unwrap();
+        assert!(report.rewrites("unroll") >= 1, "report: {report:?}");
+        assert!(report.rewrites("licm") >= 1, "report: {report:?}");
+        assert!(
+            report.rewrites("strength-reduce") >= 1,
+            "report: {report:?}"
+        );
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert!(
+            LoopForest::find(&f, &cfg, &dom).loops.is_empty(),
+            "loop must be gone:\n{f}"
+        );
+    }
+
+    #[test]
+    fn loop_level_matches_reuse_on_loop_free_code() {
+        let mut a = redundant_kernel();
+        let mut b = redundant_kernel();
+        optimize_function(&mut a, OptLevel::VariableReuse);
+        optimize_function(&mut b, OptLevel::Loop);
+        // Strength reduction may still fire, but on this kernel there is
+        // nothing to reduce: results must be identical.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "IR verifier failed after pass `breaker`")]
+    fn broken_pass_is_caught_by_debug_verifier() {
+        struct Breaker;
+        impl Pass for Breaker {
+            fn name(&self) -> &'static str {
+                "breaker"
+            }
+            fn run(&self, f: &mut Function, _an: &mut Analyses) -> usize {
+                // Point the terminator at a block that does not exist.
+                f.blocks[0].term = crate::Terminator::Br {
+                    target: crate::BlockId(999),
+                };
+                1
+            }
+        }
+        let mut pm = PassManager::new();
+        pm.push(Box::new(Breaker));
+        let mut f = redundant_kernel();
+        pm.run(&mut f);
+    }
+
+    #[test]
+    fn opt_level_parse_round_trips() {
+        for level in OptLevel::ALL {
+            assert_eq!(OptLevel::parse(level.flag_name()), Some(level));
+        }
+        assert_eq!(OptLevel::parse("O1"), Some(OptLevel::VariableReuse));
+        assert_eq!(OptLevel::parse("bogus"), None);
     }
 }

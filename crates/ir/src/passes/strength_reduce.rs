@@ -1,0 +1,239 @@
+//! Integer strength reduction and algebraic identities.
+//!
+//! Rewrites expensive integer ops into cheaper shift/mask forms — the
+//! classical companion to loop optimization, where induction-variable
+//! arithmetic like `i * 4` dominates the dynamic instruction stream. On
+//! the Vortex backend a multiply occupies the (shared) multiplier pipe
+//! while a shift issues on the ALU; on the HLS flow a constant shift is
+//! free wiring instead of a DSP block.
+//!
+//! All rewrites are exact on the IR's wrapping 32-bit semantics:
+//!
+//! * `x * 2^k` → `x << k` for both `I32` and `U32` (two's-complement
+//!   wrapping multiply equals wrapping shift);
+//! * `x / 2^k`, `x % 2^k` → `x >> k`, `x & (2^k - 1)` for `U32` only
+//!   (signed division rounds toward zero, an arithmetic shift does not);
+//! * identities `x + 0`, `x - 0`, `x * 1`, `x / 1`, `x << 0`, `x >> 0`
+//!   → `mov x`, and `x * 0` → `mov 0` (integers only).
+//!
+//! Floating point is never touched.
+
+use crate::func::Function;
+use crate::inst::{BinOp, Op};
+use crate::types::Scalar;
+use crate::value::{Const, Operand};
+
+/// Run the pass; returns the number of instructions rewritten.
+pub fn run(f: &mut Function) -> usize {
+    let mut changed = 0;
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            if let Some(new) = reduce(&inst.op) {
+                inst.op = new;
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// Integer value of a constant operand, if the scalar type matches `ty`.
+fn int_const(o: Operand, ty: Scalar) -> Option<u32> {
+    match (o, ty) {
+        (Operand::Const(Const::I32(x)), Scalar::I32) => Some(x as u32),
+        (Operand::Const(Const::U32(x)), Scalar::U32) => Some(x),
+        _ => None,
+    }
+}
+
+fn mov(ty: Scalar, a: Operand) -> Op {
+    Op::Mov { ty, a }
+}
+
+fn zero(ty: Scalar) -> Operand {
+    match ty {
+        Scalar::I32 => Operand::Const(Const::I32(0)),
+        _ => Operand::Const(Const::U32(0)),
+    }
+}
+
+fn reduce(op: &Op) -> Option<Op> {
+    let &Op::Bin { op: bin, ty, a, b } = op else {
+        return None;
+    };
+    if !matches!(ty, Scalar::I32 | Scalar::U32) {
+        return None;
+    }
+    let (ca, cb) = (int_const(a, ty), int_const(b, ty));
+    // Skip fully-constant ops: const-fold owns those.
+    if ca.is_some() && cb.is_some() {
+        return None;
+    }
+    let shift_amount = |c: u32| {
+        (c.is_power_of_two() && (ty == Scalar::U32 || (c as i32) > 0)).then(|| c.trailing_zeros())
+    };
+    let shl = |x: Operand, k: u32| Op::Bin {
+        op: BinOp::Shl,
+        ty,
+        a: x,
+        b: Operand::Const(match ty {
+            Scalar::I32 => Const::I32(k as i32),
+            _ => Const::U32(k),
+        }),
+    };
+    match bin {
+        BinOp::Mul => match (ca, cb) {
+            (_, Some(1)) => Some(mov(ty, a)),
+            (Some(1), _) => Some(mov(ty, b)),
+            (_, Some(0)) | (Some(0), _) => Some(mov(ty, zero(ty))),
+            (_, Some(c)) => shift_amount(c).map(|k| shl(a, k)),
+            (Some(c), _) => shift_amount(c).map(|k| shl(b, k)),
+            _ => None,
+        },
+        BinOp::Div => match cb {
+            Some(1) => Some(mov(ty, a)),
+            Some(c) if ty == Scalar::U32 && c.is_power_of_two() => Some(Op::Bin {
+                op: BinOp::Shr,
+                ty,
+                a,
+                b: Operand::Const(Const::U32(c.trailing_zeros())),
+            }),
+            _ => None,
+        },
+        BinOp::Rem => match cb {
+            Some(c) if ty == Scalar::U32 && c.is_power_of_two() => Some(Op::Bin {
+                op: BinOp::And,
+                ty,
+                a,
+                b: Operand::Const(Const::U32(c - 1)),
+            }),
+            _ => None,
+        },
+        BinOp::Add => match (ca, cb) {
+            (_, Some(0)) => Some(mov(ty, a)),
+            (Some(0), _) => Some(mov(ty, b)),
+            _ => None,
+        },
+        BinOp::Sub | BinOp::Shl | BinOp::Shr => match cb {
+            Some(0) => Some(mov(ty, a)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::value::VReg;
+    use crate::Builtin;
+
+    fn reduced(op: BinOp, ty: Scalar, a: Operand, b: Operand) -> Option<Op> {
+        let mut fb = FunctionBuilder::new("k", vec![]);
+        let x = fb.bin(op, ty, a, b);
+        let _ = x;
+        fb.ret();
+        let mut f = fb.finish();
+        let n = run(&mut f);
+        (n > 0).then(|| f.blocks[0].insts[0].op.clone())
+    }
+
+    fn reg(n: u32) -> Operand {
+        Operand::Reg(VReg(n))
+    }
+
+    #[test]
+    fn mul_by_power_of_two_becomes_shift() {
+        // Register operands in a builder always exist; use a workitem reg.
+        let mut fb = FunctionBuilder::new("k", vec![]);
+        let gid = fb.workitem(Builtin::GlobalId(0));
+        let y = fb.bin(BinOp::Mul, Scalar::U32, gid.into(), Operand::imm_u32(8));
+        let _ = y;
+        fb.ret();
+        let mut f = fb.finish();
+        assert_eq!(run(&mut f), 1);
+        match &f.blocks[0].insts[1].op {
+            Op::Bin {
+                op: BinOp::Shl,
+                a,
+                b: Operand::Const(Const::U32(3)),
+                ..
+            } => assert_eq!(*a, Operand::Reg(gid)),
+            other => panic!("unexpected {other:?}"),
+        }
+        crate::verify::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn signed_mul_uses_signed_shift_amount() {
+        match reduced(BinOp::Mul, Scalar::I32, Operand::imm_i32(4), reg(0)) {
+            Some(Op::Bin {
+                op: BinOp::Shl,
+                b: Operand::Const(Const::I32(2)),
+                ..
+            }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signed_div_not_reduced_to_shift() {
+        // -7 / 2 == -3 but -7 >> 1 == -4: must not rewrite.
+        assert!(reduced(BinOp::Div, Scalar::I32, reg(0), Operand::imm_i32(2)).is_none());
+    }
+
+    #[test]
+    fn unsigned_div_and_rem_reduced() {
+        match reduced(BinOp::Div, Scalar::U32, reg(0), Operand::imm_u32(16)) {
+            Some(Op::Bin {
+                op: BinOp::Shr,
+                b: Operand::Const(Const::U32(4)),
+                ..
+            }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match reduced(BinOp::Rem, Scalar::U32, reg(0), Operand::imm_u32(16)) {
+            Some(Op::Bin {
+                op: BinOp::And,
+                b: Operand::Const(Const::U32(15)),
+                ..
+            }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identities_become_movs() {
+        assert!(matches!(
+            reduced(BinOp::Add, Scalar::I32, reg(0), Operand::imm_i32(0)),
+            Some(Op::Mov { .. })
+        ));
+        assert!(matches!(
+            reduced(BinOp::Mul, Scalar::U32, Operand::imm_u32(1), reg(0)),
+            Some(Op::Mov { .. })
+        ));
+        assert!(matches!(
+            reduced(BinOp::Mul, Scalar::I32, reg(0), Operand::imm_i32(0)),
+            Some(Op::Mov {
+                a: Operand::Const(Const::I32(0)),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn float_and_mismatched_const_untouched() {
+        assert!(reduced(BinOp::Mul, Scalar::F32, reg(0), Operand::imm_f32(2.0)).is_none());
+        // A U32-typed op with an I32 constant operand is left alone.
+        assert!(reduced(BinOp::Mul, Scalar::U32, reg(0), Operand::imm_i32(8)).is_none());
+        // Fully-constant ops belong to const-fold.
+        assert!(reduced(
+            BinOp::Mul,
+            Scalar::I32,
+            Operand::imm_i32(3),
+            Operand::imm_i32(4)
+        )
+        .is_none());
+    }
+}

@@ -33,6 +33,16 @@ pub fn bench<R>(iters: u32, mut f: impl FnMut() -> R) -> Sample {
     }
 }
 
+/// Time a single invocation of `f`; returns its result and the elapsed
+/// wall-clock seconds. Used by the IR pass manager for per-pass timing,
+/// where the repeated-iteration protocol of [`bench`] would re-run a
+/// mutating transform.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
 /// Print one result row in the shared `name  best  mean` format.
 pub fn report(name: &str, s: &Sample) {
     println!(

@@ -56,7 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!(
         "\nautomated O1 via IR CSE: {auto} BRAMs ({} loads/exprs reused, {} dead ops removed)",
-        stats.cse_replaced, stats.dce_removed
+        stats.rewrites("cse"),
+        stats.rewrites("dce")
     );
     assert_eq!(auto, o1, "the pass must match the manual rewrite");
     println!(

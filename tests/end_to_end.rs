@@ -117,7 +117,7 @@ fn optimized_ir_produces_identical_vortex_results() {
     let stats =
         ocl_ir::passes::optimize_module(&mut optimized, ocl_ir::passes::OptLevel::VariableReuse);
     assert!(
-        stats.cse_replaced > 0,
+        stats.rewrites("cse") > 0,
         "CSE should fire on the duplicate expr"
     );
     let (out_base, size_base) = run(&baseline);
