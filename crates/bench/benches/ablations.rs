@@ -67,9 +67,9 @@ const SELECTED: &str = r#"
     }
 "#;
 
-fn vortex_cycles(src: &str, cfg: &SimConfig) -> u64 {
+fn vortex_cycles(src: &str, cfg: &SimConfig, level: ocl_ir::passes::OptLevel) -> u64 {
     let n = 1024u32;
-    let compiled = vortex_rt::compile_for(src, "k", cfg).unwrap();
+    let compiled = vortex_rt::compile_for_at(src, "k", cfg, level).unwrap();
     let mut sess = vortex_rt::VxSession::new(cfg.clone(), compiled);
     let data: Vec<i32> = (0..n as i32).collect();
     let da = sess.alloc_i32(&data).unwrap();
@@ -83,15 +83,15 @@ fn vortex_cycles(src: &str, cfg: &SimConfig) -> u64 {
     r.stats.cycles
 }
 
-fn bench_divergence_lowering() {
+fn bench_divergence_lowering(level: ocl_ir::passes::OptLevel) {
     let cfg = SimConfig::new(VortexConfig::new(2, 4, 8));
     for (label, src) in [("split_join", DIVERGENT), ("ternary", SELECTED)] {
-        let s = bench(20, || vortex_cycles(src, &cfg));
+        let s = bench(20, || vortex_cycles(src, &cfg, level));
         report(&format!("ablation/divergence/{label}"), &s);
     }
     let (cd, cs) = (
-        vortex_cycles(DIVERGENT, &cfg),
-        vortex_cycles(SELECTED, &cfg),
+        vortex_cycles(DIVERGENT, &cfg, level),
+        vortex_cycles(SELECTED, &cfg, level),
     );
     eprintln!(
         "ablation/divergence simulated cycles: split/join={cd} ternary={cs} \
@@ -99,7 +99,7 @@ fn bench_divergence_lowering() {
     );
 }
 
-fn bench_dcache_sensitivity() {
+fn bench_dcache_sensitivity(level: ocl_ir::passes::OptLevel) {
     for kb in [1u32, 4, 16] {
         let mut cfg = SimConfig::new(VortexConfig::new(4, 8, 8));
         cfg.dcache = CacheConfig {
@@ -109,20 +109,20 @@ fn bench_dcache_sensitivity() {
         };
         let b = ocl_suite::benchmark("Transpose").unwrap();
         let s = bench(10, || {
-            ocl_suite::run_vortex(&b, ocl_suite::Scale::Test, &cfg).unwrap()
+            ocl_suite::run_vortex_at(&b, ocl_suite::Scale::Test, &cfg, level).unwrap()
         });
         report(&format!("ablation/dcache_size/{kb}kb"), &s);
     }
 }
 
-fn bench_compiler_stages() {
+fn bench_compiler_stages(level: ocl_ir::passes::OptLevel) {
     let b = ocl_suite::benchmark("Gaussian").unwrap();
     let s = bench(50, || ocl_front::compile(b.source).unwrap());
     report("compiler/frontend", &s);
     let module = ocl_front::compile(b.source).unwrap();
     let s = bench(50, || {
         let mut m = module.clone();
-        ocl_ir::passes::optimize_module(&mut m, ocl_ir::passes::OptLevel::VariableReuse)
+        ocl_ir::passes::optimize_module(&mut m, level)
     });
     report("compiler/passes", &s);
     let s = bench(50, || {
@@ -141,8 +141,23 @@ fn bench_compiler_stages() {
 }
 
 fn main() {
+    // `--opt none|basic|reuse|loop` selects the middle-end level for the
+    // Vortex-side ablations (default: the suite-wide level), so the loop
+    // tier's simulator impact is one flag away.
+    let args: Vec<String> = std::env::args().collect();
+    let level = match args.iter().position(|a| a == "--opt") {
+        None => ocl_suite::DEFAULT_OPT,
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|s| ocl_ir::passes::OptLevel::parse(s))
+            .unwrap_or_else(|| {
+                eprintln!("--opt expects one of: none, basic, reuse, loop");
+                std::process::exit(2);
+            }),
+    };
+    eprintln!("ablations at middle-end level `{}`", level.flag_name());
     bench_lsu_style();
-    bench_divergence_lowering();
-    bench_dcache_sensitivity();
-    bench_compiler_stages();
+    bench_divergence_lowering(level);
+    bench_dcache_sensitivity(level);
+    bench_compiler_stages(level);
 }

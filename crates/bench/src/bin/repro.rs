@@ -10,14 +10,19 @@
 //! repro bench-sim [--fast]  scheduler wall-clock: fast-forward vs dense loop
 //! repro trace <bench>       chrome://tracing export of a Vortex run
 //! repro profile <bench>     hot-PC + stall-attribution profile of a Vortex run
+//! repro opt-report <bench> [--timing]  middle-end report across opt levels
 //! repro all [--fast]        everything above (bench-sim runs separately)
 //! ```
 //!
 //! `--fast` shrinks the Figure 7 problem sizes (useful without `--release`).
-//! Output is markdown on stdout; a JSON copy of each artifact is written to
-//! `target/repro/` for EXPERIMENTS.md bookkeeping.
+//! `--opt none|basic|reuse|loop` selects the middle-end level for the
+//! execution commands (`trace`, `profile`, `bench-sim`, `analytic`); the
+//! default is the suite-wide [`ocl_suite::DEFAULT_OPT`]. Output is markdown
+//! on stdout; a JSON copy of each artifact is written to `target/repro/`
+//! for EXPERIMENTS.md bookkeeping.
 
 use fpga_arch::VortexConfig;
+use ocl_ir::passes::OptLevel;
 use ocl_suite::Scale;
 use repro_core::report;
 use repro_core::{coverage_table, fig7_grid, fig7_summary, table2, table3, table4};
@@ -100,7 +105,7 @@ fn run_fig7(fast: bool) {
     save_json("fig7_summary", &sm);
 }
 
-fn run_analytic() {
+fn run_analytic(level: OptLevel) {
     use ocl_ir::interp::{run_ndrange, KernelArg, Limits, Memory, NdRange};
     use vortex_sim::SimConfig;
     println!("## Analytical Vortex performance model (§IV-A opportunity)\n");
@@ -108,7 +113,11 @@ fn run_analytic() {
     println!("|---|---|---|---|---|---|");
     for name in ["Vecadd", "Transpose"] {
         let b = ocl_suite::benchmark(name).unwrap();
-        let module = ocl_front::compile(b.source).unwrap();
+        // Both the dynamic-count run and the simulated run must execute the
+        // same middle-end output, or the model's inputs and the simulator
+        // would describe different programs.
+        let mut module = ocl_front::compile(b.source).unwrap();
+        ocl_ir::passes::optimize_module(&mut module, level);
         let kernel = &module.kernels[0];
         let n = 8192u32;
         let nd = if name == "Vecadd" {
@@ -135,7 +144,7 @@ fn run_analytic() {
         ] {
             let cfg = SimConfig::new(hw);
             let pred = repro_core::analytic::predict(&exec, &nd, &cfg);
-            let compiled = vortex_rt::compile_for(b.source, &kernel.name, &cfg).unwrap();
+            let compiled = vortex_rt::compile_for_at(b.source, &kernel.name, &cfg, level).unwrap();
             let mut sess = vortex_rt::VxSession::new(cfg, compiled);
             let vargs: Vec<vortex_rt::Arg> = kernel
                 .params
@@ -162,7 +171,7 @@ fn run_analytic() {
 /// loop — in the same process, and write `BENCH_sim.json`. Cycle counts are
 /// asserted equal along the way, so the timing run doubles as a
 /// differential check.
-fn run_bench_sim(fast: bool) {
+fn run_bench_sim(fast: bool, level: OptLevel) {
     use repro_util::timing::bench;
     use repro_util::{Json, ToJson};
     use vortex_sim::SimConfig;
@@ -183,14 +192,22 @@ fn run_bench_sim(fast: bool) {
             for t in [4u32, 8, 16] {
                 let mut cfg = SimConfig::new(VortexConfig::new(4, w, t));
                 let ff = bench(iters, || {
-                    ocl_suite::run_vortex(&b, scale, &cfg).unwrap().cycles
+                    ocl_suite::run_vortex_at(&b, scale, &cfg, level)
+                        .unwrap()
+                        .cycles
                 });
-                let cycles = ocl_suite::run_vortex(&b, scale, &cfg).unwrap().cycles;
+                let cycles = ocl_suite::run_vortex_at(&b, scale, &cfg, level)
+                    .unwrap()
+                    .cycles;
                 cfg.reference_mode = true;
                 let dn = bench(iters, || {
-                    ocl_suite::run_vortex(&b, scale, &cfg).unwrap().cycles
+                    ocl_suite::run_vortex_at(&b, scale, &cfg, level)
+                        .unwrap()
+                        .cycles
                 });
-                let dense_cycles = ocl_suite::run_vortex(&b, scale, &cfg).unwrap().cycles;
+                let dense_cycles = ocl_suite::run_vortex_at(&b, scale, &cfg, level)
+                    .unwrap()
+                    .cycles;
                 assert_eq!(
                     cycles, dense_cycles,
                     "{name} 4c{w}w{t}t: schedulers disagree"
@@ -251,6 +268,7 @@ fn trace_config() -> vortex_sim::SimConfig {
 /// per-launch event streams.
 fn traced_run(
     name: &str,
+    level: OptLevel,
 ) -> (
     ocl_suite::Benchmark,
     ocl_suite::VortexTrace,
@@ -261,7 +279,7 @@ fn traced_run(
         std::process::exit(2);
     };
     let cfg = trace_config();
-    match ocl_suite::run_vortex_events(&b, Scale::Test, &cfg) {
+    match ocl_suite::run_vortex_events_at(&b, Scale::Test, &cfg, level) {
         Ok((trace, launches)) => (b, trace, launches),
         Err(e) => {
             eprintln!("{e}");
@@ -270,8 +288,8 @@ fn traced_run(
     }
 }
 
-fn run_trace(name: &str) {
-    let (b, trace, launches) = traced_run(name);
+fn run_trace(name: &str, level: OptLevel) {
+    let (b, trace, launches) = traced_run(name, level);
     let doc = repro_core::chrome_trace(&launches);
     let file = format!("trace_{}", b.name.to_lowercase());
     save_json(&file, &doc);
@@ -286,14 +304,13 @@ fn run_trace(name: &str) {
     println!("wrote target/repro/{file}.json — load it in chrome://tracing or Perfetto");
 }
 
-fn run_profile(name: &str) {
+fn run_profile(name: &str, level: OptLevel) {
     use vortex_sim::LaunchProfile;
-    let (b, trace, launches) = traced_run(name);
+    let (b, trace, launches) = traced_run(name, level);
     let cfg = trace_config();
     // Recompile for disassembly of the hot PCs (same optimized module and
     // codegen options as the run, so PCs line up with what executed).
-    let module =
-        ocl_suite::compile_bench(&b, ocl_suite::DEFAULT_OPT).expect("already compiled once");
+    let module = ocl_suite::compile_bench(&b, level).expect("already compiled once");
     let opts = vortex_cc::CodegenOpts {
         threads: cfg.hw.threads,
     };
@@ -325,28 +342,51 @@ fn run_profile(name: &str) {
     print!("{}", report::render_profile(b.name, &sections, 8));
 }
 
+fn run_opt_report(name: &str, timing: bool) {
+    match repro_core::opt_report(name) {
+        Ok(r) => {
+            print!("{}", repro_core::render_opt_report(&r, timing));
+            save_json(&format!("opt_report_{}", r.bench.to_lowercase()), &r);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let fast = args.iter().any(|a| a == "--fast");
     let timing = args.iter().any(|a| a == "--timing");
+    let level = match args.iter().position(|a| a == "--opt") {
+        None => ocl_suite::DEFAULT_OPT,
+        Some(i) => match args.get(i + 1).and_then(|s| OptLevel::parse(s)) {
+            Some(l) => l,
+            None => {
+                eprintln!("--opt expects one of: none, basic, reuse, loop");
+                std::process::exit(2);
+            }
+        },
+    };
     match cmd {
         "table1" => run_table1(timing),
         "table2" => run_table2(),
         "table3" => run_table3(),
         "table4" => run_table4(),
         "fig7" => run_fig7(fast),
-        "analytic" => run_analytic(),
-        "bench-sim" => run_bench_sim(fast),
-        "trace" | "profile" => {
+        "analytic" => run_analytic(level),
+        "bench-sim" => run_bench_sim(fast, level),
+        "trace" | "profile" | "opt-report" => {
             let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")) else {
                 eprintln!("usage: repro {cmd} <bench>");
                 std::process::exit(2);
             };
-            if cmd == "trace" {
-                run_trace(bench);
-            } else {
-                run_profile(bench);
+            match cmd {
+                "trace" => run_trace(bench, level),
+                "profile" => run_profile(bench, level),
+                _ => run_opt_report(bench, timing),
             }
         }
         "all" => {
@@ -360,7 +400,7 @@ fn main() {
             println!();
             run_fig7(fast);
             println!();
-            run_analytic();
+            run_analytic(level);
         }
         other => {
             eprintln!("unknown command `{other}`; see the crate docs");

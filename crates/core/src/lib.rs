@@ -20,10 +20,12 @@ pub mod analytic;
 pub mod chrome_trace;
 pub mod coverage;
 pub mod fig7;
+pub mod opt_report;
 pub mod report;
 pub mod tables;
 
 pub use chrome_trace::chrome_trace;
 pub use coverage::{coverage_table, CoverageRow};
 pub use fig7::{fig7_grid, fig7_summary, Fig7Cell, Fig7Grid};
+pub use opt_report::{opt_report, render_opt_report, OptReport};
 pub use tables::{table2, table3, table4, AreaRow};

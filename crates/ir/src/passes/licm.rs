@@ -35,7 +35,7 @@ pub fn run(f: &mut Function) -> usize {
         let lv = Liveness::compute(f, &cfg);
         let mut hoisted = 0;
         for l in &forest.loops {
-            hoisted = hoist_loop(f, &cfg, &lv, l);
+            hoisted = hoist_loop(f, &cfg, &dom, &lv, l);
             if hoisted > 0 {
                 break;
             }
@@ -47,11 +47,21 @@ pub fn run(f: &mut Function) -> usize {
     }
 }
 
-fn hoist_loop(f: &mut Function, cfg: &Cfg, lv: &Liveness, l: &Loop) -> usize {
+fn hoist_loop(f: &mut Function, cfg: &Cfg, dom: &Dominators, lv: &Liveness, l: &Loop) -> usize {
     if l.header == f.entry() {
         // No outside edge to place a preheader on.
         return 0;
     }
+    // Only hoist from blocks executed on every iteration (they dominate
+    // every latch). Hoisting from a conditional block is still sound — the
+    // ops are pure and total — but turns "executed when the branch is
+    // taken" into "executed always", which can *increase* the dynamic
+    // count (e.g. a once-per-group tail guarded by `lid == 0`).
+    let every_iter: Vec<bool> = l
+        .body
+        .iter()
+        .map(|&b| l.latches.iter().all(|&lt| dom.dominates(b, lt)))
+        .collect();
     // How often each register is defined inside the loop.
     let mut defs = vec![0u32; f.num_vregs()];
     for &b in &l.body {
@@ -75,6 +85,9 @@ fn hoist_loop(f: &mut Function, cfg: &Cfg, lv: &Liveness, l: &Loop) -> usize {
     loop {
         let mut grew = false;
         for (bi, &b) in l.body.iter().enumerate() {
+            if !every_iter[bi] {
+                continue;
+            }
             for (ii, inst) in f.block(b).insts.iter().enumerate() {
                 if is_selected[bi][ii] {
                     continue;

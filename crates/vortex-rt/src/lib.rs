@@ -307,13 +307,38 @@ impl VxSession {
 }
 
 /// Compile `src` and launch kernel `name` in one step — the convenience
-/// entry point examples and tests use.
+/// entry point examples and tests use. The source is compiled *as written*;
+/// use [`compile_for_at`] to run the shared middle end first.
 pub fn compile_for(
     src: &str,
     name: &str,
     cfg: &SimConfig,
 ) -> Result<CompiledKernel, Box<dyn std::error::Error>> {
     let module = ocl_front::compile(src)?;
+    let kernel = module
+        .kernel(name)
+        .ok_or_else(|| format!("kernel `{name}` not found"))?;
+    let compiled = vortex_cc::compile_kernel(
+        kernel,
+        &vortex_cc::CodegenOpts {
+            threads: cfg.hw.threads,
+        },
+    )?;
+    Ok(compiled)
+}
+
+/// [`compile_for`] with the shared IR middle end run at `level` before
+/// codegen, so callers can compare the Vortex flow across optimization
+/// levels against the interpreter's semantics at the same level.
+pub fn compile_for_at(
+    src: &str,
+    name: &str,
+    cfg: &SimConfig,
+    level: ocl_ir::passes::OptLevel,
+) -> Result<CompiledKernel, Box<dyn std::error::Error>> {
+    let mut module = ocl_front::compile(src)?;
+    ocl_ir::passes::optimize_module(&mut module, level);
+    ocl_ir::verify::verify_module(&module).map_err(|e| format!("after {level:?} passes: {e}"))?;
     let kernel = module
         .kernel(name)
         .ok_or_else(|| format!("kernel `{name}` not found"))?;
