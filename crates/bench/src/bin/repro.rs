@@ -11,8 +11,12 @@
 //! repro trace <bench>       chrome://tracing export of a Vortex run
 //! repro profile <bench>     hot-PC + stall-attribution profile of a Vortex run
 //! repro opt-report <bench> [--timing]  middle-end report across opt levels
+//! repro check               fail-soft coverage sweep with failure classes
 //! repro all [--fast]        everything above (bench-sim runs separately)
 //! ```
+//!
+//! `check` exits nonzero if any benchmark is classified `Hang` or `Panic`
+//! — the CI smoke-test contract.
 //!
 //! `--fast` shrinks the Figure 7 problem sizes (useful without `--release`).
 //! `--opt none|basic|reuse|loop` selects the middle-end level for the
@@ -342,6 +346,25 @@ fn run_profile(name: &str, level: OptLevel) {
     print!("{}", report::render_profile(b.name, &sections, 8));
 }
 
+fn run_check() {
+    println!("## Fail-soft coverage check (both flows, watchdog + panic isolation)\n");
+    let rows = repro_core::check_suite(Scale::Test, VortexConfig::new(2, 4, 16));
+    print!("{}", repro_core::render_check(&rows));
+    save_json("check", &repro_core::check_json(&rows));
+    let ok = rows
+        .iter()
+        .filter(|r| r.vortex.is_ok() && r.hls.is_ok())
+        .count();
+    println!(
+        "\n{ok}/{} benchmarks clean on both flows; report at target/repro/check.json",
+        rows.len()
+    );
+    if repro_core::check_has_hard_failure(&rows) {
+        eprintln!("FAIL: at least one benchmark classified Hang or Panic");
+        std::process::exit(1);
+    }
+}
+
 fn run_opt_report(name: &str, timing: bool) {
     match repro_core::opt_report(name) {
         Ok(r) => {
@@ -378,6 +401,7 @@ fn main() {
         "fig7" => run_fig7(fast),
         "analytic" => run_analytic(level),
         "bench-sim" => run_bench_sim(fast, level),
+        "check" => run_check(),
         "trace" | "profile" | "opt-report" => {
             let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")) else {
                 eprintln!("usage: repro {cmd} <bench>");

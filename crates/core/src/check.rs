@@ -1,0 +1,219 @@
+//! `repro check` — the fail-soft coverage sweep.
+//!
+//! Runs all 28 benchmarks through both flows with every robustness layer
+//! engaged: the typed [`ReproError`] taxonomy, the simulator watchdog
+//! (cycle + instruction budgets, structured deadlock reports), and
+//! per-benchmark panic isolation. Unlike [`crate::coverage_table`], which
+//! reproduces the paper's Table I numbers, this sweep is a *health check*:
+//! every benchmark gets a row no matter how its neighbours fail, and every
+//! failure carries a [`FailureClass`] so CI can distinguish an expected
+//! synthesis rejection from a hang or a panic in our own stack.
+
+use fpga_arch::{Device, VortexConfig};
+use ocl_suite::{all_benchmarks, run_isolated, FailureClass, ReproError, Scale};
+use repro_util::{Json, ToJson};
+use vortex_sim::SimConfig;
+
+/// Watchdog budgets for the sweep. `Scale::Test` benchmarks finish in well
+/// under a million cycles; these ceilings are generous enough to never trip
+/// on a healthy kernel while still bounding a runaway one to seconds.
+pub const CHECK_MAX_CYCLES: u64 = 20_000_000;
+pub const CHECK_MAX_INSTRUCTIONS: u64 = 200_000_000;
+
+/// One benchmark's fail-soft outcome on both flows.
+#[derive(Debug, Clone)]
+pub struct CheckRow {
+    pub name: String,
+    /// Vortex flow: simulated cycles, or the classified failure.
+    pub vortex: Result<u64, ReproError>,
+    /// HLS flow: modeled cycles, or the classified failure (synthesis
+    /// rejections land here as [`ReproError::Synthesis`]).
+    pub hls: Result<u64, ReproError>,
+}
+
+impl CheckRow {
+    /// Classes present in this row's failures (0, 1, or 2 entries).
+    pub fn failure_classes(&self) -> Vec<FailureClass> {
+        [&self.vortex, &self.hls]
+            .into_iter()
+            .filter_map(|r| r.as_ref().err().map(|e| e.class()))
+            .collect()
+    }
+
+    /// True if either flow failed with a class CI treats as fatal.
+    pub fn has_hard_failure(&self) -> bool {
+        self.failure_classes()
+            .iter()
+            .any(|c| matches!(c, FailureClass::Hang | FailureClass::Panic))
+    }
+}
+
+fn outcome_json(r: &Result<u64, ReproError>) -> Json {
+    match r {
+        Ok(cycles) => Json::obj(vec![("ok", Json::Bool(true)), ("cycles", cycles.to_json())]),
+        Err(e) => {
+            let mut fields = vec![("ok".to_string(), Json::Bool(false))];
+            if let Json::Object(rest) = e.to_json() {
+                fields.extend(rest);
+            }
+            Json::Object(fields)
+        }
+    }
+}
+
+impl ToJson for CheckRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("vortex", outcome_json(&self.vortex)),
+            ("hls", outcome_json(&self.hls)),
+        ])
+    }
+}
+
+/// Run the whole suite fail-soft on both flows and collect one row per
+/// benchmark. A benchmark that faults — or panics — cannot cost any other
+/// benchmark its row.
+pub fn check_suite(scale: Scale, hw: VortexConfig) -> Vec<CheckRow> {
+    let device = Device::mx2100();
+    let mut cfg = SimConfig::new(hw);
+    cfg.max_cycles = CHECK_MAX_CYCLES;
+    cfg.max_instructions = CHECK_MAX_INSTRUCTIONS;
+    all_benchmarks()
+        .iter()
+        .map(|b| {
+            let vortex = run_isolated(|| ocl_suite::run_vortex(b, scale, &cfg).map(|o| o.cycles));
+            let hls = run_isolated(|| match ocl_suite::run_hls(b, scale, &device)? {
+                Ok(o) => Ok(o.cycles),
+                Err(f) => Err(f.into()),
+            });
+            CheckRow {
+                name: b.name.to_string(),
+                vortex,
+                hls,
+            }
+        })
+        .collect()
+}
+
+/// True if any row carries a `Hang` or `Panic` classification — the CI
+/// failure condition for the `repro check` smoke step.
+pub fn check_has_hard_failure(rows: &[CheckRow]) -> bool {
+    rows.iter().any(CheckRow::has_hard_failure)
+}
+
+/// Per-class failure counts over both flows, in report column order.
+pub fn check_class_counts(rows: &[CheckRow]) -> Vec<(FailureClass, usize)> {
+    FailureClass::all()
+        .into_iter()
+        .map(|c| {
+            let n = rows
+                .iter()
+                .flat_map(CheckRow::failure_classes)
+                .filter(|&rc| rc == c)
+                .count();
+            (c, n)
+        })
+        .collect()
+}
+
+fn cell(r: &Result<u64, ReproError>) -> String {
+    match r {
+        Ok(cycles) => format!("O ({cycles} cyc)"),
+        Err(e) => format!("✗ {}", e.kind()),
+    }
+}
+
+/// Render the Table-I-style markdown coverage report.
+pub fn render_check(rows: &[CheckRow]) -> String {
+    let mut out = String::new();
+    out.push_str("| Benchmark | Vortex | HLS | Failure class | Detail |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for r in rows {
+        let classes = r.failure_classes();
+        let class_cell = if classes.is_empty() {
+            String::new()
+        } else {
+            classes
+                .iter()
+                .map(|c| c.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let detail = [&r.vortex, &r.hls]
+            .into_iter()
+            .filter_map(|x| x.as_ref().err().map(|e| e.to_string()))
+            .collect::<Vec<_>>()
+            .join("; ");
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            r.name,
+            cell(&r.vortex),
+            cell(&r.hls),
+            class_cell,
+            detail
+        ));
+    }
+    out.push_str("\n| ");
+    for (c, _) in check_class_counts(rows) {
+        out.push_str(&format!("{c} | "));
+    }
+    out.push_str("\n|");
+    out.push_str(&"---|".repeat(FailureClass::all().len()));
+    out.push_str("\n| ");
+    for (_, n) in check_class_counts(rows) {
+        out.push_str(&format!("{n} | "));
+    }
+    out.push('\n');
+    out
+}
+
+/// The whole report as one JSON document (rows + class counts + verdict).
+pub fn check_json(rows: &[CheckRow]) -> Json {
+    Json::obj(vec![
+        ("rows", rows.to_json()),
+        (
+            "failure_counts",
+            Json::obj(
+                check_class_counts(rows)
+                    .into_iter()
+                    .map(|(c, n)| (c.name(), (n as u64).to_json()))
+                    .collect(),
+            ),
+        ),
+        ("hard_failure", Json::Bool(check_has_hard_failure(rows))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_covers_all_benchmarks_fail_soft() {
+        let rows = check_suite(Scale::Test, VortexConfig::new(2, 4, 16));
+        assert_eq!(rows.len(), 28);
+        // The healthy suite: Vortex runs everything, HLS rejects the
+        // paper's six — all classified Synthesis, none Hang or Panic.
+        for r in &rows {
+            assert!(r.vortex.is_ok(), "{}: {:?}", r.name, r.vortex);
+        }
+        let counts = check_class_counts(&rows);
+        let get = |class: FailureClass| {
+            counts
+                .iter()
+                .find(|(c, _)| *c == class)
+                .map(|(_, n)| *n)
+                .unwrap()
+        };
+        assert_eq!(get(FailureClass::Synthesis), 6);
+        assert_eq!(get(FailureClass::Hang), 0);
+        assert_eq!(get(FailureClass::Panic), 0);
+        assert!(!check_has_hard_failure(&rows));
+        // The report renders a row per benchmark plus header and summary.
+        let md = render_check(&rows);
+        assert_eq!(md.matches("| O (").count(), 28 + 22);
+        let j = check_json(&rows);
+        assert_eq!(j.get("hard_failure").and_then(|v| v.as_bool()), Some(false));
+    }
+}

@@ -60,17 +60,28 @@ pub fn coverage_table(scale: Scale, hw: VortexConfig) -> Vec<CoverageRow> {
     all_benchmarks()
         .iter()
         .map(|b| {
-            let vortex = run_vortex(b, scale, &cfg)
+            // Each flow runs panic-isolated: one benchmark tripping an
+            // internal invariant degrades to a failure cell instead of
+            // costing the table its remaining rows.
+            let vortex = ocl_suite::run_isolated(|| run_vortex(b, scale, &cfg))
                 .map(|o| o.cycles)
                 .map_err(|e| e.to_string());
-            let (hls, hls_hours) = match ocl_suite::run_hls(b, scale, &device) {
+            let hls_outcome = ocl_suite::run_isolated(|| ocl_suite::run_hls(b, scale, &device));
+            let (hls, hls_hours) = match hls_outcome {
                 Ok(Ok(_)) => {
                     // Re-synthesize for the area figure (cheap; cached
-                    // profiles are not worth the plumbing).
-                    let m = ocl_front::compile(b.source).expect("compiles");
-                    let r = hls_flow::synthesize(&m, &device, &Default::default())
-                        .expect("synthesizes");
-                    (Ok(r.area.brams), r.hours)
+                    // profiles are not worth the plumbing). Both steps
+                    // already succeeded inside run_hls, so failures here
+                    // are harness bugs — reported, not panicked.
+                    match ocl_front::compile(b.source)
+                        .map_err(|e| format!("harness: {e}"))
+                        .and_then(|m| {
+                            hls_flow::synthesize(&m, &device, &Default::default())
+                                .map_err(|f| format!("harness: {f}"))
+                        }) {
+                        Ok(r) => (Ok(r.area.brams), r.hours),
+                        Err(e) => (Err(e), 0.0),
+                    }
                 }
                 Ok(Err(f)) => (Err(f.reason()), f.hours()),
                 Err(e) => (Err(format!("harness: {e}")), 0.0),

@@ -5,6 +5,8 @@
 //! regenerates every quantitative artifact of the evaluation:
 //!
 //! * [`coverage`] — Table I (benchmark coverage, with failure reasons);
+//! * [`check`] — the fail-soft coverage sweep behind `repro check`
+//!   (per-benchmark outcomes with failure classes, panic-isolated);
 //! * [`tables`] — Table II (backprop area under O1/O2), Table III (HLS area
 //!   for four benchmarks), Table IV (Vortex area across configurations);
 //! * [`fig7`] — Figure 7 (cycle heatmap over warps × threads on the 4-core
@@ -17,6 +19,7 @@
 //!   event stream (the `repro trace` artifact).
 
 pub mod analytic;
+pub mod check;
 pub mod chrome_trace;
 pub mod coverage;
 pub mod fig7;
@@ -24,6 +27,7 @@ pub mod opt_report;
 pub mod report;
 pub mod tables;
 
+pub use check::{check_has_hard_failure, check_json, check_suite, render_check, CheckRow};
 pub use chrome_trace::chrome_trace;
 pub use coverage::{coverage_table, CoverageRow};
 pub use fig7::{fig7_grid, fig7_summary, Fig7Cell, Fig7Grid};

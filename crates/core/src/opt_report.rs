@@ -72,7 +72,9 @@ pub fn opt_report(name: &str) -> Result<OptReport, String> {
                 .first()
                 .is_some_and(|k| k.passes.iter().any(|p| p.name == pass))
         };
-        let steps = run_on_interp(&b, Scale::Test, level)?.instructions;
+        let steps = run_on_interp(&b, Scale::Test, level)
+            .map_err(|e| e.to_string())?
+            .instructions;
         rows.push(OptReportRow {
             level,
             rounds: report.kernels.iter().map(|k| k.rounds).max().unwrap_or(0),

@@ -1,0 +1,472 @@
+//! The shared failure taxonomy for the whole reproduction.
+//!
+//! Every flow — frontend compile, IR interpretation, HLS synthesis, the
+//! Vortex cycle simulator, and the suite harness around them — reports
+//! user-kernel failures as a [`ReproError`]. The paper's Table I is a
+//! *coverage* table: which benchmarks each flow can run and which fail,
+//! and why. A shared, classified error type is what lets the harness keep
+//! going after a failure and still say something precise about it.
+//!
+//! Producers keep their own local error types (`CompileError`,
+//! `InterpError`, `SimError`, …) and convert at the crate boundary via
+//! `From` impls defined next to those types; this crate only depends on
+//! `repro-util` for JSON serialization, so every other crate can depend
+//! on it without cycles.
+
+use repro_util::{Json, ToJson};
+use std::fmt;
+
+/// One warp (or interpreter work-item cohort) that can no longer make
+/// progress, as named by a deadlock report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckWarp {
+    pub core: u32,
+    pub warp: u32,
+    /// PC the warp is parked at (the barrier instruction for barrier
+    /// deadlocks).
+    pub pc: u32,
+    /// `(barrier id, expected arrival count)` if parked at a barrier.
+    pub barrier: Option<(u32, u32)>,
+    /// How many warps have arrived at that barrier so far.
+    pub arrived: u32,
+}
+
+impl fmt::Display for StuckWarp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core {} warp {} @pc={:#x}",
+            self.core, self.warp, self.pc
+        )?;
+        if let Some((id, count)) = self.barrier {
+            write!(f, " barrier {id} ({}/{count} arrived)", self.arrived)?;
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for StuckWarp {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("core", self.core.to_json()),
+            ("warp", self.warp.to_json()),
+            ("pc", self.pc.to_json()),
+            (
+                "barrier",
+                match self.barrier {
+                    Some((id, count)) => Json::obj(vec![
+                        ("id", id.to_json()),
+                        ("count", count.to_json()),
+                        ("arrived", self.arrived.to_json()),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Coarse failure classification — the column set of the `repro check`
+/// coverage report. `Hang` and `Panic` are the classes CI treats as
+/// hard failures: a hang means the watchdog fired (the kernel never
+/// terminated on its own), a panic means fail-soft isolation caught a
+/// bug in *our* stack rather than a classified kernel fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureClass {
+    /// Frontend parse/sema or IR verifier rejection.
+    Compile,
+    /// HLS flow refused to synthesize the kernel.
+    Synthesis,
+    /// Out-of-bounds / misaligned access or device memory exhaustion.
+    Memory,
+    /// Barrier or divergence deadlock (structurally never terminates).
+    Deadlock,
+    /// Cycle or instruction budget exhausted with no structural diagnosis.
+    Hang,
+    /// Ran to completion but produced wrong output.
+    WrongResult,
+    /// A panic escaped the stack and was caught by `catch_unwind`.
+    Panic,
+    /// Host-side harness error (bad launch geometry, missing kernel, …).
+    Harness,
+}
+
+impl FailureClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureClass::Compile => "Compile",
+            FailureClass::Synthesis => "Synthesis",
+            FailureClass::Memory => "Memory",
+            FailureClass::Deadlock => "Deadlock",
+            FailureClass::Hang => "Hang",
+            FailureClass::WrongResult => "WrongResult",
+            FailureClass::Panic => "Panic",
+            FailureClass::Harness => "Harness",
+        }
+    }
+
+    /// All classes, in report column order.
+    pub fn all() -> [FailureClass; 8] {
+        [
+            FailureClass::Compile,
+            FailureClass::Synthesis,
+            FailureClass::Memory,
+            FailureClass::Deadlock,
+            FailureClass::Hang,
+            FailureClass::WrongResult,
+            FailureClass::Panic,
+            FailureClass::Harness,
+        ]
+    }
+}
+
+impl fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl ToJson for FailureClass {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+/// A classified failure from any layer of either flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReproError {
+    /// Frontend diagnostic (preprocess, lex, parse, lowering) with a
+    /// source location when one is known.
+    Frontend {
+        stage: &'static str,
+        message: String,
+        line: u32,
+        col: u32,
+    },
+    /// IR verifier rejection.
+    Verify { message: String },
+    /// Vortex code generation failure (unstructured control flow, …).
+    Codegen { message: String },
+    /// HLS synthesis rejection, with the paper-calibrated engineering
+    /// hours spent before giving up.
+    Synthesis { reason: String, hours: f64 },
+    /// Out-of-bounds access. `space` names the address space
+    /// ("global", "local", "arg", …); `pc` is 0 when the faulting
+    /// backend has no program counter (the interpreter).
+    OutOfBounds { addr: u32, pc: u32, space: String },
+    /// Misaligned word access.
+    Misaligned {
+        addr: u32,
+        align: u32,
+        pc: u32,
+        space: String,
+    },
+    /// Device memory exhausted while servicing a host allocation.
+    OutOfMemory { requested: u32, available: u32 },
+    /// Every live warp is parked at a barrier whose arrival count can
+    /// never be reached.
+    BarrierDeadlock { stuck: Vec<StuckWarp> },
+    /// Some work finished (or uniformly skipped the barrier) while the
+    /// rest waits forever — a barrier executed under divergence.
+    DivergenceDeadlock { stuck: Vec<StuckWarp> },
+    /// Watchdog: cycle budget exhausted.
+    CycleBudget { limit: u64 },
+    /// Watchdog: instruction budget exhausted.
+    InstructionBudget { limit: u64 },
+    /// Kernel terminated but its output failed the workload's check.
+    WrongResult { message: String },
+    /// A panic unwound out of the flow and was caught at the isolation
+    /// boundary.
+    Panic { message: String },
+    /// Host-side harness error: bad launch geometry, missing kernel,
+    /// readback failure, bad ND-range, bad arguments.
+    Harness { message: String },
+}
+
+impl ReproError {
+    pub fn class(&self) -> FailureClass {
+        match self {
+            ReproError::Frontend { .. }
+            | ReproError::Verify { .. }
+            | ReproError::Codegen { .. } => FailureClass::Compile,
+            ReproError::Synthesis { .. } => FailureClass::Synthesis,
+            ReproError::OutOfBounds { .. }
+            | ReproError::Misaligned { .. }
+            | ReproError::OutOfMemory { .. } => FailureClass::Memory,
+            ReproError::BarrierDeadlock { .. } | ReproError::DivergenceDeadlock { .. } => {
+                FailureClass::Deadlock
+            }
+            ReproError::CycleBudget { .. } | ReproError::InstructionBudget { .. } => {
+                FailureClass::Hang
+            }
+            ReproError::WrongResult { .. } => FailureClass::WrongResult,
+            ReproError::Panic { .. } => FailureClass::Panic,
+            ReproError::Harness { .. } => FailureClass::Harness,
+        }
+    }
+
+    /// Variant name without payload, for compact report cells.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ReproError::Frontend { .. } => "Frontend",
+            ReproError::Verify { .. } => "Verify",
+            ReproError::Codegen { .. } => "Codegen",
+            ReproError::Synthesis { .. } => "Synthesis",
+            ReproError::OutOfBounds { .. } => "OutOfBounds",
+            ReproError::Misaligned { .. } => "Misaligned",
+            ReproError::OutOfMemory { .. } => "OutOfMemory",
+            ReproError::BarrierDeadlock { .. } => "BarrierDeadlock",
+            ReproError::DivergenceDeadlock { .. } => "DivergenceDeadlock",
+            ReproError::CycleBudget { .. } => "CycleBudget",
+            ReproError::InstructionBudget { .. } => "InstructionBudget",
+            ReproError::WrongResult { .. } => "WrongResult",
+            ReproError::Panic { .. } => "Panic",
+            ReproError::Harness { .. } => "Harness",
+        }
+    }
+
+    /// Convenience constructor for harness-layer string errors.
+    pub fn harness(message: impl Into<String>) -> ReproError {
+        ReproError::Harness {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ReproError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReproError::Frontend {
+                stage,
+                message,
+                line,
+                col,
+            } => {
+                if *line > 0 {
+                    write!(f, "{stage} error at {line}:{col}: {message}")
+                } else {
+                    write!(f, "{stage} error: {message}")
+                }
+            }
+            ReproError::Verify { message } => write!(f, "IR verify error: {message}"),
+            ReproError::Codegen { message } => write!(f, "codegen error: {message}"),
+            ReproError::Synthesis { reason, hours } => {
+                write!(f, "synthesis failed after {hours:.0}h: {reason}")
+            }
+            ReproError::OutOfBounds { addr, pc, space } => {
+                write!(f, "out-of-bounds {space} access at addr {addr:#x}")?;
+                if *pc != 0 {
+                    write!(f, " (pc {pc:#x})")?;
+                }
+                Ok(())
+            }
+            ReproError::Misaligned {
+                addr,
+                align,
+                pc,
+                space,
+            } => {
+                write!(
+                    f,
+                    "misaligned {space} access at addr {addr:#x} (align {align})"
+                )?;
+                if *pc != 0 {
+                    write!(f, " (pc {pc:#x})")?;
+                }
+                Ok(())
+            }
+            ReproError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, {available} available"
+            ),
+            ReproError::BarrierDeadlock { stuck } => {
+                write!(f, "barrier deadlock: {} warp(s) stuck", stuck.len())?;
+                for w in stuck {
+                    write!(f, "; {w}")?;
+                }
+                Ok(())
+            }
+            ReproError::DivergenceDeadlock { stuck } => {
+                write!(f, "divergence deadlock: {} warp(s) stuck", stuck.len())?;
+                for w in stuck {
+                    write!(f, "; {w}")?;
+                }
+                Ok(())
+            }
+            ReproError::CycleBudget { limit } => {
+                write!(f, "cycle budget exhausted ({limit} cycles)")
+            }
+            ReproError::InstructionBudget { limit } => {
+                write!(f, "instruction budget exhausted ({limit} instructions)")
+            }
+            ReproError::WrongResult { message } => write!(f, "wrong result: {message}"),
+            ReproError::Panic { message } => write!(f, "panic: {message}"),
+            ReproError::Harness { message } => write!(f, "harness error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ReproError {}
+
+impl ToJson for ReproError {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("kind", Json::Str(self.kind().to_string())),
+            ("class", self.class().to_json()),
+            ("message", Json::Str(self.to_string())),
+        ];
+        match self {
+            ReproError::Frontend {
+                stage, line, col, ..
+            } => {
+                fields.push(("stage", Json::Str(stage.to_string())));
+                fields.push(("line", line.to_json()));
+                fields.push(("col", col.to_json()));
+            }
+            ReproError::Synthesis { hours, .. } => fields.push(("hours", hours.to_json())),
+            ReproError::OutOfBounds { addr, pc, space } => {
+                fields.push(("addr", addr.to_json()));
+                fields.push(("pc", pc.to_json()));
+                fields.push(("space", space.to_json()));
+            }
+            ReproError::Misaligned {
+                addr,
+                align,
+                pc,
+                space,
+            } => {
+                fields.push(("addr", addr.to_json()));
+                fields.push(("align", align.to_json()));
+                fields.push(("pc", pc.to_json()));
+                fields.push(("space", space.to_json()));
+            }
+            ReproError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                fields.push(("requested", requested.to_json()));
+                fields.push(("available", available.to_json()));
+            }
+            ReproError::BarrierDeadlock { stuck } | ReproError::DivergenceDeadlock { stuck } => {
+                fields.push(("stuck", stuck.to_json()));
+            }
+            ReproError::CycleBudget { limit } | ReproError::InstructionBudget { limit } => {
+                fields.push(("limit", limit.to_json()));
+            }
+            _ => {}
+        }
+        Json::obj(fields)
+    }
+}
+
+/// Extract a human-readable message from a `catch_unwind` payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_the_taxonomy() {
+        let stuck = vec![StuckWarp {
+            core: 0,
+            warp: 1,
+            pc: 0x80,
+            barrier: Some((0, 4)),
+            arrived: 2,
+        }];
+        let cases: Vec<(ReproError, FailureClass)> = vec![
+            (
+                ReproError::Frontend {
+                    stage: "parse",
+                    message: "x".into(),
+                    line: 3,
+                    col: 7,
+                },
+                FailureClass::Compile,
+            ),
+            (
+                ReproError::Synthesis {
+                    reason: "Irregular".into(),
+                    hours: 40.0,
+                },
+                FailureClass::Synthesis,
+            ),
+            (
+                ReproError::OutOfBounds {
+                    addr: 0x1000,
+                    pc: 0,
+                    space: "global".into(),
+                },
+                FailureClass::Memory,
+            ),
+            (
+                ReproError::BarrierDeadlock {
+                    stuck: stuck.clone(),
+                },
+                FailureClass::Deadlock,
+            ),
+            (
+                ReproError::DivergenceDeadlock { stuck },
+                FailureClass::Deadlock,
+            ),
+            (ReproError::CycleBudget { limit: 10 }, FailureClass::Hang),
+            (
+                ReproError::Panic {
+                    message: "boom".into(),
+                },
+                FailureClass::Panic,
+            ),
+        ];
+        for (err, class) in cases {
+            assert_eq!(err.class(), class, "{err}");
+        }
+    }
+
+    #[test]
+    fn display_names_stuck_warps() {
+        let err = ReproError::BarrierDeadlock {
+            stuck: vec![StuckWarp {
+                core: 1,
+                warp: 2,
+                pc: 0x40,
+                barrier: Some((0, 8)),
+                arrived: 4,
+            }],
+        };
+        let text = err.to_string();
+        assert!(text.contains("core 1 warp 2"), "{text}");
+        assert!(text.contains("barrier 0 (4/8 arrived)"), "{text}");
+    }
+
+    #[test]
+    fn json_carries_class_and_payload() {
+        let err = ReproError::Misaligned {
+            addr: 0x1001,
+            align: 4,
+            pc: 0x20,
+            space: "global".into(),
+        };
+        let j = err.to_json();
+        assert_eq!(j.get("class").unwrap().as_str(), Some("Memory"));
+        assert_eq!(j.get("kind").unwrap().as_str(), Some("Misaligned"));
+        assert_eq!(j.get("addr").unwrap().as_u64(), Some(0x1001));
+    }
+
+    #[test]
+    fn panic_payloads_downcast() {
+        let err = std::panic::catch_unwind(|| panic!("kernel bug {}", 7)).unwrap_err();
+        assert_eq!(panic_message(err.as_ref()), "kernel bug 7");
+    }
+}

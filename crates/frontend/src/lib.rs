@@ -57,6 +57,39 @@ impl std::fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+impl From<CompileError> for repro_diag::ReproError {
+    fn from(e: CompileError) -> Self {
+        use repro_diag::ReproError;
+        match e {
+            CompileError::Preprocess(p) => ReproError::Frontend {
+                stage: "preprocess",
+                message: p.message,
+                line: p.line as u32,
+                col: 0,
+            },
+            CompileError::Lex { message, line, col } => ReproError::Frontend {
+                stage: "lex",
+                message,
+                line: line as u32,
+                col: col as u32,
+            },
+            CompileError::Parse { message, line, col } => ReproError::Frontend {
+                stage: "parse",
+                message,
+                line: line as u32,
+                col: col as u32,
+            },
+            CompileError::Lower { message, line, col } => ReproError::Frontend {
+                stage: "sema",
+                message,
+                line: line as u32,
+                col: col as u32,
+            },
+            CompileError::Verify(message) => ReproError::Verify { message },
+        }
+    }
+}
+
 /// Compile OpenCL-C subset source to a verified IR module.
 pub fn compile(src: &str) -> Result<Module, CompileError> {
     compile_with_defines(src, &[])

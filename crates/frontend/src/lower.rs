@@ -864,6 +864,8 @@ impl Lowerer {
                 }
             });
         }
+        // The parser only builds an indexed place from `[expr]`, so the
+        // subscript list is never empty here.
         Ok(acc.expect("at least one index"))
     }
 

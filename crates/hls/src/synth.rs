@@ -73,6 +73,15 @@ impl std::fmt::Display for SynthFailure {
 
 impl std::error::Error for SynthFailure {}
 
+impl From<SynthFailure> for repro_diag::ReproError {
+    fn from(e: SynthFailure) -> Self {
+        repro_diag::ReproError::Synthesis {
+            reason: e.reason(),
+            hours: e.hours(),
+        }
+    }
+}
+
 /// A successful synthesis result — one FPGA bitstream per benchmark.
 #[derive(Debug, Clone)]
 pub struct SynthReport {

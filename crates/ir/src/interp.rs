@@ -29,10 +29,41 @@ pub struct Memory {
 }
 
 /// Interpreter failure modes.
+///
+/// These mirror the Vortex simulator's fault set so differential tests can
+/// assert that a faulty kernel is *classified the same way* by both
+/// backends (see [`From<InterpError> for repro_diag::ReproError`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InterpError {
-    OutOfBounds { addr: u32, space: &'static str },
-    StepLimit { item: [u32; 3] },
+    OutOfBounds {
+        addr: u32,
+        space: &'static str,
+    },
+    /// Word access to a non-word-aligned address.
+    Misaligned {
+        addr: u32,
+        space: &'static str,
+    },
+    /// The bump allocator ran out of backing store.
+    OutOfMemory {
+        requested: u32,
+        available: u32,
+    },
+    /// Some work-items exited the kernel while others are parked at a
+    /// barrier that can now never release — a barrier executed under
+    /// divergent control flow.
+    BarrierDivergence {
+        /// Work-group in which the divergence was detected.
+        group: [u32; 3],
+        /// How many items finished without reaching the barrier.
+        done: u32,
+        /// Linearized local ids of the items parked at the barrier.
+        waiting: Vec<u32>,
+    },
+    StepLimit {
+        item: [u32; 3],
+        limit: u64,
+    },
     BadNdRange(String),
     BadArgs(String),
 }
@@ -43,10 +74,29 @@ impl std::fmt::Display for InterpError {
             InterpError::OutOfBounds { addr, space } => {
                 write!(f, "{space} memory access out of bounds at {addr:#x}")
             }
-            InterpError::StepLimit { item } => {
+            InterpError::Misaligned { addr, space } => {
+                write!(f, "misaligned {space} word access at {addr:#x}")
+            }
+            InterpError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "interpreter memory exhausted: requested {requested} bytes, {available} available"
+            ),
+            InterpError::BarrierDivergence {
+                group,
+                done,
+                waiting,
+            } => write!(
+                f,
+                "divergence deadlock in group {group:?}: {} item(s) parked at a barrier while {done} item(s) already returned",
+                waiting.len()
+            ),
+            InterpError::StepLimit { item, limit } => {
                 write!(
                     f,
-                    "work-item {item:?} exceeded the step limit (infinite loop?)"
+                    "work-item {item:?} exceeded the step limit of {limit} (infinite loop?)"
                 )
             }
             InterpError::BadNdRange(s) => write!(f, "bad ndrange: {s}"),
@@ -57,6 +107,54 @@ impl std::fmt::Display for InterpError {
 
 impl std::error::Error for InterpError {}
 
+impl From<InterpError> for repro_diag::ReproError {
+    fn from(e: InterpError) -> Self {
+        use repro_diag::{ReproError, StuckWarp};
+        match e {
+            InterpError::OutOfBounds { addr, space } => ReproError::OutOfBounds {
+                addr,
+                // The interpreter has no program counter.
+                pc: 0,
+                space: space.to_string(),
+            },
+            InterpError::Misaligned { addr, space } => ReproError::Misaligned {
+                addr,
+                align: 4,
+                pc: 0,
+                space: space.to_string(),
+            },
+            InterpError::OutOfMemory {
+                requested,
+                available,
+            } => ReproError::OutOfMemory {
+                requested,
+                available,
+            },
+            InterpError::BarrierDivergence { waiting, .. } => {
+                let arrived = waiting.len() as u32;
+                ReproError::DivergenceDeadlock {
+                    // No cores, warps, or PCs here: report each parked
+                    // work-item as a stuck "warp" on core 0.
+                    stuck: waiting
+                        .into_iter()
+                        .map(|li| StuckWarp {
+                            core: 0,
+                            warp: li,
+                            pc: 0,
+                            barrier: None,
+                            arrived,
+                        })
+                        .collect(),
+                }
+            }
+            InterpError::StepLimit { limit, .. } => ReproError::InstructionBudget { limit },
+            InterpError::BadNdRange(s) | InterpError::BadArgs(s) => {
+                ReproError::Harness { message: s }
+            }
+        }
+    }
+}
+
 impl Memory {
     /// Memory with the given capacity in bytes (plus the unmapped base).
     pub fn new(capacity: u32) -> Self {
@@ -66,17 +164,45 @@ impl Memory {
         }
     }
 
-    /// Allocate `bytes` (16-byte aligned) and return the base address.
-    pub fn alloc(&mut self, bytes: u32) -> u32 {
+    /// Allocate `bytes` (16-byte aligned) and return the base address, or
+    /// an [`InterpError::OutOfMemory`] when the backing store is exhausted.
+    pub fn try_alloc(&mut self, bytes: u32) -> Result<u32, InterpError> {
         let base = self.next;
-        self.next = (self.next + bytes + 15) & !15;
-        assert!(
-            (self.next as usize) <= self.data.len(),
-            "interpreter memory exhausted: need {} of {}",
-            self.next,
-            self.data.len()
-        );
-        base
+        let available = (self.data.len() as u32).saturating_sub(base);
+        let next = base
+            .checked_add(bytes)
+            .and_then(|n| n.checked_add(15))
+            .map(|n| n & !15)
+            .ok_or(InterpError::OutOfMemory {
+                requested: bytes,
+                available,
+            })?;
+        if next as usize > self.data.len() {
+            return Err(InterpError::OutOfMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        self.next = next;
+        Ok(base)
+    }
+
+    /// Allocate `bytes` (16-byte aligned) and return the base address.
+    ///
+    /// Panics on exhaustion — convenient for tests and examples that size
+    /// memory themselves. Harness code that allocates on behalf of a
+    /// workload should use [`Memory::try_alloc`] instead.
+    pub fn alloc(&mut self, bytes: u32) -> u32 {
+        self.try_alloc(bytes).expect("interpreter memory exhausted")
+    }
+
+    /// Fallible variant of [`Memory::alloc_u32`].
+    pub fn try_alloc_u32(&mut self, init: &[u32]) -> Result<u32, InterpError> {
+        let base = self.try_alloc((init.len() * 4) as u32)?;
+        for (i, v) in init.iter().enumerate() {
+            self.write_u32(base + (i * 4) as u32, *v)?;
+        }
+        Ok(base)
     }
 
     /// Allocate and initialize from an `f32` slice.
@@ -129,6 +255,7 @@ impl Memory {
 
     /// Read a 32-bit word.
     pub fn read_u32(&self, addr: u32) -> Result<u32, InterpError> {
+        check_aligned(addr, "global")?;
         let a = addr as usize;
         if addr < GLOBAL_BASE || a + 4 > self.data.len() {
             return Err(InterpError::OutOfBounds {
@@ -141,6 +268,7 @@ impl Memory {
 
     /// Write a 32-bit word.
     pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), InterpError> {
+        check_aligned(addr, "global")?;
         let a = addr as usize;
         if addr < GLOBAL_BASE || a + 4 > self.data.len() {
             return Err(InterpError::OutOfBounds {
@@ -383,7 +511,10 @@ fn run_group(
             // Run the item until it blocks or finishes.
             loop {
                 if item.steps > limits.max_steps_per_item {
-                    return Err(InterpError::StepLimit { item: item.gid });
+                    return Err(InterpError::StepLimit {
+                        item: item.gid,
+                        limit: limits.max_steps_per_item,
+                    });
                 }
                 match step(
                     f,
@@ -407,9 +538,25 @@ fn run_group(
                 }
             }
         }
-        // Barrier release: every non-done item is waiting.
+        // Barrier release: every non-done item is waiting. If some items
+        // already *returned* while others wait, the barrier was executed
+        // under divergent control flow and can never release — report a
+        // structured deadlock instead of spinning forever.
         let waiting = items.iter().filter(|i| i.at_barrier).count();
         if waiting > 0 && items.iter().all(|i| i.done || i.at_barrier) {
+            let done = items.iter().filter(|i| i.done).count();
+            if done > 0 {
+                return Err(InterpError::BarrierDivergence {
+                    group,
+                    done: done as u32,
+                    waiting: items
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, i)| i.at_barrier)
+                        .map(|(li, _)| li as u32)
+                        .collect(),
+                });
+            }
             for i in items.iter_mut() {
                 i.at_barrier = false;
             }
@@ -570,6 +717,16 @@ fn read_operand(item: &ItemState, o: Operand) -> u32 {
     }
 }
 
+/// Reject word accesses to non-word-aligned addresses, mirroring the
+/// Vortex simulator's check so both backends fault identically on the
+/// same bad pointer arithmetic.
+fn check_aligned(addr: u32, space: &'static str) -> Result<(), InterpError> {
+    if !addr.is_multiple_of(4) {
+        return Err(InterpError::Misaligned { addr, space });
+    }
+    Ok(())
+}
+
 fn load_word(
     mem: &Memory,
     local: &[u8],
@@ -579,6 +736,7 @@ fn load_word(
     match space {
         AddressSpace::Global => mem.read_u32(addr),
         AddressSpace::Local => {
+            check_aligned(addr, "local")?;
             let off = addr.wrapping_sub(LOCAL_BASE) as usize;
             if off + 4 > local.len() {
                 return Err(InterpError::OutOfBounds {
@@ -601,6 +759,7 @@ fn store_word(
     match space {
         AddressSpace::Global => mem.write_u32(addr, v),
         AddressSpace::Local => {
+            check_aligned(addr, "local")?;
             let off = addr.wrapping_sub(LOCAL_BASE) as usize;
             if off + 4 > local.len() {
                 return Err(InterpError::OutOfBounds {
@@ -1023,6 +1182,68 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(e, InterpError::StepLimit { .. }));
+    }
+
+    #[test]
+    fn divergent_barrier_is_a_structured_deadlock() {
+        // Items with lid < 2 hit a barrier; the rest return immediately.
+        let mut b = FunctionBuilder::new("divbar", vec![]);
+        let lid = b.workitem(Builtin::LocalId(0));
+        let c = b.cmp(CmpOp::Lt, Scalar::U32, lid.into(), Operand::imm_u32(2));
+        let bar_bb = b.new_block();
+        let done = b.new_block();
+        b.cond_br(c.into(), bar_bb, done);
+        b.switch_to(bar_bb);
+        b.barrier();
+        b.br(done);
+        b.switch_to(done);
+        b.ret();
+        let f = b.finish();
+        let mut mem = Memory::new(1 << 12);
+        let e = run_ndrange(&f, &[], &NdRange::d1(4, 4), &mut mem, &Limits::default()).unwrap_err();
+        match &e {
+            InterpError::BarrierDivergence {
+                group,
+                done,
+                waiting,
+            } => {
+                assert_eq!(*group, [0, 0, 0]);
+                assert_eq!(*done, 2);
+                assert_eq!(waiting, &[0, 1]);
+            }
+            other => panic!("expected BarrierDivergence, got {other:?}"),
+        }
+        let repro: repro_diag::ReproError = e.into();
+        assert_eq!(repro.kind(), "DivergenceDeadlock");
+        assert_eq!(repro.class(), repro_diag::FailureClass::Deadlock);
+    }
+
+    #[test]
+    fn misaligned_word_access_rejected() {
+        let mut mem = Memory::new(1 << 12);
+        let p = mem.alloc(16);
+        assert!(matches!(
+            mem.read_u32(p + 2),
+            Err(InterpError::Misaligned {
+                space: "global",
+                ..
+            })
+        ));
+        let e = mem.write_u32(p + 1, 7).unwrap_err();
+        let repro: repro_diag::ReproError = e.into();
+        assert_eq!(repro.class(), repro_diag::FailureClass::Memory);
+    }
+
+    #[test]
+    fn allocation_exhaustion_is_an_error() {
+        let mut mem = Memory::new(64);
+        mem.try_alloc(48).unwrap();
+        let e = mem.try_alloc(64).unwrap_err();
+        assert!(matches!(e, InterpError::OutOfMemory { requested: 64, .. }));
+        // Overflowing sizes are exhaustion too, not a panic.
+        assert!(mem.try_alloc(u32::MAX).is_err());
+        let repro: repro_diag::ReproError = e.into();
+        assert_eq!(repro.class(), repro_diag::FailureClass::Memory);
     }
 
     #[test]

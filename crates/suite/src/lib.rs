@@ -19,10 +19,11 @@ pub mod benches;
 pub mod runner;
 pub mod spec;
 
+pub use repro_diag::{FailureClass, ReproError};
 pub use runner::{
-    compile_bench, run_hls, run_hls_at, run_on_interp, run_reference, run_vortex, run_vortex_at,
-    run_vortex_events, run_vortex_events_at, run_vortex_trace, run_vortex_trace_at, RunOutcome,
-    VortexTrace, DEFAULT_OPT,
+    compile_bench, run_hls, run_hls_at, run_isolated, run_on_interp, run_reference, run_vortex,
+    run_vortex_at, run_vortex_events, run_vortex_events_at, run_vortex_trace, run_vortex_trace_at,
+    RunOutcome, VortexTrace, DEFAULT_OPT,
 };
 pub use spec::{Benchmark, HostData, LArg, Launch, Scale, Workload};
 

@@ -7,6 +7,8 @@ use fpga_arch::Device;
 use hls_flow::{synthesize, SynthFailure, SynthOptions};
 use ocl_ir::interp::{self, KernelArg, Limits, Memory};
 use ocl_ir::passes::OptLevel;
+use repro_diag::ReproError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use vortex_rt::{Arg, VxSession};
 use vortex_sim::{RecordingSink, SimConfig, TraceEvent};
 
@@ -24,11 +26,12 @@ pub const DEFAULT_OPT: OptLevel = OptLevel::VariableReuse;
 /// the HLS pipelined-execution model — goes through this single entry point,
 /// so all back ends consume the *same* optimized module instead of silently
 /// comparing different programs.
-pub fn compile_bench(b: &Benchmark, level: OptLevel) -> Result<ocl_ir::Module, String> {
-    let mut module = ocl_front::compile(b.source).map_err(|e| format!("{}: {e}", b.name))?;
+pub fn compile_bench(b: &Benchmark, level: OptLevel) -> Result<ocl_ir::Module, ReproError> {
+    let mut module = ocl_front::compile(b.source)?;
     ocl_ir::passes::optimize_module(&mut module, level);
-    ocl_ir::verify::verify_module(&module)
-        .map_err(|e| format!("{} after {level:?} passes: {e}", b.name))?;
+    ocl_ir::verify::verify_module(&module).map_err(|e| ReproError::Verify {
+        message: format!("{} after {level:?} passes: {e}", b.name),
+    })?;
     Ok(module)
 }
 
@@ -44,27 +47,31 @@ pub struct RunOutcome {
 }
 
 /// Run on the reference interpreter at [`DEFAULT_OPT`] and verify.
-pub fn run_reference(b: &Benchmark, scale: Scale) -> Result<RunOutcome, String> {
+pub fn run_reference(b: &Benchmark, scale: Scale) -> Result<RunOutcome, ReproError> {
     run_on_interp(b, scale, DEFAULT_OPT)
 }
 
 /// Run on the reference interpreter at an explicit optimization level and
 /// verify — the reference side of the per-level differential tests.
-pub fn run_on_interp(b: &Benchmark, scale: Scale, level: OptLevel) -> Result<RunOutcome, String> {
+pub fn run_on_interp(
+    b: &Benchmark,
+    scale: Scale,
+    level: OptLevel,
+) -> Result<RunOutcome, ReproError> {
     let module = compile_bench(b, level)?;
     let w = (b.workload)(scale);
     let mut mem = Memory::new(32 << 20);
     let addrs: Vec<u32> = w
         .buffers
         .iter()
-        .map(|h| mem.alloc_u32(&h.to_words()))
-        .collect();
+        .map(|h| mem.try_alloc_u32(&h.to_words()))
+        .collect::<Result<_, _>>()?;
     let mut steps = 0;
     let mut printf_output = Vec::new();
     for l in &w.launches {
         let kernel = module
             .kernel(l.kernel)
-            .ok_or_else(|| format!("kernel `{}` missing", l.kernel))?;
+            .ok_or_else(|| ReproError::harness(format!("kernel `{}` missing", l.kernel)))?;
         let args: Vec<KernelArg> = l
             .args
             .iter()
@@ -75,13 +82,12 @@ pub fn run_on_interp(b: &Benchmark, scale: Scale, level: OptLevel) -> Result<Run
                 LArg::F32(v) => KernelArg::F32(*v),
             })
             .collect();
-        let r = interp::run_ndrange(kernel, &args, &l.nd, &mut mem, &Limits::default())
-            .map_err(|e| format!("{} interp: {e}", b.name))?;
+        let r = interp::run_ndrange(kernel, &args, &l.nd, &mut mem, &Limits::default())?;
         steps += r.steps;
         printf_output.extend(r.printf_output);
     }
     let finals = read_back(&w, &addrs, |addr, len| mem.read_u32_slice(addr, len));
-    (w.check)(&finals)?;
+    (w.check)(&finals).map_err(|m| ReproError::WrongResult { message: m })?;
     Ok(RunOutcome {
         cycles: 0,
         instructions: steps,
@@ -90,7 +96,7 @@ pub fn run_on_interp(b: &Benchmark, scale: Scale, level: OptLevel) -> Result<Run
 }
 
 /// Run on the Vortex flow (compile → simulate) at [`DEFAULT_OPT`] and verify.
-pub fn run_vortex(b: &Benchmark, scale: Scale, cfg: &SimConfig) -> Result<RunOutcome, String> {
+pub fn run_vortex(b: &Benchmark, scale: Scale, cfg: &SimConfig) -> Result<RunOutcome, ReproError> {
     run_vortex_at(b, scale, cfg, DEFAULT_OPT)
 }
 
@@ -100,10 +106,9 @@ pub fn run_vortex_at(
     scale: Scale,
     cfg: &SimConfig,
     level: OptLevel,
-) -> Result<RunOutcome, String> {
+) -> Result<RunOutcome, ReproError> {
     let trace = run_vortex_with(b, scale, cfg, level, |sess, l, args| {
-        sess.launch_named(l.kernel, args, &l.nd)
-            .map_err(|e| format!("{} launch `{}`: {e}", b.name, l.kernel))
+        Ok(sess.launch_named(l.kernel, args, &l.nd)?)
     })?;
     Ok(RunOutcome {
         cycles: trace.launch_stats.iter().map(|s| s.cycles).sum(),
@@ -132,7 +137,7 @@ pub fn run_vortex_trace(
     b: &Benchmark,
     scale: Scale,
     cfg: &SimConfig,
-) -> Result<VortexTrace, String> {
+) -> Result<VortexTrace, ReproError> {
     run_vortex_trace_at(b, scale, cfg, DEFAULT_OPT)
 }
 
@@ -142,10 +147,9 @@ pub fn run_vortex_trace_at(
     scale: Scale,
     cfg: &SimConfig,
     level: OptLevel,
-) -> Result<VortexTrace, String> {
+) -> Result<VortexTrace, ReproError> {
     run_vortex_with(b, scale, cfg, level, |sess, l, args| {
-        sess.launch_named(l.kernel, args, &l.nd)
-            .map_err(|e| format!("{} launch `{}`: {e}", b.name, l.kernel))
+        Ok(sess.launch_named(l.kernel, args, &l.nd)?)
     })
 }
 
@@ -156,7 +160,7 @@ pub fn run_vortex_events(
     b: &Benchmark,
     scale: Scale,
     cfg: &SimConfig,
-) -> Result<(VortexTrace, Vec<Vec<TraceEvent>>), String> {
+) -> Result<(VortexTrace, Vec<Vec<TraceEvent>>), ReproError> {
     run_vortex_events_at(b, scale, cfg, DEFAULT_OPT)
 }
 
@@ -166,13 +170,11 @@ pub fn run_vortex_events_at(
     scale: Scale,
     cfg: &SimConfig,
     level: OptLevel,
-) -> Result<(VortexTrace, Vec<Vec<TraceEvent>>), String> {
+) -> Result<(VortexTrace, Vec<Vec<TraceEvent>>), ReproError> {
     let mut launches = Vec::new();
     let trace = run_vortex_with(b, scale, cfg, level, |sess, l, args| {
         let mut sink = RecordingSink::default();
-        let r = sess
-            .launch_named_with_sink(l.kernel, args, &l.nd, &mut sink)
-            .map_err(|e| format!("{} launch `{}`: {e}", b.name, l.kernel))?;
+        let r = sess.launch_named_with_sink(l.kernel, args, &l.nd, &mut sink)?;
         launches.push(sink.events);
         Ok(r)
     })?;
@@ -188,8 +190,8 @@ fn run_vortex_with(
     scale: Scale,
     cfg: &SimConfig,
     level: OptLevel,
-    mut launch: impl FnMut(&mut VxSession, &Launch, &[Arg]) -> Result<vortex_sim::SimResult, String>,
-) -> Result<VortexTrace, String> {
+    mut launch: impl FnMut(&mut VxSession, &Launch, &[Arg]) -> Result<vortex_sim::SimResult, ReproError>,
+) -> Result<VortexTrace, ReproError> {
     let module = compile_bench(b, level)?;
     let opts = vortex_cc::CodegenOpts {
         threads: cfg.hw.threads,
@@ -198,8 +200,7 @@ fn run_vortex_with(
         .kernels
         .iter()
         .map(|k| vortex_cc::compile_kernel(k, &opts))
-        .collect::<Result<Vec<_>, _>>()
-        .map_err(|e| format!("{} codegen: {e}", b.name))?;
+        .collect::<Result<Vec<_>, _>>()?;
     let w = (b.workload)(scale);
     let mut sess = VxSession::with_kernels(cfg.clone(), kernels);
     let bufs: Vec<vortex_rt::Buffer> = w
@@ -207,7 +208,7 @@ fn run_vortex_with(
         .iter()
         .map(|h| sess.alloc_u32(&h.to_words()))
         .collect::<Result<_, _>>()
-        .map_err(|e| format!("{} alloc: {e}", b.name))?;
+        .map_err(ReproError::from)?;
     let mut launch_stats = Vec::with_capacity(w.launches.len());
     let mut printf_output = Vec::new();
     for l in &w.launches {
@@ -229,12 +230,16 @@ fn run_vortex_with(
         .buffers
         .iter()
         .zip(&bufs)
-        .map(|(h, &buf)| sess.read_u32(buf, h.words()).expect("readback"))
+        .map(|(h, &buf)| sess.read_u32(buf, h.words()))
+        .collect::<Result<_, _>>()
+        .map_err(ReproError::from)?;
+    let finals: Vec<HostData> = w
+        .buffers
+        .iter()
+        .zip(&buffers)
+        .map(|(h, words)| h.from_words(words.clone()))
         .collect();
-    let finals = read_back(&w, &bufs, |buf, len| {
-        sess.read_u32(buf, len).expect("readback")
-    });
-    (w.check)(&finals)?;
+    (w.check)(&finals).map_err(|m| ReproError::WrongResult { message: m })?;
     Ok(VortexTrace {
         launch_stats,
         buffers,
@@ -251,7 +256,7 @@ pub fn run_hls(
     b: &Benchmark,
     scale: Scale,
     device: &Device,
-) -> Result<Result<RunOutcome, SynthFailure>, String> {
+) -> Result<Result<RunOutcome, SynthFailure>, ReproError> {
     run_hls_at(b, scale, device, DEFAULT_OPT)
 }
 
@@ -268,8 +273,8 @@ pub fn run_hls_at(
     scale: Scale,
     device: &Device,
     level: OptLevel,
-) -> Result<Result<RunOutcome, SynthFailure>, String> {
-    let raw = ocl_front::compile(b.source).map_err(|e| format!("{}: {e}", b.name))?;
+) -> Result<Result<RunOutcome, SynthFailure>, ReproError> {
+    let raw = ocl_front::compile(b.source)?;
     if let Err(f) = synthesize(&raw, device, &SynthOptions::default()) {
         return Ok(Err(f));
     }
@@ -279,15 +284,15 @@ pub fn run_hls_at(
     let addrs: Vec<u32> = w
         .buffers
         .iter()
-        .map(|h| mem.alloc_u32(&h.to_words()))
-        .collect();
+        .map(|h| mem.try_alloc_u32(&h.to_words()))
+        .collect::<Result<_, _>>()?;
     let mut cycles = 0;
     let mut instructions = 0;
     let mut printf_output = Vec::new();
     for l in &w.launches {
         let kernel = module
             .kernel(l.kernel)
-            .ok_or_else(|| format!("kernel `{}` missing", l.kernel))?;
+            .ok_or_else(|| ReproError::harness(format!("kernel `{}` missing", l.kernel)))?;
         let args: Vec<KernelArg> = l
             .args
             .iter()
@@ -298,19 +303,34 @@ pub fn run_hls_at(
                 LArg::F32(v) => KernelArg::F32(*v),
             })
             .collect();
-        let r = hls_flow::execute_ndrange(kernel, &args, &l.nd, &mut mem, device)
-            .map_err(|e| format!("{} hls exec: {e}", b.name))?;
+        let r = hls_flow::execute_ndrange(kernel, &args, &l.nd, &mut mem, device)?;
         cycles += r.cycles;
         instructions += r.exec.steps;
         printf_output.extend(r.exec.printf_output);
     }
     let finals = read_back(&w, &addrs, |addr, len| mem.read_u32_slice(addr, len));
-    (w.check)(&finals)?;
+    (w.check)(&finals).map_err(|m| ReproError::WrongResult { message: m })?;
     Ok(Ok(RunOutcome {
         cycles,
         instructions,
         printf_output,
     }))
+}
+
+/// Run a fallible flow with panic isolation: a panic anywhere inside `f`
+/// is caught at this boundary and reported as [`ReproError::Panic`]
+/// instead of unwinding into (and killing) a whole-suite harness.
+///
+/// This is the crash-isolation primitive behind `repro check`: one
+/// benchmark tripping an internal invariant must not cost the coverage
+/// report its remaining rows.
+pub fn run_isolated<T>(f: impl FnOnce() -> Result<T, ReproError>) -> Result<T, ReproError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => Err(ReproError::Panic {
+            message: repro_diag::panic_message(payload.as_ref()),
+        }),
+    }
 }
 
 fn read_back<H: Copy>(

@@ -49,7 +49,7 @@ impl Json {
     /// optional trailing whitespace). Integers without fraction/exponent
     /// parse to `UInt`/`Int`; everything else numeric parses to `Float` —
     /// the same split the emitter produces, so emit → parse round-trips.
-    pub fn parse(input: &str) -> Result<Json, String> {
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
@@ -58,7 +58,7 @@ impl Json {
         let v = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(format!("trailing data at byte {}", p.pos));
+            return Err(p.err("trailing data"));
         }
         Ok(v)
     }
@@ -80,6 +80,13 @@ impl Json {
     }
 
     /// The string value if this is a string.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -197,12 +204,36 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// A parse failure, carrying the byte offset at which it was detected so
+/// callers can point at the malformed region of the document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl Parser<'_> {
+    /// An error positioned at the current cursor.
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
@@ -217,30 +248,29 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected `{}` at byte {}, found {:?}",
+            Err(self.err(format!(
+                "expected `{}`, found {:?}",
                 b as char,
-                self.pos,
                 self.peek().map(|c| c as char)
-            ))
+            )))
         }
     }
 
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(format!("invalid literal at byte {}", self.pos))
+            Err(self.err("invalid literal"))
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
@@ -249,15 +279,11 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|c| c as char),
-                self.pos
-            )),
+            other => Err(self.err(format!("unexpected {:?}", other.map(|c| c as char)))),
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -275,12 +301,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Array(items));
                 }
-                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                _ => return Err(self.err("expected `,` or `]`")),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -302,12 +328,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Object(fields));
                 }
-                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                _ => return Err(self.err("expected `,` or `}`")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut s = String::new();
         loop {
@@ -316,8 +342,10 @@ impl Parser<'_> {
                 self.pos += 1;
             }
             s.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?,
+                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError {
+                    message: "invalid UTF-8 in string".to_string(),
+                    offset: start,
+                })?,
             );
             match self.peek() {
                 Some(b'"') => {
@@ -326,9 +354,7 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => s.push('"'),
@@ -344,23 +370,23 @@ impl Parser<'_> {
                                 .bytes
                                 .get(self.pos..self.pos + 4)
                                 .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                                .map_err(|_| self.err(format!("bad \\u escape `{hex}`")))?;
                             self.pos += 4;
                             // Surrogate pairs are not emitted by our writer;
                             // map lone surrogates to the replacement char.
                             s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
-                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                        other => return Err(self.err(format!("bad escape `\\{}`", other as char))),
                     }
                 }
-                _ => return Err("unterminated string".to_string()),
+                _ => return Err(self.err("unterminated string")),
             }
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -395,9 +421,10 @@ impl Parser<'_> {
                 return Ok(Json::Int(i));
             }
         }
-        text.parse::<f64>()
-            .map(Json::Float)
-            .map_err(|_| format!("bad number `{text}` at byte {start}"))
+        text.parse::<f64>().map(Json::Float).map_err(|_| JsonError {
+            message: format!("bad number `{text}`"),
+            offset: start,
+        })
     }
 }
 
@@ -605,6 +632,26 @@ mod tests {
     fn parse_rejects_malformed_input() {
         for bad in ["", "{", "[1,", "tru", "\"abc", "{\"a\" 1}", "1 2", "[1]]"] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_offsets() {
+        // (input, offset where the parser should point)
+        let cases = [
+            ("[1, x]", 4),     // unexpected value
+            ("{\"a\": 1,", 8), // truncated object
+            ("\"ab", 3),       // unterminated string
+            ("\"a\\", 3),      // unterminated escape
+            ("\"a\\q\"", 4),   // bad escape
+            ("\"a\\u00\"", 4), // truncated \u escape
+            ("[1] 2", 4),      // trailing data
+            ("nul", 0),        // invalid literal
+        ];
+        for (input, offset) in cases {
+            let e = Json::parse(input).unwrap_err();
+            assert_eq!(e.offset, offset, "{input:?}: {e}");
+            assert!(e.to_string().contains(&format!("at byte {offset}")));
         }
     }
 

@@ -17,6 +17,6 @@ pub mod par;
 pub mod rng;
 pub mod timing;
 
-pub use json::{Json, ToJson};
+pub use json::{Json, JsonError, ToJson};
 pub use par::par_map;
 pub use rng::Rng;

@@ -88,6 +88,14 @@ impl std::fmt::Display for CodegenError {
 
 impl std::error::Error for CodegenError {}
 
+impl From<CodegenError> for repro_diag::ReproError {
+    fn from(e: CodegenError) -> Self {
+        repro_diag::ReproError::Codegen {
+            message: e.to_string(),
+        }
+    }
+}
+
 /// Compile one kernel for the given hardware shape.
 pub fn compile_kernel(f: &Function, opts: &CodegenOpts) -> Result<CompiledKernel, CodegenError> {
     emit::compile(f, opts)

@@ -13,7 +13,7 @@
 use ocl_ir::interp::NdRange;
 use vortex_cc::CompiledKernel;
 use vortex_isa::layout::{self, arg};
-use vortex_sim::{SimConfig, SimError, SimResult, Simulator, TraceSink};
+use vortex_sim::{SimConfig, SimError, SimFault, SimResult, Simulator, TraceSink};
 
 /// A device buffer handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,15 +45,35 @@ impl Arg {
 /// Runtime failure modes.
 #[derive(Debug)]
 pub enum RtError {
+    /// Host-side memory-system error (bounds on a buffer copy, argument
+    /// block write): no kernel ran.
     Sim(SimError),
+    /// The device faulted *while running a kernel*; partial statistics
+    /// and printf output survive in the fault.
+    Fault(Box<SimFault>),
     BadLaunch(String),
-    OutOfMemory { requested: u32, available: u32 },
+    OutOfMemory {
+        requested: u32,
+        available: u32,
+    },
+}
+
+impl RtError {
+    /// The partial simulation result salvaged by the watchdog, when the
+    /// error came from a running kernel.
+    pub fn partial(&self) -> Option<&SimResult> {
+        match self {
+            RtError::Fault(f) => Some(&f.partial),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for RtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RtError::Sim(e) => write!(f, "simulator: {e}"),
+            RtError::Fault(e) => write!(f, "device fault: {e}"),
             RtError::BadLaunch(m) => write!(f, "bad launch: {m}"),
             RtError::OutOfMemory {
                 requested,
@@ -71,6 +91,30 @@ impl std::error::Error for RtError {}
 impl From<SimError> for RtError {
     fn from(e: SimError) -> Self {
         RtError::Sim(e)
+    }
+}
+
+impl From<Box<SimFault>> for RtError {
+    fn from(f: Box<SimFault>) -> Self {
+        RtError::Fault(f)
+    }
+}
+
+impl From<RtError> for repro_diag::ReproError {
+    fn from(e: RtError) -> Self {
+        use repro_diag::ReproError as R;
+        match e {
+            RtError::Sim(e) => e.into(),
+            RtError::Fault(f) => f.error.into(),
+            RtError::BadLaunch(m) => R::Harness { message: m },
+            RtError::OutOfMemory {
+                requested,
+                available,
+            } => R::OutOfMemory {
+                requested,
+                available,
+            },
+        }
     }
 }
 

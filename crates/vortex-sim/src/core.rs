@@ -521,6 +521,42 @@ impl Core {
         self.next_event
     }
 
+    /// The warps of this core that are parked at a barrier, with their
+    /// resume PC (the instruction after the barrier) and how many warps
+    /// have arrived so far — the payload of a deadlock report. Pure state
+    /// inspection, so both scheduler loops report the identical set.
+    pub fn stuck_warps(&self) -> Vec<repro_diag::StuckWarp> {
+        self.warps
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.active && w.barrier.is_some())
+            .map(|(wi, w)| {
+                let key = w.barrier.expect("filtered to parked warps");
+                let arrived = self
+                    .barrier_waiters
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, n)| *n)
+                    .unwrap_or(0);
+                repro_diag::StuckWarp {
+                    core: self.id,
+                    warp: wi as u32,
+                    pc: w.pc,
+                    barrier: Some(key),
+                    arrived,
+                }
+            })
+            .collect()
+    }
+
+    /// True if some warp slot is not running (halted or never spawned).
+    /// Under a deadlock this distinguishes divergence (the barrier count
+    /// was reachable had this warp participated) from a count that no
+    /// schedule could ever satisfy.
+    pub fn has_inactive_warp(&self) -> bool {
+        self.warps.iter().any(|w| !w.active)
+    }
+
     /// A warp arrived at barrier `(id, count)`: bump the waiter count and,
     /// once `count` warps are parked, release them all. Doing this at
     /// arrival is observably identical to a start-of-cycle release scan —
@@ -1071,6 +1107,7 @@ impl Core {
 fn at_pc(e: SimError, pc: u32) -> SimError {
     match e {
         SimError::BadAccess { addr, .. } => SimError::BadAccess { addr, pc },
+        SimError::Misaligned { addr, .. } => SimError::Misaligned { addr, pc },
         other => other,
     }
 }

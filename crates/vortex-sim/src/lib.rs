@@ -68,6 +68,11 @@ pub struct SimConfig {
     pub lat_l2: u32,
     /// Safety limit on simulated cycles.
     pub max_cycles: u64,
+    /// Watchdog budget on issued instructions (`u64::MAX` = unlimited).
+    /// Unlike `max_cycles`, this bounds *work* rather than time, so a
+    /// compute-bound runaway kernel trips it at the same point in both
+    /// scheduler modes regardless of how stall cycles are skipped.
+    pub max_instructions: u64,
     /// Force the dense cycle-by-cycle loop instead of event-driven
     /// fast-forwarding. The two produce bit-identical results (cycles,
     /// stall breakdown, memory state); this is the escape hatch for
@@ -104,6 +109,7 @@ impl SimConfig {
             lat_dcache: 2,
             lat_l2: 10,
             max_cycles: 2_000_000_000,
+            max_instructions: u64::MAX,
             reference_mode: false,
         }
     }
@@ -116,8 +122,21 @@ pub enum SimError {
     BadPc { core: u32, warp: u32, pc: u32 },
     /// Memory access outside mapped regions.
     BadAccess { addr: u32, pc: u32 },
-    /// `max_cycles` exceeded (livelock / deadlock guard).
+    /// Word access to a non-word-aligned address.
+    Misaligned { addr: u32, pc: u32 },
+    /// `max_cycles` exceeded (livelock guard).
     CycleLimit(u64),
+    /// `max_instructions` exceeded (runaway-work guard).
+    InstrLimit(u64),
+    /// No warp can ever issue again: every live warp on every alive core
+    /// is parked at a barrier whose release count cannot be reached.
+    /// `divergence` is true when some warp slot is *not* parked (halted
+    /// or never spawned) — the count was reachable had that warp
+    /// participated, i.e. a barrier was executed under divergence.
+    Deadlock {
+        stuck: Vec<repro_diag::StuckWarp>,
+        divergence: bool,
+    },
     /// Decode failure on fetch.
     Decode(String),
 }
@@ -131,13 +150,98 @@ impl std::fmt::Display for SimError {
             SimError::BadAccess { addr, pc } => {
                 write!(f, "bad memory access at {addr:#x} (pc {pc})")
             }
+            SimError::Misaligned { addr, pc } => {
+                write!(f, "misaligned word access at {addr:#x} (pc {pc})")
+            }
             SimError::CycleLimit(c) => write!(f, "cycle limit {c} exceeded"),
+            SimError::InstrLimit(n) => write!(f, "instruction budget {n} exceeded"),
+            SimError::Deadlock { stuck, divergence } => {
+                write!(
+                    f,
+                    "{} deadlock: {} warp(s) stuck",
+                    if *divergence { "divergence" } else { "barrier" },
+                    stuck.len()
+                )?;
+                for w in stuck {
+                    write!(f, "; {w}")?;
+                }
+                Ok(())
+            }
             SimError::Decode(m) => write!(f, "decode: {m}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<SimError> for repro_diag::ReproError {
+    fn from(e: SimError) -> Self {
+        use repro_diag::ReproError as R;
+        let space = |addr: u32| {
+            if SimMemory::is_local(addr) {
+                "local".to_string()
+            } else {
+                "global".to_string()
+            }
+        };
+        match e {
+            SimError::BadPc { pc, .. } => R::OutOfBounds {
+                addr: pc,
+                pc,
+                space: "text".to_string(),
+            },
+            SimError::BadAccess { addr, pc } => R::OutOfBounds {
+                addr,
+                pc,
+                space: space(addr),
+            },
+            SimError::Misaligned { addr, pc } => R::Misaligned {
+                addr,
+                align: 4,
+                pc,
+                space: space(addr),
+            },
+            SimError::CycleLimit(limit) => R::CycleBudget { limit },
+            SimError::InstrLimit(limit) => R::InstructionBudget { limit },
+            SimError::Deadlock { stuck, divergence } => {
+                if divergence {
+                    R::DivergenceDeadlock { stuck }
+                } else {
+                    R::BarrierDeadlock { stuck }
+                }
+            }
+            SimError::Decode(m) => R::Codegen { message: m },
+        }
+    }
+}
+
+/// A simulation that aborted: the structured error plus everything the
+/// watchdog could salvage — statistics and printf output up to the abort
+/// point. Any trace events were already streamed to the sink, so a fault
+/// leaves the trace intact too.
+#[derive(Debug, Clone)]
+pub struct SimFault {
+    pub error: SimError,
+    pub partial: SimResult,
+}
+
+impl std::fmt::Display for SimFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (after {} cycles, {} instructions)",
+            self.error, self.partial.stats.cycles, self.partial.stats.instructions
+        )
+    }
+}
+
+impl std::error::Error for SimFault {}
+
+impl From<Box<SimFault>> for repro_diag::ReproError {
+    fn from(f: Box<SimFault>) -> Self {
+        f.error.into()
+    }
+}
 
 /// Result of a kernel simulation.
 #[derive(Debug, Clone)]
@@ -191,7 +295,13 @@ impl Simulator {
     /// [`SimConfig::reference_mode`] selects the dense cycle-by-cycle loop.
     /// The two are bit-identical in every observable: final cycle count,
     /// stall breakdown, cache/DRAM counters, memory state, printf output.
-    pub fn run(&mut self) -> Result<SimResult, SimError> {
+    ///
+    /// On a fault the returned [`SimFault`] carries the statistics and
+    /// printf output accumulated up to the abort. The *error* is identical
+    /// across scheduler modes (faults are derived from identical machine
+    /// state); the partial stats are best-effort and may differ in how
+    /// stall cycles were bulk-accounted at the moment of abort.
+    pub fn run(&mut self) -> Result<SimResult, Box<SimFault>> {
         self.run_with_sink(&mut trace::NopSink)
     }
 
@@ -199,7 +309,10 @@ impl Simulator {
     /// pure observers: this produces bit-identical results to `run` in both
     /// scheduler modes (the observer-effect differential tests enforce it),
     /// and with [`NopSink`] it *is* `run` after monomorphization.
-    pub fn run_with_sink<S: TraceSink>(&mut self, sink: &mut S) -> Result<SimResult, SimError> {
+    pub fn run_with_sink<S: TraceSink>(
+        &mut self,
+        sink: &mut S,
+    ) -> Result<SimResult, Box<SimFault>> {
         self.start();
         // L2/DRAM counters live on the shared device and accumulate across
         // launches; snapshot them so this launch's stats — like the
@@ -208,10 +321,14 @@ impl Simulator {
         let (l2_hits0, l2_misses0) = self.l2.stats();
         let (dr_acc0, dr_rowhits0) = self.dram.stats();
         let mut printf_output = Vec::new();
-        let cycles = if self.cfg.reference_mode {
-            self.run_dense(&mut printf_output, sink)?
+        let outcome = if self.cfg.reference_mode {
+            self.run_dense(&mut printf_output, sink)
         } else {
-            self.run_events(&mut printf_output, sink)?
+            self.run_events(&mut printf_output, sink)
+        };
+        let (cycles, fault) = match outcome {
+            Ok(cycles) => (cycles, None),
+            Err((error, cycles)) => (cycles, Some(error)),
         };
         let mut stats = SimStats {
             cycles,
@@ -226,44 +343,96 @@ impl Simulator {
         let (dr_acc, dr_rowhits) = self.dram.stats();
         stats.dram_accesses = dr_acc - dr_acc0;
         stats.dram_row_hits = dr_rowhits - dr_rowhits0;
-        Ok(SimResult {
+        let result = SimResult {
             stats,
             printf_output,
-        })
+        };
+        match fault {
+            None => Ok(result),
+            Some(error) => Err(Box::new(SimFault {
+                error,
+                partial: result,
+            })),
+        }
+    }
+
+    /// Instructions issued so far this launch, across all cores.
+    fn instructions_total(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.instructions).sum()
+    }
+
+    /// The structured no-progress report: every live warp on every alive
+    /// core is parked at a barrier. Derived purely from core state, so
+    /// both scheduler loops produce the identical report.
+    fn deadlock_error(&self) -> SimError {
+        let mut stuck = Vec::new();
+        let mut divergence = false;
+        for core in &self.cores {
+            if !core.any_active() {
+                // A fully-halted core finished its work; it is not party
+                // to the deadlock.
+                continue;
+            }
+            stuck.extend(core.stuck_warps());
+            divergence |= core.has_inactive_warp();
+        }
+        SimError::Deadlock { stuck, divergence }
     }
 
     /// The dense reference loop: every core ticks every cycle while any
     /// warp is live. This is the semantic definition the event-driven
     /// scheduler must reproduce bit-for-bit; keep it boring.
+    ///
+    /// Errors carry the cycle count at the abort so the caller can report
+    /// partial statistics.
     fn run_dense<S: TraceSink>(
         &mut self,
         printf_output: &mut Vec<String>,
         sink: &mut S,
-    ) -> Result<u64, SimError> {
+    ) -> Result<u64, (SimError, u64)> {
+        let budget = self.cfg.max_instructions;
         let mut cycle: u64 = 0;
         loop {
             let mut any_alive = false;
+            let mut any_issued = false;
             for ci in 0..self.cores.len() {
                 let core = &mut self.cores[ci];
                 if core.any_active() {
                     any_alive = true;
-                    core.tick(
-                        cycle,
-                        &self.program,
-                        &mut self.mem,
-                        &mut self.l2,
-                        &mut self.dram,
-                        printf_output,
-                        sink,
-                    )?;
+                    any_issued |= core
+                        .tick(
+                            cycle,
+                            &self.program,
+                            &mut self.mem,
+                            &mut self.l2,
+                            &mut self.dram,
+                            printf_output,
+                            sink,
+                        )
+                        .map_err(|e| (e, cycle + 1))?;
                 }
             }
             if !any_alive {
                 return Ok(cycle);
             }
+            if !any_issued
+                && self
+                    .cores
+                    .iter()
+                    .all(|c| !c.any_active() || c.next_event() == u64::MAX)
+            {
+                // Every alive core just ticked without issuing and cached
+                // `u64::MAX` as its next event: all live warps are parked
+                // at barriers, and barriers are core-local, so no future
+                // cycle can change anything.
+                return Err((self.deadlock_error(), cycle + 1));
+            }
+            if budget != u64::MAX && self.instructions_total() > budget {
+                return Err((SimError::InstrLimit(budget), cycle + 1));
+            }
             cycle += 1;
             if cycle > self.cfg.max_cycles {
-                return Err(SimError::CycleLimit(cycle));
+                return Err((SimError::CycleLimit(cycle), cycle));
             }
         }
     }
@@ -286,8 +455,9 @@ impl Simulator {
         &mut self,
         printf_output: &mut Vec<String>,
         sink: &mut S,
-    ) -> Result<u64, SimError> {
+    ) -> Result<u64, (SimError, u64)> {
         let limit = self.cfg.max_cycles;
+        let budget = self.cfg.max_instructions;
         let n = self.cores.len();
         let mut next_tick = vec![0u64; n];
         let mut end: u64 = 0;
@@ -305,25 +475,35 @@ impl Simulator {
                 // out one cycle after the last issue.
                 return Ok(end);
             }
+            if cycle == u64::MAX {
+                // No core has a pending event: every live warp is parked
+                // at a barrier — the same state the dense loop detects the
+                // cycle after the last arrival, with the same stuck set.
+                return Err((self.deadlock_error(), end));
+            }
             if cycle > limit {
-                // Includes the barrier-deadlock case (next event = MAX):
-                // the dense loop errors as soon as its counter passes the
+                // The dense loop errors as soon as its counter passes the
                 // limit, always with value limit + 1.
-                return Err(SimError::CycleLimit(limit.saturating_add(1)));
+                return Err((
+                    SimError::CycleLimit(limit.saturating_add(1)),
+                    limit.saturating_add(1),
+                ));
             }
             for (ci, tick_at) in next_tick.iter_mut().enumerate() {
                 if *tick_at != cycle || !self.cores[ci].any_active() {
                     continue;
                 }
-                let issued = self.cores[ci].tick(
-                    cycle,
-                    &self.program,
-                    &mut self.mem,
-                    &mut self.l2,
-                    &mut self.dram,
-                    printf_output,
-                    sink,
-                )?;
+                let issued = self.cores[ci]
+                    .tick(
+                        cycle,
+                        &self.program,
+                        &mut self.mem,
+                        &mut self.l2,
+                        &mut self.dram,
+                        printf_output,
+                        sink,
+                    )
+                    .map_err(|e| (e, cycle + 1))?;
                 if issued {
                     *tick_at = cycle + 1;
                 } else {
@@ -333,16 +513,27 @@ impl Simulator {
                         self.cores[ci].next_issue_cycle(cycle, &self.program),
                         "cached next-event diverged from recomputation"
                     );
-                    self.cores[ci].fast_forward_stalls(
-                        cycle + 1,
-                        target.min(limit.saturating_add(1)),
-                        &self.program,
-                        sink,
-                    );
+                    if target != u64::MAX {
+                        self.cores[ci].fast_forward_stalls(
+                            cycle + 1,
+                            target.min(limit.saturating_add(1)),
+                            &self.program,
+                            sink,
+                        );
+                    }
+                    // A core parked forever (target = MAX) is left alone:
+                    // the deadlock check above fires once every other core
+                    // drains, without pre-charging stall cycles that the
+                    // abort would cut short.
                     *tick_at = target;
                 }
             }
             end = cycle + 1;
+            if budget != u64::MAX && self.instructions_total() > budget {
+                // Issues happen in the identical order in both scheduler
+                // modes, so the budget trips at the identical instruction.
+                return Err((SimError::InstrLimit(budget), end));
+            }
         }
     }
 }
@@ -400,7 +591,37 @@ mod tests {
         let mut cfg = SimConfig::new(VortexConfig::new(1, 1, 1));
         cfg.max_cycles = 10_000;
         let mut sim = Simulator::new(cfg, p);
-        assert!(matches!(sim.run(), Err(SimError::CycleLimit(_))));
+        let fault = sim.run().unwrap_err();
+        assert!(matches!(fault.error, SimError::CycleLimit(_)));
+        // The watchdog salvages the statistics accumulated so far.
+        assert_eq!(fault.partial.stats.cycles, 10_001);
+        assert!(fault.partial.stats.instructions > 0);
+    }
+
+    /// The instruction budget trips at the identical instruction in both
+    /// scheduler modes: issues happen in the identical order, and the
+    /// error payload carries the budget, not a mode-dependent cycle.
+    #[test]
+    fn instruction_budget_trips_identically_in_both_modes() {
+        let p = Program {
+            instrs: vec![Instr::Jal { rd: 0, offset: 0 }],
+            printf_table: vec![],
+            entry: 0,
+        };
+        let mut cfg = SimConfig::new(VortexConfig::new(1, 2, 2));
+        cfg.max_instructions = 100;
+        let mut fast = Simulator::new(cfg.clone(), p.clone());
+        let fast_fault = fast.run().unwrap_err();
+        cfg.reference_mode = true;
+        let mut dense = Simulator::new(cfg, p);
+        let dense_fault = dense.run().unwrap_err();
+        assert_eq!(fast_fault.error, SimError::InstrLimit(100));
+        assert_eq!(fast_fault.error, dense_fault.error);
+        assert_eq!(
+            fast_fault.partial.stats.instructions,
+            dense_fault.partial.stats.instructions
+        );
+        assert_eq!(fast_fault.partial.stats.instructions, 101);
     }
 
     /// WSPAWN fan-out + BAR rendezvous: both schedulers must agree on every
@@ -539,10 +760,11 @@ mod tests {
     }
 
     /// A barrier that can never be satisfied deadlocks the core; both
-    /// schedulers must hit the cycle limit at the same cycle. The fast path
-    /// sees `u64::MAX` as the next event and clamps to the limit.
+    /// schedulers must produce the identical structured report naming the
+    /// stuck warp — long before the cycle limit. Warp 1 was never spawned,
+    /// so the count *was* reachable: this classifies as divergence.
     #[test]
-    fn barrier_deadlock_hits_cycle_limit_in_both_modes() {
+    fn barrier_deadlock_reported_identically_in_both_modes() {
         let p = Program {
             instrs: vec![
                 // x5 = 2, but only warp 0 exists: bar(0, 2) never releases.
@@ -564,12 +786,79 @@ mod tests {
         let mut cfg = SimConfig::new(VortexConfig::new(1, 2, 2));
         cfg.max_cycles = 10_000;
         let mut fast = Simulator::new(cfg.clone(), p.clone());
-        let fast_err = fast.run().unwrap_err();
+        let fast_fault = fast.run().unwrap_err();
         cfg.reference_mode = true;
         let mut dense = Simulator::new(cfg, p);
-        let dense_err = dense.run().unwrap_err();
-        assert_eq!(fast_err, SimError::CycleLimit(10_001));
-        assert_eq!(fast_err, dense_err);
+        let dense_fault = dense.run().unwrap_err();
+        let SimError::Deadlock { stuck, divergence } = &fast_fault.error else {
+            panic!("expected deadlock, got {:?}", fast_fault.error);
+        };
+        assert!(*divergence, "warp 1 never spawned: count was reachable");
+        assert_eq!(stuck.len(), 1);
+        assert_eq!(stuck[0].warp, 0);
+        assert_eq!(stuck[0].barrier, Some((0, 2)));
+        assert_eq!(stuck[0].arrived, 1);
+        assert_eq!(fast_fault.error, dense_fault.error);
+        // Detection is immediate, not budget-bound.
+        assert!(fast_fault.partial.stats.cycles < 100);
+    }
+
+    /// When every warp arrives at a barrier whose count exceeds the warp
+    /// count, no schedule could ever satisfy it: a true barrier deadlock,
+    /// reported identically by both schedulers.
+    #[test]
+    fn unsatisfiable_barrier_count_is_a_barrier_deadlock() {
+        let p = Program {
+            instrs: vec![
+                // warp 0: spawn all NW warps at pc 3.
+                Instr::CsrRead {
+                    rd: abi::T0,
+                    csr: Csr::NumWarps,
+                },
+                Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: abi::T1,
+                    rs1: abi::ZERO,
+                    imm: 3,
+                },
+                Instr::Wspawn {
+                    rs1: abi::T0,
+                    rs2: abi::T1,
+                },
+                // all warps: bar(0, NW + 1) — one arrival short, forever.
+                Instr::CsrRead {
+                    rd: abi::T0,
+                    csr: Csr::NumWarps,
+                },
+                Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: abi::T0,
+                    rs1: abi::T0,
+                    imm: 1,
+                },
+                Instr::Bar {
+                    rs1: abi::ZERO,
+                    rs2: abi::T0,
+                },
+                Instr::Tmc { rs1: abi::ZERO },
+            ],
+            printf_table: vec![],
+            entry: 0,
+        };
+        let mut cfg = SimConfig::new(VortexConfig::new(1, 2, 2));
+        cfg.max_cycles = 10_000;
+        let mut fast = Simulator::new(cfg.clone(), p.clone());
+        let fast_fault = fast.run().unwrap_err();
+        cfg.reference_mode = true;
+        let mut dense = Simulator::new(cfg, p);
+        let dense_fault = dense.run().unwrap_err();
+        let SimError::Deadlock { stuck, divergence } = &fast_fault.error else {
+            panic!("expected deadlock, got {:?}", fast_fault.error);
+        };
+        assert!(!*divergence, "all warps parked: the count is unsatisfiable");
+        assert_eq!(stuck.len(), 2, "both warps named in the report");
+        assert!(stuck.iter().all(|w| w.barrier == Some((0, 3))));
+        assert_eq!(fast_fault.error, dense_fault.error);
     }
 
     #[test]

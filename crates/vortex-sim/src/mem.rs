@@ -25,8 +25,19 @@ impl SimMemory {
         addr >= LOCAL_BASE
     }
 
+    /// Reject word accesses to non-word-aligned addresses. The ISA is
+    /// word-only (LW/SW/FLW/FSW/AMO), so this catches pointer arithmetic
+    /// gone wrong in a kernel before it silently straddles elements.
+    fn check_aligned(addr: u32) -> Result<(), SimError> {
+        if !addr.is_multiple_of(4) {
+            return Err(SimError::Misaligned { addr, pc: 0 });
+        }
+        Ok(())
+    }
+
     /// Read a word from `addr` (global space).
     pub fn read_u32(&self, addr: u32) -> Result<u32, SimError> {
+        Self::check_aligned(addr)?;
         let a = addr as usize;
         if a + 4 > self.global.len() {
             return Err(SimError::BadAccess { addr, pc: 0 });
@@ -38,6 +49,7 @@ impl SimMemory {
 
     /// Write a word to `addr` (global space).
     pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), SimError> {
+        Self::check_aligned(addr)?;
         let a = addr as usize;
         if a + 4 > self.global.len() {
             return Err(SimError::BadAccess { addr, pc: 0 });
@@ -49,6 +61,7 @@ impl SimMemory {
     /// Read a word as seen by `core` (routing local-window addresses).
     pub fn load(&self, core: u32, addr: u32) -> Result<u32, SimError> {
         if Self::is_local(addr) {
+            Self::check_aligned(addr)?;
             let off = (addr - LOCAL_BASE) as usize;
             let l = &self.locals[core as usize];
             if off + 4 > l.len() {
@@ -63,6 +76,7 @@ impl SimMemory {
     /// Write a word as seen by `core`.
     pub fn store(&mut self, core: u32, addr: u32, v: u32) -> Result<(), SimError> {
         if Self::is_local(addr) {
+            Self::check_aligned(addr)?;
             let off = (addr - LOCAL_BASE) as usize;
             let l = &mut self.locals[core as usize];
             if off + 4 > l.len() {
@@ -126,6 +140,21 @@ mod tests {
         assert!(m.read_u32(64).is_err());
         assert!(m.store(0, LOCAL_BASE + 64, 0).is_err());
         assert!(m.write_bytes(60, &[0; 8]).is_err());
+    }
+
+    #[test]
+    fn misaligned_word_access_rejected() {
+        let mut m = SimMemory::new(64, 1, 64);
+        assert!(matches!(
+            m.read_u32(2),
+            Err(SimError::Misaligned { addr: 2, .. })
+        ));
+        assert!(matches!(
+            m.store(0, LOCAL_BASE + 1, 7),
+            Err(SimError::Misaligned { .. })
+        ));
+        // Byte-granular bulk copies stay unconstrained (host-side memcpy).
+        assert!(m.write_bytes(3, &[1, 2]).is_ok());
     }
 
     #[test]

@@ -5,6 +5,7 @@ pub use ocl_front as front;
 pub use ocl_ir as ir;
 pub use ocl_suite as suite;
 pub use repro_core as repro;
+pub use repro_diag as diag;
 pub use vortex_cc as vcc;
 pub use vortex_isa as visa;
 pub use vortex_rt as vrt;

@@ -1,0 +1,134 @@
+//! Adversarial-kernel fail-soft suite: kernels that are *wrong on purpose*
+//! (divergent barriers, mismatched barrier counts, infinite loops, OOB
+//! stores) must terminate within the watchdog budget on BOTH back ends —
+//! the reference interpreter and the Vortex cycle simulator — and classify
+//! identically under the [`ReproError`] taxonomy. No panics, no hangs.
+
+use fpga_gpu_repro::arch::VortexConfig;
+use fpga_gpu_repro::diag::{FailureClass, ReproError};
+use fpga_gpu_repro::front;
+use fpga_gpu_repro::ir::interp::{run_ndrange, KernelArg, Limits, Memory, NdRange};
+use fpga_gpu_repro::vrt::{self, Arg, VxSession};
+use fpga_gpu_repro::vsim::SimConfig;
+
+const OUT_WORDS: u32 = 64;
+
+/// Interpreter budget small enough to bound a runaway kernel to well under
+/// a second while never tripping on the healthy prologue.
+const INTERP_STEPS: u64 = 100_000;
+
+/// Simulator config with both watchdog budgets engaged. One core, four
+/// warps of four threads: a 16-item work-group maps one warp per four
+/// work-items, so `get_local_id(0) < 4` divergence is warp-uniform.
+fn budgeted() -> SimConfig {
+    let mut cfg = SimConfig::new(VortexConfig::new(1, 4, 4));
+    cfg.max_cycles = 5_000_000;
+    cfg.max_instructions = 200_000;
+    cfg
+}
+
+/// Run `src` on the reference interpreter and return its classified fault.
+fn interp_error(src: &str, nd: &NdRange) -> ReproError {
+    let module = front::compile(src).expect("adversarial kernels still compile");
+    let k = module.expect_kernel("bad");
+    let mut mem = Memory::new(1 << 20);
+    let po = mem.alloc(OUT_WORDS * 4);
+    let err = run_ndrange(
+        k,
+        &[KernelArg::Ptr(po)],
+        nd,
+        &mut mem,
+        &Limits {
+            max_steps_per_item: INTERP_STEPS,
+        },
+    )
+    .expect_err("kernel must fault on the interpreter");
+    ReproError::from(err)
+}
+
+/// Run `src` through the full Vortex flow and return its classified fault.
+fn vortex_error(src: &str, nd: &NdRange) -> ReproError {
+    let cfg = budgeted();
+    let compiled = vrt::compile_for(src, "bad", &cfg).expect("adversarial kernels still compile");
+    let mut sess = VxSession::new(cfg, compiled);
+    let dout = sess.alloc(OUT_WORDS * 4).expect("device alloc");
+    let err = sess
+        .launch(&[Arg::Buf(dout)], nd)
+        .expect_err("kernel must fault on the simulator");
+    ReproError::from(err)
+}
+
+/// Both back ends fault on `src` with the same `kind` and `class`.
+fn assert_both_classify(src: &str, nd: &NdRange, kind: &str, class: FailureClass) {
+    let ie = interp_error(src, nd);
+    assert_eq!(ie.kind(), kind, "interp: {ie}\n{src}");
+    assert_eq!(ie.class(), class, "interp: {ie}\n{src}");
+    let ve = vortex_error(src, nd);
+    assert_eq!(ve.kind(), kind, "vortex: {ve}\n{src}");
+    assert_eq!(ve.class(), class, "vortex: {ve}\n{src}");
+}
+
+/// A warp-uniform subset of the group reaches the barrier; the rest
+/// return. Classic divergent-barrier deadlock, detected (not hung) on both
+/// back ends with a structured report.
+#[test]
+fn divergent_barrier_is_detected_on_both_backends() {
+    let src = "__kernel void bad(__global int* o) {
+        int lid = get_local_id(0);
+        if (lid < 4) { barrier(CLK_LOCAL_MEM_FENCE); }
+        o[get_global_id(0)] = lid;
+    }";
+    let nd = NdRange::d1(16, 16);
+    assert_both_classify(src, &nd, "DivergenceDeadlock", FailureClass::Deadlock);
+    // The simulator's report names the stuck warp(s).
+    match vortex_error(src, &nd) {
+        ReproError::DivergenceDeadlock { stuck } => {
+            assert!(!stuck.is_empty(), "deadlock report lists no stuck warps")
+        }
+        other => panic!("expected DivergenceDeadlock, got {other}"),
+    }
+}
+
+/// The two sides of a branch execute different *numbers* of barriers: the
+/// first round pairs up, then the then-branch's second barrier waits on
+/// warps that have already returned.
+#[test]
+fn mismatched_barrier_counts_deadlock_on_both_backends() {
+    let src = "__kernel void bad(__global int* o) {
+        int lid = get_local_id(0);
+        if (lid < 4) {
+            barrier(CLK_LOCAL_MEM_FENCE);
+            barrier(CLK_LOCAL_MEM_FENCE);
+        } else {
+            barrier(CLK_LOCAL_MEM_FENCE);
+        }
+        o[get_global_id(0)] = lid;
+    }";
+    let nd = NdRange::d1(16, 16);
+    assert_both_classify(src, &nd, "DivergenceDeadlock", FailureClass::Deadlock);
+}
+
+/// A loop that never advances trips the instruction budget — the Hang
+/// class — instead of wedging the test harness.
+#[test]
+fn infinite_loop_trips_the_watchdog_on_both_backends() {
+    let src = "__kernel void bad(__global int* o) {
+        int acc = 0;
+        for (int j = 0; j < 10; j = j) { acc = acc + 1; }
+        o[get_global_id(0)] = acc;
+    }";
+    let nd = NdRange::d1(16, 4);
+    assert_both_classify(src, &nd, "InstructionBudget", FailureClass::Hang);
+}
+
+/// A store far past the output buffer faults as a classified memory error
+/// on both back ends.
+#[test]
+fn oob_store_faults_on_both_backends() {
+    let src = "__kernel void bad(__global int* o) {
+        int i = get_global_id(0);
+        o[i + 268435456] = 1;
+    }";
+    let nd = NdRange::d1(16, 4);
+    assert_both_classify(src, &nd, "OutOfBounds", FailureClass::Memory);
+}

@@ -323,6 +323,87 @@ fn all_levels_match_on_both_backends() {
     }
 }
 
+/// Mutate a valid kernel source into likely-malformed text: truncate it,
+/// drop or duplicate a span, or splice in characters the grammar treats as
+/// structure (`{ } ( ) [ ] ; " \ #` …). ASCII-only generators keep every
+/// mutation a valid UTF-8 boundary.
+fn mutate_source(r: &mut Rng, src: &str) -> String {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut out = bytes.to_vec();
+    match r.below(4) {
+        // Truncate: the classic "half a kernel" input.
+        0 => out.truncate(r.below(n as u64 + 1) as usize),
+        // Delete a span.
+        1 => {
+            let a = r.below(n as u64) as usize;
+            let b = (a + 1 + r.below(16) as usize).min(n);
+            out.drain(a..b);
+        }
+        // Duplicate a span in place.
+        2 => {
+            let a = r.below(n as u64) as usize;
+            let b = (a + 1 + r.below(16) as usize).min(n);
+            let chunk: Vec<u8> = out[a..b].to_vec();
+            out.splice(a..a, chunk);
+        }
+        // Splice in structural noise.
+        _ => {
+            const NOISE: &[u8] = b"{}()[];\"\\#*/&|<>!%^~,.0x\x01\x7f";
+            let at = r.below(n as u64 + 1) as usize;
+            for _ in 0..1 + r.below(6) {
+                let c = NOISE[r.below(NOISE.len() as u64) as usize];
+                out.insert(at, c);
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The frontend is panic-free on garbage: every mutated or truncated
+/// source either compiles or returns a diagnostic — it never panics. This
+/// is the compile-side half of the fail-soft contract (the run-side half
+/// lives in `tests/fail_soft.rs`).
+#[test]
+fn frontend_never_panics_on_malformed_source() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let mut r = Rng::new(0xD1FF_0006);
+    // Random mutants of generator output.
+    for case in 0..CASES * 4 {
+        let base = if r.bool() {
+            arb_kernel(&mut r)
+        } else {
+            arb_local_kernel(&mut r)
+        };
+        let src = mutate_source(&mut r, &base);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = ocl_front::compile(&src);
+        }));
+        assert!(outcome.is_ok(), "case {case}: frontend panicked on:\n{src}");
+    }
+    // Known-nasty fixed seeds: unterminated comments and strings, stray
+    // preprocessor lines, deep nesting, bare EOF mid-construct.
+    let nasty = [
+        "",
+        "__kernel",
+        "__kernel void k(",
+        "__kernel void k() { /* never closed",
+        "__kernel void k() { printf(\"never closed); }",
+        "#define A",
+        "#define A A\n__kernel void k() { int x = A; }",
+        "__kernel void k() { int x = ((((((((((((((((1; }",
+        "__kernel void k() { for (;;) }",
+        "__kernel void k(__global int* o) { o[0] = 0x; }",
+        "__kernel void k() { \u{1}\u{7f} }",
+    ];
+    for src in nasty {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = ocl_front::compile(src);
+        }));
+        assert!(outcome.is_ok(), "frontend panicked on:\n{src}");
+    }
+}
+
 /// The optimization pipeline preserves interpreter semantics on random
 /// kernels (CSE alias reasoning, const-fold, copy-prop, DCE).
 #[test]
