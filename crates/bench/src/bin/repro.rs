@@ -12,24 +12,32 @@
 //! repro profile <bench>     hot-PC + stall-attribution profile of a Vortex run
 //! repro opt-report <bench> [--timing]  middle-end report across opt levels
 //! repro check               fail-soft coverage sweep with failure classes
+//! repro perf-report [--baseline <file>] [--threshold <frac>] [--no-grid]
+//!                           perf dashboard (markdown + HTML + manifest)
 //! repro all [--fast]        everything above (bench-sim runs separately)
 //! ```
 //!
 //! `check` exits nonzero if any benchmark is classified `Hang` or `Panic`
-//! — the CI smoke-test contract.
+//! — the CI smoke-test contract. `perf-report --baseline` exits nonzero
+//! when any tracked metric regresses beyond the threshold (default 20%);
+//! the baseline may be a previous `runs/perf-report.json` manifest or a
+//! `BENCH_sim.json`.
 //!
 //! `--fast` shrinks the Figure 7 problem sizes (useful without `--release`).
 //! `--opt none|basic|reuse|loop` selects the middle-end level for the
 //! execution commands (`trace`, `profile`, `bench-sim`, `analytic`); the
 //! default is the suite-wide [`ocl_suite::DEFAULT_OPT`]. Output is markdown
 //! on stdout; a JSON copy of each artifact is written to `target/repro/`
-//! for EXPERIMENTS.md bookkeeping.
+//! for EXPERIMENTS.md bookkeeping, and every invocation records a
+//! RunManifest (host/commit/config metadata, per-benchmark wall times, and
+//! the pipeline metrics snapshot) under `runs/`.
 
 use fpga_arch::VortexConfig;
 use ocl_ir::passes::OptLevel;
 use ocl_suite::Scale;
 use repro_core::report;
 use repro_core::{coverage_table, fig7_grid, fig7_summary, table2, table3, table4};
+use repro_core::{host_meta, RunManifest};
 use std::fs;
 
 fn save_json(name: &str, value: &impl repro_util::ToJson) {
@@ -175,7 +183,7 @@ fn run_analytic(level: OptLevel) {
 /// loop — in the same process, and write `BENCH_sim.json`. Cycle counts are
 /// asserted equal along the way, so the timing run doubles as a
 /// differential check.
-fn run_bench_sim(fast: bool, level: OptLevel) {
+fn run_bench_sim(fast: bool, level: OptLevel, manifest: &mut RunManifest) {
     use repro_util::timing::bench;
     use repro_util::{Json, ToJson};
     use vortex_sim::SimConfig;
@@ -226,6 +234,13 @@ fn run_bench_sim(fast: bool, level: OptLevel) {
                 cycles as f64 / dn.best_secs,
                 cycles as f64 / ff.best_secs,
             );
+                manifest.push_bench(
+                    &format!("{name} 4c{w}w{t}t"),
+                    "grid",
+                    ff.best_secs,
+                    Some(cycles),
+                    true,
+                );
                 cells.push(Json::obj(vec![
                     ("benchmark", name.to_json()),
                     ("cores", 4u32.to_json()),
@@ -252,6 +267,7 @@ fn run_bench_sim(fast: bool, level: OptLevel) {
     let doc = Json::obj(vec![
         ("scale", if fast { "test" } else { "paper" }.to_json()),
         ("timing_iters_best_of", (iters as u64).to_json()),
+        ("meta", host_meta(level, Some(iters as u64)).to_json()),
         ("grid", Json::Array(cells)),
         ("dense_total_secs", dense_total.to_json()),
         ("fast_total_secs", fast_total.to_json()),
@@ -346,11 +362,34 @@ fn run_profile(name: &str, level: OptLevel) {
     print!("{}", report::render_profile(b.name, &sections, 8));
 }
 
-fn run_check() {
+fn run_check(manifest: &mut RunManifest) -> i32 {
     println!("## Fail-soft coverage check (both flows, watchdog + panic isolation)\n");
     let rows = repro_core::check_suite(Scale::Test, VortexConfig::new(2, 4, 16));
     print!("{}", repro_core::render_check(&rows));
     save_json("check", &repro_core::check_json(&rows));
+    for r in &rows {
+        manifest.push_bench(
+            &r.name,
+            "vortex",
+            r.vortex.wall_secs,
+            r.vortex.cycles(),
+            r.vortex.is_ok(),
+        );
+        manifest.push_bench(
+            &r.name,
+            "hls",
+            r.hls.wall_secs,
+            r.hls.cycles(),
+            r.hls.is_ok(),
+        );
+    }
+    for (class, n) in repro_core::check::check_class_counts(&rows) {
+        if n > 0 {
+            manifest
+                .failure_classes
+                .push((class.name().to_string(), n as u64));
+        }
+    }
     let ok = rows
         .iter()
         .filter(|r| r.vortex.is_ok() && r.hls.is_ok())
@@ -361,8 +400,92 @@ fn run_check() {
     );
     if repro_core::check_has_hard_failure(&rows) {
         eprintln!("FAIL: at least one benchmark classified Hang or Panic");
-        std::process::exit(1);
+        return 1;
     }
+    0
+}
+
+/// `repro perf-report [--baseline <file>] [--threshold <frac>] [--no-grid]`.
+///
+/// Collects the dashboard (suite sweep + stage spans + Fig. 7 sub-grid),
+/// prints the markdown report, writes `target/repro/perf_report.{json,html}`,
+/// and — when a baseline is given — exits 3 if any tracked metric regressed
+/// beyond the threshold.
+fn run_perf_report(
+    args: &[String],
+    level: OptLevel,
+    fast: bool,
+    manifest: &mut RunManifest,
+) -> i32 {
+    use repro_core::{collect_perf, compare_to_baseline, PerfOptions};
+    use repro_util::Json;
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let threshold = match flag_value("--threshold") {
+        None => repro_core::DEFAULT_THRESHOLD,
+        Some(s) => match s.parse::<f64>() {
+            Ok(t) if t >= 0.0 => t,
+            _ => {
+                eprintln!("--threshold expects a non-negative fraction (e.g. 0.2)");
+                std::process::exit(2);
+            }
+        },
+    };
+    let opts = PerfOptions {
+        hw: VortexConfig::new(2, 4, 16),
+        level,
+        grid_scale: if fast { Scale::Test } else { Scale::Paper },
+        bench_filter: None,
+        grid: !args.iter().any(|a| a == "--no-grid"),
+    };
+    let perf = collect_perf(&opts);
+    repro_core::fill_manifest(manifest, &perf);
+    let cmp = match flag_value("--baseline") {
+        None => None,
+        Some(path) => {
+            let doc = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline `{path}`: {e}"))
+                .and_then(|text| {
+                    Json::parse(&text).map_err(|e| format!("cannot parse baseline `{path}`: {e}"))
+                })
+                .and_then(|doc| compare_to_baseline(&perf, &doc, threshold));
+            match doc {
+                Ok(cmp) => Some(cmp),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    print!(
+        "{}",
+        repro_core::render_perf_markdown(&perf, cmp.as_ref(), true)
+    );
+    save_json("perf_report", &perf);
+    let html_path = std::path::Path::new("target/repro/perf_report.html");
+    if fs::create_dir_all("target/repro").is_ok() {
+        let _ = fs::write(html_path, repro_core::render_perf_html(&perf, cmp.as_ref()));
+        println!("\ndashboard: {}", html_path.display());
+    }
+    if let Some(cmp) = &cmp {
+        if !cmp.regressions.is_empty() {
+            eprintln!(
+                "FAIL: {} tracked metric(s) regressed beyond {:.0}%",
+                cmp.regressions.len(),
+                cmp.threshold * 100.0
+            );
+            return 3;
+        }
+        println!(
+            "\nno tracked metric regressed beyond {:.0}%",
+            cmp.threshold * 100.0
+        );
+    }
+    0
 }
 
 fn run_opt_report(name: &str, timing: bool) {
@@ -393,15 +516,47 @@ fn main() {
             }
         },
     };
-    match cmd {
-        "table1" => run_table1(timing),
-        "table2" => run_table2(),
-        "table3" => run_table3(),
-        "table4" => run_table4(),
-        "fig7" => run_fig7(fast),
-        "analytic" => run_analytic(level),
-        "bench-sim" => run_bench_sim(fast, level),
-        "check" => run_check(),
+    // Every invocation records its pipeline spans and a RunManifest; the
+    // registry is a single relaxed atomic when nothing reads it, so this
+    // costs nothing measurable even on the timing commands.
+    repro_util::metrics::enable();
+    let iters = match cmd {
+        "bench-sim" => Some(if fast { 3 } else { 2 }),
+        _ => None,
+    };
+    let mut manifest = RunManifest::new(cmd, &args, host_meta(level, iters));
+    let t0 = std::time::Instant::now();
+    let code = match cmd {
+        "table1" => {
+            run_table1(timing);
+            0
+        }
+        "table2" => {
+            run_table2();
+            0
+        }
+        "table3" => {
+            run_table3();
+            0
+        }
+        "table4" => {
+            run_table4();
+            0
+        }
+        "fig7" => {
+            run_fig7(fast);
+            0
+        }
+        "analytic" => {
+            run_analytic(level);
+            0
+        }
+        "bench-sim" => {
+            run_bench_sim(fast, level, &mut manifest);
+            0
+        }
+        "check" => run_check(&mut manifest),
+        "perf-report" => run_perf_report(&args, level, fast, &mut manifest),
         "trace" | "profile" | "opt-report" => {
             let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")) else {
                 eprintln!("usage: repro {cmd} <bench>");
@@ -412,6 +567,7 @@ fn main() {
                 "profile" => run_profile(bench, level),
                 _ => run_opt_report(bench, timing),
             }
+            0
         }
         "all" => {
             run_table1(true);
@@ -425,10 +581,18 @@ fn main() {
             run_fig7(fast);
             println!();
             run_analytic(level);
+            0
         }
         other => {
             eprintln!("unknown command `{other}`; see the crate docs");
             std::process::exit(2);
         }
+    };
+    manifest.total_wall_secs = t0.elapsed().as_secs_f64();
+    manifest.metrics = repro_util::metrics::snapshot();
+    match manifest.write("runs") {
+        Ok(path) => eprintln!("run manifest: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write run manifest: {e}"),
     }
+    std::process::exit(code);
 }

@@ -8,10 +8,15 @@
 //! every benchmark gets a row no matter how its neighbours fail, and every
 //! failure carries a [`FailureClass`] so CI can distinguish an expected
 //! synthesis rejection from a hang or a panic in our own stack.
+//!
+//! Each row also records per-flow wall-clock and — for the Vortex flow —
+//! how much of the watchdog budget the run consumed, so `check.json` is a
+//! perf trajectory as well as a health report (`repro perf-report` compares
+//! consecutive manifests built from it).
 
 use fpga_arch::{Device, VortexConfig};
 use ocl_suite::{all_benchmarks, run_isolated, FailureClass, ReproError, Scale};
-use repro_util::{Json, ToJson};
+use repro_util::{timing, Json, ToJson};
 use vortex_sim::SimConfig;
 
 /// Watchdog budgets for the sweep. `Scale::Test` benchmarks finish in well
@@ -20,15 +25,44 @@ use vortex_sim::SimConfig;
 pub const CHECK_MAX_CYCLES: u64 = 20_000_000;
 pub const CHECK_MAX_INSTRUCTIONS: u64 = 200_000_000;
 
+/// Counters of one successful flow run — what the budget was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Simulated (Vortex) or modeled (HLS) kernel cycles.
+    pub cycles: u64,
+    /// Dynamic instructions (simulator retires or interpreter steps).
+    pub instructions: u64,
+}
+
+/// One flow's outcome plus its host-side wall-clock.
+#[derive(Debug, Clone)]
+pub struct FlowCheck {
+    pub outcome: Result<FlowStats, ReproError>,
+    /// Host seconds the whole flow took (compile + run + verify), measured
+    /// around the panic-isolation boundary so failures are timed too.
+    pub wall_secs: f64,
+}
+
+impl FlowCheck {
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// Simulated/modeled cycles if the flow succeeded.
+    pub fn cycles(&self) -> Option<u64> {
+        self.outcome.as_ref().ok().map(|s| s.cycles)
+    }
+}
+
 /// One benchmark's fail-soft outcome on both flows.
 #[derive(Debug, Clone)]
 pub struct CheckRow {
     pub name: String,
-    /// Vortex flow: simulated cycles, or the classified failure.
-    pub vortex: Result<u64, ReproError>,
-    /// HLS flow: modeled cycles, or the classified failure (synthesis
+    /// Vortex flow: simulated counters, or the classified failure.
+    pub vortex: FlowCheck,
+    /// HLS flow: modeled counters, or the classified failure (synthesis
     /// rejections land here as [`ReproError::Synthesis`]).
-    pub hls: Result<u64, ReproError>,
+    pub hls: FlowCheck,
 }
 
 impl CheckRow {
@@ -36,7 +70,7 @@ impl CheckRow {
     pub fn failure_classes(&self) -> Vec<FailureClass> {
         [&self.vortex, &self.hls]
             .into_iter()
-            .filter_map(|r| r.as_ref().err().map(|e| e.class()))
+            .filter_map(|r| r.outcome.as_ref().err().map(|e| e.class()))
             .collect()
     }
 
@@ -48,25 +82,63 @@ impl CheckRow {
     }
 }
 
-fn outcome_json(r: &Result<u64, ReproError>) -> Json {
-    match r {
-        Ok(cycles) => Json::obj(vec![("ok", Json::Bool(true)), ("cycles", cycles.to_json())]),
+/// `used / limit` as a fraction, clamped to [0, 1].
+fn budget_frac(used: u64, limit: u64) -> f64 {
+    if limit == 0 {
+        0.0
+    } else {
+        (used as f64 / limit as f64).min(1.0)
+    }
+}
+
+fn outcome_json(r: &FlowCheck, budgets: Option<(u64, u64)>) -> Json {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    match &r.outcome {
+        Ok(stats) => {
+            fields.push(("ok".to_string(), Json::Bool(true)));
+            fields.push(("cycles".to_string(), stats.cycles.to_json()));
+            fields.push(("instructions".to_string(), stats.instructions.to_json()));
+            if let Some((max_cycles, max_instructions)) = budgets {
+                fields.push((
+                    "budget".to_string(),
+                    Json::obj(vec![
+                        ("max_cycles", max_cycles.to_json()),
+                        ("max_instructions", max_instructions.to_json()),
+                        (
+                            "cycles_frac",
+                            budget_frac(stats.cycles, max_cycles).to_json(),
+                        ),
+                        (
+                            "instructions_frac",
+                            budget_frac(stats.instructions, max_instructions).to_json(),
+                        ),
+                    ]),
+                ));
+            }
+        }
         Err(e) => {
-            let mut fields = vec![("ok".to_string(), Json::Bool(false))];
+            fields.push(("ok".to_string(), Json::Bool(false)));
             if let Json::Object(rest) = e.to_json() {
                 fields.extend(rest);
             }
-            Json::Object(fields)
         }
     }
+    fields.push(("wall_secs".to_string(), r.wall_secs.to_json()));
+    Json::Object(fields)
 }
 
 impl ToJson for CheckRow {
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("name", self.name.to_json()),
-            ("vortex", outcome_json(&self.vortex)),
-            ("hls", outcome_json(&self.hls)),
+            (
+                "vortex",
+                outcome_json(
+                    &self.vortex,
+                    Some((CHECK_MAX_CYCLES, CHECK_MAX_INSTRUCTIONS)),
+                ),
+            ),
+            ("hls", outcome_json(&self.hls, None)),
         ])
     }
 }
@@ -82,15 +154,33 @@ pub fn check_suite(scale: Scale, hw: VortexConfig) -> Vec<CheckRow> {
     all_benchmarks()
         .iter()
         .map(|b| {
-            let vortex = run_isolated(|| ocl_suite::run_vortex(b, scale, &cfg).map(|o| o.cycles));
-            let hls = run_isolated(|| match ocl_suite::run_hls(b, scale, &device)? {
-                Ok(o) => Ok(o.cycles),
-                Err(f) => Err(f.into()),
+            let (vortex, v_secs) = timing::time(|| {
+                run_isolated(|| {
+                    ocl_suite::run_vortex(b, scale, &cfg).map(|o| FlowStats {
+                        cycles: o.cycles,
+                        instructions: o.instructions,
+                    })
+                })
+            });
+            let (hls, h_secs) = timing::time(|| {
+                run_isolated(|| match ocl_suite::run_hls(b, scale, &device)? {
+                    Ok(o) => Ok(FlowStats {
+                        cycles: o.cycles,
+                        instructions: o.instructions,
+                    }),
+                    Err(f) => Err(f.into()),
+                })
             });
             CheckRow {
                 name: b.name.to_string(),
-                vortex,
-                hls,
+                vortex: FlowCheck {
+                    outcome: vortex,
+                    wall_secs: v_secs,
+                },
+                hls: FlowCheck {
+                    outcome: hls,
+                    wall_secs: h_secs,
+                },
             }
         })
         .collect()
@@ -117,9 +207,9 @@ pub fn check_class_counts(rows: &[CheckRow]) -> Vec<(FailureClass, usize)> {
         .collect()
 }
 
-fn cell(r: &Result<u64, ReproError>) -> String {
-    match r {
-        Ok(cycles) => format!("O ({cycles} cyc)"),
+fn cell(r: &FlowCheck) -> String {
+    match &r.outcome {
+        Ok(stats) => format!("O ({} cyc)", stats.cycles),
         Err(e) => format!("✗ {}", e.kind()),
     }
 }
@@ -142,7 +232,7 @@ pub fn render_check(rows: &[CheckRow]) -> String {
         };
         let detail = [&r.vortex, &r.hls]
             .into_iter()
-            .filter_map(|x| x.as_ref().err().map(|e| e.to_string()))
+            .filter_map(|x| x.outcome.as_ref().err().map(|e| e.to_string()))
             .collect::<Vec<_>>()
             .join("; ");
         out.push_str(&format!(
@@ -196,7 +286,8 @@ mod tests {
         // The healthy suite: Vortex runs everything, HLS rejects the
         // paper's six — all classified Synthesis, none Hang or Panic.
         for r in &rows {
-            assert!(r.vortex.is_ok(), "{}: {:?}", r.name, r.vortex);
+            assert!(r.vortex.is_ok(), "{}: {:?}", r.name, r.vortex.outcome);
+            assert!(r.vortex.wall_secs >= 0.0 && r.hls.wall_secs >= 0.0);
         }
         let counts = check_class_counts(&rows);
         let get = |class: FailureClass| {
@@ -215,5 +306,21 @@ mod tests {
         assert_eq!(md.matches("| O (").count(), 28 + 22);
         let j = check_json(&rows);
         assert_eq!(j.get("hard_failure").and_then(|v| v.as_bool()), Some(false));
+        // Every successful Vortex row reports its budget consumption, and
+        // a healthy run never gets near the watchdog ceiling.
+        let rows_j = j.get("rows").and_then(|v| v.as_array()).unwrap();
+        for row in rows_j {
+            let v = row.get("vortex").unwrap();
+            assert!(v.get("wall_secs").and_then(|x| x.as_f64()).is_some());
+            if v.get("ok").and_then(|x| x.as_bool()) == Some(true) {
+                let budget = v.get("budget").unwrap();
+                let frac = budget.get("cycles_frac").and_then(|x| x.as_f64()).unwrap();
+                assert!((0.0..0.5).contains(&frac), "cycles_frac {frac}");
+                assert_eq!(
+                    budget.get("max_cycles").and_then(|x| x.as_u64()),
+                    Some(CHECK_MAX_CYCLES)
+                );
+            }
+        }
     }
 }

@@ -16,20 +16,36 @@
 //! * [`report`] — markdown / JSON rendering shared by the `repro` binary
 //!   and EXPERIMENTS.md;
 //! * [`chrome_trace`] — chrome://tracing export of the Vortex simulator's
-//!   event stream (the `repro trace` artifact).
+//!   event stream (the `repro trace` artifact);
+//! * [`manifest`] — per-invocation RunManifest records (host/commit/config
+//!   metadata + per-benchmark wall times + metrics snapshot);
+//! * [`perf_report`] — the `repro perf-report` perf-regression dashboard
+//!   (markdown + HTML + baseline comparison).
 
 pub mod analytic;
 pub mod check;
 pub mod chrome_trace;
 pub mod coverage;
 pub mod fig7;
+pub mod manifest;
 pub mod opt_report;
+pub mod perf_html;
+pub mod perf_report;
 pub mod report;
 pub mod tables;
 
-pub use check::{check_has_hard_failure, check_json, check_suite, render_check, CheckRow};
+pub use check::{
+    check_has_hard_failure, check_json, check_suite, render_check, CheckRow, FlowCheck, FlowStats,
+    CHECK_MAX_CYCLES, CHECK_MAX_INSTRUCTIONS,
+};
 pub use chrome_trace::chrome_trace;
 pub use coverage::{coverage_table, CoverageRow};
 pub use fig7::{fig7_grid, fig7_summary, Fig7Cell, Fig7Grid};
+pub use manifest::{host_meta, HostMeta, RunManifest, MANIFEST_SCHEMA_VERSION};
 pub use opt_report::{opt_report, render_opt_report, OptReport};
+pub use perf_html::render_perf_html;
+pub use perf_report::{
+    collect_perf, compare_to_baseline, fill_manifest, render_perf_markdown, Comparison,
+    MetricDelta, PerfOptions, PerfReport, DEFAULT_THRESHOLD,
+};
 pub use tables::{table2, table3, table4, AreaRow};

@@ -1,0 +1,931 @@
+//! `repro perf-report` — the perf-regression dashboard.
+//!
+//! Collects three views of the pipeline in one pass with the metrics
+//! registry enabled:
+//!
+//! 1. **suite** — the fail-soft 28-benchmark sweep on both flows
+//!    ([`crate::check_suite`]), with per-benchmark wall times and cycles;
+//! 2. **stages** — the registry's histogram series (frontend, per-pass,
+//!    HLS synthesis/area/estimate, Vortex codegen/regalloc, launches);
+//! 3. **grid** — the Figure 7 `{4,8,16}²` sub-grid, single timed run per
+//!    cell (the same cells `repro bench-sim` writes into `BENCH_sim.json`).
+//!
+//! The report renders as markdown (deterministic with `timing: false` — the
+//! golden test pins that form) and as a self-contained HTML dashboard, and
+//! can be compared against a baseline: either a previous `perf-report`
+//! RunManifest or a `BENCH_sim.json`. Comparison separates **deterministic**
+//! metrics (simulated cycles — any increase beyond the threshold is a real
+//! regression) from **wall-clock** metrics (compared only above a noise
+//! floor). `repro perf-report --baseline …` exits nonzero when any tracked
+//! metric regresses beyond the threshold.
+
+use crate::check::{check_suite, CheckRow};
+use crate::manifest::{manifest_benchmarks, RunManifest};
+use fpga_arch::VortexConfig;
+use ocl_ir::passes::OptLevel;
+use ocl_suite::{benchmark, run_vortex_at, Scale};
+use repro_util::{metrics, timing, Json, ToJson};
+use vortex_sim::SimConfig;
+
+/// Default regression threshold: a tracked metric regresses when
+/// `current > baseline * (1 + threshold)`.
+pub const DEFAULT_THRESHOLD: f64 = 0.20;
+
+/// Wall-clock spans shorter than this (seconds) are never compared —
+/// scheduler noise dominates below it.
+pub const WALL_NOISE_FLOOR_SECS: f64 = 0.005;
+
+/// One cell of the Figure 7 sub-grid measurement.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    pub benchmark: String,
+    pub cores: u32,
+    pub warps: u32,
+    pub threads: u32,
+    pub sim_cycles: u64,
+    pub host_secs: f64,
+}
+
+impl GridCell {
+    /// The stable row label used in manifests and comparisons.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {}c{}w{}t",
+            self.benchmark, self.cores, self.warps, self.threads
+        )
+    }
+}
+
+/// One histogram series from the metrics registry, flattened for rendering.
+#[derive(Debug, Clone)]
+pub struct StagePerf {
+    pub name: String,
+    pub count: u64,
+    pub total_secs: f64,
+    pub p50_secs: f64,
+    pub p95_secs: f64,
+    pub max_secs: f64,
+}
+
+/// Everything `repro perf-report` measures in one run.
+#[derive(Debug)]
+pub struct PerfReport {
+    /// Fail-soft both-flow sweep (at `Scale::Test`).
+    pub rows: Vec<CheckRow>,
+    pub stages: Vec<StagePerf>,
+    pub grid: Vec<GridCell>,
+    /// Scale the grid ran at (`"test"` / `"paper"`) — `BENCH_sim.json`
+    /// baselines are only comparable at the same scale.
+    pub grid_scale: &'static str,
+    /// Cells or comparisons that were skipped, with reasons. Surfaced in
+    /// every rendering so bounded coverage is never silent.
+    pub notes: Vec<String>,
+}
+
+/// What to collect. `bench_filter` limits the suite sweep (tests use a
+/// small subset); `grid` can be disabled for a quick suite-only report.
+#[derive(Debug, Clone)]
+pub struct PerfOptions {
+    pub hw: VortexConfig,
+    pub level: OptLevel,
+    pub grid_scale: Scale,
+    pub bench_filter: Option<Vec<String>>,
+    pub grid: bool,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions {
+            hw: VortexConfig::new(2, 4, 16),
+            level: ocl_suite::DEFAULT_OPT,
+            grid_scale: Scale::Test,
+            bench_filter: None,
+            grid: true,
+        }
+    }
+}
+
+/// The benchmark × config cells `bench-sim` and the perf grid share: the
+/// `{4,8,16}²` corner of Figure 7 on 4 cores.
+pub const GRID_BENCHES: [&str; 2] = ["Vecadd", "Transpose"];
+pub const GRID_STEPS: [u32; 3] = [4, 8, 16];
+
+/// Run the collection pass. Enables the metrics registry for its duration
+/// (resetting it first so the snapshot describes exactly this run), and
+/// disables it again before returning.
+pub fn collect_perf(opts: &PerfOptions) -> PerfReport {
+    metrics::reset();
+    metrics::enable();
+    let mut rows = check_suite(Scale::Test, opts.hw);
+    if let Some(filter) = &opts.bench_filter {
+        rows.retain(|r| filter.iter().any(|f| f == &r.name));
+    }
+    let mut grid = Vec::new();
+    let mut notes = Vec::new();
+    if opts.grid {
+        for name in GRID_BENCHES {
+            let Some(b) = benchmark(name) else {
+                notes.push(format!("grid: unknown benchmark `{name}`"));
+                continue;
+            };
+            for w in GRID_STEPS {
+                for t in GRID_STEPS {
+                    let cfg = SimConfig::new(VortexConfig::new(4, w, t));
+                    let (r, first_secs) =
+                        timing::time(|| run_vortex_at(&b, opts.grid_scale, &cfg, opts.level));
+                    match r {
+                        Ok(o) => {
+                            // Best-of-3 like `bench-sim`, so wall deltas
+                            // against its baseline compare like with like
+                            // (a single run is systematically slower and
+                            // noisier than a best-of).
+                            let timed = timing::bench(2, || {
+                                run_vortex_at(&b, opts.grid_scale, &cfg, opts.level)
+                                    .map(|o| o.cycles)
+                                    .unwrap_or(0)
+                            });
+                            grid.push(GridCell {
+                                benchmark: name.to_string(),
+                                cores: 4,
+                                warps: w,
+                                threads: t,
+                                sim_cycles: o.cycles,
+                                host_secs: timed.best_secs.min(first_secs),
+                            });
+                        }
+                        Err(e) => notes.push(format!("grid: {name} 4c{w}w{t}t failed: {e}")),
+                    }
+                }
+            }
+        }
+    } else {
+        notes.push("grid: skipped (--no-grid)".to_string());
+    }
+    let snap = metrics::snapshot();
+    metrics::disable();
+    let stages = snap
+        .histograms
+        .iter()
+        .map(|(name, h)| StagePerf {
+            name: name.clone(),
+            count: h.count,
+            total_secs: h.total,
+            p50_secs: h.p50,
+            p95_secs: h.p95,
+            max_secs: h.max,
+        })
+        .collect();
+    PerfReport {
+        rows,
+        stages,
+        grid,
+        grid_scale: match opts.grid_scale {
+            Scale::Test => "test",
+            Scale::Paper => "paper",
+        },
+        notes,
+    }
+}
+
+/// Fill a [`RunManifest`]'s benchmark rows from a collected report: one
+/// entry per benchmark per flow, plus one per grid cell (flow `grid`).
+pub fn fill_manifest(m: &mut RunManifest, r: &PerfReport) {
+    for row in &r.rows {
+        m.push_bench(
+            &row.name,
+            "vortex",
+            row.vortex.wall_secs,
+            row.vortex.cycles(),
+            row.vortex.is_ok(),
+        );
+        m.push_bench(
+            &row.name,
+            "hls",
+            row.hls.wall_secs,
+            row.hls.cycles(),
+            row.hls.is_ok(),
+        );
+    }
+    for cell in &r.grid {
+        m.push_bench(
+            &cell.label(),
+            "grid",
+            cell.host_secs,
+            Some(cell.sim_cycles),
+            true,
+        );
+    }
+    for (class, n) in crate::check::check_class_counts(&r.rows) {
+        if n > 0 {
+            m.failure_classes.push((class.name().to_string(), n as u64));
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// e.g. `cycles/vortex/Vecadd`, `wall/grid/Vecadd 4c8w8t`.
+    pub metric: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// Deterministic metrics (cycles) regress on any threshold breach;
+    /// wall metrics additionally respect the noise floor.
+    pub deterministic: bool,
+}
+
+impl MetricDelta {
+    /// `current / baseline` (`inf` when the baseline is zero).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline == 0.0 {
+            if self.current == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.current / self.baseline
+        }
+    }
+
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.current > self.baseline * (1.0 + threshold)
+    }
+}
+
+/// Outcome of comparing a report against a baseline.
+#[derive(Debug)]
+pub struct Comparison {
+    pub baseline_kind: &'static str,
+    pub threshold: f64,
+    /// Every compared metric (regressed or not).
+    pub deltas: Vec<MetricDelta>,
+    /// The subset beyond the threshold — nonempty means exit nonzero.
+    pub regressions: Vec<MetricDelta>,
+    /// Comparisons that could not be made, with reasons.
+    pub skipped: Vec<String>,
+}
+
+/// Compare a collected report against a baseline document: either a
+/// RunManifest (from `runs/`) or a `BENCH_sim.json`. Unknown schemas are an
+/// error so a typo'd path can never silently "pass".
+pub fn compare_to_baseline(
+    report: &PerfReport,
+    baseline: &Json,
+    threshold: f64,
+) -> Result<Comparison, String> {
+    if baseline.get("schema_version").is_some() {
+        Ok(compare_to_manifest(report, baseline, threshold))
+    } else if baseline.get("grid").is_some() {
+        Ok(compare_to_bench_sim(report, baseline, threshold))
+    } else {
+        Err("baseline is neither a RunManifest nor a BENCH_sim.json document".to_string())
+    }
+}
+
+fn classify(deltas: Vec<MetricDelta>, threshold: f64) -> (Vec<MetricDelta>, Vec<MetricDelta>) {
+    let regressions = deltas
+        .iter()
+        .filter(|d| d.regressed(threshold))
+        .cloned()
+        .collect();
+    (deltas, regressions)
+}
+
+/// True when the baseline's host fingerprint (`meta`: os, arch, threads,
+/// build profile) matches this process, i.e. its wall-clock numbers are
+/// comparable to ours. Cycles are machine-independent and always compared;
+/// a baseline recorded on different hardware or under a different build
+/// profile contributes only those. Baselines without a `meta` block predate
+/// the fingerprint and get cycles-only treatment too.
+fn wall_comparable(baseline_meta: Option<&Json>) -> bool {
+    let Some(meta) = baseline_meta else {
+        return false;
+    };
+    let here = crate::manifest::host_meta(OptLevel::None, None);
+    meta.get("os").and_then(|v| v.as_str()) == Some(here.os)
+        && meta.get("arch").and_then(|v| v.as_str()) == Some(here.arch)
+        && meta.get("threads").and_then(|v| v.as_u64()) == Some(here.threads)
+        && meta.get("profile").and_then(|v| v.as_str()) == Some(here.profile)
+}
+
+fn compare_to_manifest(report: &PerfReport, baseline: &Json, threshold: f64) -> Comparison {
+    let mut deltas = Vec::new();
+    let mut skipped = Vec::new();
+    let Some(base_rows) = manifest_benchmarks(baseline) else {
+        return Comparison {
+            baseline_kind: "manifest",
+            threshold,
+            deltas: Vec::new(),
+            regressions: Vec::new(),
+            skipped: vec!["baseline manifest has no readable benchmark rows".to_string()],
+        };
+    };
+    let lookup = |name: &str, flow: &str| {
+        base_rows
+            .iter()
+            .find(|b| b.name == name && b.flow == flow && b.ok)
+    };
+    let mut current: Vec<(String, &'static str, Option<u64>, f64, bool)> = Vec::new();
+    for row in &report.rows {
+        current.push((
+            row.name.clone(),
+            "vortex",
+            row.vortex.cycles(),
+            row.vortex.wall_secs,
+            row.vortex.is_ok(),
+        ));
+        current.push((
+            row.name.clone(),
+            "hls",
+            row.hls.cycles(),
+            row.hls.wall_secs,
+            row.hls.is_ok(),
+        ));
+    }
+    for cell in &report.grid {
+        current.push((
+            cell.label(),
+            "grid",
+            Some(cell.sim_cycles),
+            cell.host_secs,
+            true,
+        ));
+    }
+    let walls = wall_comparable(baseline.get("meta"));
+    if !walls {
+        skipped.push(
+            "wall-clock deltas: baseline host/profile fingerprint differs (cycles still compared)"
+                .to_string(),
+        );
+    }
+    for (name, flow, cycles, wall, ok) in &current {
+        if !ok {
+            continue;
+        }
+        let Some(base) = lookup(name, flow) else {
+            skipped.push(format!("{flow}/{name}: not in baseline"));
+            continue;
+        };
+        if let (Some(c), Some(bc)) = (cycles, base.cycles) {
+            deltas.push(MetricDelta {
+                metric: format!("cycles/{flow}/{name}"),
+                baseline: bc as f64,
+                current: *c as f64,
+                deterministic: true,
+            });
+        }
+        if walls && base.wall_secs >= WALL_NOISE_FLOOR_SECS && *wall >= 0.0 {
+            deltas.push(MetricDelta {
+                metric: format!("wall/{flow}/{name}"),
+                baseline: base.wall_secs,
+                current: *wall,
+                deterministic: false,
+            });
+        }
+    }
+    // Stage totals, where the baseline snapshot recorded the same series
+    // long enough to be above the noise floor.
+    if walls {
+        if let Some(base_snap) = baseline
+            .get("metrics")
+            .and_then(metrics::snapshot_from_json)
+        {
+            for stage in &report.stages {
+                let Some(base) = base_snap.histogram(&stage.name) else {
+                    continue;
+                };
+                if base.total >= WALL_NOISE_FLOOR_SECS {
+                    deltas.push(MetricDelta {
+                        metric: format!("stage/{}", stage.name),
+                        baseline: base.total,
+                        current: stage.total_secs,
+                        deterministic: false,
+                    });
+                }
+            }
+        }
+    }
+    let (deltas, regressions) = classify(deltas, threshold);
+    Comparison {
+        baseline_kind: "manifest",
+        threshold,
+        deltas,
+        regressions,
+        skipped,
+    }
+}
+
+fn compare_to_bench_sim(report: &PerfReport, baseline: &Json, threshold: f64) -> Comparison {
+    let mut deltas = Vec::new();
+    let mut skipped = Vec::new();
+    let base_scale = baseline.get("scale").and_then(|s| s.as_str()).unwrap_or("");
+    if base_scale != report.grid_scale {
+        return Comparison {
+            baseline_kind: "bench_sim",
+            threshold,
+            deltas: Vec::new(),
+            regressions: Vec::new(),
+            skipped: vec![format!(
+                "BENCH_sim baseline is at scale `{base_scale}` but this report's grid ran at \
+                 `{}` — no comparable cells (rerun with matching --fast)",
+                report.grid_scale
+            )],
+        };
+    }
+    let walls = wall_comparable(baseline.get("meta"));
+    if !walls {
+        skipped.push(
+            "wall-clock deltas: baseline host/profile fingerprint differs (cycles still compared)"
+                .to_string(),
+        );
+    }
+    let cells = baseline
+        .get("grid")
+        .and_then(|g| g.as_array())
+        .unwrap_or(&[]);
+    for cur in &report.grid {
+        let base = cells.iter().find(|c| {
+            c.get("benchmark").and_then(|v| v.as_str()) == Some(cur.benchmark.as_str())
+                && c.get("cores").and_then(|v| v.as_u64()) == Some(cur.cores as u64)
+                && c.get("warps").and_then(|v| v.as_u64()) == Some(cur.warps as u64)
+                && c.get("threads").and_then(|v| v.as_u64()) == Some(cur.threads as u64)
+        });
+        let Some(base) = base else {
+            skipped.push(format!("grid/{}: not in baseline", cur.label()));
+            continue;
+        };
+        if let Some(bc) = base.get("sim_cycles").and_then(|v| v.as_u64()) {
+            deltas.push(MetricDelta {
+                metric: format!("cycles/grid/{}", cur.label()),
+                baseline: bc as f64,
+                current: cur.sim_cycles as f64,
+                deterministic: true,
+            });
+        }
+        if let Some(bh) = base.get("fast_host_secs").and_then(|v| v.as_f64()) {
+            if walls && bh >= WALL_NOISE_FLOOR_SECS {
+                deltas.push(MetricDelta {
+                    metric: format!("wall/grid/{}", cur.label()),
+                    baseline: bh,
+                    current: cur.host_secs,
+                    deterministic: false,
+                });
+            }
+        }
+    }
+    let (deltas, regressions) = classify(deltas, threshold);
+    Comparison {
+        baseline_kind: "bench_sim",
+        threshold,
+        deltas,
+        regressions,
+        skipped,
+    }
+}
+
+fn ms(secs: f64) -> String {
+    format!("{:.2}", secs * 1e3)
+}
+
+/// Render the report as markdown. With `timing: false` every wall-clock
+/// column is omitted and the output is fully deterministic — the golden
+/// test pins that form.
+pub fn render_perf_markdown(r: &PerfReport, cmp: Option<&Comparison>, timing: bool) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "## Performance report\n");
+    let _ = writeln!(s, "### Benchmark sweep (Scale::Test, both flows)\n");
+    if timing {
+        let _ = writeln!(
+            s,
+            "| benchmark | vortex cycles | vortex instr | vortex ms | hls cycles | hls ms | status |"
+        );
+        let _ = writeln!(s, "|---|---|---|---|---|---|---|");
+    } else {
+        let _ = writeln!(
+            s,
+            "| benchmark | vortex cycles | vortex instr | hls cycles | status |"
+        );
+        let _ = writeln!(s, "|---|---|---|---|---|");
+    }
+    for row in &r.rows {
+        let status = {
+            let classes = row.failure_classes();
+            if classes.is_empty() {
+                "ok".to_string()
+            } else {
+                classes
+                    .iter()
+                    .map(|c| c.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        };
+        let fmt_u = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+        let v_instr = row.vortex.outcome.as_ref().ok().map(|st| st.instructions);
+        if timing {
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                row.name,
+                fmt_u(row.vortex.cycles()),
+                fmt_u(v_instr),
+                ms(row.vortex.wall_secs),
+                fmt_u(row.hls.cycles()),
+                ms(row.hls.wall_secs),
+                status
+            );
+        } else {
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {} | {} |",
+                row.name,
+                fmt_u(row.vortex.cycles()),
+                fmt_u(v_instr),
+                fmt_u(row.hls.cycles()),
+                status
+            );
+        }
+    }
+    if timing {
+        let mut slowest: Vec<&CheckRow> = r.rows.iter().collect();
+        slowest.sort_by(|a, b| {
+            (b.vortex.wall_secs + b.hls.wall_secs)
+                .partial_cmp(&(a.vortex.wall_secs + a.hls.wall_secs))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let _ = writeln!(
+            s,
+            "\n### Slowest benchmarks (host wall-clock, both flows)\n"
+        );
+        let _ = writeln!(s, "| benchmark | vortex ms | hls ms | total ms |");
+        let _ = writeln!(s, "|---|---|---|---|");
+        for row in slowest.iter().take(5) {
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {} |",
+                row.name,
+                ms(row.vortex.wall_secs),
+                ms(row.hls.wall_secs),
+                ms(row.vortex.wall_secs + row.hls.wall_secs)
+            );
+        }
+    }
+    let _ = writeln!(s, "\n### Pipeline stages\n");
+    if timing {
+        let _ = writeln!(s, "| stage | count | total ms | p50 ms | p95 ms | max ms |");
+        let _ = writeln!(s, "|---|---|---|---|---|---|");
+    } else {
+        let _ = writeln!(s, "| stage | count |");
+        let _ = writeln!(s, "|---|---|");
+    }
+    for st in &r.stages {
+        if timing {
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {} | {} | {} |",
+                st.name,
+                st.count,
+                ms(st.total_secs),
+                ms(st.p50_secs),
+                ms(st.p95_secs),
+                ms(st.max_secs)
+            );
+        } else {
+            let _ = writeln!(s, "| {} | {} |", st.name, st.count);
+        }
+    }
+    if !r.grid.is_empty() {
+        let _ = writeln!(s, "\n### Figure 7 sub-grid ({} scale)\n", r.grid_scale);
+        if timing {
+            let _ = writeln!(s, "| benchmark | config | sim cycles | host ms |");
+            let _ = writeln!(s, "|---|---|---|---|");
+        } else {
+            let _ = writeln!(s, "| benchmark | config | sim cycles |");
+            let _ = writeln!(s, "|---|---|---|");
+        }
+        for cell in &r.grid {
+            if timing {
+                let _ = writeln!(
+                    s,
+                    "| {} | {}c{}w{}t | {} | {} |",
+                    cell.benchmark,
+                    cell.cores,
+                    cell.warps,
+                    cell.threads,
+                    cell.sim_cycles,
+                    ms(cell.host_secs)
+                );
+            } else {
+                let _ = writeln!(
+                    s,
+                    "| {} | {}c{}w{}t | {} |",
+                    cell.benchmark, cell.cores, cell.warps, cell.threads, cell.sim_cycles
+                );
+            }
+        }
+    }
+    for note in &r.notes {
+        let _ = writeln!(s, "\n> note: {note}");
+    }
+    if let Some(cmp) = cmp {
+        let _ = writeln!(s, "\n### Baseline comparison ({})\n", cmp.baseline_kind);
+        let _ = writeln!(
+            s,
+            "threshold: {:.0}% — {} metrics compared, {} regressed\n",
+            cmp.threshold * 100.0,
+            cmp.deltas.len(),
+            cmp.regressions.len()
+        );
+        let _ = writeln!(s, "| metric | baseline | current | ratio | verdict |");
+        let _ = writeln!(s, "|---|---|---|---|---|");
+        // Regressions first, then the largest movers in either direction.
+        let mut sorted: Vec<&MetricDelta> = cmp.deltas.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.regressed(cmp.threshold)
+                .cmp(&a.regressed(cmp.threshold))
+                .then(
+                    (b.ratio() - 1.0)
+                        .abs()
+                        .partial_cmp(&(a.ratio() - 1.0).abs())
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        });
+        for d in sorted.iter().take(20) {
+            let _ = writeln!(
+                s,
+                "| {} | {:.4} | {:.4} | {:.2}x | {} |",
+                d.metric,
+                d.baseline,
+                d.current,
+                d.ratio(),
+                if d.regressed(cmp.threshold) {
+                    "REGRESSED"
+                } else {
+                    "ok"
+                }
+            );
+        }
+        if cmp.deltas.len() > 20 {
+            let _ = writeln!(s, "\n({} more metrics unchanged)", cmp.deltas.len() - 20);
+        }
+        for sk in &cmp.skipped {
+            let _ = writeln!(s, "\n> skipped: {sk}");
+        }
+        let _ = writeln!(
+            s,
+            "\n**{}**",
+            if cmp.regressions.is_empty() {
+                "No tracked metric regressed beyond the threshold."
+            } else {
+                "REGRESSION: at least one tracked metric regressed beyond the threshold."
+            }
+        );
+    }
+    s
+}
+
+impl ToJson for PerfReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "rows",
+                Json::Array(self.rows.iter().map(|r| r.to_json()).collect()),
+            ),
+            (
+                "stages",
+                Json::Array(
+                    self.stages
+                        .iter()
+                        .map(|st| {
+                            Json::obj(vec![
+                                ("name", st.name.to_json()),
+                                ("count", st.count.to_json()),
+                                ("total_secs", st.total_secs.to_json()),
+                                ("p50_secs", st.p50_secs.to_json()),
+                                ("p95_secs", st.p95_secs.to_json()),
+                                ("max_secs", st.max_secs.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "grid",
+                Json::Array(
+                    self.grid
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("benchmark", c.benchmark.to_json()),
+                                ("cores", c.cores.to_json()),
+                                ("warps", c.warps.to_json()),
+                                ("threads", c.threads.to_json()),
+                                ("sim_cycles", c.sim_cycles.to_json()),
+                                ("host_secs", c.host_secs.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("grid_scale", self.grid_scale.to_json()),
+            (
+                "notes",
+                Json::Array(self.notes.iter().map(|n| n.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{FlowCheck, FlowStats};
+
+    fn row(name: &str, cycles: u64, wall: f64) -> CheckRow {
+        CheckRow {
+            name: name.to_string(),
+            vortex: FlowCheck {
+                outcome: Ok(FlowStats {
+                    cycles,
+                    instructions: cycles / 2,
+                }),
+                wall_secs: wall,
+            },
+            hls: FlowCheck {
+                outcome: Ok(FlowStats {
+                    cycles: cycles * 3,
+                    instructions: cycles,
+                }),
+                wall_secs: wall / 2.0,
+            },
+        }
+    }
+
+    fn synthetic_report() -> PerfReport {
+        PerfReport {
+            rows: vec![row("Vecadd", 1000, 0.1), row("Transpose", 2000, 0.2)],
+            stages: vec![StagePerf {
+                name: "frontend.parse".to_string(),
+                count: 4,
+                total_secs: 0.04,
+                p50_secs: 0.01,
+                p95_secs: 0.02,
+                max_secs: 0.02,
+            }],
+            grid: vec![GridCell {
+                benchmark: "Vecadd".to_string(),
+                cores: 4,
+                warps: 8,
+                threads: 8,
+                sim_cycles: 5000,
+                host_secs: 0.05,
+            }],
+            grid_scale: "test",
+            notes: Vec::new(),
+        }
+    }
+
+    /// A manifest whose numbers are `scale`× the synthetic report's.
+    fn baseline_manifest(scale: f64) -> Json {
+        let r = synthetic_report();
+        let mut m = RunManifest::new(
+            "perf-report",
+            &[],
+            crate::manifest::host_meta(OptLevel::VariableReuse, None),
+        );
+        for row in &r.rows {
+            m.push_bench(
+                &row.name,
+                "vortex",
+                row.vortex.wall_secs * scale,
+                row.vortex.cycles().map(|c| (c as f64 * scale) as u64),
+                true,
+            );
+            m.push_bench(
+                &row.name,
+                "hls",
+                row.hls.wall_secs * scale,
+                row.hls.cycles().map(|c| (c as f64 * scale) as u64),
+                true,
+            );
+        }
+        for cell in &r.grid {
+            m.push_bench(
+                &cell.label(),
+                "grid",
+                cell.host_secs * scale,
+                Some((cell.sim_cycles as f64 * scale) as u64),
+                true,
+            );
+        }
+        Json::parse(&m.to_json().to_pretty()).unwrap()
+    }
+
+    #[test]
+    fn identical_baseline_has_no_regressions() {
+        let r = synthetic_report();
+        let cmp = compare_to_baseline(&r, &baseline_manifest(1.0), DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(cmp.baseline_kind, "manifest");
+        assert!(!cmp.deltas.is_empty());
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn injected_regression_is_detected() {
+        // Baseline numbers at half the current values: every tracked
+        // metric now looks 2x slower than the baseline — far beyond 20%.
+        let r = synthetic_report();
+        let cmp = compare_to_baseline(&r, &baseline_manifest(0.5), DEFAULT_THRESHOLD).unwrap();
+        assert!(!cmp.regressions.is_empty());
+        assert!(cmp
+            .regressions
+            .iter()
+            .any(|d| d.metric == "cycles/vortex/Vecadd" && d.deterministic));
+        let md = render_perf_markdown(&r, Some(&cmp), true);
+        assert!(md.contains("REGRESSED"), "{md}");
+        assert!(md.contains("REGRESSION: at least one tracked metric"));
+    }
+
+    #[test]
+    fn faster_current_never_regresses() {
+        let r = synthetic_report();
+        let cmp = compare_to_baseline(&r, &baseline_manifest(2.0), DEFAULT_THRESHOLD).unwrap();
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+        // Deltas were still compared — improvements are visible.
+        assert!(cmp.deltas.iter().any(|d| d.ratio() < 0.9));
+    }
+
+    #[test]
+    fn bench_sim_baseline_compares_grid_cells() {
+        let r = synthetic_report();
+        let base = Json::parse(
+            r#"{
+              "scale": "test",
+              "timing_iters_best_of": 3,
+              "grid": [
+                {"benchmark": "Vecadd", "cores": 4, "warps": 8, "threads": 8,
+                 "sim_cycles": 2500, "dense_host_secs": 0.1, "fast_host_secs": 0.025}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let cmp = compare_to_baseline(&r, &base, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(cmp.baseline_kind, "bench_sim");
+        // 5000 current vs 2500 baseline cycles: deterministic regression.
+        assert!(cmp
+            .regressions
+            .iter()
+            .any(|d| d.metric == "cycles/grid/Vecadd 4c8w8t"));
+    }
+
+    #[test]
+    fn bench_sim_scale_mismatch_is_skipped_not_compared() {
+        let r = synthetic_report();
+        let base = Json::parse(r#"{"scale": "paper", "grid": []}"#).unwrap();
+        let cmp = compare_to_baseline(&r, &base, DEFAULT_THRESHOLD).unwrap();
+        assert!(cmp.deltas.is_empty());
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.skipped[0].contains("scale"), "{:?}", cmp.skipped);
+    }
+
+    #[test]
+    fn foreign_host_baseline_contributes_cycles_only() {
+        // Same numbers, but recorded on a "different machine": wall-clock
+        // deltas must be dropped while cycle deltas survive.
+        let r = synthetic_report();
+        let mut base = baseline_manifest(0.5);
+        if let Json::Object(fields) = &mut base {
+            let meta = fields.iter_mut().find(|(k, _)| k == "meta").unwrap();
+            if let Json::Object(m) = &mut meta.1 {
+                for (k, v) in m.iter_mut() {
+                    if k == "threads" {
+                        *v = Json::UInt(100_000);
+                    }
+                }
+            }
+        }
+        let cmp = compare_to_baseline(&r, &base, DEFAULT_THRESHOLD).unwrap();
+        assert!(cmp.deltas.iter().all(|d| d.deterministic));
+        assert!(cmp.deltas.iter().any(|d| d.metric.starts_with("cycles/")));
+        assert!(cmp.skipped.iter().any(|s| s.contains("fingerprint")));
+        // The injected 2x cycle regression is still caught.
+        assert!(!cmp.regressions.is_empty());
+    }
+
+    #[test]
+    fn unknown_baseline_schema_is_an_error() {
+        let r = synthetic_report();
+        let base = Json::parse(r#"{"something": "else"}"#).unwrap();
+        assert!(compare_to_baseline(&r, &base, DEFAULT_THRESHOLD).is_err());
+    }
+
+    #[test]
+    fn deterministic_rendering_has_no_wall_clock() {
+        let r = synthetic_report();
+        let md = render_perf_markdown(&r, None, false);
+        assert!(!md.contains("ms |"), "{md}");
+        assert_eq!(md, render_perf_markdown(&r, None, false));
+    }
+}

@@ -96,9 +96,17 @@ pub fn compile(src: &str) -> Result<Module, CompileError> {
 }
 
 /// Compile with `-D`-style predefined macros.
+///
+/// Each stage reports a wall-clock span into the `repro_util::metrics`
+/// registry (`frontend.preprocess` … `frontend.verify`) — a no-op unless a
+/// harness has enabled collection.
 pub fn compile_with_defines(src: &str, defines: &[(&str, &str)]) -> Result<Module, CompileError> {
-    let pp = preprocess::preprocess(src, defines).map_err(CompileError::Preprocess)?;
-    let tokens = lex::lex(&pp).map_err(|e| {
+    use repro_util::metrics;
+    let pp = metrics::time("frontend.preprocess", || {
+        preprocess::preprocess(src, defines)
+    })
+    .map_err(CompileError::Preprocess)?;
+    let tokens = metrics::time("frontend.lex", || lex::lex(&pp)).map_err(|e| {
         let (line, col) = e.span.line_col(&pp);
         CompileError::Lex {
             message: e.message,
@@ -106,7 +114,7 @@ pub fn compile_with_defines(src: &str, defines: &[(&str, &str)]) -> Result<Modul
             col,
         }
     })?;
-    let unit = parse::parse(&tokens).map_err(|e| {
+    let unit = metrics::time("frontend.parse", || parse::parse(&tokens)).map_err(|e| {
         let (line, col) = e.span.line_col(&pp);
         CompileError::Parse {
             message: e.message,
@@ -114,7 +122,7 @@ pub fn compile_with_defines(src: &str, defines: &[(&str, &str)]) -> Result<Modul
             col,
         }
     })?;
-    let module = lower::lower(&unit).map_err(|e| {
+    let module = metrics::time("frontend.lower", || lower::lower(&unit)).map_err(|e| {
         let (line, col) = e.span.line_col(&pp);
         CompileError::Lower {
             message: e.message,
@@ -122,6 +130,7 @@ pub fn compile_with_defines(src: &str, defines: &[(&str, &str)]) -> Result<Modul
             col,
         }
     })?;
-    ocl_ir::verify::verify_module(&module).map_err(|e| CompileError::Verify(e.to_string()))?;
+    metrics::time("frontend.verify", || ocl_ir::verify::verify_module(&module))
+        .map_err(|e| CompileError::Verify(e.to_string()))?;
     Ok(module)
 }

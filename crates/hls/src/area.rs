@@ -70,6 +70,10 @@ pub mod costs {
 
 /// Estimated area of a single kernel.
 pub fn kernel_area(p: &KernelProfile) -> ResourceVector {
+    repro_util::metrics::time("hls.kernel_area", || kernel_area_inner(p))
+}
+
+fn kernel_area_inner(p: &KernelProfile) -> ResourceVector {
     use costs::*;
     let mut r = ResourceVector::new(
         KERNEL_BASE_ALUT,

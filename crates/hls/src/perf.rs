@@ -48,12 +48,18 @@ pub fn execute_ndrange(
     device: &Device,
 ) -> Result<HlsRun, InterpError> {
     let p = profile(f);
-    let exec = run_ndrange(f, args, nd, mem, &Limits::default())?;
+    let exec = repro_util::metrics::time("hls.execute", || {
+        run_ndrange(f, args, nd, mem, &Limits::default())
+    })?;
     Ok(estimate(&p, nd, exec, device))
 }
 
 /// Pure timing model, separated for testability.
 pub fn estimate(p: &KernelProfile, nd: &NdRange, exec: ExecResult, device: &Device) -> HlsRun {
+    repro_util::metrics::time("hls.estimate", || estimate_inner(p, nd, exec, device))
+}
+
+fn estimate_inner(p: &KernelProfile, nd: &NdRange, exec: ExecResult, device: &Device) -> HlsRun {
     let items = nd.total_items();
     let compute = exec.steps / ILP + items; // one II per item minimum
     let bytes = (exec.global_loads + exec.global_stores) * 4;

@@ -114,6 +114,14 @@ pub fn synthesize(
     device: &Device,
     opts: &SynthOptions,
 ) -> Result<SynthReport, SynthFailure> {
+    repro_util::metrics::time("hls.synthesize", || synthesize_inner(module, device, opts))
+}
+
+fn synthesize_inner(
+    module: &Module,
+    device: &Device,
+    opts: &SynthOptions,
+) -> Result<SynthReport, SynthFailure> {
     let profiles: Vec<KernelProfile> = module.kernels.iter().map(profile).collect();
     // Feature check first: the Intel SDK rejects atomics against HBM's
     // heterogeneous memory system during RTL generation (fast failure).

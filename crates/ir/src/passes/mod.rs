@@ -378,6 +378,13 @@ impl PassManager {
             let mut round_rewrites = 0;
             for (si, p) in self.passes.iter().enumerate() {
                 let (n, secs) = repro_util::timing::time(|| p.run(f, &mut an));
+                if repro_util::metrics::enabled() {
+                    repro_util::metrics::observe_secs(&format!("ir.pass.{}", p.name()), secs);
+                    repro_util::metrics::counter_add(
+                        &format!("ir.rewrites.{}", p.name()),
+                        n as u64,
+                    );
+                }
                 if n > 0 {
                     if p.preserves_cfg() {
                         an.invalidate_dataflow();

@@ -8,6 +8,7 @@ use hls_flow::{synthesize, SynthFailure, SynthOptions};
 use ocl_ir::interp::{self, KernelArg, Limits, Memory};
 use ocl_ir::passes::OptLevel;
 use repro_diag::ReproError;
+use repro_util::metrics;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use vortex_rt::{Arg, VxSession};
 use vortex_sim::{RecordingSink, SimConfig, TraceEvent};
@@ -27,8 +28,10 @@ pub const DEFAULT_OPT: OptLevel = OptLevel::VariableReuse;
 /// so all back ends consume the *same* optimized module instead of silently
 /// comparing different programs.
 pub fn compile_bench(b: &Benchmark, level: OptLevel) -> Result<ocl_ir::Module, ReproError> {
-    let mut module = ocl_front::compile(b.source)?;
-    ocl_ir::passes::optimize_module(&mut module, level);
+    let mut module = metrics::time("suite.frontend", || ocl_front::compile(b.source))?;
+    metrics::time("suite.optimize", || {
+        ocl_ir::passes::optimize_module(&mut module, level)
+    });
     ocl_ir::verify::verify_module(&module).map_err(|e| ReproError::Verify {
         message: format!("{} after {level:?} passes: {e}", b.name),
     })?;
@@ -58,6 +61,7 @@ pub fn run_on_interp(
     scale: Scale,
     level: OptLevel,
 ) -> Result<RunOutcome, ReproError> {
+    metrics::counter_add("suite.runs.interp", 1);
     let module = compile_bench(b, level)?;
     let w = (b.workload)(scale);
     let mut mem = Memory::new(32 << 20);
@@ -82,7 +86,9 @@ pub fn run_on_interp(
                 LArg::F32(v) => KernelArg::F32(*v),
             })
             .collect();
-        let r = interp::run_ndrange(kernel, &args, &l.nd, &mut mem, &Limits::default())?;
+        let r = metrics::time("suite.interp.launch", || {
+            interp::run_ndrange(kernel, &args, &l.nd, &mut mem, &Limits::default())
+        })?;
         steps += r.steps;
         printf_output.extend(r.printf_output);
     }
@@ -192,6 +198,7 @@ fn run_vortex_with(
     level: OptLevel,
     mut launch: impl FnMut(&mut VxSession, &Launch, &[Arg]) -> Result<vortex_sim::SimResult, ReproError>,
 ) -> Result<VortexTrace, ReproError> {
+    metrics::counter_add("suite.runs.vortex", 1);
     let module = compile_bench(b, level)?;
     let opts = vortex_cc::CodegenOpts {
         threads: cfg.hw.threads,
@@ -222,7 +229,7 @@ fn run_vortex_with(
                 LArg::F32(v) => Arg::F32(*v),
             })
             .collect();
-        let r = launch(&mut sess, l, &args)?;
+        let r = metrics::time("suite.vortex.launch", || launch(&mut sess, l, &args))?;
         launch_stats.push(r.stats);
         printf_output.extend(r.printf_output);
     }
@@ -274,7 +281,8 @@ pub fn run_hls_at(
     device: &Device,
     level: OptLevel,
 ) -> Result<Result<RunOutcome, SynthFailure>, ReproError> {
-    let raw = ocl_front::compile(b.source)?;
+    metrics::counter_add("suite.runs.hls", 1);
+    let raw = metrics::time("suite.frontend", || ocl_front::compile(b.source))?;
     if let Err(f) = synthesize(&raw, device, &SynthOptions::default()) {
         return Ok(Err(f));
     }

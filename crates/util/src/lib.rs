@@ -10,9 +10,12 @@
 //! * [`par`] — [`par::par_map`], a bounded-parallelism ordered map over a
 //!   slice (the sweep-driver fan-out primitive);
 //! * [`rng`] — a deterministic SplitMix64 generator for the randomized
-//!   differential tests.
+//!   differential tests;
+//! * [`metrics`] — the process-wide counters/gauges/histograms registry
+//!   behind `repro perf-report` (off by default, observably free while off).
 
 pub mod json;
+pub mod metrics;
 pub mod par;
 pub mod rng;
 pub mod timing;

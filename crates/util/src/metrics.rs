@@ -1,0 +1,380 @@
+//! Process-wide metrics registry — the pipeline's observability spine.
+//!
+//! Every stage of the reproduction (front end, pass manager, HLS synthesis,
+//! Vortex codegen, suite runner, the `repro` harness itself) reports into
+//! one registry of three instrument kinds:
+//!
+//! * **counters** — monotone event tallies (`suite.runs.vortex`,
+//!   `ir.rewrites.cse`). Additions saturate at `u64::MAX` instead of
+//!   wrapping, so a counter can never lie by going backwards.
+//! * **gauges** — last-write-wins scalars (`sim.warps_configured`).
+//! * **histograms** — wall-clock span observations in seconds
+//!   (`frontend.parse`, `ir.pass.licm`, `hls.synthesize`). Snapshots report
+//!   count / total / p50 / p95 / max per series.
+//!
+//! Mirroring the simulator's `NopSink` contract, the registry is **off by
+//! default** and observably free while off: every recording entry point
+//! checks one relaxed atomic load and returns before touching a clock, a
+//! lock, or an allocation. [`time`] calls its closure directly on the
+//! disabled path — no `Instant::now` bracketing. The trace goldens and
+//! Table I–IV artifacts are byte-identical with metrics off because the
+//! disabled registry does nothing at all.
+//!
+//! Enabling is explicit ([`enable`]) and meant for harness entry points
+//! (the `repro` binary, `perf-report` collection), never libraries.
+//! Percentiles use the nearest-rank method: `pXX` is the smallest sample
+//! such that at least XX% of samples are ≤ it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Vec<f64>>,
+}
+
+fn registry() -> &'static Mutex<Inner> {
+    static REG: OnceLock<Mutex<Inner>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Inner::default()))
+}
+
+/// Turn collection on. Recording entry points start taking the slow path.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn collection off again (the default state).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the registry is currently collecting.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clear every instrument (does not change the enabled flag).
+pub fn reset() {
+    let mut r = registry().lock().unwrap();
+    *r = Inner::default();
+}
+
+/// Add `n` to counter `name`, saturating at `u64::MAX`. No-op while
+/// disabled.
+pub fn counter_add(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut r = registry().lock().unwrap();
+    let c = r.counters.entry(name.to_string()).or_insert(0);
+    *c = c.saturating_add(n);
+}
+
+/// Set gauge `name` to `v` (last write wins). No-op while disabled.
+pub fn gauge_set(name: &str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    registry()
+        .lock()
+        .unwrap()
+        .gauges
+        .insert(name.to_string(), v);
+}
+
+/// Record one observation (seconds) into histogram `name`. No-op while
+/// disabled.
+pub fn observe_secs(name: &str, secs: f64) {
+    if !enabled() {
+        return;
+    }
+    registry()
+        .lock()
+        .unwrap()
+        .histograms
+        .entry(name.to_string())
+        .or_default()
+        .push(secs);
+}
+
+/// Time `f` and record the span into histogram `name`. While disabled this
+/// is a direct call — no clock is read.
+pub fn time<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    if !enabled() {
+        return f();
+    }
+    let t0 = std::time::Instant::now();
+    let r = f();
+    observe_secs(name, t0.elapsed().as_secs_f64());
+    r
+}
+
+/// Summary of one histogram series at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    /// Sum of all observations, in seconds.
+    pub total: f64,
+    /// Nearest-rank 50th percentile.
+    pub p50: f64,
+    /// Nearest-rank 95th percentile.
+    pub p95: f64,
+    pub max: f64,
+}
+
+/// Nearest-rank percentile over a sorted, non-empty slice: the smallest
+/// element such that at least `q` of the distribution is ≤ it.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl HistogramSummary {
+    fn from_samples(samples: &[f64]) -> HistogramSummary {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        HistogramSummary {
+            count: samples.len() as u64,
+            total: samples.iter().sum(),
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            max: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// A point-in-time copy of every instrument, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// True when nothing has been recorded since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Histogram summary by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Counter value by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Copy the current state of every instrument out of the registry. Works
+/// whether or not collection is enabled (a disabled registry snapshots as
+/// whatever was recorded before it was disabled).
+pub fn snapshot() -> Snapshot {
+    let r = registry().lock().unwrap();
+    Snapshot {
+        counters: r.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        gauges: r.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        histograms: r
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), HistogramSummary::from_samples(v)))
+            .collect(),
+    }
+}
+
+impl crate::ToJson for HistogramSummary {
+    fn to_json(&self) -> crate::Json {
+        crate::Json::obj(vec![
+            ("count", self.count.to_json()),
+            ("total_secs", self.total.to_json()),
+            ("p50_secs", self.p50.to_json()),
+            ("p95_secs", self.p95.to_json()),
+            ("max_secs", self.max.to_json()),
+        ])
+    }
+}
+
+impl crate::ToJson for Snapshot {
+    fn to_json(&self) -> crate::Json {
+        use crate::Json;
+        Json::obj(vec![
+            (
+                "counters",
+                Json::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Rebuild a [`Snapshot`] from the JSON form [`ToJson`] produces — the
+/// manifest-reading half of baseline comparison.
+pub fn snapshot_from_json(j: &crate::Json) -> Option<Snapshot> {
+    use crate::Json;
+    let objects = |v: &Json| match v {
+        Json::Object(fields) => Some(fields.clone()),
+        _ => None,
+    };
+    let counters = objects(j.get("counters")?)?
+        .into_iter()
+        .filter_map(|(k, v)| v.as_u64().map(|v| (k, v)))
+        .collect();
+    let gauges = objects(j.get("gauges")?)?
+        .into_iter()
+        .filter_map(|(k, v)| v.as_f64().map(|v| (k, v)))
+        .collect();
+    let histograms = objects(j.get("histograms")?)?
+        .into_iter()
+        .filter_map(|(k, v)| {
+            Some((
+                k,
+                HistogramSummary {
+                    count: v.get("count")?.as_u64()?,
+                    total: v.get("total_secs")?.as_f64()?,
+                    p50: v.get("p50_secs")?.as_f64()?,
+                    p95: v.get("p95_secs")?.as_f64()?,
+                    max: v.get("max_secs")?.as_f64()?,
+                },
+            ))
+        })
+        .collect();
+    Some(Snapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; tests that mutate it must not
+    /// interleave. (`cargo test` runs `#[test]`s on threads.)
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _g = serial();
+        disable();
+        reset();
+        counter_add("c", 3);
+        gauge_set("g", 1.0);
+        observe_secs("h", 0.5);
+        let mut calls = 0;
+        let v = time("span", || {
+            calls += 1;
+            7
+        });
+        assert_eq!((v, calls), (7, 1), "closure still runs exactly once");
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let _g = serial();
+        enable();
+        reset();
+        counter_add("sat", u64::MAX - 1);
+        counter_add("sat", 5);
+        counter_add("sat", u64::MAX);
+        let s = snapshot();
+        disable();
+        assert_eq!(s.counter("sat"), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_percentiles_on_known_distribution() {
+        let _g = serial();
+        enable();
+        reset();
+        // 1..=100 milliseconds, inserted shuffled to prove order-independence.
+        let mut rng = crate::Rng::new(0xfeed);
+        let mut vals: Vec<u64> = (1..=100).collect();
+        for i in (1..vals.len()).rev() {
+            vals.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        for v in vals {
+            observe_secs("d", v as f64 * 1e-3);
+        }
+        let s = snapshot();
+        disable();
+        let h = *s.histogram("d").unwrap();
+        assert_eq!(h.count, 100);
+        assert!((h.total - 5.050).abs() < 1e-9, "total {}", h.total);
+        // Nearest-rank: p50 of 1..=100 ms is exactly 50 ms, p95 is 95 ms.
+        assert!((h.p50 - 0.050).abs() < 1e-12, "p50 {}", h.p50);
+        assert!((h.p95 - 0.095).abs() < 1e-12, "p95 {}", h.p95);
+        assert!((h.max - 0.100).abs() < 1e-12, "max {}", h.max);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_the_sample() {
+        let _g = serial();
+        enable();
+        reset();
+        observe_secs("one", 2.5);
+        let s = snapshot();
+        disable();
+        let h = *s.histogram("one").unwrap();
+        assert_eq!((h.count, h.p50, h.p95, h.max), (1, 2.5, 2.5, 2.5));
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let _g = serial();
+        enable();
+        reset();
+        counter_add("runs", 2);
+        gauge_set("threads", 8.0);
+        observe_secs("span", 0.25);
+        observe_secs("span", 0.75);
+        let s = snapshot();
+        disable();
+        use crate::ToJson;
+        let j = s.to_json();
+        let parsed = crate::Json::parse(&j.to_pretty()).unwrap();
+        let back = snapshot_from_json(&parsed).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.histogram("span").unwrap().count, 2);
+    }
+}

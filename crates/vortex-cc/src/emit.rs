@@ -69,7 +69,7 @@ pub fn compile(f: &Function, opts: &CodegenOpts) -> Result<CompiledKernel, Codeg
     let cfg = Cfg::new(f);
     let div = DivergenceInfo::analyze(f);
     let plan = plan(f, &cfg, &div)?;
-    let alloc = allocate(f);
+    let alloc = repro_util::metrics::time("vortex_cc.regalloc", || allocate(f));
     let group_mode = f.uses_barrier() || !f.local_arrays.is_empty();
     let used = scan_used_ids(f);
     let num_mask_slots = plan.num_mask_slots;

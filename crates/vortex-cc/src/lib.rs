@@ -97,6 +97,10 @@ impl From<CodegenError> for repro_diag::ReproError {
 }
 
 /// Compile one kernel for the given hardware shape.
+///
+/// Reports a `vortex_cc.codegen` wall-clock span (with `vortex_cc.regalloc`
+/// nested inside it) into the `repro_util::metrics` registry when a harness
+/// has enabled collection.
 pub fn compile_kernel(f: &Function, opts: &CodegenOpts) -> Result<CompiledKernel, CodegenError> {
-    emit::compile(f, opts)
+    repro_util::metrics::time("vortex_cc.codegen", || emit::compile(f, opts))
 }
