@@ -24,6 +24,9 @@
 //! `BENCH_sim.json`.
 //!
 //! `--fast` shrinks the Figure 7 problem sizes (useful without `--release`).
+//! `--sim-threads N` runs the cycle simulator on N deterministic worker
+//! threads (`bench-sim`, `perf-report`) — results are bit-identical at any
+//! N, and the count is recorded in the manifest fingerprint.
 //! `--opt none|basic|reuse|loop` selects the middle-end level for the
 //! execution commands (`trace`, `profile`, `bench-sim`, `analytic`); the
 //! default is the suite-wide [`ocl_suite::DEFAULT_OPT`]. Output is markdown
@@ -178,22 +181,38 @@ fn run_analytic(level: OptLevel) {
     }
 }
 
-/// Time the cycle simulator on a fixed Figure 7 sub-grid under both run
-/// loops — event-driven fast-forward (the default) and the dense reference
-/// loop — in the same process, and write `BENCH_sim.json`. Cycle counts are
-/// asserted equal along the way, so the timing run doubles as a
-/// differential check.
-fn run_bench_sim(fast: bool, level: OptLevel, manifest: &mut RunManifest) {
+/// Time the cycle simulator on a fixed Figure 7 sub-grid under the run
+/// loops — the event-driven/traced loop at `sim_threads` workers (the
+/// default path) and the dense reference loop — in the same process, and
+/// write `BENCH_sim.json`. With `--sim-threads N > 1` the 1-thread
+/// sequential loop is timed as a third column so the parallel speedup is
+/// visible on its own. Cycle counts are asserted equal across every loop
+/// along the way, so the timing run doubles as a differential check.
+///
+/// Field-name compat: `fast_host_secs` is always the wall time of the
+/// *default* loop at the recorded `meta.threads` count — baselines gate
+/// wall deltas on that fingerprint, so sequential and parallel baselines
+/// never silently compare.
+fn run_bench_sim(fast: bool, level: OptLevel, sim_threads: u32, manifest: &mut RunManifest) {
     use repro_util::timing::bench;
     use repro_util::{Json, ToJson};
     use vortex_sim::SimConfig;
     let scale = if fast { Scale::Test } else { Scale::Paper };
     let iters = if fast { 3 } else { 2 };
+    let par = sim_threads > 1;
     println!("## Simulator scheduler wall-clock (fast-forward vs dense reference)\n");
-    println!("| benchmark | config | sim cycles | dense s | fast s | dense cyc/s | fast cyc/s | speedup |");
-    println!("|---|---|---|---|---|---|---|---|");
+    if par {
+        println!(
+            "{sim_threads} sim threads; `fast` is the parallel loop, `seq` its 1-thread path\n"
+        );
+        println!("| benchmark | config | sim cycles | dense s | seq s | fast s | fast cyc/s | speedup | par speedup |");
+        println!("|---|---|---|---|---|---|---|---|---|");
+    } else {
+        println!("| benchmark | config | sim cycles | dense s | fast s | dense cyc/s | fast cyc/s | speedup |");
+        println!("|---|---|---|---|---|---|---|---|");
+    }
     let mut cells: Vec<Json> = Vec::new();
-    let (mut dense_total, mut fast_total) = (0.0f64, 0.0f64);
+    let (mut dense_total, mut fast_total, mut seq_total) = (0.0f64, 0.0f64, 0.0f64);
     // The {4,8,16}² corner of the Figure 7 grid: the region the paper's
     // §III-C scaling discussion is about (vecadd saturating, transpose
     // scaling), and where warp-level parallelism gives the scheduler real
@@ -203,6 +222,7 @@ fn run_bench_sim(fast: bool, level: OptLevel, manifest: &mut RunManifest) {
         for w in [4u32, 8, 16] {
             for t in [4u32, 8, 16] {
                 let mut cfg = SimConfig::new(VortexConfig::new(4, w, t));
+                cfg.sim_threads = sim_threads;
                 let ff = bench(iters, || {
                     ocl_suite::run_vortex_at(&b, scale, &cfg, level)
                         .unwrap()
@@ -211,6 +231,26 @@ fn run_bench_sim(fast: bool, level: OptLevel, manifest: &mut RunManifest) {
                 let cycles = ocl_suite::run_vortex_at(&b, scale, &cfg, level)
                     .unwrap()
                     .cycles;
+                // 1-thread sequential loop, only timed separately when the
+                // default loop above ran parallel.
+                let sq = if par {
+                    cfg.sim_threads = 1;
+                    let sq = bench(iters, || {
+                        ocl_suite::run_vortex_at(&b, scale, &cfg, level)
+                            .unwrap()
+                            .cycles
+                    });
+                    let seq_cycles = ocl_suite::run_vortex_at(&b, scale, &cfg, level)
+                        .unwrap()
+                        .cycles;
+                    assert_eq!(
+                        cycles, seq_cycles,
+                        "{name} 4c{w}w{t}t: parallel and sequential loops disagree"
+                    );
+                    Some(sq)
+                } else {
+                    None
+                };
                 cfg.reference_mode = true;
                 let dn = bench(iters, || {
                     ocl_suite::run_vortex_at(&b, scale, &cfg, level)
@@ -227,13 +267,25 @@ fn run_bench_sim(fast: bool, level: OptLevel, manifest: &mut RunManifest) {
                 let speedup = dn.best_secs / ff.best_secs;
                 dense_total += dn.best_secs;
                 fast_total += ff.best_secs;
-                println!(
-                "| {name} | 4c{w}w{t}t | {cycles} | {:.4} | {:.4} | {:.3e} | {:.3e} | {speedup:.2}x |",
-                dn.best_secs,
-                ff.best_secs,
-                cycles as f64 / dn.best_secs,
-                cycles as f64 / ff.best_secs,
-            );
+                if let Some(sq) = &sq {
+                    seq_total += sq.best_secs;
+                    println!(
+                        "| {name} | 4c{w}w{t}t | {cycles} | {:.4} | {:.4} | {:.4} | {:.3e} | {speedup:.2}x | {:.2}x |",
+                        dn.best_secs,
+                        sq.best_secs,
+                        ff.best_secs,
+                        cycles as f64 / ff.best_secs,
+                        sq.best_secs / ff.best_secs,
+                    );
+                } else {
+                    println!(
+                        "| {name} | 4c{w}w{t}t | {cycles} | {:.4} | {:.4} | {:.3e} | {:.3e} | {speedup:.2}x |",
+                        dn.best_secs,
+                        ff.best_secs,
+                        cycles as f64 / dn.best_secs,
+                        cycles as f64 / ff.best_secs,
+                    );
+                }
                 manifest.push_bench(
                     &format!("{name} 4c{w}w{t}t"),
                     "grid",
@@ -241,7 +293,7 @@ fn run_bench_sim(fast: bool, level: OptLevel, manifest: &mut RunManifest) {
                     Some(cycles),
                     true,
                 );
-                cells.push(Json::obj(vec![
+                let mut cell = vec![
                     ("benchmark", name.to_json()),
                     ("cores", 4u32.to_json()),
                     ("warps", w.to_json()),
@@ -258,21 +310,41 @@ fn run_bench_sim(fast: bool, level: OptLevel, manifest: &mut RunManifest) {
                         (cycles as f64 / ff.best_secs).to_json(),
                     ),
                     ("speedup", speedup.to_json()),
-                ]));
+                ];
+                if let Some(sq) = &sq {
+                    cell.push(("seq_host_secs", sq.best_secs.to_json()));
+                    cell.push(("par_speedup", (sq.best_secs / ff.best_secs).to_json()));
+                }
+                cells.push(Json::obj(cell));
             }
         }
     }
     let overall = dense_total / fast_total;
     println!("\nOverall: dense {dense_total:.3}s vs fast-forward {fast_total:.3}s = {overall:.2}x");
-    let doc = Json::obj(vec![
+    if par {
+        println!(
+            "Parallel ({sim_threads} threads): sequential {seq_total:.3}s vs parallel \
+             {fast_total:.3}s = {:.2}x",
+            seq_total / fast_total
+        );
+    }
+    let mut doc = vec![
         ("scale", if fast { "test" } else { "paper" }.to_json()),
         ("timing_iters_best_of", (iters as u64).to_json()),
-        ("meta", host_meta(level, Some(iters as u64)).to_json()),
+        (
+            "meta",
+            host_meta(level, Some(iters as u64), sim_threads).to_json(),
+        ),
         ("grid", Json::Array(cells)),
         ("dense_total_secs", dense_total.to_json()),
         ("fast_total_secs", fast_total.to_json()),
         ("speedup", overall.to_json()),
-    ]);
+    ];
+    if par {
+        doc.push(("seq_total_secs", seq_total.to_json()));
+        doc.push(("par_speedup", (seq_total / fast_total).to_json()));
+    }
+    let doc = Json::obj(doc);
     let _ = fs::write("BENCH_sim.json", doc.to_pretty());
     save_json("bench_sim", &doc);
 }
@@ -415,6 +487,7 @@ fn run_perf_report(
     args: &[String],
     level: OptLevel,
     fast: bool,
+    sim_threads: u32,
     manifest: &mut RunManifest,
 ) -> i32 {
     use repro_core::{collect_perf, compare_to_baseline, PerfOptions};
@@ -440,6 +513,7 @@ fn run_perf_report(
         grid_scale: if fast { Scale::Test } else { Scale::Paper },
         bench_filter: None,
         grid: !args.iter().any(|a| a == "--no-grid"),
+        sim_threads,
     };
     let perf = collect_perf(&opts);
     repro_core::fill_manifest(manifest, &perf);
@@ -516,6 +590,16 @@ fn main() {
             }
         },
     };
+    let sim_threads = match args.iter().position(|a| a == "--sim-threads") {
+        None => 1,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse::<u32>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--sim-threads expects a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
     // Every invocation records its pipeline spans and a RunManifest; the
     // registry is a single relaxed atomic when nothing reads it, so this
     // costs nothing measurable even on the timing commands.
@@ -524,7 +608,7 @@ fn main() {
         "bench-sim" => Some(if fast { 3 } else { 2 }),
         _ => None,
     };
-    let mut manifest = RunManifest::new(cmd, &args, host_meta(level, iters));
+    let mut manifest = RunManifest::new(cmd, &args, host_meta(level, iters, sim_threads));
     let t0 = std::time::Instant::now();
     let code = match cmd {
         "table1" => {
@@ -552,11 +636,11 @@ fn main() {
             0
         }
         "bench-sim" => {
-            run_bench_sim(fast, level, &mut manifest);
+            run_bench_sim(fast, level, sim_threads, &mut manifest);
             0
         }
         "check" => run_check(&mut manifest),
-        "perf-report" => run_perf_report(&args, level, fast, &mut manifest),
+        "perf-report" => run_perf_report(&args, level, fast, sim_threads, &mut manifest),
         "trace" | "profile" | "opt-report" => {
             let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")) else {
                 eprintln!("usage: repro {cmd} <bench>");

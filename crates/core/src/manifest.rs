@@ -45,7 +45,9 @@ pub struct HostMeta {
     /// Best-of iteration count for timing commands (`bench-sim`), when the
     /// command times anything repeatedly.
     pub timing_iters_best_of: Option<u64>,
-    /// Host hardware threads available to the process.
+    /// Simulator worker threads the run used (`--sim-threads`). Part of
+    /// the wall-clock comparability fingerprint, so parallel-sim baselines
+    /// never silently gate against sequential ones.
     pub threads: u64,
     pub os: &'static str,
     pub arch: &'static str,
@@ -82,15 +84,14 @@ fn git_rev() -> String {
     rev
 }
 
-/// Collect [`HostMeta`] for a run at `level`.
-pub fn host_meta(level: OptLevel, timing_iters_best_of: Option<u64>) -> HostMeta {
+/// Collect [`HostMeta`] for a run at `level` using `sim_threads` simulator
+/// worker threads.
+pub fn host_meta(level: OptLevel, timing_iters_best_of: Option<u64>, sim_threads: u32) -> HostMeta {
     HostMeta {
         git_rev: git_rev(),
         opt_level: level.flag_name().to_string(),
         timing_iters_best_of,
-        threads: std::thread::available_parallelism()
-            .map(|n| n.get() as u64)
-            .unwrap_or(1),
+        threads: sim_threads as u64,
         os: std::env::consts::OS,
         arch: std::env::consts::ARCH,
         profile: if cfg!(debug_assertions) {
@@ -258,7 +259,7 @@ mod tests {
         let mut m = RunManifest::new(
             "check",
             &["check".to_string()],
-            host_meta(OptLevel::VariableReuse, None),
+            host_meta(OptLevel::VariableReuse, None, 2),
         );
         m.push_bench("Vecadd", "vortex", 0.01, Some(4242), true);
         m.push_bench("Hybridsort", "hls", 0.02, None, false);
@@ -272,7 +273,7 @@ mod tests {
         );
         let meta = doc.get("meta").unwrap();
         assert_eq!(meta.get("opt_level").unwrap().as_str(), Some("reuse"));
-        assert!(meta.get("threads").unwrap().as_u64().unwrap() >= 1);
+        assert_eq!(meta.get("threads").unwrap().as_u64(), Some(2));
         let rows = manifest_benchmarks(&doc).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].cycles, Some(4242));

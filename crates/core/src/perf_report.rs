@@ -80,6 +80,9 @@ pub struct PerfReport {
     /// Cells or comparisons that were skipped, with reasons. Surfaced in
     /// every rendering so bounded coverage is never silent.
     pub notes: Vec<String>,
+    /// Simulator worker threads the grid ran with — part of the
+    /// wall-comparability fingerprint against baselines.
+    pub sim_threads: u32,
 }
 
 /// What to collect. `bench_filter` limits the suite sweep (tests use a
@@ -91,6 +94,8 @@ pub struct PerfOptions {
     pub grid_scale: Scale,
     pub bench_filter: Option<Vec<String>>,
     pub grid: bool,
+    /// Simulator worker threads for the grid cells (`--sim-threads`).
+    pub sim_threads: u32,
 }
 
 impl Default for PerfOptions {
@@ -101,6 +106,7 @@ impl Default for PerfOptions {
             grid_scale: Scale::Test,
             bench_filter: None,
             grid: true,
+            sim_threads: 1,
         }
     }
 }
@@ -130,7 +136,8 @@ pub fn collect_perf(opts: &PerfOptions) -> PerfReport {
             };
             for w in GRID_STEPS {
                 for t in GRID_STEPS {
-                    let cfg = SimConfig::new(VortexConfig::new(4, w, t));
+                    let mut cfg = SimConfig::new(VortexConfig::new(4, w, t));
+                    cfg.sim_threads = opts.sim_threads;
                     let (r, first_secs) =
                         timing::time(|| run_vortex_at(&b, opts.grid_scale, &cfg, opts.level));
                     match r {
@@ -184,6 +191,7 @@ pub fn collect_perf(opts: &PerfOptions) -> PerfReport {
             Scale::Paper => "paper",
         },
         notes,
+        sim_threads: opts.sim_threads,
     }
 }
 
@@ -292,17 +300,18 @@ fn classify(deltas: Vec<MetricDelta>, threshold: f64) -> (Vec<MetricDelta>, Vec<
     (deltas, regressions)
 }
 
-/// True when the baseline's host fingerprint (`meta`: os, arch, threads,
-/// build profile) matches this process, i.e. its wall-clock numbers are
-/// comparable to ours. Cycles are machine-independent and always compared;
-/// a baseline recorded on different hardware or under a different build
-/// profile contributes only those. Baselines without a `meta` block predate
-/// the fingerprint and get cycles-only treatment too.
-fn wall_comparable(baseline_meta: Option<&Json>) -> bool {
+/// True when the baseline's host fingerprint (`meta`: os, arch, sim
+/// threads, build profile) matches this run, i.e. its wall-clock numbers
+/// are comparable to ours. Cycles are machine-independent and always
+/// compared; a baseline recorded on different hardware, under a different
+/// build profile, or with a different simulator thread count contributes
+/// only those. Baselines without a `meta` block predate the fingerprint
+/// and get cycles-only treatment too.
+fn wall_comparable(baseline_meta: Option<&Json>, report: &PerfReport) -> bool {
     let Some(meta) = baseline_meta else {
         return false;
     };
-    let here = crate::manifest::host_meta(OptLevel::None, None);
+    let here = crate::manifest::host_meta(OptLevel::None, None, report.sim_threads);
     meta.get("os").and_then(|v| v.as_str()) == Some(here.os)
         && meta.get("arch").and_then(|v| v.as_str()) == Some(here.arch)
         && meta.get("threads").and_then(|v| v.as_u64()) == Some(here.threads)
@@ -352,7 +361,7 @@ fn compare_to_manifest(report: &PerfReport, baseline: &Json, threshold: f64) -> 
             true,
         ));
     }
-    let walls = wall_comparable(baseline.get("meta"));
+    let walls = wall_comparable(baseline.get("meta"), report);
     if !walls {
         skipped.push(
             "wall-clock deltas: baseline host/profile fingerprint differs (cycles still compared)"
@@ -433,7 +442,7 @@ fn compare_to_bench_sim(report: &PerfReport, baseline: &Json, threshold: f64) ->
             )],
         };
     }
-    let walls = wall_comparable(baseline.get("meta"));
+    let walls = wall_comparable(baseline.get("meta"), report);
     if !walls {
         skipped.push(
             "wall-clock deltas: baseline host/profile fingerprint differs (cycles still compared)"
@@ -784,6 +793,7 @@ mod tests {
             }],
             grid_scale: "test",
             notes: Vec::new(),
+            sim_threads: 1,
         }
     }
 
@@ -793,7 +803,7 @@ mod tests {
         let mut m = RunManifest::new(
             "perf-report",
             &[],
-            crate::manifest::host_meta(OptLevel::VariableReuse, None),
+            crate::manifest::host_meta(OptLevel::VariableReuse, None, 1),
         );
         for row in &r.rows {
             m.push_bench(

@@ -61,6 +61,71 @@ where
         .collect()
 }
 
+/// Map `f` over `items` in parallel with an *explicit* worker count,
+/// handing each worker exclusive `&mut` access to the elements it claims.
+/// The simulator's deterministic parallel cores use this: each epoch every
+/// core structure is advanced independently, so the closure needs mutable
+/// access but no two workers ever touch the same element. Workers claim
+/// indices from a shared atomic counter; results come back in input order.
+///
+/// Unlike [`par_map`], the worker count is a parameter rather than
+/// `available_parallelism`: the caller (e.g. `--sim-threads`) owns the
+/// policy. `workers <= 1` or a single item degrades to a plain sequential
+/// loop with no thread spawns at all.
+pub fn par_map_mut<T, R, F>(items: &mut [T], workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let len = items.len();
+    // Each index is claimed by exactly one worker via the atomic counter,
+    // so the raw-pointer `&mut` projections are disjoint.
+    struct SendPtr<T>(*mut T);
+    unsafe impl<T> Sync for SendPtr<T> {}
+    let base = SendPtr(items.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                let base = &base;
+                s.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        // SAFETY: `i` is in bounds and claimed exactly once.
+                        let item = unsafe { &mut *base.0.add(i) };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("par_map_mut worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,6 +142,35 @@ mod tests {
         let none: Vec<u32> = vec![];
         assert!(par_map(&none, |&x| x).is_empty());
         assert_eq!(par_map(&[5u32], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_every_item_in_place() {
+        for workers in [1usize, 2, 4, 9] {
+            let mut items: Vec<u64> = (0..103).collect();
+            let out = par_map_mut(&mut items, workers, |x| {
+                *x += 1;
+                *x * 10
+            });
+            assert_eq!(
+                items,
+                (1..104).collect::<Vec<u64>>(),
+                "workers={workers}: in-place mutation lost"
+            );
+            assert_eq!(
+                out,
+                (1..104).map(|x| x * 10).collect::<Vec<u64>>(),
+                "workers={workers}: result order broken"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_mut_empty_and_single() {
+        let mut none: Vec<u32> = vec![];
+        assert!(par_map_mut(&mut none, 4, |&mut x| x).is_empty());
+        let mut one = [7u32];
+        assert_eq!(par_map_mut(&mut one, 4, |x| *x + 1), vec![8]);
     }
 
     #[test]

@@ -82,6 +82,19 @@ impl Cache {
         false
     }
 
+    /// Set index the line containing `addr` maps to.
+    pub fn set_of(&self, addr: u32) -> u32 {
+        self.line_of(addr) & (self.cfg.sets - 1)
+    }
+
+    /// Adopt `src`'s residency/LRU state for one set (same geometry
+    /// assumed). Tag state only — the hit/miss counters are left alone.
+    pub fn copy_set_from(&mut self, src: &Cache, set: u32) {
+        let b = (set * self.cfg.ways) as usize;
+        let e = b + self.cfg.ways as usize;
+        self.ways[b..e].copy_from_slice(&src.ways[b..e]);
+    }
+
     /// (hits, misses) — the counter pair the simulator folds into
     /// [`SimStats`](crate::SimStats), mirroring `DramModel::stats`.
     pub fn stats(&self) -> (u64, u64) {

@@ -2,9 +2,10 @@
 //! SIMT control-flow semantics (Figure 4 of the paper).
 
 use crate::cache::Cache;
-use crate::dram::DramModel;
-use crate::mem::SimMemory;
+use crate::mem::{DeviceMem, SimMemory};
+use crate::memsys::MemView;
 use crate::stats::{CoreStats, StallKind};
+use crate::tcache::{MacroOp, TraceCache};
 use crate::trace::{CacheLevel, TraceEvent, TraceSink};
 use crate::{SimConfig, SimError};
 use vortex_isa::layout::{PRINTF_BASE, PRINTF_STRIDE};
@@ -35,7 +36,7 @@ struct Warp {
 /// Scoreboard-relevant registers of one instruction, in fixed storage: at
 /// most two sources per register file and one destination on each.
 #[derive(Debug, Clone, Copy, Default)]
-struct Operands {
+pub(crate) struct Operands {
     isrc: [u8; 2],
     isrc_n: u8,
     fsrc: [u8; 2],
@@ -80,6 +81,112 @@ impl Operands {
     }
 }
 
+/// Per-warp issue snapshot: the pre-resolved macro-op at the warp's
+/// current PC plus the first cycle its scoreboard operands are ready.
+///
+/// Everything in here is a function of the warp's PC and its own register
+/// ready-times, and those change *only* when the warp itself issues (or is
+/// respawned/reset) — other warps' issues touch shared LSU/MSHR state, which
+/// is deliberately kept out of the snapshot. So the per-cycle issue scan
+/// can reuse the snapshot across ticks instead of re-walking the operands
+/// and re-fetching the macro-op for every blocked warp every cycle.
+#[derive(Debug, Clone, Copy)]
+enum IssueSlot {
+    /// The warp issued (or was reset/respawned) since the last resolve;
+    /// re-resolve before use.
+    Stale,
+    /// The warp's PC is outside the program: scanning it faults the tick,
+    /// exactly like the raw fetch failure it stands for.
+    BadPc,
+    /// Resolved macro-op and first scoreboard-ready cycle.
+    Ready { mop: MacroOp, t_sb: u64 },
+}
+
+/// Outcome of one [`Core::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickResult {
+    /// A warp-instruction issued this cycle.
+    Issued,
+    /// Nothing could issue; the cycle was accounted to a stall counter.
+    Stalled,
+    /// The chosen warp would issue an atomic, but the caller asked to stop
+    /// before atomics (`amo_ok = false`). Nothing was executed, accounted,
+    /// or emitted: re-ticking the same cycle with `amo_ok = true` issues
+    /// it. Only the parallel run loop ever sees this — atomics are the one
+    /// cross-core-ordered operation, so it executes them serially at the
+    /// commit point in global cycle order.
+    AmoPending,
+}
+
+/// Iterator over the set bits of a thread mask — the active lanes of a
+/// warp. Replaces a per-instruction `Vec<u32>` collect in the execute
+/// stage.
+#[derive(Debug, Clone, Copy)]
+struct Lanes(u64);
+
+impl Iterator for Lanes {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            return None;
+        }
+        let t = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(t)
+    }
+}
+
+/// Source/destination registers of an instruction for the scoreboard.
+/// Fixed-size (at most two sources per file, one destination each) so the
+/// per-cycle issue scan never allocates. The trace cache pre-resolves this
+/// per PC; only the reference path and cache fills call it directly.
+pub(crate) fn regs_of(i: &Instr) -> Operands {
+    match *i {
+        Instr::Lui { rd, .. } => Operands::int(&[], Some(rd)),
+        Instr::OpImm { rd, rs1, .. } => Operands::int(&[rs1], Some(rd)),
+        Instr::Op { rd, rs1, rs2, .. } | Instr::MulDiv { rd, rs1, rs2, .. } => {
+            Operands::int(&[rs1, rs2], Some(rd))
+        }
+        Instr::Lw { rd, rs1, .. } => Operands::int(&[rs1], Some(rd)),
+        Instr::Sw { rs1, rs2, .. } => Operands::int(&[rs1, rs2], None),
+        Instr::Branch { rs1, rs2, .. } => Operands::int(&[rs1, rs2], None),
+        Instr::Jal { rd, .. } => Operands::int(&[], Some(rd)),
+        Instr::Jalr { rd, rs1, .. } => Operands::int(&[rs1], Some(rd)),
+        Instr::Flw { rd, rs1, .. } => Operands::mixed(&[rs1], &[], None, Some(rd)),
+        Instr::Fsw { rs1, rs2, .. } => Operands::mixed(&[rs1], &[rs2], None, None),
+        Instr::FpOp { rd, rs1, rs2, .. } => Operands::mixed(&[], &[rs1, rs2], None, Some(rd)),
+        Instr::FpUn { rd, rs1, .. } => Operands::mixed(&[], &[rs1], None, Some(rd)),
+        Instr::FpCmp { rd, rs1, rs2, .. } => Operands::mixed(&[], &[rs1, rs2], Some(rd), None),
+        Instr::FpCvt { op, rd, rs1 } => match op {
+            CvtOp::F2I | CvtOp::F2U | CvtOp::MvF2X => Operands::mixed(&[], &[rs1], Some(rd), None),
+            CvtOp::I2F | CvtOp::U2F | CvtOp::MvX2F => Operands::mixed(&[rs1], &[], None, Some(rd)),
+        },
+        Instr::Amo { rd, rs1, rs2, .. } => Operands::int(&[rs1, rs2], Some(rd)),
+        Instr::CsrRead { rd, .. } => Operands::int(&[], Some(rd)),
+        Instr::Tmc { rs1 } => Operands::int(&[rs1], None),
+        Instr::Wspawn { rs1, rs2 } => Operands::int(&[rs1, rs2], None),
+        Instr::Split { rs1, .. } => Operands::int(&[rs1], None),
+        Instr::Join { .. } | Instr::Halt | Instr::Print { .. } => Operands::int(&[], None),
+        Instr::Pred { rs1, rs2, .. } => Operands::int(&[rs1, rs2], None),
+        Instr::Bar { rs1, rs2 } => Operands::int(&[rs1, rs2], None),
+    }
+}
+
+/// True for the instructions that go through the LSU (and so need an MSHR
+/// and can stall the warp on memory).
+pub(crate) fn is_mem(i: &Instr) -> bool {
+    matches!(
+        i,
+        Instr::Lw { .. }
+            | Instr::Sw { .. }
+            | Instr::Flw { .. }
+            | Instr::Fsw { .. }
+            | Instr::Amo { .. }
+    )
+}
+
 /// A single core.
 pub struct Core {
     id: u32,
@@ -96,11 +203,47 @@ pub struct Core {
     freg_ready: Vec<u64>,
     /// MSHR slots: cycle each becomes free.
     mshr_free: Vec<u64>,
+    /// Cached `min(mshr_free)`. Slot times only move at miss allocation
+    /// (and reset), so the issue scan reads this instead of re-scanning
+    /// the slots every tick.
+    mshr_min: u64,
     /// LSU pipeline: next cycle the LSU can accept a line.
     lsu_next_free: u64,
     dcache: Cache,
     rr_next: usize,
     full_mask: u64,
+    /// Live warp count, maintained at the activation/halt sites so
+    /// [`any_active`](Core::any_active) — which every run loop polls — is
+    /// O(1) instead of an O(warps) scan.
+    active_n: u32,
+    /// Pre-decoded macro-op cache, lazily built on first fetch. `None` in
+    /// `reference_mode` (never constructed — the dense loop stays on the
+    /// from-scratch decode path) and after a program swap.
+    tcache: Option<TraceCache>,
+    tcache_enabled: bool,
+    /// Per-warp issue snapshots (see [`IssueSlot`]), lazily refreshed by
+    /// the issue scan and invalidated only where a warp's PC or its own
+    /// register ready-times can change: its own issue, WSPAWN, and launch
+    /// reset.
+    islots: Vec<IssueSlot>,
+    /// Flat mirror of each snapshot's scoreboard-ready cycle, so the
+    /// per-cycle scan touches 8 bytes per warp instead of the whole
+    /// [`IssueSlot`]. `u64::MAX` marks a stale snapshot; a resolved
+    /// `BadPc` snapshot mirrors as 0 so the scan funnels it into the
+    /// issue path, which faults on the slot. Kept in lockstep with
+    /// `islots` by [`refresh_slot`](Core::refresh_slot) and the
+    /// invalidation sites.
+    scan_tsb: Vec<u64>,
+    /// Flat mirror of each snapshot's `is_mem` flag (same lifecycle).
+    scan_mem: Vec<bool>,
+    /// Bit per warp: active and not parked at a barrier — the candidates
+    /// the per-cycle issue scan must consider. Maintained at the
+    /// activation/halt/park/release sites so the scan reads *no* per-warp
+    /// state for warps that cannot issue.
+    ready_mask: u64,
+    /// Bit per warp: active but parked at a barrier (the scan's
+    /// barrier-stall classification).
+    parked_mask: u64,
     /// Warps currently parked per (barrier id, release count), updated at
     /// arrival time so barrier release costs O(arrivals), not a per-cycle
     /// O(warps²) rescan. At most a handful of barriers are ever live, so a
@@ -129,6 +272,7 @@ impl Core {
         let w = cfg.hw.warps;
         let t = cfg.hw.threads;
         assert!(t <= 64, "thread mask is 64 bits");
+        assert!(w <= 64, "warp mask is 64 bits");
         let regs = (w * 32 * t) as usize;
         Core {
             id,
@@ -149,10 +293,19 @@ impl Core {
             ireg_ready: vec![0; (w * 32) as usize],
             freg_ready: vec![0; (w * 32) as usize],
             mshr_free: vec![0; cfg.mshrs as usize],
+            mshr_min: 0,
             lsu_next_free: 0,
             dcache: Cache::new(cfg.dcache),
             rr_next: 0,
             full_mask: if t == 64 { u64::MAX } else { (1u64 << t) - 1 },
+            active_n: 0,
+            tcache: None,
+            tcache_enabled: !cfg.reference_mode,
+            islots: vec![IssueSlot::Stale; w as usize],
+            scan_tsb: vec![u64::MAX; w as usize],
+            scan_mem: vec![false; w as usize],
+            ready_mask: 0,
+            parked_mask: 0,
             barrier_waiters: Vec::new(),
             next_event: 0,
             lat_alu: cfg.lat_alu,
@@ -179,14 +332,20 @@ impl Core {
         self.warps[0].active = true;
         self.warps[0].pc = entry;
         self.warps[0].tmask = 1;
+        self.active_n = 1;
+        self.ready_mask = 1;
+        self.parked_mask = 0;
         self.iregs.fill(0);
         self.fregs.fill(0);
         self.ireg_ready.fill(0);
         self.freg_ready.fill(0);
         self.mshr_free.fill(0);
+        self.mshr_min = 0;
         self.lsu_next_free = 0;
         self.dcache.flush();
         self.rr_next = 0;
+        self.islots.fill(IssueSlot::Stale);
+        self.scan_tsb.fill(u64::MAX);
         self.barrier_waiters.clear();
         self.next_event = 0;
         // Counters are per-launch: each `Simulator::run` reports only its
@@ -196,7 +355,91 @@ impl Core {
 
     /// True while any warp is live.
     pub fn any_active(&self) -> bool {
-        self.warps.iter().any(|w| w.active)
+        debug_assert_eq!(
+            self.active_n > 0,
+            self.warps.iter().any(|w| w.active),
+            "live-warp count drifted from the warp states"
+        );
+        self.active_n > 0
+    }
+
+    /// Drop the macro-op cache: the loaded binary is about to change. The
+    /// issue snapshots hold macro-ops resolved from it, so they go too.
+    pub(crate) fn invalidate_tcache(&mut self) {
+        self.tcache = None;
+        self.islots.fill(IssueSlot::Stale);
+        self.scan_tsb.fill(u64::MAX);
+    }
+
+    /// Mark one warp's issue snapshot stale (its PC or ready-times moved).
+    #[inline]
+    fn invalidate_slot(&mut self, wi: usize) {
+        self.islots[wi] = IssueSlot::Stale;
+        self.scan_tsb[wi] = u64::MAX;
+    }
+
+    /// Re-resolve one warp's issue snapshot from its current PC and
+    /// register ready-times.
+    fn refresh_slot(&mut self, wi: usize, program: &Program) -> IssueSlot {
+        let pc = self.warps[wi].pc;
+        let slot = match self.mop_at(pc, program) {
+            Some(mop) => {
+                let t_sb = self.operands_ready_of(wi as u32, &mop.ops);
+                self.scan_tsb[wi] = t_sb;
+                self.scan_mem[wi] = mop.is_mem;
+                IssueSlot::Ready { mop, t_sb }
+            }
+            None => {
+                // Mirror as "ready now" so the scan funnels the warp into
+                // the issue path, which faults on the BadPc slot.
+                self.scan_tsb[wi] = 0;
+                self.scan_mem[wi] = false;
+                IssueSlot::BadPc
+            }
+        };
+        self.islots[wi] = slot;
+        slot
+    }
+
+    /// Whether the macro-op cache has been materialized (the zero-overhead
+    /// tests assert it never is in `reference_mode`).
+    pub fn trace_cache_built(&self) -> bool {
+        self.tcache.is_some()
+    }
+
+    /// Drain the macro-op cache counters `(hits, misses, fused_ops, runs)`
+    /// for the metrics registry.
+    pub(crate) fn take_tcache_counters(&mut self) -> (u64, u64, u64, u64) {
+        match &mut self.tcache {
+            Some(tc) => {
+                let c = (tc.hits, tc.misses, tc.fused_ops, tc.runs);
+                tc.hits = 0;
+                tc.misses = 0;
+                tc.fused_ops = 0;
+                tc.runs = 0;
+                c
+            }
+            None => (0, 0, 0, 0),
+        }
+    }
+
+    /// The pre-decoded macro-op at `pc`, from the trace cache when enabled
+    /// or decoded on the spot in `reference_mode`. `None` = PC outside the
+    /// program, identical to a raw fetch failure.
+    #[inline]
+    fn mop_at(&mut self, pc: u32, program: &Program) -> Option<MacroOp> {
+        if self.tcache_enabled {
+            self.tcache
+                .get_or_insert_with(|| TraceCache::new(program.instrs.len()))
+                .get(pc, program)
+        } else {
+            let instr = *program.instrs.get(pc as usize)?;
+            Some(MacroOp {
+                instr,
+                ops: regs_of(&instr),
+                is_mem: is_mem(&instr),
+            })
+        }
     }
 
     #[inline]
@@ -235,47 +478,7 @@ impl Core {
         self.read_int(warp, reg, lane.min(self.threads_n - 1))
     }
 
-    /// Source/destination registers of an instruction for the scoreboard.
-    /// Fixed-size (at most two sources per file, one destination each) so
-    /// the per-cycle issue scan never allocates.
-    fn regs_of(i: &Instr) -> Operands {
-        match *i {
-            Instr::Lui { rd, .. } => Operands::int(&[], Some(rd)),
-            Instr::OpImm { rd, rs1, .. } => Operands::int(&[rs1], Some(rd)),
-            Instr::Op { rd, rs1, rs2, .. } | Instr::MulDiv { rd, rs1, rs2, .. } => {
-                Operands::int(&[rs1, rs2], Some(rd))
-            }
-            Instr::Lw { rd, rs1, .. } => Operands::int(&[rs1], Some(rd)),
-            Instr::Sw { rs1, rs2, .. } => Operands::int(&[rs1, rs2], None),
-            Instr::Branch { rs1, rs2, .. } => Operands::int(&[rs1, rs2], None),
-            Instr::Jal { rd, .. } => Operands::int(&[], Some(rd)),
-            Instr::Jalr { rd, rs1, .. } => Operands::int(&[rs1], Some(rd)),
-            Instr::Flw { rd, rs1, .. } => Operands::mixed(&[rs1], &[], None, Some(rd)),
-            Instr::Fsw { rs1, rs2, .. } => Operands::mixed(&[rs1], &[rs2], None, None),
-            Instr::FpOp { rd, rs1, rs2, .. } => Operands::mixed(&[], &[rs1, rs2], None, Some(rd)),
-            Instr::FpUn { rd, rs1, .. } => Operands::mixed(&[], &[rs1], None, Some(rd)),
-            Instr::FpCmp { rd, rs1, rs2, .. } => Operands::mixed(&[], &[rs1, rs2], Some(rd), None),
-            Instr::FpCvt { op, rd, rs1 } => match op {
-                CvtOp::F2I | CvtOp::F2U | CvtOp::MvF2X => {
-                    Operands::mixed(&[], &[rs1], Some(rd), None)
-                }
-                CvtOp::I2F | CvtOp::U2F | CvtOp::MvX2F => {
-                    Operands::mixed(&[rs1], &[], None, Some(rd))
-                }
-            },
-            Instr::Amo { rd, rs1, rs2, .. } => Operands::int(&[rs1, rs2], Some(rd)),
-            Instr::CsrRead { rd, .. } => Operands::int(&[], Some(rd)),
-            Instr::Tmc { rs1 } => Operands::int(&[rs1], None),
-            Instr::Wspawn { rs1, rs2 } => Operands::int(&[rs1, rs2], None),
-            Instr::Split { rs1, .. } => Operands::int(&[rs1], None),
-            Instr::Join { .. } | Instr::Halt | Instr::Print { .. } => Operands::int(&[], None),
-            Instr::Pred { rs1, rs2, .. } => Operands::int(&[rs1, rs2], None),
-            Instr::Bar { rs1, rs2 } => Operands::int(&[rs1, rs2], None),
-        }
-    }
-
-    fn mark_dest(&mut self, warp: u32, i: &Instr, ready_at: u64) {
-        let ops = Self::regs_of(i);
+    fn mark_dest(&mut self, warp: u32, ops: &Operands, ready_at: u64) {
         let base = (warp * 32) as usize;
         if let Some(r) = ops.idst {
             if r != 0 {
@@ -288,82 +491,121 @@ impl Core {
     }
 
     /// Advance this core by one cycle: try to issue one warp-instruction,
-    /// round-robin. Returns whether an instruction issued; a `false` cycle
-    /// is accounted to the stall counters exactly as [`fast_forward_stalls`]
-    /// would account it in bulk. Every observable step is mirrored into
-    /// `sink`; with [`NopSink`](crate::trace::NopSink) the emission sites
-    /// monomorphize away.
+    /// round-robin. A [`TickResult::Stalled`] cycle is accounted to the
+    /// stall counters exactly as [`fast_forward_stalls`] would account it
+    /// in bulk. Every observable step is mirrored into `sink`; with
+    /// [`NopSink`](crate::trace::NopSink) the emission sites monomorphize
+    /// away.
+    ///
+    /// `amo_ok = false` (parallel epochs only) makes the tick stop *before*
+    /// executing an atomic, returning [`TickResult::AmoPending`] with no
+    /// state change at all.
     ///
     /// [`fast_forward_stalls`]: Core::fast_forward_stalls
     #[allow(clippy::too_many_arguments)]
-    pub fn tick<S: TraceSink>(
+    pub fn tick<M: DeviceMem, S: TraceSink>(
         &mut self,
         now: u64,
         program: &Program,
-        mem: &mut SimMemory,
-        l2: &mut Cache,
-        dram: &mut DramModel,
+        mem: &mut M,
+        view: &mut MemView,
         printf_out: &mut Vec<String>,
         sink: &mut S,
-    ) -> Result<bool, SimError> {
-        // Pick a ready warp, round-robin. Along the way, compute each
-        // blocked warp's exact first-issuable cycle — the same operand walk
-        // the ready check needs anyway — so a failed tick leaves
-        // `next_event` behind for the event-driven run loop at no extra
-        // cost.
+        amo_ok: bool,
+    ) -> Result<TickResult, SimError> {
+        // Pick a ready warp, round-robin, from the per-warp issue
+        // snapshots — one cached ready-time compare per warp instead of an
+        // operand walk. Along the way, collect each blocked warp's exact
+        // first-issuable cycle so a failed tick leaves `next_event` behind
+        // for the event-driven run loop at no extra cost.
+        #[cfg(debug_assertions)]
+        {
+            let mut r = 0u64;
+            let mut p = 0u64;
+            for (i, w) in self.warps.iter().enumerate() {
+                if w.active {
+                    if w.barrier.is_some() {
+                        p |= 1 << i;
+                    } else {
+                        r |= 1 << i;
+                    }
+                }
+            }
+            debug_assert_eq!(
+                (self.ready_mask, self.parked_mask),
+                (r, p),
+                "issue-scan masks drifted from the warp states"
+            );
+        }
         let n = self.warps_n as usize;
         let mut blocked: Option<StallKind> = None;
-        let mut any_waiting_barrier = false;
         let mut next_event = u64::MAX;
-        for k in 0..n {
-            let wi = (self.rr_next + k) % n;
-            let w = &self.warps[wi];
-            if !w.active {
-                continue;
-            }
-            if w.barrier.is_some() {
-                any_waiting_barrier = true;
-                continue;
-            }
-            let pc = w.pc;
-            let instr = *program.instrs.get(pc as usize).ok_or(SimError::BadPc {
-                core: self.id,
-                warp: wi as u32,
-                pc,
-            })?;
-            let t_sb = self.operands_ready_at(wi as u32, &instr);
-            let t_ready = if Self::is_mem(&instr) {
-                // Both conditions must hold at once; both are monotone, so
-                // the max is the exact first issuable cycle for this warp.
-                t_sb.max(self.mshr_free.iter().copied().min().unwrap_or(0))
-            } else {
-                t_sb
-            };
-            if t_ready > now {
-                blocked.get_or_insert(if t_sb > now {
-                    StallKind::Scoreboard
+        // The MSHR floor is shared across warps and can only move when an
+        // issue goes through memory, so the cached min serves the whole
+        // tick.
+        let mshr_min = self.mshr_min;
+        // Round-robin over the candidate mask: warps >= rr_next ascending,
+        // then the wrap. Inactive and barrier-parked warps cost nothing —
+        // they are simply absent from the mask.
+        let rr = self.rr_next;
+        for part in [
+            self.ready_mask & (u64::MAX << rr),
+            self.ready_mask & !(u64::MAX << rr),
+        ] {
+            let mut m = part;
+            while m != 0 {
+                let wi = m.trailing_zeros() as usize;
+                m &= m - 1;
+                // Flat-array fast path: one ready-cycle load per blocked
+                // warp; the full snapshot is only read on an actual issue.
+                let mut t_sb = self.scan_tsb[wi];
+                if t_sb == u64::MAX {
+                    self.refresh_slot(wi, program);
+                    t_sb = self.scan_tsb[wi];
+                }
+                let t_ready = if self.scan_mem[wi] {
+                    // Both conditions must hold at once; both are monotone,
+                    // so the max is the exact first issuable cycle.
+                    t_sb.max(mshr_min)
                 } else {
-                    StallKind::LsuFull
+                    t_sb
+                };
+                if t_ready > now {
+                    blocked.get_or_insert(if t_sb > now {
+                        StallKind::Scoreboard
+                    } else {
+                        StallKind::LsuFull
+                    });
+                    next_event = next_event.min(t_ready);
+                    continue;
+                }
+                let IssueSlot::Ready { mop, .. } = self.islots[wi] else {
+                    return Err(SimError::BadPc {
+                        core: self.id,
+                        warp: wi as u32,
+                        pc: self.warps[wi].pc,
+                    });
+                };
+                if !amo_ok && matches!(mop.instr, Instr::Amo { .. }) {
+                    return Ok(TickResult::AmoPending);
+                }
+                // Issue.
+                self.rr_next = (wi + 1) % n;
+                self.stats.instructions += 1;
+                sink.event(&TraceEvent::Issue {
+                    core: self.id,
+                    warp: wi as u32,
+                    cycle: now,
+                    pc: self.warps[wi].pc,
                 });
-                next_event = next_event.min(t_ready);
-                continue;
+                self.execute(now, wi as u32, mop, program, mem, view, printf_out, sink)?;
+                // The issue moved the warp's PC and its register ready-times.
+                self.invalidate_slot(wi);
+                return Ok(TickResult::Issued);
             }
-            // Issue.
-            self.rr_next = (wi + 1) % n;
-            self.stats.instructions += 1;
-            sink.event(&TraceEvent::Issue {
-                core: self.id,
-                warp: wi as u32,
-                cycle: now,
-                pc,
-            });
-            self.execute(
-                now, wi as u32, instr, program, mem, l2, dram, printf_out, sink,
-            )?;
-            return Ok(true);
         }
         self.next_event = next_event;
-        let kind = if any_waiting_barrier && blocked.is_none() {
+        let kind = if self.parked_mask != 0 && blocked.is_none() {
             StallKind::Barrier
         } else {
             blocked.unwrap_or(StallKind::Idle)
@@ -375,7 +617,7 @@ impl Core {
             from: now,
             to: now + 1,
         });
-        Ok(false)
+        Ok(TickResult::Stalled)
     }
 
     /// Earliest cycle at which some warp of this core could issue, given
@@ -400,9 +642,8 @@ impl Core {
                 return now + 1;
             };
             let mut ready = self.operands_ready_at(wi as u32, instr);
-            if Self::is_mem(instr) {
-                let mshr = self.mshr_free.iter().copied().min().unwrap_or(0);
-                ready = ready.max(mshr);
+            if is_mem(instr) {
+                ready = ready.max(self.mshr_min);
             }
             t = t.min(ready);
         }
@@ -460,18 +701,21 @@ impl Core {
                 });
             }
         };
-        let Some((wi, pc)) = first else {
+        let Some((wi, _pc)) = first else {
             charge(&mut self.stats, StallKind::Barrier, from, to);
             return;
         };
-        let Some(instr) = program.instrs.get(pc as usize) else {
+        let slot = match self.islots[wi as usize] {
+            IssueSlot::Stale => self.refresh_slot(wi as usize, program),
+            s => s,
+        };
+        let IssueSlot::Ready { mop, t_sb: ready } = slot else {
             // Unreachable: next_issue_cycle forces dense stepping on a bad
             // PC, so no span is ever opened over one.
             return;
         };
-        let ready = self.operands_ready_at(wi, instr);
         let sb_cycles = ready.clamp(from, to) - from;
-        if Self::is_mem(instr) {
+        if mop.is_mem {
             charge(
                 &mut self.stats,
                 StallKind::Scoreboard,
@@ -487,10 +731,16 @@ impl Core {
         }
     }
 
-    /// Latest ready-cycle over the scoreboard operands of `i`: the first
-    /// cycle at which the scoreboard no longer blocks the instruction.
+    /// [`operands_ready_of`](Core::operands_ready_of) with a from-scratch
+    /// decode — the trace-cache-independent path `next_issue_cycle` uses as
+    /// a cross-check.
     fn operands_ready_at(&self, warp: u32, i: &Instr) -> u64 {
-        let ops = Self::regs_of(i);
+        self.operands_ready_of(warp, &regs_of(i))
+    }
+
+    /// Latest ready-cycle over the scoreboard operands: the first cycle at
+    /// which the scoreboard no longer blocks the instruction.
+    fn operands_ready_of(&self, warp: u32, ops: &Operands) -> u64 {
         let base = (warp * 32) as usize;
         let ir = ops
             .ints()
@@ -503,17 +753,6 @@ impl Core {
             .max()
             .unwrap_or(0);
         ir.max(fr)
-    }
-
-    fn is_mem(i: &Instr) -> bool {
-        matches!(
-            i,
-            Instr::Lw { .. }
-                | Instr::Sw { .. }
-                | Instr::Flw { .. }
-                | Instr::Fsw { .. }
-                | Instr::Amo { .. }
-        )
     }
 
     /// The next-event cycle cached by the last tick that issued nothing.
@@ -592,9 +831,11 @@ impl Core {
         });
         if waiting >= count {
             let mut released = 0;
-            for w in &mut self.warps {
+            for (i, w) in self.warps.iter_mut().enumerate() {
                 if w.barrier == Some(key) {
                     w.barrier = None;
+                    self.ready_mask |= 1 << i;
+                    self.parked_mask &= !(1 << i);
                     released += 1;
                 }
             }
@@ -621,38 +862,37 @@ impl Core {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn execute<S: TraceSink>(
+    fn execute<M: DeviceMem, S: TraceSink>(
         &mut self,
         now: u64,
         wi: u32,
-        instr: Instr,
+        mop: MacroOp,
         program: &Program,
-        mem: &mut SimMemory,
-        l2: &mut Cache,
-        dram: &mut DramModel,
+        mem: &mut M,
+        view: &mut MemView,
         printf_out: &mut Vec<String>,
         sink: &mut S,
     ) -> Result<(), SimError> {
-        let t_n = self.threads_n;
+        let instr = mop.instr;
         let tmask = self.warps[wi as usize].tmask;
         let pc = self.warps[wi as usize].pc;
         let mut next_pc = pc.wrapping_add(1);
         let mut lat = self.lat_alu;
-        let lanes: Vec<u32> = (0..t_n).filter(|&t| tmask >> t & 1 == 1).collect();
+        let lanes = Lanes(tmask);
         match instr {
             Instr::Lui { rd, imm } => {
-                for &t in &lanes {
+                for t in lanes {
                     self.write_int(wi, rd, t, (imm as u32) << 12);
                 }
             }
             Instr::OpImm { op, rd, rs1, imm } => {
-                for &t in &lanes {
+                for t in lanes {
                     let a = self.read_int(wi, rs1, t);
                     self.write_int(wi, rd, t, alu(op, a, imm as u32));
                 }
             }
             Instr::Op { op, rd, rs1, rs2 } => {
-                for &t in &lanes {
+                for t in lanes {
                     let a = self.read_int(wi, rs1, t);
                     let b = self.read_int(wi, rs2, t);
                     self.write_int(wi, rd, t, alu(op, a, b));
@@ -663,7 +903,7 @@ impl Core {
                     MulOp::Mul | MulOp::Mulh | MulOp::Mulhu => self.lat_mul,
                     _ => self.lat_div,
                 };
-                for &t in &lanes {
+                for t in lanes {
                     let a = self.read_int(wi, rs1, t);
                     let b = self.read_int(wi, rs2, t);
                     self.write_int(wi, rd, t, muldiv(op, a, b));
@@ -672,8 +912,9 @@ impl Core {
             Instr::Lw { rd, rs1, imm } | Instr::Flw { rd, rs1, imm } => {
                 self.stats.loads += 1;
                 let is_fp = matches!(instr, Instr::Flw { .. });
-                let mut addrs = Vec::with_capacity(lanes.len());
-                for &t in &lanes {
+                let mut addrs = [0u32; 64];
+                let mut na = 0usize;
+                for t in lanes {
                     let addr = self.read_int(wi, rs1, t).wrapping_add(imm as u32);
                     let v = mem.load(self.id, addr).map_err(|e| at_pc(e, pc))?;
                     if is_fp {
@@ -681,18 +922,20 @@ impl Core {
                     } else {
                         self.write_int(wi, rd, t, v);
                     }
-                    addrs.push(addr);
+                    addrs[na] = addr;
+                    na += 1;
                 }
-                let done = self.memory_time(now, &addrs, l2, dram, sink);
-                self.mark_dest(wi, &instr, done);
+                let done = self.memory_time(now, &addrs[..na], view, sink);
+                self.mark_dest(wi, &mop.ops, done);
                 self.warps[wi as usize].pc = next_pc;
                 return Ok(());
             }
             Instr::Sw { rs1, rs2, imm } | Instr::Fsw { rs1, rs2, imm } => {
                 self.stats.stores += 1;
                 let is_fp = matches!(instr, Instr::Fsw { .. });
-                let mut addrs = Vec::with_capacity(lanes.len());
-                for &t in &lanes {
+                let mut addrs = [0u32; 64];
+                let mut na = 0usize;
+                for t in lanes {
                     let addr = self.read_int(wi, rs1, t).wrapping_add(imm as u32);
                     let v = if is_fp {
                         self.read_fp(wi, rs2, t)
@@ -700,11 +943,12 @@ impl Core {
                         self.read_int(wi, rs2, t)
                     };
                     mem.store(self.id, addr, v).map_err(|e| at_pc(e, pc))?;
-                    addrs.push(addr);
+                    addrs[na] = addr;
+                    na += 1;
                 }
                 // Stores retire through the same LSU path (write-through),
                 // consuming bandwidth but not blocking a destination.
-                let _ = self.memory_time(now, &addrs, l2, dram, sink);
+                let _ = self.memory_time(now, &addrs[..na], view, sink);
                 self.warps[wi as usize].pc = next_pc;
                 return Ok(());
             }
@@ -713,16 +957,16 @@ impl Core {
                 self.stats.stores += 1;
                 // Atomics bypass coalescing: one serialized access per lane.
                 let mut done = now;
-                for &t in &lanes {
+                for t in lanes {
                     let addr = self.read_int(wi, rs1, t);
                     let v = self.read_int(wi, rs2, t);
                     let old = mem.load(self.id, addr).map_err(|e| at_pc(e, pc))?;
                     let new = amo(op, old, v);
                     mem.store(self.id, addr, new).map_err(|e| at_pc(e, pc))?;
                     self.write_int(wi, rd, t, old);
-                    done = done.max(self.memory_time(now, &[addr], l2, dram, sink));
+                    done = done.max(self.memory_time(now, &[addr], view, sink));
                 }
-                self.mark_dest(wi, &instr, done);
+                self.mark_dest(wi, &mop.ops, done);
                 self.warps[wi as usize].pc = next_pc;
                 return Ok(());
             }
@@ -750,14 +994,14 @@ impl Core {
                 }
             }
             Instr::Jal { rd, offset } => {
-                for &t in &lanes {
+                for t in lanes {
                     self.write_int(wi, rd, t, pc + 1);
                 }
                 next_pc = pc.wrapping_add(offset as u32);
             }
             Instr::Jalr { rd, rs1, imm } => {
                 let target = self.read_uniform(wi, rs1).wrapping_add(imm as u32);
-                for &t in &lanes {
+                for t in lanes {
                     self.write_int(wi, rd, t, pc + 1);
                 }
                 next_pc = target;
@@ -767,7 +1011,7 @@ impl Core {
                     FpOp::Div => self.lat_fdiv,
                     _ => self.lat_fpu,
                 };
-                for &t in &lanes {
+                for t in lanes {
                     let a = f32::from_bits(self.read_fp(wi, rs1, t));
                     let b = f32::from_bits(self.read_fp(wi, rs2, t));
                     let r = match op {
@@ -789,7 +1033,7 @@ impl Core {
                     FpUnOp::Sqrt => self.lat_fdiv,
                     _ => self.lat_sfu,
                 };
-                for &t in &lanes {
+                for t in lanes {
                     let a = f32::from_bits(self.read_fp(wi, rs1, t));
                     let r = match op {
                         FpUnOp::Sqrt => a.sqrt(),
@@ -804,7 +1048,7 @@ impl Core {
             }
             Instr::FpCmp { op, rd, rs1, rs2 } => {
                 lat = self.lat_fpu;
-                for &t in &lanes {
+                for t in lanes {
                     let a = f32::from_bits(self.read_fp(wi, rs1, t));
                     let b = f32::from_bits(self.read_fp(wi, rs2, t));
                     let r = match op {
@@ -817,7 +1061,7 @@ impl Core {
             }
             Instr::FpCvt { op, rd, rs1 } => {
                 lat = self.lat_fpu;
-                for &t in &lanes {
+                for t in lanes {
                     match op {
                         CvtOp::F2I => {
                             let a = f32::from_bits(self.read_fp(wi, rs1, t));
@@ -857,7 +1101,7 @@ impl Core {
                 }
             }
             Instr::CsrRead { rd, csr } => {
-                for &t in &lanes {
+                for t in lanes {
                     let v = match csr {
                         Csr::ThreadId => t,
                         Csr::WarpId => wi,
@@ -877,6 +1121,8 @@ impl Core {
                 w.tmask = mask;
                 if mask == 0 {
                     w.active = false;
+                    self.active_n -= 1;
+                    self.ready_mask &= !(1 << wi);
                 }
             }
             Instr::Wspawn { rs1, rs2 } => {
@@ -892,10 +1138,19 @@ impl Core {
                 });
                 for w in 1..count {
                     let warp = &mut self.warps[w as usize];
+                    if !warp.active {
+                        self.active_n += 1;
+                    }
                     warp.active = true;
                     warp.pc = entry;
                     warp.tmask = 1;
                     warp.stack.clear();
+                    // The spawn rewrote this warp's PC out from under its
+                    // issue snapshot.
+                    self.islots[w as usize] = IssueSlot::Stale;
+                    self.scan_tsb[w as usize] = u64::MAX;
+                    self.ready_mask |= 1 << w;
+                    self.parked_mask &= !(1 << w);
                     if let Some(key) = warp.barrier.take() {
                         // Respawning a parked warp shrinks its barrier group.
                         self.barrier_leave(key);
@@ -905,7 +1160,7 @@ impl Core {
             Instr::Split { rs1, else_off } => {
                 lat = self.lat_sfu;
                 let mut taken = 0u64;
-                for &t in &lanes {
+                for t in lanes {
                     if self.read_int(wi, rs1, t) != 0 {
                         taken |= 1 << t;
                     }
@@ -950,7 +1205,7 @@ impl Core {
             Instr::Pred { rs1, rs2, exit_off } => {
                 lat = self.lat_sfu;
                 let mut live = 0u64;
-                for &t in &lanes {
+                for t in lanes {
                     if self.read_int(wi, rs1, t) != 0 {
                         live |= 1 << t;
                     }
@@ -968,6 +1223,8 @@ impl Core {
                 let id = self.read_uniform(wi, rs1);
                 let count = self.read_uniform(wi, rs2).max(1);
                 self.warps[wi as usize].barrier = Some((id, count));
+                self.ready_mask &= !(1 << wi);
+                self.parked_mask |= 1 << wi;
                 self.barrier_arrive(wi, now, id, count, sink);
             }
             Instr::Print { fmt } => {
@@ -977,7 +1234,7 @@ impl Core {
                         args: vec![],
                     },
                 );
-                for &t in &lanes {
+                for t in lanes {
                     let hart = (self.id * self.warps_n + wi) * self.threads_n + t;
                     let buf = PRINTF_BASE + hart * PRINTF_STRIDE;
                     let mut out = String::with_capacity(entry.fmt.len() + 8);
@@ -1008,10 +1265,12 @@ impl Core {
                 let w = &mut self.warps[wi as usize];
                 w.tmask = 0;
                 w.active = false;
+                self.active_n -= 1;
+                self.ready_mask &= !(1 << wi);
             }
         }
         let done = now + lat as u64;
-        self.mark_dest(wi, &instr, done);
+        self.mark_dest(wi, &mop.ops, done);
         self.warps[wi as usize].pc = next_pc;
         Ok(())
     }
@@ -1023,17 +1282,44 @@ impl Core {
         &mut self,
         now: u64,
         addrs: &[u32],
-        l2: &mut Cache,
-        dram: &mut DramModel,
+        view: &mut MemView,
         sink: &mut S,
     ) -> u64 {
-        let mut lines: Vec<u32> = addrs
-            .iter()
-            .filter(|&&a| !SimMemory::is_local(a))
-            .map(|&a| self.dcache.line_of(a))
-            .collect();
-        lines.sort_unstable();
-        lines.dedup();
+        // Collect distinct lines in ascending order. Lane addresses are
+        // usually monotone (consecutive lanes touch consecutive words), so
+        // dedup adjacent repeats on the fly and only fall back to a full
+        // sort + dedup when an out-of-order line shows up.
+        let mut line_buf = [0u32; 64];
+        let mut raw = 0usize;
+        let mut last = u32::MAX;
+        let mut sorted = true;
+        for &a in addrs {
+            if !SimMemory::is_local(a) {
+                let l = self.dcache.line_of(a);
+                if l != last {
+                    if raw > 0 && l < last {
+                        sorted = false;
+                    }
+                    line_buf[raw] = l;
+                    raw += 1;
+                    last = l;
+                }
+            }
+        }
+        let nl = if sorted {
+            raw
+        } else {
+            line_buf[..raw].sort_unstable();
+            let mut nl = 0usize;
+            for i in 0..raw {
+                if nl == 0 || line_buf[i] != line_buf[nl - 1] {
+                    line_buf[nl] = line_buf[i];
+                    nl += 1;
+                }
+            }
+            nl
+        };
+        let lines = &line_buf[..nl];
         if lines.is_empty() {
             // Pure local-memory access: SRAM-speed, with bank-conflict
             // serialization of distinct words beyond the bank count (4).
@@ -1048,7 +1334,7 @@ impl Core {
         self.lsu_next_free = self.lsu_next_free.max(now) + lane_cycles;
         let line_bytes = self.dcache.config().line_bytes;
         let mut done = now;
-        for line in lines {
+        for &line in lines {
             // LSU accepts one line per cycle.
             self.lsu_next_free = self.lsu_next_free.max(now) + 1;
             let t0 = self.lsu_next_free;
@@ -1069,7 +1355,7 @@ impl Core {
                 // Take the earliest-free MSHR (backpressure as latency).
                 let slot = self.mshr_free.iter_mut().min().expect("at least one MSHR");
                 let start = t0.max(*slot);
-                let l2_hit = l2.access(addr, start);
+                let l2_hit = view.l2_access(addr, start);
                 sink.event(&TraceEvent::CacheAccess {
                     core: self.id,
                     level: CacheLevel::L2,
@@ -1081,7 +1367,7 @@ impl Core {
                     start + self.lat_l2 as u64
                 } else {
                     let issue = start + self.lat_l2 as u64;
-                    let (fill, row_hit) = dram.access_info(addr, line_bytes, issue);
+                    let (fill, row_hit) = view.dram_access(addr, line_bytes, issue);
                     sink.event(&TraceEvent::Dram {
                         core: self.id,
                         cycle: issue,
@@ -1092,6 +1378,7 @@ impl Core {
                     fill
                 };
                 *slot = fill;
+                self.mshr_min = self.mshr_free.iter().copied().min().unwrap_or(0);
                 sink.event(&TraceEvent::MshrAcquire {
                     core: self.id,
                     cycle: start,
@@ -1221,6 +1508,7 @@ mod tests {
         });
         core.ireg_ready[abi::T0 as usize] = 10;
         core.mshr_free.fill(33);
+        core.mshr_min = 33;
         // Operands ready at 10, but every MSHR is busy until 33.
         assert_eq!(core.next_issue_cycle(7, &p), 33);
         // Cycles 8..10 classify as scoreboard, 10..33 as LSU — exactly what

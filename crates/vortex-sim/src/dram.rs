@@ -113,6 +113,22 @@ impl DramModel {
         (bus_start + xfer + self.cfg.base_latency as u64, row_hit)
     }
 
+    /// Bank index `addr` maps to.
+    pub fn bank_of(&self, addr: u32) -> u32 {
+        (addr / self.cfg.row_bytes) % self.cfg.banks
+    }
+
+    /// Adopt `src`'s open-row/queue state for one bank (same geometry
+    /// assumed). Counters are left alone.
+    pub fn copy_bank_from(&mut self, src: &DramModel, bank: u32) {
+        self.banks[bank as usize] = src.banks[bank as usize];
+    }
+
+    /// Adopt `src`'s shared-bus queue cursor.
+    pub fn copy_bus_from(&mut self, src: &DramModel) {
+        self.bus_next_free = src.bus_next_free;
+    }
+
     /// (total accesses, row-buffer hits).
     pub fn stats(&self) -> (u64, u64) {
         (self.accesses, self.row_hits)

@@ -23,19 +23,25 @@ pub mod cache;
 pub mod core;
 pub mod dram;
 pub mod mem;
+pub mod memsys;
 pub mod profile;
 pub mod stats;
+mod tcache;
 pub mod trace;
 
-pub use crate::core::Core;
+pub use crate::core::{Core, TickResult};
 pub use cache::{Cache, CacheConfig};
 pub use dram::{DramConfig, DramModel};
-pub use mem::SimMemory;
+pub use mem::{DeviceMem, SimMemory};
+pub use memsys::{MemSystem, MemView};
 pub use profile::LaunchProfile;
 pub use stats::{SimStats, StallKind};
 pub use trace::{canonical_core_events, CacheLevel, NopSink, RecordingSink, TraceEvent, TraceSink};
 
 use fpga_arch::VortexConfig;
+use memsys::{AmoMem, ShardedMem, WriteBuf};
+use repro_util::{metrics, par_map_mut};
+use std::marker::PhantomData;
 use vortex_isa::Program;
 
 /// Full simulator configuration.
@@ -77,7 +83,19 @@ pub struct SimConfig {
     /// fast-forwarding. The two produce bit-identical results (cycles,
     /// stall breakdown, memory state); this is the escape hatch for
     /// differential testing and for debugging the scheduler itself.
+    /// Reference mode also disables the macro-op trace cache, keeping the
+    /// baseline on the from-scratch decode path.
     pub reference_mode: bool,
+    /// Worker threads for the deterministic parallel run loop. `1` (the
+    /// default) keeps the sequential event-driven scheduler; `> 1` runs
+    /// cores concurrently in barrier-synchronized epochs with results
+    /// bit-identical to the sequential loops (see [`memsys`]).
+    pub sim_threads: u32,
+    /// Epoch length in cycles for the shared-memory-system quantization.
+    /// All run loops freeze the shared L2/DRAM timing state at multiples
+    /// of this, so changing it changes multi-core timings (deterministic
+    /// for any fixed value); it never affects single-core machines.
+    pub epoch_cycles: u64,
 }
 
 impl SimConfig {
@@ -111,6 +129,13 @@ impl SimConfig {
             max_cycles: 2_000_000_000,
             max_instructions: u64::MAX,
             reference_mode: false,
+            sim_threads: 1,
+            // Swept {16, 64, 256, 2048} on the Fig. 7 grid: short epochs
+            // buy back a little timing fidelity (the frozen L2/DRAM view
+            // refreshes more often) but the per-epoch commit overhead
+            // costs more wall-clock than the fidelity is worth. 2048 was
+            // the throughput knee.
+            epoch_cycles: 2048,
         }
     }
 }
@@ -255,9 +280,10 @@ pub struct Simulator {
     pub cfg: SimConfig,
     pub mem: SimMemory,
     cores: Vec<Core>,
-    l2: Cache,
-    dram: DramModel,
+    memsys: MemSystem,
     program: Program,
+    /// Whether the most recent launch used the parallel run loop.
+    used_parallel: bool,
 }
 
 impl Simulator {
@@ -266,18 +292,37 @@ impl Simulator {
         let cores = (0..cfg.hw.cores).map(|c| Core::new(c, &cfg)).collect();
         Simulator {
             mem: SimMemory::new(cfg.global_mem_bytes, cfg.hw.cores, cfg.local_mem_bytes),
-            l2: Cache::new(cfg.l2),
-            dram: DramModel::new(cfg.dram),
+            memsys: MemSystem::new(cfg.l2, cfg.dram, cfg.hw.cores, cfg.epoch_cycles),
             cores,
             program,
             cfg,
+            used_parallel: false,
         }
     }
 
     /// Replace the loaded kernel binary (between launches of a multi-kernel
-    /// application); device memory is preserved, caches are cold.
+    /// application); device memory is preserved, caches are cold. This is
+    /// the *only* point that invalidates the per-core macro-op trace
+    /// caches: within a launch sequence of one binary nothing is ever
+    /// re-decoded.
     pub fn set_program(&mut self, program: Program) {
         self.program = program;
+        for core in &mut self.cores {
+            core.invalidate_tcache();
+        }
+    }
+
+    /// True if any core has materialized its macro-op trace cache. Stays
+    /// `false` for the lifetime of a `reference_mode` machine — the
+    /// zero-overhead guarantee the baseline loop's tests pin down.
+    pub fn trace_cache_built(&self) -> bool {
+        self.cores.iter().any(|c| c.trace_cache_built())
+    }
+
+    /// Whether the most recent [`run`](Simulator::run) used the parallel
+    /// epoch loop (as opposed to one of the sequential schedulers).
+    pub fn last_run_parallel(&self) -> bool {
+        self.used_parallel
     }
 
     /// Reset all cores to warp 0 / pc `entry` with one active thread, as the
@@ -314,15 +359,29 @@ impl Simulator {
         sink: &mut S,
     ) -> Result<SimResult, Box<SimFault>> {
         self.start();
+        // A new launch restarts the clock: fold any logged tail of the
+        // previous launch into the master memory-system models (device
+        // caches stay warm across launches) and restart the epoch sequence.
+        self.memsys.begin_run();
         // L2/DRAM counters live on the shared device and accumulate across
         // launches; snapshot them so this launch's stats — like the
         // per-core counters reset in `reset_for_launch` — report only its
         // own work and agree with the launch's event trace.
-        let (l2_hits0, l2_misses0) = self.l2.stats();
-        let (dr_acc0, dr_rowhits0) = self.dram.stats();
+        let (l2_hits0, l2_misses0, dr_acc0, dr_rowhits0) = self.memsys.observed();
         let mut printf_output = Vec::new();
+        // The parallel loop hands instruction-budgeted runs back to the
+        // sequential scheduler: the budget must trip at the identical
+        // instruction, which only a globally ordered loop can check
+        // mid-epoch. Budgets are a watchdog/debug feature, not a perf path.
+        let parallel = !self.cfg.reference_mode
+            && self.cfg.sim_threads > 1
+            && self.cores.len() > 1
+            && self.cfg.max_instructions == u64::MAX;
+        self.used_parallel = parallel;
         let outcome = if self.cfg.reference_mode {
             self.run_dense(&mut printf_output, sink)
+        } else if parallel {
+            self.run_parallel(&mut printf_output, sink)
         } else {
             self.run_events(&mut printf_output, sink)
         };
@@ -337,12 +396,22 @@ impl Simulator {
         for core in &self.cores {
             stats.merge_core(&core.stats);
         }
-        let (l2_hits, l2_misses) = self.l2.stats();
+        let (l2_hits, l2_misses, dr_acc, dr_rowhits) = self.memsys.observed();
         stats.l2_hits = l2_hits - l2_hits0;
         stats.l2_misses = l2_misses - l2_misses0;
-        let (dr_acc, dr_rowhits) = self.dram.stats();
         stats.dram_accesses = dr_acc - dr_acc0;
         stats.dram_row_hits = dr_rowhits - dr_rowhits0;
+        if metrics::enabled() {
+            let mut t = (0u64, 0u64, 0u64, 0u64);
+            for core in &mut self.cores {
+                let (h, m, f, r) = core.take_tcache_counters();
+                t = (t.0 + h, t.1 + m, t.2 + f, t.3 + r);
+            }
+            metrics::counter_add("sim.trace_cache.hits", t.0);
+            metrics::counter_add("sim.trace_cache.misses", t.1);
+            metrics::counter_add("sim.trace_cache.fused_ops", t.2);
+            metrics::counter_add("sim.trace_cache.runs", t.3);
+        }
         let result = SimResult {
             stats,
             printf_output,
@@ -393,23 +462,28 @@ impl Simulator {
         let budget = self.cfg.max_instructions;
         let mut cycle: u64 = 0;
         loop {
+            // Freeze/commit the shared memory system at epoch boundaries —
+            // the same quantization the parallel loop uses, applied here so
+            // all schedulers see identical multi-core timing.
+            self.memsys.advance_to(cycle);
             let mut any_alive = false;
             let mut any_issued = false;
             for ci in 0..self.cores.len() {
                 let core = &mut self.cores[ci];
                 if core.any_active() {
                     any_alive = true;
-                    any_issued |= core
+                    let r = core
                         .tick(
                             cycle,
                             &self.program,
                             &mut self.mem,
-                            &mut self.l2,
-                            &mut self.dram,
+                            &mut self.memsys.views_mut()[ci],
                             printf_output,
                             sink,
+                            true,
                         )
                         .map_err(|e| (e, cycle + 1))?;
+                    any_issued |= matches!(r, TickResult::Issued);
                 }
             }
             if !any_alive {
@@ -489,22 +563,23 @@ impl Simulator {
                     limit.saturating_add(1),
                 ));
             }
+            self.memsys.advance_to(cycle);
             for (ci, tick_at) in next_tick.iter_mut().enumerate() {
                 if *tick_at != cycle || !self.cores[ci].any_active() {
                     continue;
                 }
-                let issued = self.cores[ci]
+                let r = self.cores[ci]
                     .tick(
                         cycle,
                         &self.program,
                         &mut self.mem,
-                        &mut self.l2,
-                        &mut self.dram,
+                        &mut self.memsys.views_mut()[ci],
                         printf_output,
                         sink,
+                        true,
                     )
                     .map_err(|e| (e, cycle + 1))?;
-                if issued {
+                if matches!(r, TickResult::Issued) {
                     *tick_at = cycle + 1;
                 } else {
                     let target = self.cores[ci].next_event();
@@ -535,6 +610,349 @@ impl Simulator {
                 return Err((SimError::InstrLimit(budget), end));
             }
         }
+    }
+
+    /// The deterministic parallel scheduler: cores advance concurrently in
+    /// barrier-synchronized epochs of [`SimConfig::epoch_cycles`] cycles.
+    ///
+    /// Within an epoch every core runs its own event-driven micro-loop
+    /// against frozen shared state — an immutable snapshot of functional
+    /// memory (plain stores buffer per-core) and its private [`MemView`] of
+    /// the L2/DRAM timing models. Since the sequential loops quantize the
+    /// shared memory system on the identical boundaries
+    /// ([`MemSystem::advance_to`]), a core's evolution inside an epoch
+    /// depends only on its own state: the worker interleaving is
+    /// unobservable and cycles, stats, trace events and printf output are
+    /// bit-identical to `run_events`.
+    ///
+    /// Atomics are the one cross-core coupling inside an epoch; a tick
+    /// stops *before* executing one ([`TickResult::AmoPending`]) and the
+    /// epoch barrier serializes all pending atomics in global (cycle, core)
+    /// order against the master memory, resuming each core in between. At
+    /// the epoch end, buffered stores land in canonical core order, the
+    /// timing logs merge, and the buffered events/printf interleave back
+    /// into the sequential emission order.
+    fn run_parallel<S: TraceSink>(
+        &mut self,
+        printf_output: &mut Vec<String>,
+        sink: &mut S,
+    ) -> Result<u64, (SimError, u64)> {
+        let limit = self.cfg.max_cycles;
+        // Worker threads beyond the host's cores only add context-switch
+        // overhead to a CPU-bound lockstep loop, so clamp the pool. Results
+        // never depend on the worker count (the epoch protocol makes the
+        // interleaving unobservable); with one worker `par_map_mut` runs
+        // inline and this becomes the epoch loop minus the threads.
+        let workers = (self.cfg.sim_threads as usize).min(
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        );
+        let n = self.cores.len();
+        let mut states: Vec<ParCore> = (0..n).map(|_| ParCore::new()).collect();
+        loop {
+            let mut t0 = u64::MAX;
+            let mut any_alive = false;
+            for (ci, core) in self.cores.iter().enumerate() {
+                if core.any_active() {
+                    any_alive = true;
+                    t0 = t0.min(states[ci].next_tick);
+                }
+            }
+            let end = states.iter().map(|s| s.end).max().unwrap_or(0);
+            if !any_alive {
+                return Ok(end);
+            }
+            if t0 == u64::MAX {
+                return Err((self.deadlock_error(), end));
+            }
+            if t0 > limit {
+                return Err((
+                    SimError::CycleLimit(limit.saturating_add(1)),
+                    limit.saturating_add(1),
+                ));
+            }
+            let t_end = self.memsys.epoch_end_after(t0).min(limit.saturating_add(1));
+            // Parallel phase: every due core advances privately to the
+            // epoch end (or until it halts, parks, faults, or reaches an
+            // atomic).
+            {
+                let program = &self.program;
+                let master: &SimMemory = &self.mem;
+                let mut works: Vec<Work<'_>> = self
+                    .cores
+                    .iter_mut()
+                    .zip(self.memsys.views_mut().iter_mut())
+                    .zip(states.iter_mut())
+                    .filter_map(|((core, view), st)| {
+                        if core.any_active() && st.next_tick < t_end {
+                            Some(Work { core, view, st })
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                par_map_mut(&mut works, workers, |w| {
+                    micro_run::<S>(w.core, w.view, w.st, program, master, t_end, limit)
+                });
+            }
+            // Atomic serialization: execute pending atomics strictly in
+            // global (cycle, core) order against the master memory —
+            // exactly the order the sequential loops execute them in —
+            // resuming each core's private run in between.
+            while states.iter().all(|s| s.error.is_none()) {
+                let Some(ci) = (0..n)
+                    .filter(|&i| states[i].pending_amo.is_some())
+                    .min_by_key(|&i| (states[i].pending_amo.unwrap(), i))
+                else {
+                    break;
+                };
+                let cycle = states[ci].pending_amo.take().unwrap();
+                let st = &mut states[ci];
+                let core = &mut self.cores[ci];
+                let view = &mut self.memsys.views_mut()[ci];
+                let r = {
+                    let mut mem = AmoMem {
+                        master: &mut self.mem,
+                        wbuf: &mut st.wbuf,
+                    };
+                    let mut sk = tagged::<S>(&mut st.events, cycle);
+                    core.tick(
+                        cycle,
+                        &self.program,
+                        &mut mem,
+                        view,
+                        &mut st.scratch,
+                        &mut sk,
+                        true,
+                    )
+                };
+                match r {
+                    Err(e) => {
+                        for line in st.scratch.drain(..) {
+                            st.printf.push((cycle, line));
+                        }
+                        st.end = st.end.max(cycle + 1);
+                        st.error = Some((e, cycle + 1));
+                    }
+                    Ok(TickResult::Issued) => {
+                        for line in st.scratch.drain(..) {
+                            st.printf.push((cycle, line));
+                        }
+                        st.end = st.end.max(cycle + 1);
+                        st.next_tick = cycle + 1;
+                        micro_run::<S>(core, view, st, &self.program, &self.mem, t_end, limit);
+                    }
+                    Ok(other) => {
+                        unreachable!("amo re-tick with amo_ok=true must issue, got {other:?}")
+                    }
+                }
+            }
+            // Epoch barrier. On a fault the buffered stores are dropped —
+            // the sequential loops stop mid-epoch and partial memory state
+            // is best-effort — but events and printf gathered so far flush.
+            let fault = states
+                .iter()
+                .enumerate()
+                .filter_map(|(ci, s)| s.error.clone().map(|(e, at)| (at, ci, e)))
+                .min_by_key(|&(at, ci, _)| (at, ci));
+            if let Some((at, _, error)) = fault {
+                for st in &mut states {
+                    st.wbuf.clear();
+                }
+                merge_epoch(&mut states, printf_output, sink);
+                return Err((error, at));
+            }
+            // Commit: buffered plain stores land in canonical core order
+            // (validated at buffering time; cannot fail), then the timing
+            // logs merge and every view refreshes from the master.
+            for (ci, st) in states.iter_mut().enumerate() {
+                for (addr, v) in st.wbuf.drain() {
+                    let _ = self.mem.store(ci as u32, addr, v);
+                }
+            }
+            self.memsys.advance_to(t_end);
+            merge_epoch(&mut states, printf_output, sink);
+        }
+    }
+}
+
+/// Per-core scratch state for the parallel epoch loop, persistent across
+/// epochs within one launch.
+struct ParCore {
+    /// Buffered plain stores for the current epoch (addr → last value).
+    wbuf: WriteBuf,
+    /// Trace events tagged with the cycle of the tick that emitted them.
+    events: Vec<(u64, TraceEvent)>,
+    /// Printf lines tagged with their emitting tick's cycle.
+    printf: Vec<(u64, String)>,
+    /// Per-tick printf scratch, drained into `printf` after each tick.
+    scratch: Vec<String>,
+    /// Next cycle this core must tick at (`u64::MAX` = parked forever).
+    next_tick: u64,
+    /// One past the last cycle this core ticked at.
+    end: u64,
+    /// Cycle of a tick that stopped at an atomic, awaiting serialization.
+    pending_amo: Option<u64>,
+    /// First simulation error this core hit, with its end-cycle.
+    error: Option<(SimError, u64)>,
+}
+
+impl ParCore {
+    fn new() -> Self {
+        ParCore {
+            wbuf: WriteBuf::new(),
+            events: Vec::new(),
+            printf: Vec::new(),
+            scratch: Vec::new(),
+            next_tick: 0,
+            end: 0,
+            pending_amo: None,
+            error: None,
+        }
+    }
+}
+
+/// One core's slice of an epoch, handed to `par_map_mut`.
+struct Work<'a> {
+    core: &'a mut Core,
+    view: &'a mut MemView,
+    st: &'a mut ParCore,
+}
+
+/// Per-core event buffering for the parallel loop: events are tagged with
+/// the emitting tick's cycle so the epoch-end merge can interleave the
+/// cores' buffers in the sequential loops' (cycle, core) emission order.
+/// When the run's sink is a [`NopSink`] the push compiles out entirely
+/// (`IS_NOP` propagates), keeping the untraced parallel path buffer-free.
+struct TaggedSink<'a, S: TraceSink> {
+    buf: &'a mut Vec<(u64, TraceEvent)>,
+    now: u64,
+    _sink: PhantomData<fn() -> S>,
+}
+
+impl<S: TraceSink> TraceSink for TaggedSink<'_, S> {
+    const IS_NOP: bool = S::IS_NOP;
+
+    #[inline]
+    fn event(&mut self, ev: &TraceEvent) {
+        if !S::IS_NOP {
+            self.buf.push((self.now, *ev));
+        }
+    }
+}
+
+fn tagged<S: TraceSink>(buf: &mut Vec<(u64, TraceEvent)>, now: u64) -> TaggedSink<'_, S> {
+    TaggedSink {
+        buf,
+        now,
+        _sink: PhantomData,
+    }
+}
+
+/// Advance one core through `[st.next_tick, t_end)` against the frozen
+/// epoch state: the shared functional-memory snapshot (reads go through
+/// the core's own write-buffer) and the core's private [`MemView`]. Stops
+/// at the epoch end, at a pending atomic (serialized by the caller in
+/// global cycle order), when the core halts or parks, or on error. This is
+/// exactly one core's slice of `run_events`.
+fn micro_run<S: TraceSink>(
+    core: &mut Core,
+    view: &mut MemView,
+    st: &mut ParCore,
+    program: &Program,
+    master: &SimMemory,
+    t_end: u64,
+    limit: u64,
+) {
+    st.pending_amo = None;
+    while st.next_tick < t_end && core.any_active() {
+        let cycle = st.next_tick;
+        let r = {
+            let mut mem = ShardedMem {
+                master,
+                wbuf: &mut st.wbuf,
+            };
+            let mut sk = tagged::<S>(&mut st.events, cycle);
+            core.tick(
+                cycle,
+                program,
+                &mut mem,
+                view,
+                &mut st.scratch,
+                &mut sk,
+                false,
+            )
+        };
+        match r {
+            Err(e) => {
+                for line in st.scratch.drain(..) {
+                    st.printf.push((cycle, line));
+                }
+                st.end = st.end.max(cycle + 1);
+                st.error = Some((e, cycle + 1));
+                return;
+            }
+            Ok(TickResult::AmoPending) => {
+                st.pending_amo = Some(cycle);
+                return;
+            }
+            Ok(TickResult::Issued) => {
+                for line in st.scratch.drain(..) {
+                    st.printf.push((cycle, line));
+                }
+                st.end = st.end.max(cycle + 1);
+                st.next_tick = cycle + 1;
+            }
+            Ok(TickResult::Stalled) => {
+                st.end = st.end.max(cycle + 1);
+                let target = core.next_event();
+                debug_assert_eq!(
+                    target,
+                    core.next_issue_cycle(cycle, program),
+                    "cached next-event diverged from recomputation"
+                );
+                if target != u64::MAX {
+                    let mut sk = tagged::<S>(&mut st.events, cycle);
+                    core.fast_forward_stalls(
+                        cycle + 1,
+                        target.min(limit.saturating_add(1)),
+                        program,
+                        &mut sk,
+                    );
+                }
+                st.next_tick = target;
+            }
+        }
+    }
+}
+
+/// Interleave the cores' buffered trace events and printf lines into the
+/// sequential loops' global emission order: ascending tick cycle, cores in
+/// index order within a cycle (a stable sort on the cycle tag over
+/// core-ordered buffers yields both).
+fn merge_epoch<S: TraceSink>(
+    states: &mut [ParCore],
+    printf_output: &mut Vec<String>,
+    sink: &mut S,
+) {
+    if !S::IS_NOP {
+        let mut events: Vec<(u64, TraceEvent)> = Vec::new();
+        for st in states.iter_mut() {
+            events.append(&mut st.events);
+        }
+        events.sort_by_key(|&(cycle, _)| cycle);
+        for (_, ev) in &events {
+            sink.event(ev);
+        }
+    }
+    if states.iter().any(|s| !s.printf.is_empty()) {
+        let mut lines: Vec<(u64, String)> = Vec::new();
+        for st in states.iter_mut() {
+            lines.append(&mut st.printf);
+        }
+        lines.sort_by_key(|&(cycle, _)| cycle);
+        printf_output.extend(lines.into_iter().map(|(_, line)| line));
     }
 }
 
@@ -929,5 +1347,54 @@ mod tests {
                 "warp {w} did not run"
             );
         }
+    }
+
+    /// Zero-overhead guard, decode side: the macro-op trace cache is never
+    /// materialized in `reference_mode` — the dense loop stays on the
+    /// from-scratch decode path — while the default loop builds it on the
+    /// first run.
+    #[test]
+    fn trace_cache_not_constructed_in_reference_mode() {
+        let mut cfg = SimConfig::new(VortexConfig::new(1, 2, 4));
+        cfg.reference_mode = true;
+        let mut dense = Simulator::new(cfg, store42());
+        dense.run().unwrap();
+        assert!(
+            !dense.trace_cache_built(),
+            "reference_mode must not pay for (or consult) the trace cache"
+        );
+
+        let cfg = SimConfig::new(VortexConfig::new(1, 2, 4));
+        let mut fast = Simulator::new(cfg, store42());
+        fast.run().unwrap();
+        assert!(fast.trace_cache_built(), "default loop decodes into it");
+    }
+
+    /// Zero-overhead guard, threading side: runs that cannot benefit from
+    /// the epoch machinery — one worker thread, or a single core — take
+    /// the sequential fast path (no epoch loop, no thread spawns), and a
+    /// genuinely parallel configuration actually engages it.
+    #[test]
+    fn one_thread_runs_take_the_sequential_fast_path() {
+        // Default sim_threads = 1 on a multi-core machine: sequential.
+        let cfg = SimConfig::new(VortexConfig::new(2, 2, 4));
+        assert_eq!(cfg.sim_threads, 1);
+        let mut sim = Simulator::new(cfg, store42());
+        sim.run().unwrap();
+        assert!(!sim.last_run_parallel());
+
+        // Many threads but one core: nothing to run in parallel.
+        let mut cfg = SimConfig::new(VortexConfig::new(1, 2, 4));
+        cfg.sim_threads = 4;
+        let mut sim = Simulator::new(cfg, store42());
+        sim.run().unwrap();
+        assert!(!sim.last_run_parallel());
+
+        // Multi-thread × multi-core: the epoch loop engages.
+        let mut cfg = SimConfig::new(VortexConfig::new(2, 2, 4));
+        cfg.sim_threads = 2;
+        let mut sim = Simulator::new(cfg, store42());
+        sim.run().unwrap();
+        assert!(sim.last_run_parallel());
     }
 }

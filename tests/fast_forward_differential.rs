@@ -1,8 +1,10 @@
-//! Differential harness for the event-driven scheduler: run each benchmark
-//! under both the fast-forward run loop and the dense reference loop
-//! (`SimConfig::reference_mode`) and require *bit-identical* results —
+//! Differential harness for the simulator's run loops: run each benchmark
+//! under the fast-forward loop, the dense reference loop
+//! (`SimConfig::reference_mode`), and the traced+parallel epoch loop
+//! (`SimConfig::sim_threads`) and require *bit-identical* results —
 //! per-launch cycle counts, the full stall breakdown, cache/DRAM counters,
-//! final buffer contents, and printf output.
+//! final buffer contents, printf output, and canonical per-core trace
+//! events.
 //!
 //! The benchmark set is chosen to cover the stall sources the scheduler
 //! reasons about: vecadd/transpose (MSHR/LSU pressure and DRAM row
@@ -11,8 +13,8 @@
 //! dependence chains), across single- and multi-core shapes.
 
 use fpga_gpu_repro::arch::VortexConfig;
-use fpga_gpu_repro::suite::{benchmark, run_vortex_trace, Scale};
-use fpga_gpu_repro::vsim::SimConfig;
+use fpga_gpu_repro::suite::{benchmark, run_vortex_events, run_vortex_trace, Scale};
+use fpga_gpu_repro::vsim::{canonical_core_events, SimConfig};
 
 // Shapes must satisfy each benchmark's group-size constraint (dotproduct
 // runs 16-wide work groups, backprop 64-wide: the group must be a multiple
@@ -58,6 +60,49 @@ fn fast_forward_is_bit_identical_to_dense_loop() {
                 fast.printf_output, dense.printf_output,
                 "{name} {c}c{w}w{t}t: printf output diverges between schedulers"
             );
+        }
+    }
+}
+
+/// All three run loops — dense reference, event-driven sequential, and the
+/// traced+parallel epoch loop at 2 and 4 worker threads — must agree
+/// bit-for-bit on every observable: launch stats (cycles, stall breakdown,
+/// cache/DRAM counters), final memory, printf output, and the canonical
+/// per-core trace event stream. The dense loop is the oracle; each
+/// configuration's raw event stream is canonicalized per core (bulk spans
+/// merged) before comparison, which is exactly the equivalence the epoch
+/// design promises.
+#[test]
+fn all_loops_bit_identical_across_sim_threads() {
+    for (name, shapes) in bench_matrix() {
+        let b = benchmark(name).expect("benchmark exists");
+        for &(c, w, t) in shapes {
+            let mut cfg = SimConfig::new(VortexConfig::new(c, w, t));
+            cfg.reference_mode = true;
+            let (oracle, oracle_events) = run_vortex_events(&b, Scale::Test, &cfg)
+                .unwrap_or_else(|e| panic!("{name} {c}c{w}w{t}t dense: {e}"));
+            let canon = |launches: &Vec<Vec<fpga_gpu_repro::vsim::TraceEvent>>| -> Vec<_> {
+                launches
+                    .iter()
+                    .map(|evs| {
+                        (0..c)
+                            .map(|core| canonical_core_events(evs, core))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect()
+            };
+            let oracle_canon = canon(&oracle_events);
+            for threads in [1u32, 2, 4] {
+                let mut cfg = SimConfig::new(VortexConfig::new(c, w, t));
+                cfg.sim_threads = threads;
+                let (got, got_events) = run_vortex_events(&b, Scale::Test, &cfg)
+                    .unwrap_or_else(|e| panic!("{name} {c}c{w}w{t}t {threads}thr: {e}"));
+                let what = format!("{name} {c}c{w}w{t}t at {threads} sim threads");
+                assert_eq!(got.launch_stats, oracle.launch_stats, "{what}: stats");
+                assert_eq!(got.buffers, oracle.buffers, "{what}: final memory");
+                assert_eq!(got.printf_output, oracle.printf_output, "{what}: printf");
+                assert_eq!(canon(&got_events), oracle_canon, "{what}: trace events");
+            }
         }
     }
 }

@@ -323,6 +323,61 @@ fn all_levels_match_on_both_backends() {
     }
 }
 
+/// Random kernels — plain, `__local`+barrier, and atomic-RMW — produce
+/// bit-identical cycles, statistics, and output memory under every run
+/// loop and thread count: the dense reference loop is the oracle, and the
+/// event-driven loop at 1/2/4 sim threads (sequential fast path, then the
+/// parallel epoch loop on a 2-core machine) must match it exactly, at two
+/// optimization levels. This is the determinism claim of the epoch design
+/// under fuzzing pressure rather than hand-picked benchmarks.
+#[test]
+fn run_loops_agree_on_random_kernels_across_threads() {
+    use ocl_ir::passes::OptLevel;
+    let mut r = Rng::new(0xD1FF_0007);
+    for case in 0..CASES / 2 {
+        let src = match case % 3 {
+            0 => arb_kernel(&mut r),
+            1 => arb_local_kernel(&mut r),
+            _ => arb_atomic_kernel(&mut r),
+        };
+        let seed = r.below(1000);
+        let n = 64u32;
+        let nd = NdRange::d1(n, 8);
+        let input = case_input(n, seed);
+        let init_out: Vec<i32> = (0..n as i32).map(|i| (i * 37) % 53 - 26).collect();
+        for level in [OptLevel::None, OptLevel::VariableReuse] {
+            let run = |reference: bool, threads: u32| -> (Vec<i32>, vortex_sim::SimStats) {
+                let mut cfg = SimConfig::new(VortexConfig::new(2, 2, 4));
+                cfg.reference_mode = reference;
+                cfg.sim_threads = threads;
+                let compiled = fpga_gpu_repro::vrt::compile_for_at(&src, "fuzz", &cfg, level)
+                    .unwrap_or_else(|e| panic!("case {case}: codegen at {level:?}: {e}\n{src}"));
+                let mut sess = VxSession::new(cfg, compiled);
+                let da = sess.alloc_i32(&input).unwrap();
+                let dout = sess.alloc_i32(&init_out).unwrap();
+                let res = sess
+                    .launch(&[Arg::Buf(da), Arg::Buf(dout), Arg::I32(n as i32)], &nd)
+                    .unwrap_or_else(|e| {
+                        panic!("case {case}: launch ref={reference} thr={threads}: {e}\n{src}")
+                    });
+                (sess.read_i32(dout, init_out.len()).unwrap(), res.stats)
+            };
+            let (want_mem, want_stats) = run(true, 1);
+            for threads in [1u32, 2, 4] {
+                let (got_mem, got_stats) = run(false, threads);
+                assert_eq!(
+                    got_stats, want_stats,
+                    "case {case} at {level:?}, {threads} sim threads: stats\n{src}"
+                );
+                assert_eq!(
+                    got_mem, want_mem,
+                    "case {case} at {level:?}, {threads} sim threads: memory\n{src}"
+                );
+            }
+        }
+    }
+}
+
 /// Mutate a valid kernel source into likely-malformed text: truncate it,
 /// drop or duplicate a span, or splice in characters the grammar treats as
 /// structure (`{ } ( ) [ ] ; " \ #` …). ASCII-only generators keep every
