@@ -14,6 +14,7 @@
 //! repro check               fail-soft coverage sweep with failure classes
 //! repro perf-report [--baseline <file>] [--threshold <frac>] [--no-grid]
 //!                           perf dashboard (markdown + HTML + manifest)
+//! repro cache stats|clear   inspect or wipe the compile cache (runs/cache)
 //! repro all [--fast]        everything above (bench-sim runs separately)
 //! ```
 //!
@@ -575,9 +576,61 @@ fn run_opt_report(name: &str, timing: bool) {
     }
 }
 
+/// The on-disk tier of the compile cache for `repro` invocations. The
+/// global cache defaults to memory-only; the CLI opts in because its runs
+/// are exactly the repeat-compile traffic the disk tier exists for.
+const CACHE_DIR: &str = "runs/cache";
+
+fn run_cache(sub: Option<&str>) -> i32 {
+    let cache = repro_cache::Cache::new(repro_cache::CacheConfig {
+        disk_dir: Some(CACHE_DIR.into()),
+        ..Default::default()
+    });
+    match sub {
+        Some("stats") => {
+            let stats = repro_cache::disk::DiskStats::scan(CACHE_DIR);
+            println!(
+                "## Compile cache — {CACHE_DIR} (schema v{})\n",
+                stats.schema_version
+            );
+            println!("| stage | entries | bytes |");
+            println!("|---|---:|---:|");
+            for (stage, entries, bytes) in &stats.stages {
+                println!("| {stage} | {entries} | {bytes} |");
+            }
+            println!(
+                "| **total** | **{}** | **{}** |",
+                stats.total_entries, stats.total_bytes
+            );
+            save_json("cache_stats", &stats);
+            0
+        }
+        Some("clear") => match cache.clear_disk() {
+            Ok(removed) => {
+                println!("removed {removed} cache entries from {CACHE_DIR}");
+                0
+            }
+            Err(e) => {
+                eprintln!("could not clear {CACHE_DIR}: {e}");
+                1
+            }
+        },
+        _ => {
+            eprintln!("usage: repro cache stats|clear");
+            2
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
+    // Enable the persistent compile cache for every CLI invocation (tests
+    // and library users stay memory-only unless they opt in themselves).
+    repro_cache::init_global(repro_cache::CacheConfig {
+        disk_dir: Some(CACHE_DIR.into()),
+        ..Default::default()
+    });
     let fast = args.iter().any(|a| a == "--fast");
     let timing = args.iter().any(|a| a == "--timing");
     let level = match args.iter().position(|a| a == "--opt") {
@@ -640,6 +693,7 @@ fn main() {
             0
         }
         "check" => run_check(&mut manifest),
+        "cache" => run_cache(args.get(1).map(String::as_str)),
         "perf-report" => run_perf_report(&args, level, fast, sim_threads, &mut manifest),
         "trace" | "profile" | "opt-report" => {
             let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")) else {

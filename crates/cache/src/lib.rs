@@ -1,0 +1,600 @@
+//! `repro-cache` — a content-addressed cache over the compile pipeline.
+//!
+//! Every sweep the repro stack runs (`check`, `perf-report`, the Fig. 7
+//! grids, the differential harnesses) recompiles the same 28 kernels from
+//! the same sources over and over. This crate makes that repeat traffic
+//! near-free while keeping it *provably* equivalent to fresh compilation:
+//!
+//! * **Keys** are content addresses: an FNV-1a 64 fingerprint of the
+//!   preprocessed *token stream* (so whitespace- and comment-only edits may
+//!   still hit), mixed with the schema version, the pipeline stage and the
+//!   stage parameters (opt level, warp width, target device).
+//! * **Artifacts** are the outputs of the four cacheable stages — lowered
+//!   IR, optimized IR, Vortex compiled kernels, HLS synthesis outcome —
+//!   stored as canonical bytes in the [`wire`] format.
+//! * **Tiers**: an in-memory LRU of encoded artifacts in front of an
+//!   optional on-disk store ([`disk`]) with atomic writes, a versioned
+//!   envelope and corrupt-entry eviction.
+//!
+//! The equivalence story is structural, not aspirational: a miss *also*
+//! round-trips the freshly computed artifact through `encode`/`decode`
+//! before returning it, so cold and warm calls return values decoded from
+//! identical bytes by construction — and `tests/cache_equivalence.rs`
+//! asserts exactly that across the whole benchmark matrix.
+
+pub mod artifacts;
+pub mod disk;
+pub mod lru;
+pub mod wire;
+
+use disk::{DiskRead, DiskStore};
+use fpga_arch::Device;
+use hls_flow::{synthesize, SynthFailure, SynthOptions, SynthReport};
+use ocl_front::CompileError;
+use ocl_ir::passes::OptLevel;
+use ocl_ir::Module;
+use repro_diag::ReproError;
+use repro_util::metrics;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use vortex_cc::CompiledKernel;
+use wire::{Fnv, Wire};
+
+/// Version of the on-disk artifact schema. Bump this whenever any [`Wire`]
+/// encoding or the key derivation changes: the version is part of both the
+/// key mix and the disk envelope, so stale entries from older builds can
+/// never be decoded as current-format artifacts.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// The cacheable pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Front-end lowering: source → verified IR module, no middle end.
+    Lower,
+    /// Lowering plus the PassManager at a specific [`OptLevel`].
+    Opt,
+    /// Vortex back end: optimized module → compiled kernels.
+    Vortex,
+    /// HLS synthesis outcome (report or typed failure) for a device.
+    Hls,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 4] = [Stage::Lower, Stage::Opt, Stage::Vortex, Stage::Hls];
+
+    /// Stable tag used in keys and the disk envelope.
+    pub fn tag(self) -> u8 {
+        match self {
+            Stage::Lower => 0,
+            Stage::Opt => 1,
+            Stage::Vortex => 2,
+            Stage::Hls => 3,
+        }
+    }
+
+    pub fn index(self) -> usize {
+        self.tag() as usize
+    }
+
+    /// Stable name used in filenames and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Lower => "lower",
+            Stage::Opt => "opt",
+            Stage::Vortex => "vortex",
+            Stage::Hls => "hls",
+        }
+    }
+}
+
+/// A content address: stage plus the mixed key hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key {
+    pub stage: Stage,
+    pub hash: u64,
+}
+
+/// Construction options for a [`Cache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Capacity of the in-memory tier, in entries.
+    pub mem_entries: usize,
+    /// Root of the on-disk tier; `None` keeps the cache memory-only.
+    pub disk_dir: Option<PathBuf>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            mem_entries: 512,
+            disk_dir: None,
+        }
+    }
+}
+
+/// Point-in-time counters of one cache instance. Unlike the mirrored global
+/// `cache.*` metrics, these are per-instance and therefore race-free to
+/// assert on in tests that share a process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits_mem: u64,
+    pub hits_disk: u64,
+    pub misses: u64,
+    /// Misses per stage, indexed by [`Stage::index`].
+    pub misses_by_stage: [u64; 4],
+    pub evictions: u64,
+    /// Corrupt or undecodable entries detected (and evicted).
+    pub corrupt: u64,
+    pub disk_write_errors: u64,
+    pub mem_entries: u64,
+    pub mem_bytes: u64,
+}
+
+impl CacheStats {
+    pub fn hits(&self) -> u64 {
+        self.hits_mem + self.hits_disk
+    }
+
+    /// Hit fraction in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+struct MemTier {
+    lru: lru::Lru<Key, Arc<Vec<u8>>>,
+    bytes: u64,
+}
+
+/// A two-tier content-addressed artifact cache.
+pub struct Cache {
+    mem: Mutex<MemTier>,
+    disk: Option<DiskStore>,
+    /// Memoizes raw source bytes → token fingerprint so hot lookups skip
+    /// re-lexing. Keyed by the hash of the *exact* bytes, so a whitespace
+    /// edit recomputes the fingerprint (and still lands on the same
+    /// artifact key).
+    fingerprints: Mutex<lru::Lru<u64, u64>>,
+    hits_mem: AtomicU64,
+    hits_disk: AtomicU64,
+    misses: AtomicU64,
+    misses_by_stage: [AtomicU64; 4],
+    evictions: AtomicU64,
+    corrupt: AtomicU64,
+    disk_write_errors: AtomicU64,
+}
+
+impl Cache {
+    pub fn new(config: CacheConfig) -> Cache {
+        Cache {
+            mem: Mutex::new(MemTier {
+                lru: lru::Lru::new(config.mem_entries),
+                bytes: 0,
+            }),
+            disk: config.disk_dir.map(DiskStore::new),
+            fingerprints: Mutex::new(lru::Lru::new(1024)),
+            hits_mem: AtomicU64::new(0),
+            hits_disk: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            misses_by_stage: Default::default(),
+            evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            disk_write_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Root of the disk tier, if one is configured.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_ref().map(DiskStore::dir)
+    }
+
+    // -- key derivation -----------------------------------------------------
+
+    /// Content fingerprint of a kernel source: FNV-1a 64 over the
+    /// preprocessed token stream. Formatting and comments do not contribute;
+    /// any token-level change does.
+    pub fn source_fingerprint(&self, src: &str) -> Result<u64, CompileError> {
+        let raw = wire::fnv1a(src.as_bytes());
+        if let Some(&fp) = self.fingerprints.lock().unwrap().get(&raw) {
+            return Ok(fp);
+        }
+        let fp = token_fingerprint(src)?;
+        self.fingerprints.lock().unwrap().insert(raw, fp);
+        Ok(fp)
+    }
+
+    fn key(stage: Stage, parts: &[u64]) -> Key {
+        let mut h = Fnv::new();
+        h.write_u64(CACHE_SCHEMA_VERSION as u64);
+        h.write_u8(stage.tag());
+        for &p in parts {
+            h.write_u64(p);
+        }
+        Key {
+            stage,
+            hash: h.finish(),
+        }
+    }
+
+    // -- pipeline entry points ---------------------------------------------
+
+    /// Front-end lowering: source → verified IR module (no middle end).
+    pub fn lower(&self, src: &str) -> Result<Module, ReproError> {
+        let fp = self.source_fingerprint(src)?;
+        self.get_or_compute(Self::key(Stage::Lower, &[fp]), || {
+            Ok(metrics::time("suite.frontend", || ocl_front::compile(src))?)
+        })
+    }
+
+    /// Lowering plus the shared middle end at `level`, verified.
+    pub fn optimize(&self, src: &str, level: OptLevel) -> Result<Module, ReproError> {
+        let fp = self.source_fingerprint(src)?;
+        self.get_or_compute(Self::key(Stage::Opt, &[fp, level as u64]), || {
+            let mut module = self.lower(src)?;
+            metrics::time("suite.optimize", || {
+                ocl_ir::passes::optimize_module(&mut module, level)
+            });
+            ocl_ir::verify::verify_module(&module).map_err(|e| ReproError::Verify {
+                message: format!("after {level:?} passes: {e}"),
+            })?;
+            Ok(module)
+        })
+    }
+
+    /// Vortex codegen for every kernel in the module, in module order.
+    /// `level: None` compiles the source *as written* (no middle end),
+    /// matching `vortex_rt::compile_for`; `Some(level)` runs the shared
+    /// middle end first. `threads` is the warp width of the target
+    /// configuration (it fixes the stack interleaving stride, so it is part
+    /// of the content address).
+    pub fn codegen_vortex(
+        &self,
+        src: &str,
+        level: Option<OptLevel>,
+        threads: u32,
+    ) -> Result<Vec<CompiledKernel>, ReproError> {
+        let fp = self.source_fingerprint(src)?;
+        let level_part = level.map(|l| l as u64).unwrap_or(u64::MAX);
+        let key = Self::key(Stage::Vortex, &[fp, level_part, threads as u64]);
+        self.get_or_compute(key, || {
+            let module = match level {
+                Some(l) => self.optimize(src, l)?,
+                None => self.lower(src)?,
+            };
+            let opts = vortex_cc::CodegenOpts { threads };
+            let kernels = module
+                .kernels
+                .iter()
+                .map(|k| vortex_cc::compile_kernel(k, &opts))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(kernels)
+        })
+    }
+
+    /// HLS synthesis outcome for the source *as written* on `device`, with
+    /// default [`SynthOptions`]. Typed synthesis failures (the Table I ✗
+    /// cases) are artifacts too: a cached ✗ is as valid as a cached report.
+    #[allow(clippy::type_complexity)]
+    pub fn synthesize_hls(
+        &self,
+        src: &str,
+        device: &Device,
+    ) -> Result<Result<SynthReport, SynthFailure>, ReproError> {
+        let fp = self.source_fingerprint(src)?;
+        let key = Self::key(Stage::Hls, &[fp, device.kind as u64]);
+        self.get_or_compute(key, || {
+            let module = self.lower(src)?;
+            Ok(synthesize(&module, device, &SynthOptions::default()))
+        })
+    }
+
+    // -- the engine ---------------------------------------------------------
+
+    /// Look up `key`, or run `compute`, canonicalize and store the result.
+    ///
+    /// Both paths return a value decoded from the same canonical bytes: a
+    /// hit decodes the stored bytes, and a miss encodes the fresh artifact
+    /// and decodes it right back. Cached-vs-fresh equivalence is therefore a
+    /// property of the wire round trip, which the differential suite pins.
+    fn get_or_compute<T: Wire>(
+        &self,
+        key: Key,
+        compute: impl FnOnce() -> Result<T, ReproError>,
+    ) -> Result<T, ReproError> {
+        // Memory tier.
+        let cached = self.mem.lock().unwrap().lru.get(&key).cloned();
+        if let Some(bytes) = cached {
+            match wire::decode::<T>(&bytes) {
+                Ok(v) => {
+                    self.hits_mem.fetch_add(1, Ordering::Relaxed);
+                    metrics::counter_add("cache.hit", 1);
+                    metrics::counter_add("cache.hit.mem", 1);
+                    return Ok(v);
+                }
+                // Unreachable unless an artifact type's encoding is buggy;
+                // drop the entry and fall through to recompute.
+                Err(_) => {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    metrics::counter_add("cache.corrupt", 1);
+                    self.drop_mem_entry(key);
+                }
+            }
+        }
+        // Disk tier.
+        if let Some(store) = &self.disk {
+            match store.read(key) {
+                DiskRead::Hit(payload) => match wire::decode::<T>(&payload) {
+                    Ok(v) => {
+                        self.hits_disk.fetch_add(1, Ordering::Relaxed);
+                        metrics::counter_add("cache.hit", 1);
+                        metrics::counter_add("cache.hit.disk", 1);
+                        self.insert_mem(key, Arc::new(payload));
+                        return Ok(v);
+                    }
+                    Err(_) => {
+                        self.corrupt.fetch_add(1, Ordering::Relaxed);
+                        metrics::counter_add("cache.corrupt", 1);
+                        store.evict(key);
+                    }
+                },
+                DiskRead::Corrupt(_) => {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    metrics::counter_add("cache.corrupt", 1);
+                    store.evict(key);
+                }
+                DiskRead::Stale => store.evict(key),
+                DiskRead::Miss => {}
+            }
+        }
+        // Miss: compute, canonicalize, store, and return the decoded copy.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses_by_stage[key.stage.index()].fetch_add(1, Ordering::Relaxed);
+        metrics::counter_add("cache.miss", 1);
+        metrics::counter_add(
+            match key.stage {
+                Stage::Lower => "cache.miss.lower",
+                Stage::Opt => "cache.miss.opt",
+                Stage::Vortex => "cache.miss.vortex",
+                Stage::Hls => "cache.miss.hls",
+            },
+            1,
+        );
+        let fresh = compute()?;
+        let bytes = Arc::new(wire::encode(&fresh));
+        let decoded = wire::decode::<T>(&bytes).map_err(|e| {
+            ReproError::harness(format!(
+                "cache round-trip failed for {} artifact: {e}",
+                key.stage.name()
+            ))
+        })?;
+        debug_assert_eq!(
+            wire::encode(&decoded),
+            *bytes,
+            "non-canonical wire encoding for {} artifact",
+            key.stage.name()
+        );
+        if let Some(store) = &self.disk {
+            if store.write(key, &bytes).is_err() {
+                self.disk_write_errors.fetch_add(1, Ordering::Relaxed);
+                metrics::counter_add("cache.disk.write_error", 1);
+            }
+        }
+        self.insert_mem(key, bytes);
+        Ok(decoded)
+    }
+
+    fn insert_mem(&self, key: Key, bytes: Arc<Vec<u8>>) {
+        let mut mem = self.mem.lock().unwrap();
+        mem.bytes += bytes.len() as u64;
+        if let Some((_, old)) = mem.lru.insert(key, bytes) {
+            mem.bytes -= old.len() as u64;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            metrics::counter_add("cache.evict", 1);
+        }
+        metrics::gauge_set("cache.bytes", mem.bytes as f64);
+        metrics::gauge_set("cache.entries", mem.lru.len() as f64);
+    }
+
+    fn drop_mem_entry(&self, _key: Key) {
+        let mut mem = self.mem.lock().unwrap();
+        // `Lru` has no remove; rebuilding the byte count after a clear would
+        // be wasteful, so just shadow the entry with nothing by clearing on
+        // the (unreachable in practice) corrupt-memory path.
+        mem.lru.clear();
+        mem.bytes = 0;
+    }
+
+    /// Drop the in-memory tier (the disk tier is untouched).
+    pub fn clear_memory(&self) {
+        let mut mem = self.mem.lock().unwrap();
+        mem.lru.clear();
+        mem.bytes = 0;
+        metrics::gauge_set("cache.bytes", 0.0);
+        metrics::gauge_set("cache.entries", 0.0);
+    }
+
+    /// Delete every on-disk entry; returns how many files were removed.
+    pub fn clear_disk(&self) -> std::io::Result<usize> {
+        match &self.disk {
+            Some(store) => store.clear(),
+            None => Ok(0),
+        }
+    }
+
+    /// Snapshot the instance counters.
+    pub fn stats(&self) -> CacheStats {
+        let (mem_entries, mem_bytes) = {
+            let mem = self.mem.lock().unwrap();
+            (mem.lru.len() as u64, mem.bytes)
+        };
+        CacheStats {
+            hits_mem: self.hits_mem.load(Ordering::Relaxed),
+            hits_disk: self.hits_disk.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            misses_by_stage: [
+                self.misses_by_stage[0].load(Ordering::Relaxed),
+                self.misses_by_stage[1].load(Ordering::Relaxed),
+                self.misses_by_stage[2].load(Ordering::Relaxed),
+                self.misses_by_stage[3].load(Ordering::Relaxed),
+            ],
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            disk_write_errors: self.disk_write_errors.load(Ordering::Relaxed),
+            mem_entries,
+            mem_bytes,
+        }
+    }
+}
+
+/// FNV-1a 64 over the preprocessed token stream of `src`. Free function so
+/// tests can fingerprint without a cache instance.
+pub fn token_fingerprint(src: &str) -> Result<u64, CompileError> {
+    use ocl_front::{lex, preprocess};
+    let pp = preprocess::preprocess(src, &[]).map_err(CompileError::Preprocess)?;
+    let tokens = lex::lex(&pp).map_err(|e| {
+        let (line, col) = e.span.line_col(&pp);
+        CompileError::Lex {
+            message: e.message,
+            line,
+            col,
+        }
+    })?;
+    let mut h = Fnv::new();
+    let mut buf = String::new();
+    for t in &tokens {
+        use std::fmt::Write as _;
+        buf.clear();
+        // `Tok`'s Debug form is a stable, unambiguous spelling of the token
+        // kind and payload; spans are deliberately excluded so formatting
+        // changes don't shift the fingerprint.
+        let _ = write!(buf, "{:?}", t.tok);
+        h.write(buf.as_bytes());
+        h.write_u8(0);
+    }
+    Ok(h.finish())
+}
+
+// ---------------------------------------------------------------------------
+// The process-global cache
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<Cache> = OnceLock::new();
+
+/// Install the process-global cache configuration. The first caller wins —
+/// call it before any pipeline entry point runs (the `repro` binary does
+/// this at startup to enable the `runs/cache` disk tier). Returns the global
+/// instance.
+pub fn init_global(config: CacheConfig) -> &'static Cache {
+    GLOBAL.get_or_init(|| Cache::new(config))
+}
+
+/// The process-global cache. Defaults to **memory-only**: a disk tier that
+/// silently outlives `cargo` rebuilds would be a correctness hazard for
+/// tests, so persistent caching is an explicit opt-in via [`init_global`]
+/// (or the `REPRO_CACHE_DIR` environment variable).
+pub fn global() -> &'static Cache {
+    GLOBAL.get_or_init(|| {
+        let disk_dir = std::env::var_os("REPRO_CACHE_DIR")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        Cache::new(CacheConfig {
+            disk_dir,
+            ..CacheConfig::default()
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        __kernel void dbl(__global int* d, int n) {
+            int i = get_global_id(0);
+            if (i < n) { d[i] = d[i] * 2; }
+        }
+    "#;
+
+    fn mem_cache() -> Cache {
+        Cache::new(CacheConfig::default())
+    }
+
+    #[test]
+    fn fingerprint_ignores_formatting_but_not_tokens() {
+        let reformatted = SRC.replace('\n', "\n\n  ");
+        let commented = format!("// a comment\n{SRC}/* trailing */");
+        let fp = token_fingerprint(SRC).unwrap();
+        assert_eq!(token_fingerprint(&reformatted).unwrap(), fp);
+        assert_eq!(token_fingerprint(&commented).unwrap(), fp);
+        let touched = SRC.replace("* 2", "* 3");
+        assert_ne!(token_fingerprint(&touched).unwrap(), fp);
+        // Token *boundaries* matter, not just the character stream.
+        let joined = SRC.replace("d[i] * 2", "d[i]*2");
+        assert_eq!(token_fingerprint(&joined).unwrap(), fp);
+    }
+
+    #[test]
+    fn lower_hits_return_equal_modules() {
+        let cache = mem_cache();
+        let cold = cache.lower(SRC).unwrap();
+        let warm = cache.lower(SRC).unwrap();
+        assert_eq!(cold, warm);
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits_mem, 1);
+        assert_eq!(s.misses_by_stage[Stage::Lower.index()], 1);
+    }
+
+    #[test]
+    fn optimize_reuses_lowered_module() {
+        let cache = mem_cache();
+        cache.optimize(SRC, OptLevel::Basic).unwrap();
+        cache.optimize(SRC, OptLevel::Loop).unwrap();
+        let s = cache.stats();
+        // Two Opt misses but only one Lower miss: the second level reuses
+        // the cached lowering.
+        assert_eq!(s.misses_by_stage[Stage::Opt.index()], 2);
+        assert_eq!(s.misses_by_stage[Stage::Lower.index()], 1);
+        assert_eq!(s.hits_mem, 1);
+    }
+
+    #[test]
+    fn levels_and_thread_widths_do_not_collide() {
+        let cache = mem_cache();
+        let a = cache.codegen_vortex(SRC, Some(OptLevel::None), 4).unwrap();
+        let b = cache.codegen_vortex(SRC, Some(OptLevel::Loop), 4).unwrap();
+        let c = cache.codegen_vortex(SRC, Some(OptLevel::None), 16).unwrap();
+        let raw = cache.codegen_vortex(SRC, None, 4).unwrap();
+        assert_eq!(cache.stats().misses_by_stage[Stage::Vortex.index()], 4);
+        assert_eq!(a[0].threads, 4);
+        assert_eq!(c[0].threads, 16);
+        assert_eq!(raw[0].threads, 4);
+        assert_eq!(b[0].threads, 4);
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
+        let cache = mem_cache();
+        let bad = "__kernel void broken(__global int* d) { d[0] = ; }";
+        assert!(cache.lower(bad).is_err());
+        assert!(cache.lower(bad).is_err());
+        let s = cache.stats();
+        assert_eq!(s.misses, 2, "errors must not be served from cache");
+        assert_eq!(s.hits(), 0);
+    }
+
+    #[test]
+    fn global_defaults_to_memory_only() {
+        // Must not touch `init_global` here: other tests share the process.
+        let g = global();
+        if std::env::var_os("REPRO_CACHE_DIR").is_none() {
+            assert!(g.disk_dir().is_none());
+        }
+    }
+}

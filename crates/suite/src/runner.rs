@@ -4,15 +4,12 @@
 
 use crate::spec::{Benchmark, HostData, LArg, Launch, Scale, Workload};
 use fpga_arch::Device;
-use hls_flow::{synthesize, SynthFailure, SynthOptions};
+use hls_flow::SynthFailure;
 use ocl_ir::interp::{self, KernelArg, Limits, Memory};
 use ocl_ir::passes::OptLevel;
 use repro_diag::ReproError;
 use repro_util::metrics;
-use std::collections::HashMap;
-use std::hash::{DefaultHasher, Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{LazyLock, Mutex};
 use vortex_rt::{Arg, VxSession};
 use vortex_sim::{RecordingSink, SimConfig, TraceEvent};
 
@@ -24,42 +21,17 @@ use vortex_sim::{RecordingSink, SimConfig, TraceEvent};
 /// rewrites fed verbatim to the Intel SDK; see [`run_hls_at`].
 pub const DEFAULT_OPT: OptLevel = OptLevel::VariableReuse;
 
-/// Process-wide memoization of [`compile_bench`], keyed by the source hash
-/// and the optimization level. Differential harnesses and benchmark sweeps
-/// recompile the identical (source, level) pair dozens of times per process;
-/// compilation is pure, so the verified module is cached and cloned out.
-/// Hit/miss traffic is visible as `compile.cache.{hit,miss}`.
-static COMPILE_CACHE: LazyLock<Mutex<HashMap<(u64, u8), ocl_ir::Module>>> =
-    LazyLock::new(|| Mutex::new(HashMap::new()));
-
 /// Compile a benchmark's source and run the shared middle end at `level`.
 ///
 /// Every execution consumer — the reference interpreter, the Vortex flow and
 /// the HLS pipelined-execution model — goes through this single entry point,
 /// so all back ends consume the *same* optimized module instead of silently
-/// comparing different programs. Results are memoized per (source, level);
-/// repeat compilations return a clone of the cached verified module.
+/// comparing different programs. The compile is served by the process-global
+/// content-addressed cache ([`repro_cache::global`]), which replaced the
+/// ad-hoc per-process memoization this module used to carry: keys survive
+/// process restarts, and repeat traffic shows up as `cache.{hit,miss}`.
 pub fn compile_bench(b: &Benchmark, level: OptLevel) -> Result<ocl_ir::Module, ReproError> {
-    let key = {
-        let mut h = DefaultHasher::new();
-        b.name.hash(&mut h);
-        b.source.hash(&mut h);
-        (h.finish(), level as u8)
-    };
-    if let Some(module) = COMPILE_CACHE.lock().unwrap().get(&key) {
-        metrics::counter_add("compile.cache.hit", 1);
-        return Ok(module.clone());
-    }
-    metrics::counter_add("compile.cache.miss", 1);
-    let mut module = metrics::time("suite.frontend", || ocl_front::compile(b.source))?;
-    metrics::time("suite.optimize", || {
-        ocl_ir::passes::optimize_module(&mut module, level)
-    });
-    ocl_ir::verify::verify_module(&module).map_err(|e| ReproError::Verify {
-        message: format!("{} after {level:?} passes: {e}", b.name),
-    })?;
-    COMPILE_CACHE.lock().unwrap().insert(key, module.clone());
-    Ok(module)
+    repro_cache::global().optimize(b.source, level)
 }
 
 /// Outcome of running one benchmark on one back end.
@@ -223,15 +195,7 @@ fn run_vortex_with(
     mut launch: impl FnMut(&mut VxSession, &Launch, &[Arg]) -> Result<vortex_sim::SimResult, ReproError>,
 ) -> Result<VortexTrace, ReproError> {
     metrics::counter_add("suite.runs.vortex", 1);
-    let module = compile_bench(b, level)?;
-    let opts = vortex_cc::CodegenOpts {
-        threads: cfg.hw.threads,
-    };
-    let kernels = module
-        .kernels
-        .iter()
-        .map(|k| vortex_cc::compile_kernel(k, &opts))
-        .collect::<Result<Vec<_>, _>>()?;
+    let kernels = repro_cache::global().codegen_vortex(b.source, Some(level), cfg.hw.threads)?;
     let w = (b.workload)(scale);
     let mut sess = VxSession::with_kernels(cfg.clone(), kernels);
     let bufs: Vec<vortex_rt::Buffer> = w
@@ -306,8 +270,7 @@ pub fn run_hls_at(
     level: OptLevel,
 ) -> Result<Result<RunOutcome, SynthFailure>, ReproError> {
     metrics::counter_add("suite.runs.hls", 1);
-    let raw = metrics::time("suite.frontend", || ocl_front::compile(b.source))?;
-    if let Err(f) = synthesize(&raw, device, &SynthOptions::default()) {
+    if let Err(f) = repro_cache::global().synthesize_hls(b.source, device)? {
         return Ok(Err(f));
     }
     let module = compile_bench(b, level)?;

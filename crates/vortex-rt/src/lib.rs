@@ -353,22 +353,20 @@ impl VxSession {
 /// Compile `src` and launch kernel `name` in one step — the convenience
 /// entry point examples and tests use. The source is compiled *as written*;
 /// use [`compile_for_at`] to run the shared middle end first.
+///
+/// Compilation is served by the process-global content-addressed cache
+/// ([`repro_cache::global`]); every kernel in the module is compiled and
+/// cached together, and the named one is returned.
 pub fn compile_for(
     src: &str,
     name: &str,
     cfg: &SimConfig,
 ) -> Result<CompiledKernel, Box<dyn std::error::Error>> {
-    let module = ocl_front::compile(src)?;
-    let kernel = module
-        .kernel(name)
-        .ok_or_else(|| format!("kernel `{name}` not found"))?;
-    let compiled = vortex_cc::compile_kernel(
-        kernel,
-        &vortex_cc::CodegenOpts {
-            threads: cfg.hw.threads,
-        },
-    )?;
-    Ok(compiled)
+    let kernels = repro_cache::global().codegen_vortex(src, None, cfg.hw.threads)?;
+    kernels
+        .into_iter()
+        .find(|k| k.name == name)
+        .ok_or_else(|| format!("kernel `{name}` not found").into())
 }
 
 /// [`compile_for`] with the shared IR middle end run at `level` before
@@ -380,17 +378,9 @@ pub fn compile_for_at(
     cfg: &SimConfig,
     level: ocl_ir::passes::OptLevel,
 ) -> Result<CompiledKernel, Box<dyn std::error::Error>> {
-    let mut module = ocl_front::compile(src)?;
-    ocl_ir::passes::optimize_module(&mut module, level);
-    ocl_ir::verify::verify_module(&module).map_err(|e| format!("after {level:?} passes: {e}"))?;
-    let kernel = module
-        .kernel(name)
-        .ok_or_else(|| format!("kernel `{name}` not found"))?;
-    let compiled = vortex_cc::compile_kernel(
-        kernel,
-        &vortex_cc::CodegenOpts {
-            threads: cfg.hw.threads,
-        },
-    )?;
-    Ok(compiled)
+    let kernels = repro_cache::global().codegen_vortex(src, Some(level), cfg.hw.threads)?;
+    kernels
+        .into_iter()
+        .find(|k| k.name == name)
+        .ok_or_else(|| format!("kernel `{name}` not found").into())
 }

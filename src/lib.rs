@@ -4,6 +4,7 @@ pub use hls_flow as hls;
 pub use ocl_front as front;
 pub use ocl_ir as ir;
 pub use ocl_suite as suite;
+pub use repro_cache as cache;
 pub use repro_core as repro;
 pub use repro_diag as diag;
 pub use vortex_cc as vcc;

@@ -506,3 +506,162 @@ fn passes_preserve_semantics() {
         assert_eq!(base, opt, "case {case}: kernel:\n{src}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Compile-cache properties (PR 7): content addressing under fuzzing pressure
+// ---------------------------------------------------------------------------
+
+/// The cache can never serve a stale artifact: for random mutants of a
+/// kernel whose original is already cached, looking the mutant up must be
+/// indistinguishable from compiling it fresh — same module bytes when it
+/// compiles, same rejection when it doesn't. Token-preserving mutants are
+/// *allowed* (and expected) to hit; the property holds either way because
+/// equal token streams lower to equal modules.
+#[test]
+fn cache_never_serves_stale_artifacts_for_mutants() {
+    use fpga_gpu_repro::cache::{wire, Cache, CacheConfig};
+    use ocl_ir::passes::OptLevel;
+    let mut r = Rng::new(0xCAC4_0001);
+    let cache = Cache::new(CacheConfig::default());
+    for case in 0..CASES * 2 {
+        let base = arb_kernel(&mut r);
+        cache
+            .optimize(&base, OptLevel::Basic)
+            .unwrap_or_else(|e| panic!("case {case}: base failed: {e}\n{base}"));
+        let mutant = mutate_source(&mut r, &base);
+        let fresh = ocl_front::compile(&mutant).map(|mut m| {
+            ocl_ir::passes::optimize_module(&mut m, OptLevel::Basic);
+            m
+        });
+        match (cache.optimize(&mutant, OptLevel::Basic), fresh) {
+            (Ok(cached), Ok(fresh)) => assert_eq!(
+                wire::encode(&cached),
+                wire::encode(&fresh),
+                "case {case}: cached mutant != fresh mutant\nbase:\n{base}\nmutant:\n{mutant}"
+            ),
+            (Err(_), Err(_)) => {}
+            (cached, fresh) => panic!(
+                "case {case}: cache and fresh compile disagree on acceptance \
+                 (cached ok={}, fresh ok={})\nmutant:\n{mutant}",
+                cached.is_ok(),
+                fresh.is_ok()
+            ),
+        }
+    }
+}
+
+/// Formatting- and comment-only edits keep the content address: random
+/// token-safe reformattings of random kernels fingerprint identically,
+/// are served as hits, and decode to the same artifact bytes.
+#[test]
+fn cache_hits_on_formatting_only_edits() {
+    use fpga_gpu_repro::cache::{token_fingerprint, wire, Cache, CacheConfig};
+    use ocl_ir::passes::OptLevel;
+    let mut r = Rng::new(0xCAC4_0002);
+    for case in 0..CASES {
+        let base = arb_kernel(&mut r);
+        let mut pretty = base.clone();
+        // Each transformation preserves the token stream exactly.
+        if r.bool() {
+            pretty = pretty.replace('\n', "\n\n");
+        }
+        if r.bool() {
+            pretty = pretty.replace(';', ";\n  ");
+        }
+        if r.bool() {
+            pretty = format!("/* case {case} */\n{pretty}");
+        }
+        pretty.push_str("\n// trailing note\n");
+        assert_eq!(
+            token_fingerprint(&base).unwrap(),
+            token_fingerprint(&pretty).unwrap(),
+            "case {case}: formatting changed the fingerprint\n{pretty}"
+        );
+        let cache = Cache::new(CacheConfig::default());
+        let cold = cache.optimize(&base, OptLevel::Basic).unwrap();
+        let warm = cache.optimize(&pretty, OptLevel::Basic).unwrap();
+        assert_eq!(wire::encode(&cold), wire::encode(&warm), "case {case}");
+        let s = cache.stats();
+        assert_eq!(s.hits(), 1, "case {case}: reformatted source did not hit");
+    }
+}
+
+/// Concurrency: hammer one shared disk-backed cache instance from
+/// `par_map` workers (mixed cold and warm traffic over a pool of
+/// kernels), then hammer a *second* instance racing over the same
+/// directory. Every returned artifact must be bit-identical to the fresh
+/// oracle, the store must end up torn-write-free (a cold restart sees
+/// only hits), and no `.tmp` litter may survive.
+#[test]
+fn concurrent_cache_lookups_are_bit_identical_and_disk_stays_clean() {
+    use fpga_gpu_repro::cache::{wire, Cache, CacheConfig};
+    use ocl_ir::passes::OptLevel;
+    use repro_util::par::par_map;
+
+    let dir = std::env::temp_dir().join(format!("repro-cache-prop-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mk = || {
+        Cache::new(CacheConfig {
+            disk_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        })
+    };
+
+    let mut r = Rng::new(0xCAC4_0003);
+    let pool: Vec<String> = (0..12).map(|_| arb_kernel(&mut r)).collect();
+    let oracle: Vec<Vec<u8>> = pool
+        .iter()
+        .map(|src| {
+            let mut m = ocl_front::compile(src).unwrap();
+            ocl_ir::passes::optimize_module(&mut m, OptLevel::Loop);
+            wire::encode(&m)
+        })
+        .collect();
+
+    let cache = mk();
+    let racer = mk();
+    // 4 passes over the pool x 2 racing instances; first touches are cold
+    // (and race each other onto disk), the rest are warm.
+    let jobs: Vec<usize> = (0..pool.len() * 4).map(|j| j % pool.len()).collect();
+    let results = par_map(&jobs, |&i| {
+        let a = wire::encode(&cache.optimize(&pool[i], OptLevel::Loop).unwrap());
+        let b = wire::encode(&racer.optimize(&pool[i], OptLevel::Loop).unwrap());
+        (i, a, b)
+    });
+    for (i, a, b) in results {
+        assert_eq!(
+            a, oracle[i],
+            "instance A returned non-fresh bytes for kernel {i}"
+        );
+        assert_eq!(
+            b, oracle[i],
+            "instance B returned non-fresh bytes for kernel {i}"
+        );
+    }
+    assert_eq!(cache.stats().corrupt + racer.stats().corrupt, 0);
+
+    // A cold restart over the racy directory sees a fully intact store.
+    let fresh = mk();
+    for (i, src) in pool.iter().enumerate() {
+        let m = wire::encode(&fresh.optimize(src, OptLevel::Loop).unwrap());
+        assert_eq!(m, oracle[i], "post-race disk entry for kernel {i} is wrong");
+    }
+    let s = fresh.stats();
+    assert_eq!(s.misses, 0, "racing writers left holes in the store");
+    assert_eq!(s.corrupt, 0, "racing writers tore an entry");
+    let tmp_litter = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|f| {
+            f.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|e| e == "tmp")
+        })
+        .count();
+    assert_eq!(
+        tmp_litter, 0,
+        "temporary files leaked past the atomic rename"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
