@@ -12,6 +12,11 @@
 //! repro profile <bench>     hot-PC + stall-attribution profile of a Vortex run
 //! repro opt-report <bench> [--timing]  middle-end report across opt levels
 //! repro check               fail-soft coverage sweep with failure classes
+//! repro run <bench> [--flow vortex|interp|hls]
+//!                           one benchmark as a scheduled job
+//! repro serve [--once] [--listen <addr>] [--deadline-ms <n>]
+//!                           long-running NDJSON batch service (stdin/socket)
+//! repro bench-serve         batch throughput at 1/2/4 workers (BENCH_serve.json)
 //! repro perf-report [--baseline <file>] [--threshold <frac>] [--no-grid]
 //!                           perf dashboard (markdown + HTML + manifest)
 //! repro cache stats|clear   inspect or wipe the compile cache (runs/cache)
@@ -25,6 +30,10 @@
 //! `BENCH_sim.json`.
 //!
 //! `--fast` shrinks the Figure 7 problem sizes (useful without `--release`).
+//! `--workers N` sizes the work-stealing executor pool every execution
+//! command submits its jobs to (`run`, `check`, `serve`, `perf-report`) —
+//! cycle counts are bit-identical at any width, and the actual pool size is
+//! recorded in the manifest fingerprint.
 //! `--sim-threads N` runs the cycle simulator on N deterministic worker
 //! threads (`bench-sim`, `perf-report`) — results are bit-identical at any
 //! N, and the count is recorded in the manifest fingerprint.
@@ -41,7 +50,8 @@ use ocl_ir::passes::OptLevel;
 use ocl_suite::Scale;
 use repro_core::report;
 use repro_core::{coverage_table, fig7_grid, fig7_summary, table2, table3, table4};
-use repro_core::{host_meta, RunManifest};
+use repro_core::{host_meta, RunManifest, ServeOptions};
+use repro_sched::{ExecConfig, Executor, Flow, JobRequest};
 use std::fs;
 
 fn save_json(name: &str, value: &impl repro_util::ToJson) {
@@ -334,7 +344,7 @@ fn run_bench_sim(fast: bool, level: OptLevel, sim_threads: u32, manifest: &mut R
         ("timing_iters_best_of", (iters as u64).to_json()),
         (
             "meta",
-            host_meta(level, Some(iters as u64), sim_threads).to_json(),
+            host_meta(level, Some(iters as u64), sim_threads, 1).to_json(),
         ),
         ("grid", Json::Array(cells)),
         ("dense_total_secs", dense_total.to_json()),
@@ -435,9 +445,9 @@ fn run_profile(name: &str, level: OptLevel) {
     print!("{}", report::render_profile(b.name, &sections, 8));
 }
 
-fn run_check(manifest: &mut RunManifest) -> i32 {
+fn run_check(exec: &Executor, manifest: &mut RunManifest) -> i32 {
     println!("## Fail-soft coverage check (both flows, watchdog + panic isolation)\n");
-    let rows = repro_core::check_suite(Scale::Test, VortexConfig::new(2, 4, 16));
+    let rows = repro_core::check_suite_on(exec, Scale::Test, VortexConfig::new(2, 4, 16));
     print!("{}", repro_core::render_check(&rows));
     save_json("check", &repro_core::check_json(&rows));
     for r in &rows {
@@ -489,6 +499,7 @@ fn run_perf_report(
     level: OptLevel,
     fast: bool,
     sim_threads: u32,
+    workers: usize,
     manifest: &mut RunManifest,
 ) -> i32 {
     use repro_core::{collect_perf, compare_to_baseline, PerfOptions};
@@ -515,6 +526,7 @@ fn run_perf_report(
         bench_filter: None,
         grid: !args.iter().any(|a| a == "--no-grid"),
         sim_threads,
+        workers,
     };
     let perf = collect_perf(&opts);
     repro_core::fill_manifest(manifest, &perf);
@@ -574,6 +586,151 @@ fn run_opt_report(name: &str, timing: bool) {
             std::process::exit(1);
         }
     }
+}
+
+/// `repro run <bench> [--flow vortex|interp|hls]` — one benchmark as a
+/// scheduled job through the same executor path `serve` uses, printing the
+/// outcome line a serve client would receive.
+fn run_run(args: &[String], exec: &Executor, level: OptLevel, manifest: &mut RunManifest) -> i32 {
+    use repro_util::ToJson;
+    let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: repro run <bench> [--flow vortex|interp|hls]");
+        return 2;
+    };
+    let flow = match args.iter().position(|a| a == "--flow") {
+        None => Flow::Vortex,
+        Some(i) => match args.get(i + 1).and_then(|s| Flow::parse(s)) {
+            Some(f) => f,
+            None => {
+                eprintln!("--flow expects one of: vortex, interp, hls");
+                return 2;
+            }
+        },
+    };
+    let mut req = JobRequest::bench(bench, flow);
+    req.opt = Some(level);
+    let outcomes = exec.run(vec![ocl_suite::instantiate(req)]);
+    let oc = &outcomes[0];
+    println!("{}", oc.to_json().to_pretty());
+    manifest.push_bench(
+        bench,
+        match flow {
+            Flow::Vortex => "vortex",
+            Flow::Interp => "interp",
+            Flow::Hls => "hls",
+        },
+        oc.wall_secs,
+        oc.stats().map(|s| s.cycles),
+        oc.is_ok(),
+    );
+    if oc.is_ok() {
+        0
+    } else {
+        1
+    }
+}
+
+/// `repro serve [--once] [--listen <addr>] [--deadline-ms <n>]` — the
+/// long-running batch mode. Jobs arrive as newline-delimited JSON on stdin
+/// (or a TCP socket with `--listen`), run on the shared worker pool, and
+/// responses stream back one compact JSON line per job plus a summary per
+/// batch. The compile cache and metrics registry stay warm across batches;
+/// the exit manifest carries the scheduler counters.
+fn run_serve(args: &[String], exec: &Executor, manifest: &mut RunManifest) -> i32 {
+    let once = args.iter().any(|a| a == "--once");
+    let deadline_ms = match args.iter().position(|a| a == "--deadline-ms") {
+        None => None,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+            Some(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!("--deadline-ms expects a positive integer");
+                return 2;
+            }
+        },
+    };
+    let listen = args
+        .iter()
+        .position(|a| a == "--listen")
+        .and_then(|i| args.get(i + 1));
+    let opts = ServeOptions {
+        workers: exec.workers(),
+        once,
+        deadline_ms,
+    };
+    let served = match listen {
+        Some(addr) => {
+            eprintln!(
+                "serving NDJSON batches on {addr} ({} workers)",
+                exec.workers()
+            );
+            repro_core::serve_socket(exec, &opts, addr)
+        }
+        None => {
+            eprintln!(
+                "serving NDJSON batches on stdin ({} workers)",
+                exec.workers()
+            );
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            repro_core::serve_lines(exec, &opts, stdin.lock(), stdout.lock())
+        }
+    };
+    match served {
+        Ok(s) => {
+            eprintln!(
+                "served {} batch(es): {} job(s), {} ok, {} failed, {} rejected line(s)",
+                s.batches, s.jobs, s.ok, s.failed, s.rejected
+            );
+            manifest
+                .failure_classes
+                .push(("JobsFailed".to_string(), s.failed));
+            if s.failed > 0 {
+                1
+            } else {
+                0
+            }
+        }
+        Err(e) => {
+            eprintln!("serve I/O error: {e}");
+            1
+        }
+    }
+}
+
+/// `repro bench-serve` — batch throughput over the 56-job workload at
+/// 1/2/4 workers, asserting bit-identical results across widths, written
+/// to `BENCH_serve.json`.
+fn run_bench_serve(manifest: &mut RunManifest) {
+    println!("## Batch throughput — 28 benchmarks x 2 opt levels, Vortex flow\n");
+    let doc = repro_core::bench_serve(&[1, 2, 4]);
+    println!("| workers | jobs | ok | wall s | jobs/s | p50 s | p95 s | steals |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for row in doc.get("widths").and_then(|v| v.as_array()).unwrap_or(&[]) {
+        let f = |k: &str| row.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        println!(
+            "| {} | {} | {} | {:.3} | {:.1} | {:.4} | {:.4} | {} |",
+            f("workers"),
+            f("jobs"),
+            f("ok"),
+            f("wall_secs"),
+            f("jobs_per_sec"),
+            f("p50_latency_secs"),
+            f("p95_latency_secs"),
+            f("steals"),
+        );
+        manifest.push_bench(
+            &format!("serve@{}w", f("workers")),
+            "grid",
+            f("wall_secs"),
+            None,
+            true,
+        );
+    }
+    if let Some(note) = doc.get("note").and_then(|v| v.as_str()) {
+        println!("\n{note}");
+    }
+    let _ = fs::write("BENCH_serve.json", doc.to_pretty());
+    save_json("bench_serve", &doc);
 }
 
 /// The on-disk tier of the compile cache for `repro` invocations. The
@@ -653,6 +810,20 @@ fn main() {
             }
         },
     };
+    let workers = match args.iter().position(|a| a == "--workers") {
+        None => 1,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--workers expects a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
+    // One work-stealing pool per invocation, shared by every batch the
+    // command submits (`run`, `check`, `serve`, `perf-report`). Idle
+    // workers park, so the table/figure commands pay nothing for it.
+    let exec = Executor::new(ExecConfig::with_workers(workers));
     // Every invocation records its pipeline spans and a RunManifest; the
     // registry is a single relaxed atomic when nothing reads it, so this
     // costs nothing measurable even on the timing commands.
@@ -661,7 +832,7 @@ fn main() {
         "bench-sim" => Some(if fast { 3 } else { 2 }),
         _ => None,
     };
-    let mut manifest = RunManifest::new(cmd, &args, host_meta(level, iters, sim_threads));
+    let mut manifest = RunManifest::new(cmd, &args, host_meta(level, iters, sim_threads, workers));
     let t0 = std::time::Instant::now();
     let code = match cmd {
         "table1" => {
@@ -692,9 +863,15 @@ fn main() {
             run_bench_sim(fast, level, sim_threads, &mut manifest);
             0
         }
-        "check" => run_check(&mut manifest),
+        "check" => run_check(&exec, &mut manifest),
+        "run" => run_run(&args, &exec, level, &mut manifest),
+        "serve" => run_serve(&args, &exec, &mut manifest),
+        "bench-serve" => {
+            run_bench_serve(&mut manifest);
+            0
+        }
         "cache" => run_cache(args.get(1).map(String::as_str)),
-        "perf-report" => run_perf_report(&args, level, fast, sim_threads, &mut manifest),
+        "perf-report" => run_perf_report(&args, level, fast, sim_threads, workers, &mut manifest),
         "trace" | "profile" | "opt-report" => {
             let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")) else {
                 eprintln!("usage: repro {cmd} <bench>");

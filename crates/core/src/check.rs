@@ -14,16 +14,18 @@
 //! perf trajectory as well as a health report (`repro perf-report` compares
 //! consecutive manifests built from it).
 
-use fpga_arch::{Device, VortexConfig};
-use ocl_suite::{all_benchmarks, run_isolated, FailureClass, ReproError, Scale};
-use repro_util::{timing, Json, ToJson};
-use vortex_sim::SimConfig;
+use fpga_arch::VortexConfig;
+use ocl_suite::{all_benchmarks, FailureClass, ReproError, Scale};
+use repro_sched::{ExecConfig, Executor, Flow, JobRequest, Payload};
+use repro_util::{Json, ToJson};
 
 /// Watchdog budgets for the sweep. `Scale::Test` benchmarks finish in well
 /// under a million cycles; these ceilings are generous enough to never trip
 /// on a healthy kernel while still bounding a runaway one to seconds.
-pub const CHECK_MAX_CYCLES: u64 = 20_000_000;
-pub const CHECK_MAX_INSTRUCTIONS: u64 = 200_000_000;
+/// These are the scheduler-wide defaults — every job submitted without
+/// explicit budgets runs under exactly these ceilings.
+pub const CHECK_MAX_CYCLES: u64 = repro_sched::DEFAULT_MAX_CYCLES;
+pub const CHECK_MAX_INSTRUCTIONS: u64 = repro_sched::DEFAULT_MAX_INSTRUCTIONS;
 
 /// Counters of one successful flow run — what the budget was spent on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,47 +145,74 @@ impl ToJson for CheckRow {
     }
 }
 
-/// Run the whole suite fail-soft on both flows and collect one row per
-/// benchmark. A benchmark that faults — or panics — cannot cost any other
-/// benchmark its row.
-pub fn check_suite(scale: Scale, hw: VortexConfig) -> Vec<CheckRow> {
-    let device = Device::mx2100();
-    let mut cfg = SimConfig::new(hw);
-    cfg.max_cycles = CHECK_MAX_CYCLES;
-    cfg.max_instructions = CHECK_MAX_INSTRUCTIONS;
+/// The 56 requests of one sweep — each benchmark on both flows, with the
+/// check budgets and the simulated machine `hw`. Job ids encode the batch
+/// position so serve-side logs stay attributable.
+pub fn check_requests(scale: Scale, hw: VortexConfig) -> Vec<JobRequest> {
     all_benchmarks()
         .iter()
-        .map(|b| {
-            let (vortex, v_secs) = timing::time(|| {
-                run_isolated(|| {
-                    ocl_suite::run_vortex(b, scale, &cfg).map(|o| FlowStats {
-                        cycles: o.cycles,
-                        instructions: o.instructions,
-                    })
-                })
-            });
-            let (hls, h_secs) = timing::time(|| {
-                run_isolated(|| match ocl_suite::run_hls(b, scale, &device)? {
-                    Ok(o) => Ok(FlowStats {
-                        cycles: o.cycles,
-                        instructions: o.instructions,
-                    }),
-                    Err(f) => Err(f.into()),
-                })
-            });
+        .flat_map(|b| {
+            [Flow::Vortex, Flow::Hls].into_iter().map(|flow| {
+                let mut req = JobRequest::bench(b.name, flow);
+                req.payload = Payload::Bench {
+                    name: b.name.to_string(),
+                    paper_scale: matches!(scale, Scale::Paper),
+                };
+                req.cores = hw.cores;
+                req.warps = hw.warps;
+                req.threads = hw.threads;
+                req
+            })
+        })
+        .enumerate()
+        .map(|(i, mut req)| {
+            req.id = i as u64;
+            req
+        })
+        .collect()
+}
+
+/// Run the whole suite fail-soft on both flows and collect one row per
+/// benchmark. A benchmark that faults — or panics — cannot cost any other
+/// benchmark its row. All jobs go through `exec`'s worker pool; with one
+/// worker the rows are produced exactly as the old sequential sweep did,
+/// and the simulator's determinism makes the counters identical at any
+/// pool width.
+pub fn check_suite_on(exec: &Executor, scale: Scale, hw: VortexConfig) -> Vec<CheckRow> {
+    let jobs = check_requests(scale, hw)
+        .into_iter()
+        .map(ocl_suite::instantiate)
+        .collect();
+    let outcomes = exec.run(jobs);
+    outcomes
+        .chunks(2)
+        .map(|pair| {
+            let to_flow = |oc: &repro_sched::JobOutcome| FlowCheck {
+                outcome: oc.result.clone().map(|s| FlowStats {
+                    cycles: s.cycles,
+                    instructions: s.instructions,
+                }),
+                wall_secs: oc.wall_secs,
+            };
+            let name = pair[0]
+                .label
+                .split('/')
+                .next()
+                .unwrap_or_default()
+                .to_string();
             CheckRow {
-                name: b.name.to_string(),
-                vortex: FlowCheck {
-                    outcome: vortex,
-                    wall_secs: v_secs,
-                },
-                hls: FlowCheck {
-                    outcome: hls,
-                    wall_secs: h_secs,
-                },
+                name,
+                vortex: to_flow(&pair[0]),
+                hls: to_flow(&pair[1]),
             }
         })
         .collect()
+}
+
+/// [`check_suite_on`] with a private single-worker executor — the
+/// sequential-equivalent form every existing caller and test uses.
+pub fn check_suite(scale: Scale, hw: VortexConfig) -> Vec<CheckRow> {
+    check_suite_on(&Executor::new(ExecConfig::with_workers(1)), scale, hw)
 }
 
 /// True if any row carries a `Hang` or `Panic` classification — the CI

@@ -20,7 +20,10 @@
 //! * [`manifest`] — per-invocation RunManifest records (host/commit/config
 //!   metadata + per-benchmark wall times + metrics snapshot);
 //! * [`perf_report`] — the `repro perf-report` perf-regression dashboard
-//!   (markdown + HTML + baseline comparison).
+//!   (markdown + HTML + baseline comparison);
+//! * [`serve`] — the `repro serve` long-running batch service (NDJSON jobs
+//!   over stdin or a socket into the shared work-stealing executor) and the
+//!   `BENCH_serve.json` throughput harness.
 
 pub mod analytic;
 pub mod check;
@@ -32,11 +35,12 @@ pub mod opt_report;
 pub mod perf_html;
 pub mod perf_report;
 pub mod report;
+pub mod serve;
 pub mod tables;
 
 pub use check::{
-    check_has_hard_failure, check_json, check_suite, render_check, CheckRow, FlowCheck, FlowStats,
-    CHECK_MAX_CYCLES, CHECK_MAX_INSTRUCTIONS,
+    check_has_hard_failure, check_json, check_requests, check_suite, check_suite_on, render_check,
+    CheckRow, FlowCheck, FlowStats, CHECK_MAX_CYCLES, CHECK_MAX_INSTRUCTIONS,
 };
 pub use chrome_trace::chrome_trace;
 pub use coverage::{coverage_table, CoverageRow};
@@ -48,4 +52,5 @@ pub use perf_report::{
     collect_perf, compare_to_baseline, fill_manifest, render_perf_markdown, Comparison,
     MetricDelta, PerfOptions, PerfReport, DEFAULT_THRESHOLD,
 };
+pub use serve::{bench_serve, serve_lines, serve_socket, ServeOptions, ServeSummary};
 pub use tables::{table2, table3, table4, AreaRow};

@@ -49,6 +49,11 @@ pub struct HostMeta {
     /// the wall-clock comparability fingerprint, so parallel-sim baselines
     /// never silently gate against sequential ones.
     pub threads: u64,
+    /// Scheduler worker-pool size the run used (`--workers`) — the actual
+    /// executor width, never a hardcoded placeholder. Also part of the
+    /// comparability fingerprint: a 4-worker batch's wall times are not
+    /// comparable to a sequential run's.
+    pub workers: u64,
     pub os: &'static str,
     pub arch: &'static str,
     /// `debug` or `release` — wall-clock numbers from the two are not
@@ -85,13 +90,19 @@ fn git_rev() -> String {
 }
 
 /// Collect [`HostMeta`] for a run at `level` using `sim_threads` simulator
-/// worker threads.
-pub fn host_meta(level: OptLevel, timing_iters_best_of: Option<u64>, sim_threads: u32) -> HostMeta {
+/// worker threads on a `workers`-wide scheduler pool.
+pub fn host_meta(
+    level: OptLevel,
+    timing_iters_best_of: Option<u64>,
+    sim_threads: u32,
+    workers: usize,
+) -> HostMeta {
     HostMeta {
         git_rev: git_rev(),
         opt_level: level.flag_name().to_string(),
         timing_iters_best_of,
         threads: sim_threads as u64,
+        workers: workers as u64,
         os: std::env::consts::OS,
         arch: std::env::consts::ARCH,
         profile: if cfg!(debug_assertions) {
@@ -113,6 +124,7 @@ impl ToJson for HostMeta {
             ("opt_level", self.opt_level.to_json()),
             ("timing_iters_best_of", self.timing_iters_best_of.to_json()),
             ("threads", self.threads.to_json()),
+            ("workers", self.workers.to_json()),
             ("os", self.os.to_json()),
             ("arch", self.arch.to_json()),
             ("profile", self.profile.to_json()),
@@ -259,7 +271,7 @@ mod tests {
         let mut m = RunManifest::new(
             "check",
             &["check".to_string()],
-            host_meta(OptLevel::VariableReuse, None, 2),
+            host_meta(OptLevel::VariableReuse, None, 2, 4),
         );
         m.push_bench("Vecadd", "vortex", 0.01, Some(4242), true);
         m.push_bench("Hybridsort", "hls", 0.02, None, false);
@@ -274,6 +286,7 @@ mod tests {
         let meta = doc.get("meta").unwrap();
         assert_eq!(meta.get("opt_level").unwrap().as_str(), Some("reuse"));
         assert_eq!(meta.get("threads").unwrap().as_u64(), Some(2));
+        assert_eq!(meta.get("workers").unwrap().as_u64(), Some(4));
         let rows = manifest_benchmarks(&doc).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].cycles, Some(4242));

@@ -373,6 +373,7 @@ mod tests {
             grid_scale: "test",
             notes: vec!["grid: skipped (--no-grid)".to_string()],
             sim_threads: 1,
+            workers: 1,
         };
         let html = render_perf_html(&r, None);
         assert!(html.starts_with("<!DOCTYPE html>"));

@@ -19,13 +19,13 @@
 //! floor). `repro perf-report --baseline …` exits nonzero when any tracked
 //! metric regresses beyond the threshold.
 
-use crate::check::{check_suite, CheckRow};
+use crate::check::{check_suite_on, CheckRow};
 use crate::manifest::{manifest_benchmarks, RunManifest};
 use fpga_arch::VortexConfig;
 use ocl_ir::passes::OptLevel;
-use ocl_suite::{benchmark, run_vortex_at, Scale};
-use repro_util::{metrics, timing, Json, ToJson};
-use vortex_sim::SimConfig;
+use ocl_suite::{benchmark, Scale};
+use repro_sched::{ExecConfig, Executor, Flow, JobRequest};
+use repro_util::{metrics, Json, ToJson};
 
 /// Default regression threshold: a tracked metric regresses when
 /// `current > baseline * (1 + threshold)`.
@@ -83,6 +83,10 @@ pub struct PerfReport {
     /// Simulator worker threads the grid ran with — part of the
     /// wall-comparability fingerprint against baselines.
     pub sim_threads: u32,
+    /// Scheduler worker-pool width the collection ran at — also part of
+    /// the fingerprint (wall times from a 4-worker batch are not
+    /// comparable to a sequential run's).
+    pub workers: usize,
 }
 
 /// What to collect. `bench_filter` limits the suite sweep (tests use a
@@ -96,6 +100,9 @@ pub struct PerfOptions {
     pub grid: bool,
     /// Simulator worker threads for the grid cells (`--sim-threads`).
     pub sim_threads: u32,
+    /// Scheduler worker-pool width (`--workers`); everything the report
+    /// measures goes through one executor of this size.
+    pub workers: usize,
 }
 
 impl Default for PerfOptions {
@@ -107,6 +114,7 @@ impl Default for PerfOptions {
             bench_filter: None,
             grid: true,
             sim_threads: 1,
+            workers: 1,
         }
     }
 }
@@ -122,47 +130,60 @@ pub const GRID_STEPS: [u32; 3] = [4, 8, 16];
 pub fn collect_perf(opts: &PerfOptions) -> PerfReport {
     metrics::reset();
     metrics::enable();
-    let mut rows = check_suite(Scale::Test, opts.hw);
+    let exec = Executor::new(ExecConfig::with_workers(opts.workers));
+    let mut rows = check_suite_on(&exec, Scale::Test, opts.hw);
     if let Some(filter) = &opts.bench_filter {
         rows.retain(|r| filter.iter().any(|f| f == &r.name));
     }
     let mut grid = Vec::new();
     let mut notes = Vec::new();
     if opts.grid {
+        let mut reqs = Vec::new();
         for name in GRID_BENCHES {
-            let Some(b) = benchmark(name) else {
+            if benchmark(name).is_none() {
                 notes.push(format!("grid: unknown benchmark `{name}`"));
                 continue;
-            };
+            }
             for w in GRID_STEPS {
                 for t in GRID_STEPS {
-                    let mut cfg = SimConfig::new(VortexConfig::new(4, w, t));
-                    cfg.sim_threads = opts.sim_threads;
-                    let (r, first_secs) =
-                        timing::time(|| run_vortex_at(&b, opts.grid_scale, &cfg, opts.level));
-                    match r {
-                        Ok(o) => {
-                            // Best-of-3 like `bench-sim`, so wall deltas
-                            // against its baseline compare like with like
-                            // (a single run is systematically slower and
-                            // noisier than a best-of).
-                            let timed = timing::bench(2, || {
-                                run_vortex_at(&b, opts.grid_scale, &cfg, opts.level)
-                                    .map(|o| o.cycles)
-                                    .unwrap_or(0)
-                            });
-                            grid.push(GridCell {
-                                benchmark: name.to_string(),
-                                cores: 4,
-                                warps: w,
-                                threads: t,
-                                sim_cycles: o.cycles,
-                                host_secs: timed.best_secs.min(first_secs),
-                            });
-                        }
-                        Err(e) => notes.push(format!("grid: {name} 4c{w}w{t}t failed: {e}")),
-                    }
+                    reqs.push(grid_request(name, w, t, opts));
                 }
+            }
+        }
+        // Best-of-3 like `bench-sim`, so wall deltas against its baseline
+        // compare like with like (a single run is systematically slower
+        // and noisier than a best-of). Each round is one executor batch;
+        // cycles are deterministic, so only the wall times differ between
+        // rounds.
+        const ROUNDS: usize = 3;
+        let rounds: Vec<Vec<repro_sched::JobOutcome>> = (0..ROUNDS)
+            .map(|_| {
+                exec.run(
+                    reqs.iter()
+                        .cloned()
+                        .map(ocl_suite::instantiate)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        for (i, req) in reqs.iter().enumerate() {
+            let first = &rounds[0][i];
+            match &first.result {
+                Ok(stats) => grid.push(GridCell {
+                    benchmark: match &req.payload {
+                        repro_sched::Payload::Bench { name, .. } => name.clone(),
+                        _ => unreachable!("grid requests are bench payloads"),
+                    },
+                    cores: req.cores,
+                    warps: req.warps,
+                    threads: req.threads,
+                    sim_cycles: stats.cycles,
+                    host_secs: rounds
+                        .iter()
+                        .map(|r| r[i].wall_secs)
+                        .fold(f64::INFINITY, f64::min),
+                }),
+                Err(e) => notes.push(format!("grid: {} failed: {e}", first.label)),
             }
         }
     } else {
@@ -192,7 +213,24 @@ pub fn collect_perf(opts: &PerfOptions) -> PerfReport {
         },
         notes,
         sim_threads: opts.sim_threads,
+        workers: exec.workers(),
     }
+}
+
+/// One Figure 7 grid cell as a job request: `name` at 4 cores, `w`×`t`,
+/// on the Vortex flow at the report's level, scale and simulator threads.
+fn grid_request(name: &str, w: u32, t: u32, opts: &PerfOptions) -> JobRequest {
+    let mut req = JobRequest::bench(name, Flow::Vortex);
+    req.payload = repro_sched::Payload::Bench {
+        name: name.to_string(),
+        paper_scale: matches!(opts.grid_scale, Scale::Paper),
+    };
+    req.opt = Some(opts.level);
+    req.cores = 4;
+    req.warps = w;
+    req.threads = t;
+    req.sim_threads = opts.sim_threads;
+    req
 }
 
 /// Fill a [`RunManifest`]'s benchmark rows from a collected report: one
@@ -301,20 +339,22 @@ fn classify(deltas: Vec<MetricDelta>, threshold: f64) -> (Vec<MetricDelta>, Vec<
 }
 
 /// True when the baseline's host fingerprint (`meta`: os, arch, sim
-/// threads, build profile) matches this run, i.e. its wall-clock numbers
-/// are comparable to ours. Cycles are machine-independent and always
-/// compared; a baseline recorded on different hardware, under a different
-/// build profile, or with a different simulator thread count contributes
-/// only those. Baselines without a `meta` block predate the fingerprint
-/// and get cycles-only treatment too.
+/// threads, scheduler workers, build profile) matches this run, i.e. its
+/// wall-clock numbers are comparable to ours. Cycles are
+/// machine-independent and always compared; a baseline recorded on
+/// different hardware, under a different build profile, or with a
+/// different simulator thread or worker-pool count contributes only
+/// those. Baselines without a `meta` block (or whose meta predates the
+/// `workers` field) get cycles-only treatment too.
 fn wall_comparable(baseline_meta: Option<&Json>, report: &PerfReport) -> bool {
     let Some(meta) = baseline_meta else {
         return false;
     };
-    let here = crate::manifest::host_meta(OptLevel::None, None, report.sim_threads);
+    let here = crate::manifest::host_meta(OptLevel::None, None, report.sim_threads, report.workers);
     meta.get("os").and_then(|v| v.as_str()) == Some(here.os)
         && meta.get("arch").and_then(|v| v.as_str()) == Some(here.arch)
         && meta.get("threads").and_then(|v| v.as_u64()) == Some(here.threads)
+        && meta.get("workers").and_then(|v| v.as_u64()) == Some(here.workers)
         && meta.get("profile").and_then(|v| v.as_str()) == Some(here.profile)
 }
 
@@ -794,6 +834,7 @@ mod tests {
             grid_scale: "test",
             notes: Vec::new(),
             sim_threads: 1,
+            workers: 1,
         }
     }
 
@@ -803,7 +844,7 @@ mod tests {
         let mut m = RunManifest::new(
             "perf-report",
             &[],
-            crate::manifest::host_meta(OptLevel::VariableReuse, None, 1),
+            crate::manifest::host_meta(OptLevel::VariableReuse, None, 1, 1),
         );
         for row in &r.rows {
             m.push_bench(

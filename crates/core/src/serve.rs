@@ -1,0 +1,506 @@
+//! `repro serve` — the long-running batch service.
+//!
+//! Turns the one-shot CLI into a resident process: jobs arrive as
+//! newline-delimited JSON ([`repro_sched::JobRequest`] wire form) on stdin
+//! or a TCP socket, queue into one shared work-stealing
+//! [`repro_sched::Executor`], and come back as one compact JSON line per
+//! outcome plus a per-batch summary line. The process keeps the PR 7
+//! compile cache and the metrics registry warm across batches, so a second
+//! submission of the same kernels pays no compile cost.
+//!
+//! Protocol (NDJSON, line-oriented):
+//!
+//! * a line holding a JSON **object** is one job request, appended to the
+//!   pending batch;
+//! * a line holding a JSON **array** is a whole batch, submitted
+//!   immediately (after any pending single-job lines);
+//! * a **blank** line submits the pending batch;
+//! * **EOF** submits whatever is pending, then exits.
+//!
+//! A malformed line produces one `{"ok": false, "error": …}` response line
+//! and never aborts the service (the same fail-soft contract the executor
+//! gives panicking jobs). Responses for a batch are emitted in submission
+//! order — the executor guarantees slot order no matter which worker ran
+//! what — followed by a summary line:
+//!
+//! ```json
+//! {"batch":1,"jobs":56,"ok":50,"failed":6,"wall_secs":3.2,"jobs_per_sec":17.5}
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::time::Instant;
+
+use ocl_ir::passes::OptLevel;
+use ocl_suite::{all_benchmarks, instantiate};
+use repro_sched::{ExecConfig, Executor, Flow, JobOutcome, JobRequest};
+use repro_util::{Json, ToJson};
+
+use crate::manifest::host_meta;
+
+/// Configuration for one serve session.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker-pool width of the shared executor.
+    pub workers: usize,
+    /// Exit after the first submitted batch (CI smoke mode).
+    pub once: bool,
+    /// Wall-clock deadline applied to every job that does not set its own
+    /// `deadline_ms` — the service-level guarantee that no client request
+    /// can wedge a worker forever.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            workers: 1,
+            once: false,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// What one serve session did, for the exit manifest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    pub batches: u64,
+    pub jobs: u64,
+    pub ok: u64,
+    pub failed: u64,
+    /// Protocol errors (unparseable lines) — answered but never executed.
+    pub rejected: u64,
+}
+
+/// One batch's worth of responses: the outcome lines then the summary line.
+fn write_batch(
+    out: &mut dyn Write,
+    batch_no: u64,
+    outcomes: &[JobOutcome],
+    wall_secs: f64,
+) -> std::io::Result<()> {
+    for oc in outcomes {
+        writeln!(out, "{}", oc.to_json().to_compact())?;
+    }
+    let ok = outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+    let failed = outcomes.len() as u64 - ok;
+    let jobs_per_sec = if wall_secs > 0.0 {
+        outcomes.len() as f64 / wall_secs
+    } else {
+        0.0
+    };
+    let summary = Json::obj(vec![
+        ("batch", batch_no.to_json()),
+        ("jobs", (outcomes.len() as u64).to_json()),
+        ("ok", ok.to_json()),
+        ("failed", failed.to_json()),
+        ("wall_secs", wall_secs.to_json()),
+        ("jobs_per_sec", jobs_per_sec.to_json()),
+    ]);
+    writeln!(out, "{}", summary.to_compact())?;
+    out.flush()
+}
+
+/// The protocol-error response line for an unparseable request.
+fn write_reject(out: &mut dyn Write, detail: &str) -> std::io::Result<()> {
+    let line = Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj(vec![
+                ("kind", "Protocol".to_json()),
+                ("detail", detail.to_json()),
+            ]),
+        ),
+    ]);
+    writeln!(out, "{}", line.to_compact())?;
+    out.flush()
+}
+
+fn parse_request(j: &Json, opts: &ServeOptions) -> Result<JobRequest, String> {
+    let mut req = JobRequest::parse(j)?;
+    if req.deadline_ms.is_none() {
+        req.deadline_ms = opts.deadline_ms;
+    }
+    Ok(req)
+}
+
+/// Run the NDJSON protocol over any line source and sink — the whole serve
+/// loop, parameterized over I/O so tests drive it with in-memory buffers
+/// and both stdin and socket modes share it.
+pub fn serve_lines(
+    exec: &Executor,
+    opts: &ServeOptions,
+    input: impl BufRead,
+    mut out: impl Write,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    let mut pending: Vec<JobRequest> = Vec::new();
+    let flush = |pending: &mut Vec<JobRequest>,
+                 summary: &mut ServeSummary,
+                 out: &mut dyn Write|
+     -> std::io::Result<bool> {
+        if pending.is_empty() {
+            return Ok(false);
+        }
+        summary.batches += 1;
+        let reqs = std::mem::take(pending);
+        let started = Instant::now();
+        let outcomes = exec.run(reqs.into_iter().map(instantiate).collect());
+        let wall = started.elapsed().as_secs_f64();
+        summary.jobs += outcomes.len() as u64;
+        summary.ok += outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+        summary.failed += outcomes.iter().filter(|o| !o.is_ok()).count() as u64;
+        write_batch(out, summary.batches, &outcomes, wall)?;
+        Ok(true)
+    };
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            if flush(&mut pending, &mut summary, &mut out)? && opts.once {
+                return Ok(summary);
+            }
+            continue;
+        }
+        match Json::parse(line) {
+            Ok(Json::Array(items)) => {
+                for item in &items {
+                    match parse_request(item, opts) {
+                        Ok(req) => pending.push(req),
+                        Err(e) => {
+                            summary.rejected += 1;
+                            write_reject(&mut out, &e)?;
+                        }
+                    }
+                }
+                if flush(&mut pending, &mut summary, &mut out)? && opts.once {
+                    return Ok(summary);
+                }
+            }
+            Ok(obj @ Json::Object(_)) => match parse_request(&obj, opts) {
+                Ok(req) => pending.push(req),
+                Err(e) => {
+                    summary.rejected += 1;
+                    write_reject(&mut out, &e)?;
+                }
+            },
+            Ok(_) => {
+                summary.rejected += 1;
+                write_reject(&mut out, "request line must be a JSON object or array")?;
+            }
+            Err(e) => {
+                summary.rejected += 1;
+                write_reject(&mut out, &format!("bad JSON: {e}"))?;
+            }
+        }
+    }
+    flush(&mut pending, &mut summary, &mut out)?;
+    Ok(summary)
+}
+
+/// Serve the NDJSON protocol on a listening TCP socket. Connections are
+/// handled one at a time — the parallelism lives in the worker pool, not
+/// in connection handling — and each connection runs the same protocol
+/// loop as stdin mode. With `once`, returns after the first connection.
+pub fn serve_socket(
+    exec: &Executor,
+    opts: &ServeOptions,
+    addr: &str,
+) -> std::io::Result<ServeSummary> {
+    let listener = TcpListener::bind(addr)?;
+    let mut total = ServeSummary::default();
+    for conn in listener.incoming() {
+        let conn = conn?;
+        let reader = BufReader::new(conn.try_clone()?);
+        let s = serve_lines(exec, opts, reader, conn)?;
+        total.batches += s.batches;
+        total.jobs += s.jobs;
+        total.ok += s.ok;
+        total.failed += s.failed;
+        total.rejected += s.rejected;
+        if opts.once {
+            break;
+        }
+    }
+    Ok(total)
+}
+
+/// Linear-interpolated percentile of an unsorted sample set.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// The 56-job throughput workload: every suite benchmark on the Vortex
+/// flow at two middle-end levels.
+pub fn serve_bench_requests() -> Vec<JobRequest> {
+    all_benchmarks()
+        .iter()
+        .flat_map(|b| {
+            [OptLevel::VariableReuse, OptLevel::Loop]
+                .into_iter()
+                .map(|level| {
+                    let mut req = JobRequest::bench(b.name, Flow::Vortex);
+                    req.opt = Some(level);
+                    req
+                })
+        })
+        .enumerate()
+        .map(|(i, mut req)| {
+            req.id = i as u64;
+            req
+        })
+        .collect()
+}
+
+/// `BENCH_serve.json` — batch throughput at 1/2/4 workers over the 56-job
+/// workload (28 benchmarks × 2 opt levels, Vortex flow, `Scale::Test`).
+///
+/// Asserts the determinism contract while it measures: every width must
+/// produce a bit-identical result signature (cycles / instructions /
+/// failure kind, per job). Wall-clock throughput is reported with the
+/// host's core count in the fingerprint — on a 1-core host the wider pools
+/// measure scheduling overhead, not speedup, and the numbers say so.
+pub fn bench_serve(widths: &[usize]) -> Json {
+    let reqs = serve_bench_requests();
+    let mut reference: Option<Vec<String>> = None;
+    let mut rows = Vec::new();
+    for &w in widths {
+        let exec = Executor::new(ExecConfig::with_workers(w));
+        let started = Instant::now();
+        let outcomes = exec.run(reqs.iter().cloned().map(instantiate).collect());
+        let wall = started.elapsed().as_secs_f64();
+        let signature: Vec<String> = outcomes
+            .iter()
+            .map(|oc| match &oc.result {
+                Ok(s) => format!("{}:{}c:{}i", oc.label, s.cycles, s.instructions),
+                Err(e) => format!("{}:{}", oc.label, e.kind()),
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(signature),
+            Some(want) => assert_eq!(
+                want, &signature,
+                "scheduled results diverged between pool widths"
+            ),
+        }
+        let ok = outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+        let mut walls: Vec<f64> = outcomes.iter().map(|o| o.wall_secs).collect();
+        walls.sort_by(|a, b| a.total_cmp(b));
+        rows.push(Json::obj(vec![
+            ("workers", (w as u64).to_json()),
+            ("jobs", (outcomes.len() as u64).to_json()),
+            ("ok", ok.to_json()),
+            ("failed", (outcomes.len() as u64 - ok).to_json()),
+            ("wall_secs", wall.to_json()),
+            (
+                "jobs_per_sec",
+                (outcomes.len() as f64 / wall.max(1e-9)).to_json(),
+            ),
+            ("p50_latency_secs", percentile(&walls, 0.50).to_json()),
+            ("p95_latency_secs", percentile(&walls, 0.95).to_json()),
+            ("steals", exec.stats().steals().to_json()),
+        ]));
+    }
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    Json::obj(vec![
+        (
+            "meta",
+            host_meta(
+                OptLevel::VariableReuse,
+                None,
+                1,
+                widths.iter().copied().max().unwrap_or(1),
+            )
+            .to_json(),
+        ),
+        ("host_threads", host_threads.to_json()),
+        (
+            "note",
+            format!(
+                "throughput at {host_threads} host thread(s); wider pools on a \
+                 1-thread host measure scheduling overhead, not speedup"
+            )
+            .to_json(),
+        ),
+        ("deterministic_across_widths", Json::Bool(true)),
+        ("widths", Json::Array(rows)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(workers: usize) -> Executor {
+        Executor::new(ExecConfig::with_workers(workers))
+    }
+
+    fn lines(out: &[u8]) -> Vec<Json> {
+        std::str::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).expect("every response line is valid JSON"))
+            .collect()
+    }
+
+    #[test]
+    fn object_lines_batch_on_blank_line() {
+        let input = "{\"id\": 1, \"bench\": \"Vecadd\"}\n{\"id\": 2, \"bench\": \"Saxpy\"}\n\n";
+        let mut out = Vec::new();
+        let e = exec(2);
+        let s = serve_lines(&e, &ServeOptions::default(), input.as_bytes(), &mut out).unwrap();
+        assert_eq!(
+            (s.batches, s.jobs, s.ok, s.failed, s.rejected),
+            (1, 2, 2, 0, 0)
+        );
+        let resp = lines(&out);
+        assert_eq!(resp.len(), 3, "two outcome lines plus a summary");
+        assert_eq!(resp[0].get("id").unwrap().as_u64(), Some(1));
+        assert_eq!(resp[0].get("ok").unwrap().as_bool(), Some(true));
+        assert!(resp[0].get("cycles").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(resp[1].get("id").unwrap().as_u64(), Some(2));
+        let summary = &resp[2];
+        assert_eq!(summary.get("jobs").unwrap().as_u64(), Some(2));
+        assert_eq!(summary.get("ok").unwrap().as_u64(), Some(2));
+        assert!(summary.get("jobs_per_sec").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn array_line_is_a_whole_batch_and_eof_flushes_pending() {
+        let input = "[{\"bench\": \"Vecadd\"}, {\"bench\": \"Sfilter\", \"flow\": \"interp\"}]\n\
+                     {\"bench\": \"Saxpy\"}\n";
+        let mut out = Vec::new();
+        let e = exec(2);
+        let s = serve_lines(&e, &ServeOptions::default(), input.as_bytes(), &mut out).unwrap();
+        assert_eq!((s.batches, s.jobs, s.ok), (2, 3, 3));
+        let resp = lines(&out);
+        // 2 outcomes + summary, then 1 outcome + summary.
+        assert_eq!(resp.len(), 5);
+        assert_eq!(resp[2].get("batch").unwrap().as_u64(), Some(1));
+        assert_eq!(resp[4].get("batch").unwrap().as_u64(), Some(2));
+        assert_eq!(resp[4].get("jobs").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn bad_lines_are_rejected_without_killing_the_service() {
+        let input = "not json at all\n\
+                     {\"flow\": \"vortex\"}\n\
+                     42\n\
+                     {\"bench\": \"Vecadd\"}\n\n";
+        let mut out = Vec::new();
+        let e = exec(1);
+        let s = serve_lines(&e, &ServeOptions::default(), input.as_bytes(), &mut out).unwrap();
+        assert_eq!((s.rejected, s.jobs, s.ok), (3, 1, 1));
+        let resp = lines(&out);
+        assert_eq!(resp.len(), 5, "three rejects, one outcome, one summary");
+        for r in &resp[..3] {
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+            let err = r.get("error").unwrap();
+            assert_eq!(err.get("kind").unwrap().as_str(), Some("Protocol"));
+        }
+        assert_eq!(resp[3].get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn failures_are_fail_soft_response_lines() {
+        let input =
+            "[{\"id\": 9, \"bench\": \"NoSuchBench\"}, {\"id\": 10, \"bench\": \"Vecadd\"}]\n";
+        let mut out = Vec::new();
+        let e = exec(2);
+        let s = serve_lines(&e, &ServeOptions::default(), input.as_bytes(), &mut out).unwrap();
+        assert_eq!((s.jobs, s.ok, s.failed), (2, 1, 1));
+        let resp = lines(&out);
+        assert_eq!(resp[0].get("ok").unwrap().as_bool(), Some(false));
+        let err = resp[0].get("error").unwrap();
+        assert_eq!(err.get("class").unwrap().as_str(), Some("Harness"));
+        assert_eq!(resp[1].get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(resp[2].get("failed").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn once_mode_returns_after_the_first_batch() {
+        let input = "{\"bench\": \"Vecadd\"}\n\n{\"bench\": \"Saxpy\"}\n\n";
+        let mut out = Vec::new();
+        let e = exec(1);
+        let opts = ServeOptions {
+            once: true,
+            ..ServeOptions::default()
+        };
+        let s = serve_lines(&e, &opts, input.as_bytes(), &mut out).unwrap();
+        assert_eq!((s.batches, s.jobs), (1, 1), "second batch never ran");
+    }
+
+    #[test]
+    fn default_deadline_applies_only_to_jobs_without_one() {
+        let opts = ServeOptions {
+            deadline_ms: Some(30_000),
+            ..ServeOptions::default()
+        };
+        let j = Json::parse(r#"{"bench": "Vecadd"}"#).unwrap();
+        assert_eq!(parse_request(&j, &opts).unwrap().deadline_ms, Some(30_000));
+        let j = Json::parse(r#"{"bench": "Vecadd", "deadline_ms": 5}"#).unwrap();
+        assert_eq!(parse_request(&j, &opts).unwrap().deadline_ms, Some(5));
+    }
+
+    #[test]
+    fn socket_mode_speaks_the_same_protocol() {
+        use std::io::Read;
+        let listener_addr = {
+            // Pick a free port by binding to 0 and immediately reusing it.
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+        };
+        let addr = listener_addr.to_string();
+        let server_addr = addr.clone();
+        let server = std::thread::spawn(move || {
+            let e = exec(2);
+            let opts = ServeOptions {
+                once: true,
+                ..ServeOptions::default()
+            };
+            serve_socket(&e, &opts, &server_addr).unwrap()
+        });
+        // Connect with retry while the listener comes up.
+        let mut conn = None;
+        for _ in 0..200 {
+            match std::net::TcpStream::connect(&addr) {
+                Ok(c) => {
+                    conn = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        }
+        let mut conn = conn.expect("server listening");
+        conn.write_all(b"[{\"id\": 4, \"bench\": \"Vecadd\"}]\n")
+            .unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut body = String::new();
+        conn.read_to_string(&mut body).unwrap();
+        let s = server.join().unwrap();
+        assert_eq!((s.batches, s.jobs, s.ok), (1, 1, 1));
+        let resp: Vec<Json> = body.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(resp.len(), 2);
+        assert_eq!(resp[0].get("id").unwrap().as_u64(), Some(4));
+        assert_eq!(resp[0].get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 1.0), 4.0);
+        assert_eq!(percentile(&s, 0.5), 2.5);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -173,6 +173,11 @@ pub enum ReproError {
     CycleBudget { limit: u64 },
     /// Watchdog: instruction budget exhausted.
     InstructionBudget { limit: u64 },
+    /// Scheduler watchdog: the job's host-side wall-clock deadline passed
+    /// before it finished. The simulator budgets bound *simulated* work;
+    /// this bounds *service latency* — a job that blows its deadline is
+    /// reported typed instead of silently occupying a worker.
+    DeadlineExceeded { deadline_ms: u64 },
     /// Kernel terminated but its output failed the workload's check.
     WrongResult { message: String },
     /// A panic unwound out of the flow and was caught at the isolation
@@ -196,9 +201,9 @@ impl ReproError {
             ReproError::BarrierDeadlock { .. } | ReproError::DivergenceDeadlock { .. } => {
                 FailureClass::Deadlock
             }
-            ReproError::CycleBudget { .. } | ReproError::InstructionBudget { .. } => {
-                FailureClass::Hang
-            }
+            ReproError::CycleBudget { .. }
+            | ReproError::InstructionBudget { .. }
+            | ReproError::DeadlineExceeded { .. } => FailureClass::Hang,
             ReproError::WrongResult { .. } => FailureClass::WrongResult,
             ReproError::Panic { .. } => FailureClass::Panic,
             ReproError::Harness { .. } => FailureClass::Harness,
@@ -219,6 +224,7 @@ impl ReproError {
             ReproError::DivergenceDeadlock { .. } => "DivergenceDeadlock",
             ReproError::CycleBudget { .. } => "CycleBudget",
             ReproError::InstructionBudget { .. } => "InstructionBudget",
+            ReproError::DeadlineExceeded { .. } => "DeadlineExceeded",
             ReproError::WrongResult { .. } => "WrongResult",
             ReproError::Panic { .. } => "Panic",
             ReproError::Harness { .. } => "Harness",
@@ -302,6 +308,9 @@ impl fmt::Display for ReproError {
             ReproError::InstructionBudget { limit } => {
                 write!(f, "instruction budget exhausted ({limit} instructions)")
             }
+            ReproError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "job deadline exceeded ({deadline_ms} ms)")
+            }
             ReproError::WrongResult { message } => write!(f, "wrong result: {message}"),
             ReproError::Panic { message } => write!(f, "panic: {message}"),
             ReproError::Harness { message } => write!(f, "harness error: {message}"),
@@ -356,9 +365,30 @@ impl ToJson for ReproError {
             ReproError::CycleBudget { limit } | ReproError::InstructionBudget { limit } => {
                 fields.push(("limit", limit.to_json()));
             }
+            ReproError::DeadlineExceeded { deadline_ms } => {
+                fields.push(("deadline_ms", deadline_ms.to_json()));
+            }
             _ => {}
         }
         Json::obj(fields)
+    }
+}
+
+/// Run a fallible flow with panic isolation: a panic anywhere inside `f`
+/// is caught at this boundary and reported as [`ReproError::Panic`]
+/// instead of unwinding into (and killing) the harness — or the scheduler
+/// worker — that called it.
+///
+/// This is the crash-isolation primitive behind `repro check` and the
+/// `repro-sched` executor: one benchmark (or job) tripping an internal
+/// invariant must not cost the coverage report its remaining rows, or a
+/// worker thread its life.
+pub fn run_isolated<T>(f: impl FnOnce() -> Result<T, ReproError>) -> Result<T, ReproError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => Err(ReproError::Panic {
+            message: panic_message(payload.as_ref()),
+        }),
     }
 }
 
@@ -422,6 +452,10 @@ mod tests {
                 FailureClass::Deadlock,
             ),
             (ReproError::CycleBudget { limit: 10 }, FailureClass::Hang),
+            (
+                ReproError::DeadlineExceeded { deadline_ms: 250 },
+                FailureClass::Hang,
+            ),
             (
                 ReproError::Panic {
                     message: "boom".into(),

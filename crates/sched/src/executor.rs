@@ -1,0 +1,623 @@
+//! The work-stealing executor: a fixed pool of long-lived workers with
+//! per-worker deques, a park/unpark idle protocol, and a watcher thread
+//! that enforces per-job wall-clock deadlines.
+//!
+//! Shape of the machine:
+//!
+//! - **Placement.** A submitted batch is dealt round-robin across the
+//!   per-worker deques, so even before any stealing each worker starts
+//!   with an equal share.
+//! - **Stealing.** A worker pops its own deque from the *front* (FIFO —
+//!   oldest local work first) and, when empty, scans the other deques
+//!   starting from its right-hand neighbour and steals from the *back*.
+//!   FIFO-own/LIFO-steal keeps a stolen task as far as possible from the
+//!   victim's current position, minimizing contention on the deque lock.
+//! - **Idle protocol.** A worker that finds every deque empty parks on
+//!   its [`Parker`]. Submission unparks every worker; task completion
+//!   unparks one. The parker's permit semantics make the classic lost
+//!   wakeup ("check queues, miss the push, sleep forever") impossible,
+//!   and the watcher doubles as a rescuer: on every tick it unparks all
+//!   workers if any work is still queued.
+//! - **Deadlines.** Jobs with `deadline_ms` register in an in-flight
+//!   table; the watcher marks overdue entries, which (a) flips the job's
+//!   cooperative [`JobCtx`] cancel flag and (b) replaces its outcome with
+//!   the typed [`ReproError::DeadlineExceeded`]. The worker thread itself
+//!   is never killed — simulator watchdog budgets guarantee the closure
+//!   returns — so a fired deadline costs bounded wall-clock, not a thread.
+//! - **Isolation.** Every closure runs under [`run_isolated`], so a
+//!   panicking kernel becomes a classified [`ReproError::Panic`] outcome
+//!   and the worker survives to take the next job.
+//!
+//! Determinism: the simulator is deterministic, so *which worker* runs a
+//! job cannot change its cycles/stats; outcomes are written into a slot
+//! table by batch index, so scheduling order cannot reorder results. A
+//! batch pushed through the executor is bit-identical to running its jobs
+//! one by one.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use repro_diag::{run_isolated, ReproError};
+use repro_util::{metrics, Parker};
+
+use crate::job::{Job, JobCtx, JobOutcome};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Worker threads in the pool (clamped to at least 1).
+    pub workers: usize,
+    /// Deadline granularity: how often the watcher scans the in-flight
+    /// table. Deadlines fire within one tick of the true expiry.
+    pub watch_tick: Duration,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            workers: 1,
+            watch_tick: Duration::from_millis(5),
+        }
+    }
+}
+
+impl ExecConfig {
+    pub fn with_workers(workers: usize) -> ExecConfig {
+        ExecConfig {
+            workers: workers.max(1),
+            ..ExecConfig::default()
+        }
+    }
+}
+
+/// Monotonic counters for everything the executor has done since
+/// construction — mirrored into the global metrics registry but also
+/// readable directly, so tests can assert on exact values without a
+/// metrics snapshot race.
+#[derive(Default)]
+pub struct ExecStats {
+    pub jobs: AtomicU64,
+    pub jobs_failed: AtomicU64,
+    pub steals: AtomicU64,
+    pub parks: AtomicU64,
+    pub unparks: AtomicU64,
+    pub deadlines_fired: AtomicU64,
+}
+
+impl ExecStats {
+    pub fn jobs(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+    pub fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+    pub fn deadlines_fired(&self) -> u64 {
+        self.deadlines_fired.load(Ordering::Relaxed)
+    }
+}
+
+/// One queued task: a job plus where its outcome goes.
+struct Task {
+    job: Job,
+    index: usize,
+    batch: Arc<BatchShared>,
+}
+
+/// Shared state of one submitted batch: the outcome slots and a
+/// remaining-count the waiter blocks on.
+struct BatchShared {
+    slots: Mutex<Vec<Option<JobOutcome>>>,
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl BatchShared {
+    fn finish_one(&self, index: usize, outcome: JobOutcome) {
+        self.slots.lock().unwrap()[index] = Some(outcome);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *self.done.lock().unwrap() = true;
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// Handle to a submitted batch; [`BatchHandle::wait`] blocks until every
+/// job has an outcome and returns them in submission order.
+pub struct BatchHandle {
+    shared: Arc<BatchShared>,
+}
+
+impl BatchHandle {
+    pub fn wait(self) -> Vec<JobOutcome> {
+        let mut done = self.shared.done.lock().unwrap();
+        while !*done {
+            done = self.shared.done_cv.wait(done).unwrap();
+        }
+        drop(done);
+        let mut slots = self.shared.slots.lock().unwrap();
+        slots
+            .drain(..)
+            .map(|s| s.expect("batch complete but slot empty"))
+            .collect()
+    }
+}
+
+/// An in-flight (currently executing) job, visible to the watcher.
+struct InFlight {
+    cancelled: Arc<AtomicBool>,
+    fired: Arc<AtomicBool>,
+    deadline: Instant,
+}
+
+struct Shared {
+    /// One lock-guarded deque per worker. Simple and honest: at suite job
+    /// granularity (milliseconds per job) the lock is uncontended; the
+    /// stealing protocol, not the deque implementation, is the design.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    parkers: Vec<Parker>,
+    watcher_parker: Parker,
+    /// Tasks queued across all deques (the `sched.queue_depth` gauge).
+    queued: AtomicUsize,
+    shutdown: AtomicBool,
+    inflight: Mutex<Vec<InFlight>>,
+    stats: ExecStats,
+    next_worker: AtomicUsize,
+}
+
+/// The work-stealing worker pool. One executor serves any number of
+/// batches over its lifetime; dropping it drains queued work, then joins
+/// every thread.
+pub struct Executor {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    watcher: Option<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl Executor {
+    pub fn new(config: ExecConfig) -> Executor {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            parkers: (0..workers).map(|_| Parker::new()).collect(),
+            watcher_parker: Parker::new(),
+            queued: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            inflight: Mutex::new(Vec::new()),
+            stats: ExecStats::default(),
+            next_worker: AtomicUsize::new(0),
+        });
+        let threads = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sched-worker-{me}"))
+                    .spawn(move || worker_loop(me, &shared))
+                    .expect("spawn sched worker")
+            })
+            .collect();
+        let watcher = {
+            let shared = Arc::clone(&shared);
+            let tick = config.watch_tick;
+            Some(
+                std::thread::Builder::new()
+                    .name("sched-watcher".to_string())
+                    .spawn(move || watcher_loop(&shared, tick))
+                    .expect("spawn sched watcher"),
+            )
+        };
+        Executor {
+            shared,
+            threads,
+            watcher,
+            workers,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    pub fn stats(&self) -> &ExecStats {
+        &self.shared.stats
+    }
+
+    /// Submit a batch of jobs; returns immediately with a handle. Jobs are
+    /// dealt round-robin across the worker deques and outcomes come back
+    /// in submission order regardless of execution order.
+    pub fn submit(&self, jobs: Vec<Job>) -> BatchHandle {
+        let n = jobs.len();
+        let shared = Arc::new(BatchShared {
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: AtomicUsize::new(n),
+            done: Mutex::new(n == 0),
+            done_cv: Condvar::new(),
+        });
+        let start = self.shared.next_worker.fetch_add(n, Ordering::Relaxed);
+        for (index, job) in jobs.into_iter().enumerate() {
+            let w = (start + index) % self.workers;
+            self.shared.deques[w].lock().unwrap().push_back(Task {
+                job,
+                index,
+                batch: Arc::clone(&shared),
+            });
+        }
+        let depth = self.shared.queued.fetch_add(n, Ordering::AcqRel) + n;
+        metrics::gauge_set("sched.queue_depth", depth as f64);
+        for p in &self.shared.parkers {
+            p.unpark();
+        }
+        self.shared
+            .stats
+            .unparks
+            .fetch_add(self.workers as u64, Ordering::Relaxed);
+        self.shared.watcher_parker.unpark();
+        BatchHandle { shared }
+    }
+
+    /// Submit and wait: the one-shot convenience used by every CLI entry
+    /// point.
+    pub fn run(&self, jobs: Vec<Job>) -> Vec<JobOutcome> {
+        self.submit(jobs).wait()
+    }
+}
+
+impl Drop for Executor {
+    /// Graceful drain: workers finish everything already queued, then
+    /// exit; no submitted job is ever dropped on the floor.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for p in &self.shared.parkers {
+            p.unpark();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.shared.watcher_parker.unpark();
+        if let Some(w) = self.watcher.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Pop local work (front) or steal from a victim (back), scanning
+/// neighbours to the right of `me` so thieves spread instead of mobbing
+/// worker 0.
+fn find_task(me: usize, shared: &Shared) -> Option<(Task, bool)> {
+    if let Some(task) = shared.deques[me].lock().unwrap().pop_front() {
+        return Some((task, false));
+    }
+    let n = shared.deques.len();
+    for off in 1..n {
+        let victim = (me + off) % n;
+        if let Some(task) = shared.deques[victim].lock().unwrap().pop_back() {
+            return Some((task, true));
+        }
+    }
+    None
+}
+
+fn worker_loop(me: usize, shared: &Shared) {
+    loop {
+        match find_task(me, shared) {
+            Some((task, stolen)) => {
+                if stolen {
+                    shared.stats.steals.fetch_add(1, Ordering::Relaxed);
+                    metrics::counter_add("sched.steal", 1);
+                }
+                let depth = shared.queued.fetch_sub(1, Ordering::AcqRel) - 1;
+                metrics::gauge_set("sched.queue_depth", depth as f64);
+                execute(me, task, shared);
+                // Work may remain; wake one neighbour to help drain it.
+                if shared.queued.load(Ordering::Acquire) > 0 {
+                    shared.parkers[(me + 1) % shared.deques.len()].unpark();
+                    shared.stats.unparks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                shared.stats.parks.fetch_add(1, Ordering::Relaxed);
+                metrics::counter_add("sched.park", 1);
+                shared.parkers[me].park();
+            }
+        }
+    }
+}
+
+fn execute(me: usize, task: Task, shared: &Shared) {
+    let Task { job, index, batch } = task;
+    let id = job.req.id;
+    let label = job.req.label();
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let fired = Arc::new(AtomicBool::new(false));
+    if let Some(ms) = job.req.deadline_ms {
+        shared.inflight.lock().unwrap().push(InFlight {
+            cancelled: Arc::clone(&cancelled),
+            fired: Arc::clone(&fired),
+            deadline: Instant::now() + Duration::from_millis(ms),
+        });
+        shared.watcher_parker.unpark();
+    }
+    let deadline_ms = job.req.deadline_ms;
+    let ctx = JobCtx {
+        cancelled: Arc::clone(&cancelled),
+    };
+    let start = Instant::now();
+    let mut result = run_isolated(|| job.execute(&ctx));
+    let wall_secs = start.elapsed().as_secs_f64();
+    // Retire from the in-flight table (identity: our cancelled flag).
+    shared
+        .inflight
+        .lock()
+        .unwrap()
+        .retain(|f| !Arc::ptr_eq(&f.cancelled, &cancelled));
+    let deadline_fired = fired.load(Ordering::Acquire);
+    if deadline_fired {
+        result = Err(ReproError::DeadlineExceeded {
+            deadline_ms: deadline_ms.unwrap_or(0),
+        });
+    }
+    shared.stats.jobs.fetch_add(1, Ordering::Relaxed);
+    metrics::counter_add("sched.jobs", 1);
+    if result.is_err() {
+        shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        metrics::counter_add("sched.jobs_failed", 1);
+    }
+    metrics::observe_secs("sched.job_latency", wall_secs);
+    batch.finish_one(
+        index,
+        JobOutcome {
+            id,
+            index,
+            label,
+            result,
+            wall_secs,
+            worker: me,
+            deadline_fired,
+        },
+    );
+}
+
+/// The watcher: fires deadlines and rescues any theoretically-possible
+/// missed wakeup by re-unparking all workers while work is queued. Parks
+/// itself when the executor is completely idle and no deadline is armed.
+fn watcher_loop(shared: &Shared, tick: Duration) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let armed = {
+            let now = Instant::now();
+            let inflight = shared.inflight.lock().unwrap();
+            for f in inflight.iter() {
+                if now >= f.deadline && !f.fired.swap(true, Ordering::AcqRel) {
+                    f.cancelled.store(true, Ordering::Release);
+                    shared.stats.deadlines_fired.fetch_add(1, Ordering::Relaxed);
+                    metrics::counter_add("sched.deadline_fired", 1);
+                }
+            }
+            !inflight.is_empty()
+        };
+        let queued = shared.queued.load(Ordering::Acquire);
+        if queued > 0 {
+            for p in &shared.parkers {
+                p.unpark();
+            }
+        }
+        if armed || queued > 0 {
+            // Active phase: tick at deadline granularity.
+            shared.watcher_parker.park_timeout(tick);
+        } else {
+            // Idle: sleep until a submit or an armed deadline wakes us.
+            shared.watcher_parker.park();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Flow, JobRequest, JobStats};
+    use repro_diag::FailureClass;
+
+    fn quick_job(id: u64, work: impl FnOnce() -> u64 + Send + 'static) -> Job {
+        let mut req = JobRequest::bench("unit", Flow::Interp);
+        req.id = id;
+        Job::new(req, move |_, _| {
+            Ok(JobStats {
+                cycles: work(),
+                instructions: 0,
+            })
+        })
+    }
+
+    #[test]
+    fn outcomes_come_back_in_submission_order() {
+        let exec = Executor::new(ExecConfig::with_workers(4));
+        let jobs: Vec<Job> = (0..32)
+            .map(|i| {
+                quick_job(i, move || {
+                    // Reverse-skewed delays so completion order differs
+                    // from submission order.
+                    std::thread::sleep(Duration::from_micros(5 * (32 - i)));
+                    i * 100
+                })
+            })
+            .collect();
+        let outcomes = exec.run(jobs);
+        assert_eq!(outcomes.len(), 32);
+        for (i, oc) in outcomes.iter().enumerate() {
+            assert_eq!(oc.id, i as u64);
+            assert_eq!(oc.index, i);
+            assert_eq!(oc.stats().unwrap().cycles, i as u64 * 100);
+        }
+        assert_eq!(exec.stats().jobs(), 32);
+    }
+
+    #[test]
+    fn steals_rebalance_a_skewed_batch() {
+        // Maximally skewed workload: the first job blocks its worker until
+        // every OTHER job in the batch has finished. Round-robin placement
+        // leaves 7 more jobs queued behind it on that worker's deque, and
+        // the only thread free to run them is the other worker — which
+        // must steal them. Deterministic (no timing window): either
+        // stealing works and the batch completes, or the test hangs.
+        let exec = Executor::new(ExecConfig::with_workers(2));
+        let done = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<Job> = (0..16)
+            .map(|i| {
+                let done = Arc::clone(&done);
+                quick_job(i, move || {
+                    if i == 0 {
+                        while done.load(Ordering::Acquire) < 15 {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                    done.fetch_add(1, Ordering::AcqRel);
+                    i * 3
+                })
+            })
+            .collect();
+        let outcomes = exec.run(jobs);
+        assert_eq!(outcomes.len(), 16);
+        for (i, oc) in outcomes.iter().enumerate() {
+            assert!(oc.is_ok());
+            assert_eq!(oc.stats().unwrap().cycles, i as u64 * 3);
+        }
+        // The blocked worker held 7 queued jobs; every one was stolen.
+        assert!(
+            exec.stats().steals() >= 7,
+            "expected the free worker to steal the blocked worker's queue, saw {} steals",
+            exec.stats().steals()
+        );
+        // Which worker ran which job is scheduling-dependent (on a loaded
+        // host the free worker may even steal the blocking job before its
+        // owner wakes); the invariant is that all 16 ran exactly once.
+        let by_worker: Vec<usize> = (0..2)
+            .map(|w| outcomes.iter().filter(|oc| oc.worker == w).count())
+            .collect();
+        assert_eq!(by_worker.iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn deadline_fires_on_a_job_that_never_finishes_on_its_own() {
+        let exec = Executor::new(ExecConfig::with_workers(1));
+        let mut req = JobRequest::bench("spin", Flow::Interp);
+        req.id = 9;
+        req.deadline_ms = Some(50);
+        let job = Job::new(req, |_, ctx| {
+            // Host-side spin that only the cooperative cancel flag stops —
+            // the stand-in for a hung job.
+            while !ctx.cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(JobStats::default())
+        });
+        let start = Instant::now();
+        let outcomes = exec.run(vec![job]);
+        assert_eq!(outcomes.len(), 1);
+        let oc = &outcomes[0];
+        assert!(oc.deadline_fired, "deadline should have fired");
+        assert_eq!(oc.class(), Some(FailureClass::Hang));
+        match &oc.result {
+            Err(ReproError::DeadlineExceeded { deadline_ms }) => assert_eq!(*deadline_ms, 50),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline fired but job took {:?}",
+            start.elapsed()
+        );
+        assert_eq!(exec.stats().deadlines_fired(), 1);
+    }
+
+    #[test]
+    fn deadline_does_not_fire_on_a_fast_job() {
+        let exec = Executor::new(ExecConfig::with_workers(1));
+        let mut req = JobRequest::bench("fast", Flow::Interp);
+        req.deadline_ms = Some(10_000);
+        let job = Job::new(req, |_, _| {
+            Ok(JobStats {
+                cycles: 1,
+                instructions: 1,
+            })
+        });
+        let outcomes = exec.run(vec![job]);
+        assert!(outcomes[0].is_ok());
+        assert!(!outcomes[0].deadline_fired);
+        assert_eq!(exec.stats().deadlines_fired(), 0);
+    }
+
+    #[test]
+    fn park_unpark_liveness_across_many_tiny_batches() {
+        // 200 sequential one-job batches: between batches every worker is
+        // parked, so each submit must wake one. A single lost wakeup hangs
+        // this test (the driver's test timeout catches it); completion is
+        // the liveness proof.
+        let exec = Executor::new(ExecConfig::with_workers(2));
+        for i in 0..200u64 {
+            let outcomes = exec.run(vec![quick_job(i, move || i)]);
+            assert_eq!(outcomes[0].stats().unwrap().cycles, i);
+        }
+        assert_eq!(exec.stats().jobs(), 200);
+        assert!(
+            exec.stats().parks() > 0,
+            "workers should have parked between 200 sequential batches"
+        );
+    }
+
+    #[test]
+    fn drop_drains_queued_work_before_joining() {
+        let exec = Executor::new(ExecConfig::with_workers(2));
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| {
+                quick_job(i, move || {
+                    std::thread::sleep(Duration::from_millis(2));
+                    i + 1
+                })
+            })
+            .collect();
+        let handle = exec.submit(jobs);
+        drop(exec); // graceful drain: queued jobs still run to completion
+        let outcomes = handle.wait();
+        assert_eq!(outcomes.len(), 12);
+        for (i, oc) in outcomes.iter().enumerate() {
+            assert_eq!(oc.stats().unwrap().cycles, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_classified() {
+        let exec = Executor::new(ExecConfig::with_workers(2));
+        let mut jobs = vec![quick_job(0, || 7)];
+        let req = JobRequest::bench("boom", Flow::Interp);
+        jobs.push(Job::new(req, |_, _| panic!("kernel exploded")));
+        jobs.push(quick_job(2, || 9));
+        let outcomes = exec.run(jobs);
+        assert!(outcomes[0].is_ok());
+        assert_eq!(outcomes[1].class(), Some(FailureClass::Panic));
+        match &outcomes[1].result {
+            Err(ReproError::Panic { message }) => {
+                assert!(message.contains("kernel exploded"), "{message}")
+            }
+            other => panic!("expected Panic, got {other:?}"),
+        }
+        assert!(outcomes[2].is_ok(), "worker survived the panic");
+        assert_eq!(exec.stats().jobs(), 3);
+    }
+
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let exec = Executor::new(ExecConfig::with_workers(2));
+        assert!(exec.run(Vec::new()).is_empty());
+    }
+}

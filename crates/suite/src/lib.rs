@@ -16,9 +16,11 @@
 //! inputs to Table II.
 
 pub mod benches;
+pub mod jobs;
 pub mod runner;
 pub mod spec;
 
+pub use jobs::{instantiate, run_oneshot, run_request};
 pub use repro_diag::{FailureClass, ReproError};
 pub use runner::{
     compile_bench, run_hls, run_hls_at, run_isolated, run_on_interp, run_reference, run_vortex,

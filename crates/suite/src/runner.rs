@@ -9,7 +9,6 @@ use ocl_ir::interp::{self, KernelArg, Limits, Memory};
 use ocl_ir::passes::OptLevel;
 use repro_diag::ReproError;
 use repro_util::metrics;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use vortex_rt::{Arg, VxSession};
 use vortex_sim::{RecordingSink, SimConfig, TraceEvent};
 
@@ -312,21 +311,10 @@ pub fn run_hls_at(
     }))
 }
 
-/// Run a fallible flow with panic isolation: a panic anywhere inside `f`
-/// is caught at this boundary and reported as [`ReproError::Panic`]
-/// instead of unwinding into (and killing) a whole-suite harness.
-///
-/// This is the crash-isolation primitive behind `repro check`: one
-/// benchmark tripping an internal invariant must not cost the coverage
-/// report its remaining rows.
-pub fn run_isolated<T>(f: impl FnOnce() -> Result<T, ReproError>) -> Result<T, ReproError> {
-    match catch_unwind(AssertUnwindSafe(f)) {
-        Ok(r) => r,
-        Err(payload) => Err(ReproError::Panic {
-            message: repro_diag::panic_message(payload.as_ref()),
-        }),
-    }
-}
+/// The crash-isolation primitive behind `repro check` and the scheduler's
+/// workers, re-exported from `repro-diag` where it lives next to the
+/// failure taxonomy it reports into.
+pub use repro_diag::run_isolated;
 
 fn read_back<H: Copy>(
     w: &Workload,

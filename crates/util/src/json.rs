@@ -45,6 +45,14 @@ impl Json {
         s
     }
 
+    /// Serialize to one line with no whitespace — the NDJSON form
+    /// (`repro serve` emits one compact object per result line).
+    pub fn to_compact(&self) -> String {
+        let mut s = String::new();
+        self.write_compact(&mut s);
+        s
+    }
+
     /// Parse a JSON document (the full input must be one value plus
     /// optional trailing whitespace). Integers without fraction/exponent
     /// parse to `UInt`/`Int`; everything else numeric parses to `Float` —
@@ -110,6 +118,35 @@ impl Json {
             Json::Int(v) => Some(v as f64),
             Json::Float(v) => Some(v),
             _ => None,
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            // Scalars print identically in both forms; indent 0 is unused.
+            scalar => scalar.write_pretty(out, 0),
         }
     }
 
@@ -587,6 +624,25 @@ mod tests {
             ("nested", Json::obj(vec![("s", "a\"b\n\t\\".to_json())])),
         ]);
         assert_eq!(Json::parse(&v.to_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_round_trips() {
+        let v = Json::obj(vec![
+            ("id", 7u64.to_json()),
+            ("label", "Vecadd/vortex".to_json()),
+            ("walls", vec![0.5f64, 1.25].to_json()),
+            ("empty_obj", Json::Object(vec![])),
+            ("nested", Json::obj(vec![("ok", true.to_json())])),
+        ]);
+        let line = v.to_compact();
+        assert!(!line.contains('\n'));
+        assert!(!line.contains(' '), "no padding anywhere: {line}");
+        assert_eq!(
+            line,
+            r#"{"id":7,"label":"Vecadd/vortex","walls":[0.5,1.25],"empty_obj":{},"nested":{"ok":true}}"#
+        );
+        assert_eq!(Json::parse(&line).unwrap(), v);
     }
 
     #[test]

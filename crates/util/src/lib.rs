@@ -21,5 +21,5 @@ pub mod rng;
 pub mod timing;
 
 pub use json::{Json, JsonError, ToJson};
-pub use par::{par_map, par_map_mut};
+pub use par::{par_map, par_map_mut, Parker};
 pub use rng::Rng;

@@ -26,6 +26,12 @@ fn lock() -> MutexGuard<'static, ()> {
 #[test]
 fn perf_report_markdown_matches_golden() {
     let _g = lock();
+    // Warm the global compile cache with exactly the run
+    // `metrics_disabled_are_observably_free` performs, so the stage counts
+    // below don't depend on whether that test happened to run first (test
+    // order changes under `--test-threads` > 1 or a name filter).
+    let b = benchmark("Vecadd").unwrap();
+    run_vortex(&b, Scale::Test, &SimConfig::new(VortexConfig::new(4, 8, 8))).unwrap();
     let report = collect_perf(&PerfOptions::default());
     metrics::reset();
     assert_eq!(report.rows.len(), 28, "suite sweep covers every benchmark");

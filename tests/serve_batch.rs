@@ -1,0 +1,179 @@
+//! Scheduler determinism and fail-soft classification at service scale.
+//!
+//! The `repro serve` contract is that putting work through the
+//! work-stealing executor changes *when* things run, never *what* they
+//! compute: a 4-worker batch over the whole suite must be bit-identical —
+//! cycles, instructions, success/failure — to running the same requests
+//! one at a time in a plain loop. And adversarial kernels submitted as
+//! inline-source jobs must come back as classified response lines (the
+//! fail-soft taxonomy of `tests/fail_soft.rs`), never as a wedged or dead
+//! service.
+
+use fpga_gpu_repro::ir::passes::OptLevel;
+use fpga_gpu_repro::repro::serve::{serve_bench_requests, serve_lines, ServeOptions};
+use fpga_gpu_repro::sched::{ArgSpec, ExecConfig, Executor, Flow, JobRequest, NdSpec, Payload};
+use fpga_gpu_repro::suite::{instantiate, run_oneshot, FailureClass};
+use fpga_gpu_repro::util::{Json, ToJson};
+
+/// The whole suite — 28 benchmarks × 2 opt levels on the Vortex flow —
+/// through a 4-worker pool, versus the sequential one-shot reference.
+/// Everything observable must match exactly.
+#[test]
+fn four_worker_batch_is_bit_identical_to_sequential_oneshot() {
+    let reqs = serve_bench_requests();
+    assert_eq!(reqs.len(), 56, "28 benchmarks x 2 opt levels");
+    let sequential: Vec<_> = reqs.iter().map(run_oneshot).collect();
+    let exec = Executor::new(ExecConfig::with_workers(4));
+    let outcomes = exec.run(reqs.iter().cloned().map(instantiate).collect());
+    assert_eq!(outcomes.len(), sequential.len());
+    for ((oc, seq), req) in outcomes.iter().zip(&sequential).zip(&reqs) {
+        assert_eq!(oc.id, req.id, "outcomes come back in submission order");
+        match (&oc.result, seq) {
+            (Ok(got), Ok(want)) => {
+                assert_eq!(got, want, "{}: scheduled stats diverged", oc.label)
+            }
+            (Err(got), Err(want)) => {
+                assert_eq!(
+                    got.kind(),
+                    want.kind(),
+                    "{}: scheduled failure kind diverged",
+                    oc.label
+                )
+            }
+            (got, want) => panic!(
+                "{}: scheduled {:?} vs sequential {:?}",
+                oc.label,
+                got.is_ok(),
+                want.is_ok()
+            ),
+        }
+    }
+    // The suite is healthy on the Vortex flow at both levels.
+    assert!(
+        outcomes.iter().all(|oc| oc.is_ok()),
+        "every Vortex job succeeds"
+    );
+    assert_eq!(exec.stats().jobs(), 56);
+}
+
+/// An adversarial inline-source request with the `tests/fail_soft.rs`
+/// budgets: one core, 4×4 warps/threads, watchdogs tight enough to bound a
+/// runaway kernel to well under a second. `lx` mirrors that suite's launch
+/// geometry (the divergent barrier needs the full 16-item group so the
+/// divergence is warp-uniform).
+fn adversarial(id: u64, source: &str, lx: u32) -> JobRequest {
+    JobRequest {
+        id,
+        payload: Payload::Source {
+            source: source.to_string(),
+            kernel: "bad".to_string(),
+            nd: NdSpec {
+                gx: 16,
+                gy: 1,
+                lx,
+                ly: 1,
+            },
+            buffers: vec![64],
+            args: vec![ArgSpec::Buf(0)],
+        },
+        flow: Flow::Vortex,
+        opt: Some(OptLevel::None),
+        cores: 1,
+        warps: 4,
+        threads: 4,
+        sim_threads: 1,
+        max_cycles: Some(5_000_000),
+        max_instructions: Some(200_000),
+        deadline_ms: None,
+        reference: false,
+    }
+}
+
+const DIVERGENT_BARRIER: &str = "__kernel void bad(__global int* o) {
+    int lid = get_local_id(0);
+    if (lid < 4) { barrier(CLK_LOCAL_MEM_FENCE); }
+    o[get_global_id(0)] = lid;
+}";
+
+const INFINITE_LOOP: &str = "__kernel void bad(__global int* o) {
+    int acc = 0;
+    for (int j = 0; j < 10; j = j) { acc = acc + 1; }
+    o[get_global_id(0)] = acc;
+}";
+
+const OOB_STORE: &str = "__kernel void bad(__global int* o) {
+    int i = get_global_id(0);
+    o[i + 268435456] = 1;
+}";
+
+/// Adversarial kernels through the executor: each dies typed with the same
+/// classification the fail-soft suite pins, and none of them costs the
+/// healthy job riding in the same batch its result.
+#[test]
+fn adversarial_batch_classifies_and_stays_fail_soft() {
+    let mut reqs = vec![
+        adversarial(1, DIVERGENT_BARRIER, 16),
+        adversarial(2, INFINITE_LOOP, 4),
+        adversarial(3, OOB_STORE, 4),
+    ];
+    let mut healthy = JobRequest::bench("Vecadd", Flow::Vortex);
+    healthy.id = 4;
+    reqs.push(healthy);
+    let exec = Executor::new(ExecConfig::with_workers(2));
+    let outcomes = exec.run(reqs.into_iter().map(instantiate).collect());
+    let class_of = |i: usize| outcomes[i].class().expect("adversarial job fails");
+    assert_eq!(class_of(0), FailureClass::Deadlock, "divergent barrier");
+    assert_eq!(class_of(1), FailureClass::Hang, "infinite loop");
+    assert_eq!(class_of(2), FailureClass::Memory, "OOB store");
+    assert!(outcomes[3].is_ok(), "healthy neighbour unharmed");
+    // Same requests sequentially: identical classification (the executor
+    // adds isolation, not semantics).
+    for (req, want) in [
+        (
+            adversarial(1, DIVERGENT_BARRIER, 16),
+            FailureClass::Deadlock,
+        ),
+        (adversarial(2, INFINITE_LOOP, 4), FailureClass::Hang),
+        (adversarial(3, OOB_STORE, 4), FailureClass::Memory),
+    ] {
+        assert_eq!(run_oneshot(&req).unwrap_err().class(), want);
+    }
+}
+
+/// The same adversarial kernels over the NDJSON wire: request lines in,
+/// one classified response line per job out, service alive throughout.
+#[test]
+fn adversarial_kernels_over_the_serve_protocol() {
+    let mut input = String::new();
+    for req in [
+        adversarial(1, DIVERGENT_BARRIER, 16),
+        adversarial(2, INFINITE_LOOP, 4),
+        adversarial(3, OOB_STORE, 4),
+    ] {
+        input.push_str(&req.to_json().to_compact());
+        input.push('\n');
+    }
+    input.push('\n');
+    let exec = Executor::new(ExecConfig::with_workers(2));
+    let mut out = Vec::new();
+    let summary = serve_lines(&exec, &ServeOptions::default(), input.as_bytes(), &mut out)
+        .expect("serve loop survives adversarial jobs");
+    assert_eq!((summary.jobs, summary.ok, summary.failed), (3, 0, 3));
+    let lines: Vec<Json> = std::str::from_utf8(&out)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 4, "three responses plus the batch summary");
+    for (line, want_class) in lines.iter().zip(["Deadlock", "Hang", "Memory"]) {
+        assert_eq!(line.get("ok").and_then(|v| v.as_bool()), Some(false));
+        let err = line.get("error").expect("failure line carries the error");
+        assert_eq!(
+            err.get("class").and_then(|v| v.as_str()),
+            Some(want_class),
+            "line: {}",
+            line.to_compact()
+        );
+    }
+    assert_eq!(lines[3].get("failed").and_then(|v| v.as_u64()), Some(3));
+}
