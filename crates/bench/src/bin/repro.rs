@@ -20,6 +20,8 @@
 //! repro perf-report [--baseline <file>] [--threshold <frac>] [--no-grid]
 //!                           perf dashboard (markdown + HTML + manifest)
 //! repro cache stats|clear   inspect or wipe the compile cache (runs/cache)
+//! repro chaos [--scenarios smoke|all|cache|sched|sim|serve|<name>] [--seed <n>]
+//!                           seeded fault-injection sweep (exit 1 on violation)
 //! repro all [--fast]        everything above (bench-sim runs separately)
 //! ```
 //!
@@ -52,6 +54,7 @@ use repro_core::report;
 use repro_core::{coverage_table, fig7_grid, fig7_summary, table2, table3, table4};
 use repro_core::{host_meta, RunManifest, ServeOptions};
 use repro_sched::{ExecConfig, Executor, Flow, JobRequest};
+use repro_util::ToJson;
 use std::fs;
 
 fn save_json(name: &str, value: &impl repro_util::ToJson) {
@@ -630,12 +633,17 @@ fn run_run(args: &[String], exec: &Executor, level: OptLevel, manifest: &mut Run
     }
 }
 
-/// `repro serve [--once] [--listen <addr>] [--deadline-ms <n>]` — the
+/// `repro serve [--once] [--listen <addr>] [--deadline-ms <n>]
+/// [--retry <n>] [--retry-backoff-ms <n>] [--max-queue <n>]` — the
 /// long-running batch mode. Jobs arrive as newline-delimited JSON on stdin
 /// (or a TCP socket with `--listen`), run on the shared worker pool, and
 /// responses stream back one compact JSON line per job plus a summary per
 /// batch. The compile cache and metrics registry stay warm across batches;
-/// the exit manifest carries the scheduler counters.
+/// the exit manifest carries the scheduler counters. `--retry` re-runs
+/// transient failures with deterministic exponential backoff, `--max-queue`
+/// sheds overflow with typed `Overloaded` responses, and a
+/// `{"cmd": "drain"}` line finishes in-flight work, rejects the queue
+/// typed, and exits cleanly.
 fn run_serve(args: &[String], exec: &Executor, manifest: &mut RunManifest) -> i32 {
     let once = args.iter().any(|a| a == "--once");
     let deadline_ms = match args.iter().position(|a| a == "--deadline-ms") {
@@ -648,6 +656,30 @@ fn run_serve(args: &[String], exec: &Executor, manifest: &mut RunManifest) -> i3
             }
         },
     };
+    let flag_u64 = |name: &str| -> Result<Option<u64>, i32> {
+        match args.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(i) => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) => Ok(Some(n)),
+                None => {
+                    eprintln!("{name} expects a non-negative integer");
+                    Err(2)
+                }
+            },
+        }
+    };
+    let (retry_max, retry_backoff_ms, max_queue) = match (
+        flag_u64("--retry"),
+        flag_u64("--retry-backoff-ms"),
+        flag_u64("--max-queue"),
+    ) {
+        (Ok(r), Ok(b), Ok(q)) => (
+            r.unwrap_or(0) as u32,
+            b.unwrap_or(10),
+            q.map(|n| n as usize),
+        ),
+        _ => return 2,
+    };
     let listen = args
         .iter()
         .position(|a| a == "--listen")
@@ -656,6 +688,9 @@ fn run_serve(args: &[String], exec: &Executor, manifest: &mut RunManifest) -> i3
         workers: exec.workers(),
         once,
         deadline_ms,
+        retry_max,
+        retry_backoff_ms,
+        max_queue,
     };
     let served = match listen {
         Some(addr) => {
@@ -678,8 +713,16 @@ fn run_serve(args: &[String], exec: &Executor, manifest: &mut RunManifest) -> i3
     match served {
         Ok(s) => {
             eprintln!(
-                "served {} batch(es): {} job(s), {} ok, {} failed, {} rejected line(s)",
-                s.batches, s.jobs, s.ok, s.failed, s.rejected
+                "served {} batch(es): {} job(s), {} ok, {} failed, {} rejected line(s), \
+                 {} shed, {} retried{}",
+                s.batches,
+                s.jobs,
+                s.ok,
+                s.failed,
+                s.rejected,
+                s.shed,
+                s.retried,
+                if s.drained { " (drained)" } else { "" }
             );
             manifest
                 .failure_classes
@@ -731,6 +774,62 @@ fn run_bench_serve(manifest: &mut RunManifest) {
     }
     let _ = fs::write("BENCH_serve.json", doc.to_pretty());
     save_json("bench_serve", &doc);
+}
+
+/// `repro chaos [--scenarios smoke|all|<subsystem>|<name>] [--seed <n>]
+/// [--plan <json>]` — the seeded fault-injection sweep. Each scenario arms
+/// a fault plan against one subsystem, runs a real workload twice at the
+/// same seed, and asserts the fail-soft invariants (survival, typed
+/// classification, exact accounting, no cross-job contamination,
+/// byte-identical outcome sets). Exit 1 on any violation. `--plan` only
+/// validates the JSON wire form of a hand-written plan and prints it back.
+fn run_chaos_cmd(args: &[String]) -> i32 {
+    if let Some(i) = args.iter().position(|a| a == "--plan") {
+        let Some(raw) = args.get(i + 1) else {
+            eprintln!("--plan expects a JSON fault-plan argument");
+            return 2;
+        };
+        return match repro_fault::FaultPlan::parse(raw) {
+            Ok(plan) => {
+                println!("{}", plan.to_json().to_pretty());
+                0
+            }
+            Err(e) => {
+                eprintln!("invalid fault plan: {e}");
+                2
+            }
+        };
+    }
+    let seed = match args.iter().position(|a| a == "--seed") {
+        None => repro_core::CHAOS_SEED,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+            Some(n) => n,
+            None => {
+                eprintln!("--seed expects an integer");
+                return 2;
+            }
+        },
+    };
+    let filter = args
+        .iter()
+        .position(|a| a == "--scenarios")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("smoke");
+    let reports = repro_core::run_chaos(seed, filter);
+    if reports.is_empty() {
+        eprintln!("no scenario matches `{filter}` (try: smoke, all, cache, sched, sim, serve)");
+        return 2;
+    }
+    println!("{}", repro_core::render_chaos(&reports, seed));
+    save_json("chaos", &repro_core::chaos_json(&reports, seed));
+    let passed = reports.iter().filter(|r| r.passed()).count();
+    eprintln!("chaos: {passed}/{} scenario(s) passed", reports.len());
+    if passed == reports.len() {
+        0
+    } else {
+        1
+    }
 }
 
 /// The on-disk tier of the compile cache for `repro` invocations. The
@@ -871,6 +970,7 @@ fn main() {
             0
         }
         "cache" => run_cache(args.get(1).map(String::as_str)),
+        "chaos" => run_chaos_cmd(&args),
         "perf-report" => run_perf_report(&args, level, fast, sim_threads, workers, &mut manifest),
         "trace" | "profile" | "opt-report" => {
             let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")) else {

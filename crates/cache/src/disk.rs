@@ -24,6 +24,7 @@
 
 use crate::wire::{fnv1a, Reader, WireError};
 use crate::{Key, Stage, CACHE_SCHEMA_VERSION};
+use repro_fault::{fire, FaultPoint};
 use repro_util::{Json, ToJson};
 use std::fs;
 use std::io;
@@ -166,7 +167,15 @@ impl DiskStore {
 
     /// Atomically persist an entry: write a unique tmp file, then rename it
     /// over the final name. Readers see either the old entry or the new one.
+    ///
+    /// Fault points: `cache.disk.enospc` fails the write outright;
+    /// `cache.disk.short_write` and `cache.disk.corrupt` land a truncated /
+    /// bit-flipped envelope on disk — the write "succeeds", and the damage
+    /// must be caught by [`unseal`] on the next read, never served.
     pub fn write(&self, key: Key, payload: &[u8]) -> io::Result<()> {
+        if fire(FaultPoint::CacheDiskEnospc) {
+            return Err(io::Error::other("injected fault: no space left on device"));
+        }
         fs::create_dir_all(&self.dir)?;
         let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
         let tmp = self.dir.join(format!(
@@ -176,7 +185,16 @@ impl DiskStore {
             std::process::id(),
             seq,
         ));
-        fs::write(&tmp, seal(key, payload))?;
+        let mut sealed = seal(key, payload);
+        if fire(FaultPoint::CacheDiskShortWrite) {
+            sealed.truncate(sealed.len() / 2);
+        }
+        if fire(FaultPoint::CacheDiskCorrupt) {
+            if let Some(last) = sealed.last_mut() {
+                *last ^= 0x01;
+            }
+        }
+        fs::write(&tmp, sealed)?;
         let result = fs::rename(&tmp, self.path_for(key));
         if result.is_err() {
             let _ = fs::remove_file(&tmp);

@@ -36,7 +36,7 @@ use ocl_ir::Module;
 use repro_diag::ReproError;
 use repro_util::metrics;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use vortex_cc::CompiledKernel;
 use wire::{Fnv, Wire};
@@ -152,10 +152,18 @@ struct MemTier {
     bytes: u64,
 }
 
+/// After this many disk write failures the disk tier is taken offline for
+/// the rest of the process: a full (or read-only-remounted) disk will fail
+/// every subsequent write too, and the cache must not pay a syscall per
+/// miss to rediscover that.
+const DISK_WRITE_ERROR_LIMIT: u64 = 3;
+
 /// A two-tier content-addressed artifact cache.
 pub struct Cache {
     mem: Mutex<MemTier>,
     disk: Option<DiskStore>,
+    /// Runtime kill switch for the disk tier (write-error escalation).
+    disk_offline: AtomicBool,
     /// Memoizes raw source bytes → token fingerprint so hot lookups skip
     /// re-lexing. Keyed by the hash of the *exact* bytes, so a whitespace
     /// edit recomputes the fingerprint (and still lands on the same
@@ -171,13 +179,32 @@ pub struct Cache {
 }
 
 impl Cache {
+    /// Build a cache. A configured disk tier is *probed* here: if the
+    /// directory cannot be created or written (read-only filesystem, bad
+    /// path, injected `cache.disk.open` fault), the cache degrades to
+    /// memory-only with a one-line warning and a counted
+    /// `cache.disk_disabled` event instead of failing the run — a broken
+    /// cache directory must never take the pipeline down with it.
     pub fn new(config: CacheConfig) -> Cache {
+        let disk = config.disk_dir.and_then(|dir| match probe_writable(&dir) {
+            Ok(()) => Some(DiskStore::new(dir)),
+            Err(e) => {
+                metrics::counter_add("cache.disk_disabled", 1);
+                eprintln!(
+                    "repro-cache: disk tier disabled, continuing memory-only \
+                     ({}: {e})",
+                    dir.display()
+                );
+                None
+            }
+        });
         Cache {
             mem: Mutex::new(MemTier {
                 lru: lru::Lru::new(config.mem_entries),
                 bytes: 0,
             }),
-            disk: config.disk_dir.map(DiskStore::new),
+            disk,
+            disk_offline: AtomicBool::new(false),
             fingerprints: Mutex::new(lru::Lru::new(1024)),
             hits_mem: AtomicU64::new(0),
             hits_disk: AtomicU64::new(0),
@@ -192,6 +219,33 @@ impl Cache {
     /// Root of the disk tier, if one is configured.
     pub fn disk_dir(&self) -> Option<&Path> {
         self.disk.as_ref().map(DiskStore::dir)
+    }
+
+    /// Whether the disk tier is currently in use (configured, probed
+    /// writable, and not taken offline by write-error escalation).
+    pub fn disk_active(&self) -> bool {
+        self.disk.is_some() && !self.disk_offline.load(Ordering::Relaxed)
+    }
+
+    fn disk_store(&self) -> Option<&DiskStore> {
+        if self.disk_offline.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.disk.as_ref()
+    }
+
+    /// Record one disk write failure; past the limit, take the tier
+    /// offline for the rest of the process (counted + one-line warning).
+    fn note_disk_write_error(&self) {
+        let n = self.disk_write_errors.fetch_add(1, Ordering::Relaxed) + 1;
+        metrics::counter_add("cache.disk.write_error", 1);
+        if n >= DISK_WRITE_ERROR_LIMIT && !self.disk_offline.swap(true, Ordering::Relaxed) {
+            metrics::counter_add("cache.disk_disabled", 1);
+            eprintln!(
+                "repro-cache: disk tier disabled after {n} write error(s), \
+                 continuing memory-only"
+            );
+        }
     }
 
     // -- key derivation -----------------------------------------------------
@@ -327,7 +381,7 @@ impl Cache {
             }
         }
         // Disk tier.
-        if let Some(store) = &self.disk {
+        if let Some(store) = self.disk_store() {
             match store.read(key) {
                 DiskRead::Hit(payload) => match wire::decode::<T>(&payload) {
                     Ok(v) => {
@@ -379,10 +433,9 @@ impl Cache {
             "non-canonical wire encoding for {} artifact",
             key.stage.name()
         );
-        if let Some(store) = &self.disk {
+        if let Some(store) = self.disk_store() {
             if store.write(key, &bytes).is_err() {
-                self.disk_write_errors.fetch_add(1, Ordering::Relaxed);
-                metrics::counter_add("cache.disk.write_error", 1);
+                self.note_disk_write_error();
             }
         }
         self.insert_mem(key, bytes);
@@ -450,6 +503,22 @@ impl Cache {
             mem_bytes,
         }
     }
+}
+
+/// Can we actually create files under `dir`? Creates the directory and
+/// round-trips one probe file, so a read-only filesystem (or a path that
+/// is already a regular file) is caught at construction time rather than
+/// one write error at a time. `cache.disk.open` injects the failure.
+fn probe_writable(dir: &Path) -> std::io::Result<()> {
+    if repro_fault::fire(repro_fault::FaultPoint::CacheDiskOpen) {
+        return Err(std::io::Error::other(
+            "injected fault: read-only cache directory",
+        ));
+    }
+    std::fs::create_dir_all(dir)?;
+    let probe = dir.join(format!(".probe.{}", std::process::id()));
+    std::fs::write(&probe, b"rw")?;
+    std::fs::remove_file(&probe)
 }
 
 /// FNV-1a 64 over the preprocessed token stream of `src`. Free function so
@@ -587,6 +656,119 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.misses, 2, "errors must not be served from cache");
         assert_eq!(s.hits(), 0);
+    }
+
+    /// The fault engine is process-global; tests that arm it must not
+    /// interleave with each other.
+    fn fault_serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("repro-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn unwritable_disk_dir_degrades_to_memory_only() {
+        // A path that is already a regular file: create_dir_all must fail,
+        // and the cache must come up memory-only instead of erroring.
+        let file =
+            std::env::temp_dir().join(format!("repro-cache-not-a-dir-{}", std::process::id()));
+        std::fs::write(&file, b"x").unwrap();
+        let cache = Cache::new(CacheConfig {
+            disk_dir: Some(file.clone()),
+            ..CacheConfig::default()
+        });
+        assert!(!cache.disk_active());
+        assert!(cache.disk_dir().is_none());
+        // The pipeline still works.
+        cache.lower(SRC).unwrap();
+        cache.lower(SRC).unwrap();
+        assert_eq!(cache.stats().hits_mem, 1);
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn injected_open_fault_degrades_to_memory_only() {
+        let _g = fault_serial();
+        let dir = tmp_dir("openfault");
+        repro_fault::install(
+            &repro_fault::FaultPlan::new(7).always(repro_fault::FaultPoint::CacheDiskOpen, 0),
+        );
+        let cache = Cache::new(CacheConfig {
+            disk_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        });
+        repro_fault::clear();
+        assert!(!cache.disk_active(), "probe fault must disable the tier");
+        cache.lower(SRC).unwrap();
+        assert!(!dir.exists(), "no disk writes after a failed probe");
+    }
+
+    #[test]
+    fn repeated_write_errors_take_the_disk_tier_offline() {
+        let _g = fault_serial();
+        let dir = tmp_dir("enospc");
+        let cache = Cache::new(CacheConfig {
+            disk_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        });
+        assert!(cache.disk_active());
+        repro_fault::install(
+            &repro_fault::FaultPlan::new(8).always(repro_fault::FaultPoint::CacheDiskEnospc, 0),
+        );
+        // Three distinct misses, three failed writes → tier offline.
+        cache.lower(SRC).unwrap();
+        cache.optimize(SRC, OptLevel::Basic).unwrap();
+        cache.codegen_vortex(SRC, Some(OptLevel::Basic), 4).unwrap();
+        repro_fault::clear();
+        let s = cache.stats();
+        assert!(
+            s.disk_write_errors >= DISK_WRITE_ERROR_LIMIT,
+            "write errors: {}",
+            s.disk_write_errors
+        );
+        assert!(!cache.disk_active(), "escalation must disable the tier");
+        // Still fully functional from memory.
+        cache.lower(SRC).unwrap();
+        assert!(cache.stats().hits_mem >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_and_corrupt_disk_writes_are_never_served() {
+        let _g = fault_serial();
+        let dir = tmp_dir("torn");
+        let damage = [
+            repro_fault::FaultPoint::CacheDiskShortWrite,
+            repro_fault::FaultPoint::CacheDiskCorrupt,
+        ];
+        for (i, point) in damage.into_iter().enumerate() {
+            let writer = Cache::new(CacheConfig {
+                disk_dir: Some(dir.clone()),
+                ..CacheConfig::default()
+            });
+            repro_fault::install(&repro_fault::FaultPlan::new(9 + i as u64).always(point, 0));
+            let cold = writer.lower(SRC).unwrap();
+            repro_fault::clear();
+            // A fresh instance over the same directory sees the damaged
+            // entry, classifies it as corrupt, evicts, and recomputes an
+            // identical module rather than serving garbage.
+            let reader = Cache::new(CacheConfig {
+                disk_dir: Some(dir.clone()),
+                ..CacheConfig::default()
+            });
+            let warm = reader.lower(SRC).unwrap();
+            assert_eq!(cold, warm, "{point:?}");
+            let s = reader.stats();
+            assert_eq!(s.corrupt, 1, "{point:?} must be detected");
+            assert_eq!(s.hits_disk, 0, "{point:?} must not be served");
+            assert_eq!(s.misses, 1, "{point:?} recomputes");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

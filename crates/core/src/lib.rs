@@ -26,6 +26,7 @@
 //!   `BENCH_serve.json` throughput harness.
 
 pub mod analytic;
+pub mod chaos;
 pub mod check;
 pub mod chrome_trace;
 pub mod coverage;
@@ -38,6 +39,7 @@ pub mod report;
 pub mod serve;
 pub mod tables;
 
+pub use chaos::{chaos_json, render_chaos, run_chaos, ScenarioReport, CHAOS_SEED};
 pub use check::{
     check_has_hard_failure, check_json, check_requests, check_suite, check_suite_on, render_check,
     CheckRow, FlowCheck, FlowStats, CHECK_MAX_CYCLES, CHECK_MAX_INSTRUCTIONS,

@@ -19,17 +19,43 @@
 //!
 //! A malformed line produces one `{"ok": false, "error": …}` response line
 //! and never aborts the service (the same fail-soft contract the executor
-//! gives panicking jobs). Responses for a batch are emitted in submission
+//! gives panicking jobs). That includes lines that are not valid UTF-8 and
+//! lines longer than [`MAX_LINE_BYTES`] — the reader works on raw bytes
+//! with a hard length guard, so hostile input costs one typed rejection,
+//! not the connection. Responses for a batch are emitted in submission
 //! order — the executor guarantees slot order no matter which worker ran
 //! what — followed by a summary line:
 //!
 //! ```json
 //! {"batch":1,"jobs":56,"ok":50,"failed":6,"wall_secs":3.2,"jobs_per_sec":17.5}
 //! ```
+//!
+//! Hardening (PR 9) on top of the base protocol:
+//!
+//! * **Retry.** With `retry_max > 0`, jobs that fail with a *transient*
+//!   class ([`ReproError::is_transient`]: deadline, panic, overload,
+//!   drain) are re-run up to `retry_max` times with deterministic
+//!   exponential backoff (`retry_backoff_ms << attempt`). Deterministic
+//!   failures are never retried — attempt three of a kernel that doesn't
+//!   compile is the same error at three times the cost.
+//! * **Admission control.** With `max_queue` set, a batch only admits as
+//!   many jobs as fit under the executor's queue-depth limit; the rest
+//!   come back immediately as typed [`ReproError::Overloaded`] response
+//!   lines (counted in `serve.shed`) instead of buffering without bound.
+//! * **Graceful drain.** A `{"cmd": "drain"}` line puts the executor into
+//!   drain mode: in-flight jobs finish, still-queued jobs complete with
+//!   typed [`ReproError::Draining`] rejections (every submitted job gets
+//!   exactly one response), a final ack line is emitted, and the loop
+//!   exits cleanly. The compile cache's disk tier is write-through, so
+//!   there is nothing left to flush at drain time by construction.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use repro_diag::ReproError;
+use repro_fault::{fire, fire_param, FaultPoint};
+use repro_util::metrics;
 
 use ocl_ir::passes::OptLevel;
 use ocl_suite::{all_benchmarks, instantiate};
@@ -49,6 +75,17 @@ pub struct ServeOptions {
     /// `deadline_ms` — the service-level guarantee that no client request
     /// can wedge a worker forever.
     pub deadline_ms: Option<u64>,
+    /// Re-run jobs that fail with a transient class up to this many times
+    /// (0 disables retry).
+    pub retry_max: u32,
+    /// Base backoff before retry attempt `n`: `retry_backoff_ms << n`
+    /// milliseconds — deterministic, no jitter, so two runs of the same
+    /// input retry on the same schedule.
+    pub retry_backoff_ms: u64,
+    /// Admission limit: a batch only admits jobs while the executor queue
+    /// depth stays under this; the rest are shed with typed `Overloaded`
+    /// responses. `None` = admit everything.
+    pub max_queue: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -57,6 +94,9 @@ impl Default for ServeOptions {
             workers: 1,
             once: false,
             deadline_ms: None,
+            retry_max: 0,
+            retry_backoff_ms: 10,
+            max_queue: None,
         }
     }
 }
@@ -68,8 +108,15 @@ pub struct ServeSummary {
     pub jobs: u64,
     pub ok: u64,
     pub failed: u64,
-    /// Protocol errors (unparseable lines) — answered but never executed.
+    /// Protocol errors (unparseable, non-UTF-8, over-long lines) —
+    /// answered but never executed.
     pub rejected: u64,
+    /// Jobs shed by admission control with a typed `Overloaded` response.
+    pub shed: u64,
+    /// Transient-failure re-runs performed by the retry loop.
+    pub retried: u64,
+    /// Whether the session ended via a `{"cmd":"drain"}` request.
+    pub drained: bool,
 }
 
 /// One batch's worth of responses: the outcome lines then the summary line.
@@ -125,13 +172,162 @@ fn parse_request(j: &Json, opts: &ServeOptions) -> Result<JobRequest, String> {
     Ok(req)
 }
 
+/// Hard ceiling on one protocol line. Anything longer is discarded as it
+/// streams past (bounded memory) and answered with one typed rejection.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One raw line off the wire.
+enum RawLine {
+    Eof,
+    /// A complete line (newline stripped) within the length guard.
+    Line,
+    /// The line blew past [`MAX_LINE_BYTES`]; it was consumed and
+    /// discarded. Carries the total bytes seen.
+    TooLong(usize),
+}
+
+/// Byte-level bounded line reader. `BufRead::lines` is wrong for a
+/// network-facing loop twice over: invalid UTF-8 turns into an
+/// `io::Error` that kills the whole connection, and a client that never
+/// sends `\n` buffers without limit. This reads raw bytes, enforces the
+/// cap while *streaming* (an over-long line is consumed chunk by chunk,
+/// never held in memory), and leaves UTF-8 validation to the caller.
+fn read_raw_line(input: &mut impl BufRead, buf: &mut Vec<u8>) -> io::Result<RawLine> {
+    buf.clear();
+    let mut discarded = 0usize;
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if discarded > 0 {
+                RawLine::TooLong(discarded)
+            } else if buf.is_empty() {
+                RawLine::Eof
+            } else {
+                RawLine::Line
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if discarded == 0 && buf.len() + take <= MAX_LINE_BYTES {
+            buf.extend_from_slice(&chunk[..take]);
+        } else {
+            discarded += buf.len() + take;
+            buf.clear();
+        }
+        input.consume(take + usize::from(newline.is_some()));
+        if newline.is_some() {
+            return Ok(if discarded > 0 {
+                RawLine::TooLong(discarded)
+            } else {
+                RawLine::Line
+            });
+        }
+    }
+}
+
+/// Apply the serve-input fault points to one raw line: truncation
+/// mid-JSON, an invalid UTF-8 byte spliced into the middle, or the line
+/// reported as oversized. Returns the oversize byte count if that fault
+/// fired.
+fn inject_line_faults(buf: &mut Vec<u8>) -> Option<usize> {
+    if fire(FaultPoint::ServeLineTruncate) {
+        let keep = buf.len() / 2;
+        buf.truncate(keep);
+    }
+    if fire(FaultPoint::ServeLineInvalidUtf8) && !buf.is_empty() {
+        let mid = buf.len() / 2;
+        buf[mid] = 0xff;
+    }
+    fire_param(FaultPoint::ServeLineOversize).map(|p| (p as usize).max(MAX_LINE_BYTES + 1))
+}
+
+/// Run one batch through the executor with admission control and the
+/// transient-retry loop, returning outcomes in submission order.
+fn run_batch(
+    exec: &Executor,
+    opts: &ServeOptions,
+    reqs: Vec<JobRequest>,
+    summary: &mut ServeSummary,
+) -> Vec<JobOutcome> {
+    // Admission control: only as many jobs as fit under the queue-depth
+    // limit enter the executor; the tail is shed typed, in order.
+    let (admitted, shed) = match opts.max_queue {
+        Some(limit) => {
+            let depth = exec.queue_depth();
+            let room = limit.saturating_sub(depth);
+            if reqs.len() > room {
+                let mut admitted = reqs;
+                let shed: Vec<JobRequest> = admitted.split_off(room);
+                metrics::counter_add("serve.shed", shed.len() as u64);
+                summary.shed += shed.len() as u64;
+                (admitted, shed)
+            } else {
+                (reqs, Vec::new())
+            }
+        }
+        None => (reqs, Vec::new()),
+    };
+    let queued = exec.queue_depth() + admitted.len();
+    let mut outcomes = exec.run(admitted.iter().cloned().map(instantiate).collect());
+    // Bounded retry for transient failures, deterministic exponential
+    // backoff. Draining is transient for the *client* (resubmit elsewhere)
+    // but futile to retry here: the executor will only reject again.
+    for attempt in 0..opts.retry_max {
+        if exec.draining() {
+            break;
+        }
+        let again: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, oc)| {
+                oc.result
+                    .as_ref()
+                    .err()
+                    .is_some_and(|e| e.is_transient() && *e != ReproError::Draining)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if again.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(opts.retry_backoff_ms << attempt));
+        metrics::counter_add("serve.retry", again.len() as u64);
+        summary.retried += again.len() as u64;
+        let retried = exec.run(
+            again
+                .iter()
+                .map(|&i| instantiate(admitted[i].clone()))
+                .collect(),
+        );
+        for (slot, mut oc) in again.into_iter().zip(retried) {
+            oc.index = slot;
+            outcomes[slot] = oc;
+        }
+    }
+    // Shed jobs still get one response each, in submission order.
+    let limit = opts.max_queue.unwrap_or(0);
+    for req in shed {
+        let index = outcomes.len();
+        outcomes.push(JobOutcome {
+            id: req.id,
+            index,
+            label: req.label(),
+            result: Err(ReproError::Overloaded { queued, limit }),
+            wall_secs: 0.0,
+            worker: 0,
+            deadline_fired: false,
+        });
+    }
+    outcomes
+}
+
 /// Run the NDJSON protocol over any line source and sink — the whole serve
 /// loop, parameterized over I/O so tests drive it with in-memory buffers
 /// and both stdin and socket modes share it.
 pub fn serve_lines(
     exec: &Executor,
     opts: &ServeOptions,
-    input: impl BufRead,
+    mut input: impl BufRead,
     mut out: impl Write,
 ) -> std::io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
@@ -146,7 +342,7 @@ pub fn serve_lines(
         summary.batches += 1;
         let reqs = std::mem::take(pending);
         let started = Instant::now();
-        let outcomes = exec.run(reqs.into_iter().map(instantiate).collect());
+        let outcomes = run_batch(exec, opts, reqs, summary);
         let wall = started.elapsed().as_secs_f64();
         summary.jobs += outcomes.len() as u64;
         summary.ok += outcomes.iter().filter(|o| o.is_ok()).count() as u64;
@@ -154,9 +350,32 @@ pub fn serve_lines(
         write_batch(out, summary.batches, &outcomes, wall)?;
         Ok(true)
     };
-    for line in input.lines() {
-        let line = line?;
-        let line = line.trim();
+    let mut buf = Vec::new();
+    loop {
+        let oversize = match read_raw_line(&mut input, &mut buf)? {
+            RawLine::Eof => break,
+            RawLine::TooLong(n) => Some(n),
+            RawLine::Line => inject_line_faults(&mut buf),
+        };
+        if let Some(n) = oversize {
+            summary.rejected += 1;
+            write_reject(
+                &mut out,
+                &format!("line exceeds {MAX_LINE_BYTES} bytes ({n} received); discarded"),
+            )?;
+            continue;
+        }
+        let line = match std::str::from_utf8(&buf) {
+            Ok(s) => s.trim(),
+            Err(e) => {
+                summary.rejected += 1;
+                write_reject(
+                    &mut out,
+                    &format!("invalid UTF-8 at byte {} of line", e.valid_up_to()),
+                )?;
+                continue;
+            }
+        };
         if line.is_empty() {
             if flush(&mut pending, &mut summary, &mut out)? && opts.once {
                 return Ok(summary);
@@ -178,13 +397,34 @@ pub fn serve_lines(
                     return Ok(summary);
                 }
             }
-            Ok(obj @ Json::Object(_)) => match parse_request(&obj, opts) {
-                Ok(req) => pending.push(req),
-                Err(e) => {
-                    summary.rejected += 1;
-                    write_reject(&mut out, &e)?;
+            Ok(obj @ Json::Object(_)) => {
+                if obj.get("cmd").and_then(Json::as_str) == Some("drain") {
+                    // Graceful drain: the executor stops starting new
+                    // work first, so everything still pending completes
+                    // with a typed Draining rejection — then we ack and
+                    // exit. (The cache's disk tier is write-through;
+                    // nothing needs flushing.)
+                    exec.drain();
+                    summary.drained = true;
+                    flush(&mut pending, &mut summary, &mut out)?;
+                    let ack = Json::obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("cmd", "drain".to_json()),
+                        ("batches", summary.batches.to_json()),
+                        ("jobs", summary.jobs.to_json()),
+                    ]);
+                    writeln!(out, "{}", ack.to_compact())?;
+                    out.flush()?;
+                    return Ok(summary);
                 }
-            },
+                match parse_request(&obj, opts) {
+                    Ok(req) => pending.push(req),
+                    Err(e) => {
+                        summary.rejected += 1;
+                        write_reject(&mut out, &e)?;
+                    }
+                }
+            }
             Ok(_) => {
                 summary.rejected += 1;
                 write_reject(&mut out, "request line must be a JSON object or array")?;
@@ -219,7 +459,10 @@ pub fn serve_socket(
         total.ok += s.ok;
         total.failed += s.failed;
         total.rejected += s.rejected;
-        if opts.once {
+        total.shed += s.shed;
+        total.retried += s.retried;
+        total.drained |= s.drained;
+        if opts.once || s.drained {
             break;
         }
     }
@@ -493,6 +736,112 @@ mod tests {
         assert_eq!(resp.len(), 2);
         assert_eq!(resp[0].get("id").unwrap().as_u64(), Some(4));
         assert_eq!(resp[0].get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn invalid_utf8_and_oversize_lines_get_typed_rejects() {
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"{\"bench\": \"Vec\xffadd\"}\n");
+        input.extend_from_slice(b"[");
+        input.resize(input.len() + MAX_LINE_BYTES + 8, b' ');
+        input.extend_from_slice(b"]\n");
+        input.extend_from_slice(b"{\"bench\": \"Vecadd\"}\n\n");
+        let mut out = Vec::new();
+        let e = exec(1);
+        let s = serve_lines(&e, &ServeOptions::default(), &input[..], &mut out).unwrap();
+        assert_eq!((s.rejected, s.jobs, s.ok), (2, 1, 1));
+        let resp = lines(&out);
+        assert_eq!(resp.len(), 4, "two rejects, one outcome, one summary");
+        let detail = |r: &Json| {
+            r.get("error")
+                .unwrap()
+                .get("detail")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        };
+        assert!(detail(&resp[0]).contains("invalid UTF-8"));
+        assert!(detail(&resp[1]).contains("exceeds"));
+        assert_eq!(resp[2].get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn line_reader_bounds_memory_and_strips_newlines() {
+        let mut input: Vec<u8> = b"short\n".to_vec();
+        input.resize(input.len() + 2 * MAX_LINE_BYTES, b'x');
+        input.extend_from_slice(b"\ntail");
+        let mut cursor = &input[..];
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_raw_line(&mut cursor, &mut buf).unwrap(),
+            RawLine::Line
+        ));
+        assert_eq!(buf, b"short");
+        match read_raw_line(&mut cursor, &mut buf).unwrap() {
+            RawLine::TooLong(n) => assert_eq!(n, 2 * MAX_LINE_BYTES),
+            _ => panic!("oversized line must be reported"),
+        }
+        assert!(
+            buf.capacity() <= 2 * MAX_LINE_BYTES,
+            "over-long input must stream past, not accumulate"
+        );
+        assert!(matches!(
+            read_raw_line(&mut cursor, &mut buf).unwrap(),
+            RawLine::Line
+        ));
+        assert_eq!(buf, b"tail", "final unterminated line still delivered");
+        assert!(matches!(
+            read_raw_line(&mut cursor, &mut buf).unwrap(),
+            RawLine::Eof
+        ));
+    }
+
+    #[test]
+    fn admission_control_sheds_the_tail_typed() {
+        let input = "[{\"id\": 1, \"bench\": \"Vecadd\"}, {\"id\": 2, \"bench\": \"Saxpy\"}, \
+                     {\"id\": 3, \"bench\": \"Sgemm\"}]\n";
+        let mut out = Vec::new();
+        let e = exec(1);
+        let opts = ServeOptions {
+            max_queue: Some(1),
+            ..ServeOptions::default()
+        };
+        let s = serve_lines(&e, &opts, input.as_bytes(), &mut out).unwrap();
+        assert_eq!((s.jobs, s.ok, s.failed, s.shed), (3, 1, 2, 2));
+        let resp = lines(&out);
+        assert_eq!(resp.len(), 4);
+        assert_eq!(resp[0].get("id").unwrap().as_u64(), Some(1));
+        assert_eq!(resp[0].get("ok").unwrap().as_bool(), Some(true));
+        for r in &resp[1..3] {
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+            let err = r.get("error").unwrap();
+            assert_eq!(err.get("kind").unwrap().as_str(), Some("Overloaded"));
+        }
+        assert_eq!(resp[1].get("id").unwrap().as_u64(), Some(2));
+        assert_eq!(resp[2].get("id").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn drain_command_rejects_pending_jobs_and_acks() {
+        let input = "{\"id\": 7, \"bench\": \"Vecadd\"}\n{\"cmd\": \"drain\"}\n\
+                     {\"bench\": \"Saxpy\"}\n";
+        let mut out = Vec::new();
+        let e = exec(1);
+        let s = serve_lines(&e, &ServeOptions::default(), input.as_bytes(), &mut out).unwrap();
+        assert!(s.drained);
+        assert_eq!(
+            (s.jobs, s.ok, s.failed),
+            (1, 0, 1),
+            "pending job gets a typed rejection; post-drain line never read"
+        );
+        let resp = lines(&out);
+        assert_eq!(resp.len(), 3, "rejection line, batch summary, drain ack");
+        assert_eq!(resp[0].get("id").unwrap().as_u64(), Some(7));
+        let err = resp[0].get("error").unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("Draining"));
+        assert_eq!(resp[2].get("cmd").unwrap().as_str(), Some("drain"));
+        assert_eq!(resp[2].get("ok").unwrap().as_bool(), Some(true));
     }
 
     #[test]

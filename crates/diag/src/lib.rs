@@ -186,6 +186,13 @@ pub enum ReproError {
     /// Host-side harness error: bad launch geometry, missing kernel,
     /// readback failure, bad ND-range, bad arguments.
     Harness { message: String },
+    /// Admission control shed the job: the serve queue was already at its
+    /// configured depth limit when the job arrived. A client seeing this
+    /// should back off and resubmit — nothing about the job itself failed.
+    Overloaded { queued: usize, limit: usize },
+    /// The service is draining toward shutdown; queued jobs are rejected
+    /// typed (in-flight jobs still finish). Resubmit elsewhere/later.
+    Draining,
 }
 
 impl ReproError {
@@ -206,8 +213,26 @@ impl ReproError {
             | ReproError::DeadlineExceeded { .. } => FailureClass::Hang,
             ReproError::WrongResult { .. } => FailureClass::WrongResult,
             ReproError::Panic { .. } => FailureClass::Panic,
-            ReproError::Harness { .. } => FailureClass::Harness,
+            ReproError::Harness { .. } | ReproError::Overloaded { .. } | ReproError::Draining => {
+                FailureClass::Harness
+            }
         }
+    }
+
+    /// Whether retrying the same job could plausibly succeed. Transient
+    /// failures are environmental — load, scheduling, timing — while
+    /// permanent ones are properties of the job itself (a kernel that
+    /// doesn't compile won't compile on attempt three). The serve retry
+    /// loop only re-runs transient classes; retrying a deterministic
+    /// failure would burn a worker slot to reproduce the same error.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ReproError::DeadlineExceeded { .. }
+                | ReproError::Panic { .. }
+                | ReproError::Overloaded { .. }
+                | ReproError::Draining
+        )
     }
 
     /// Variant name without payload, for compact report cells.
@@ -228,6 +253,8 @@ impl ReproError {
             ReproError::WrongResult { .. } => "WrongResult",
             ReproError::Panic { .. } => "Panic",
             ReproError::Harness { .. } => "Harness",
+            ReproError::Overloaded { .. } => "Overloaded",
+            ReproError::Draining => "Draining",
         }
     }
 
@@ -314,6 +341,11 @@ impl fmt::Display for ReproError {
             ReproError::WrongResult { message } => write!(f, "wrong result: {message}"),
             ReproError::Panic { message } => write!(f, "panic: {message}"),
             ReproError::Harness { message } => write!(f, "harness error: {message}"),
+            ReproError::Overloaded { queued, limit } => write!(
+                f,
+                "overloaded: {queued} job(s) queued, admission limit {limit}"
+            ),
+            ReproError::Draining => write!(f, "service draining: job rejected before execution"),
         }
     }
 }
@@ -367,6 +399,10 @@ impl ToJson for ReproError {
             }
             ReproError::DeadlineExceeded { deadline_ms } => {
                 fields.push(("deadline_ms", deadline_ms.to_json()));
+            }
+            ReproError::Overloaded { queued, limit } => {
+                fields.push(("queued", (*queued as u64).to_json()));
+                fields.push(("limit", (*limit as u64).to_json()));
             }
             _ => {}
         }
@@ -496,6 +532,48 @@ mod tests {
         assert_eq!(j.get("class").unwrap().as_str(), Some("Memory"));
         assert_eq!(j.get("kind").unwrap().as_str(), Some("Misaligned"));
         assert_eq!(j.get("addr").unwrap().as_u64(), Some(0x1001));
+    }
+
+    #[test]
+    fn transient_split_is_conservative() {
+        // Transient: worth a retry.
+        assert!(ReproError::DeadlineExceeded { deadline_ms: 5 }.is_transient());
+        assert!(ReproError::Panic {
+            message: "x".into()
+        }
+        .is_transient());
+        assert!(ReproError::Overloaded {
+            queued: 9,
+            limit: 8
+        }
+        .is_transient());
+        assert!(ReproError::Draining.is_transient());
+        // Permanent: deterministic properties of the job.
+        assert!(!ReproError::harness("bad args").is_transient());
+        assert!(!ReproError::CycleBudget { limit: 10 }.is_transient());
+        assert!(!ReproError::WrongResult {
+            message: "x".into()
+        }
+        .is_transient());
+        assert!(!ReproError::Verify {
+            message: "x".into()
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn overload_and_drain_are_typed_harness_rejections() {
+        let err = ReproError::Overloaded {
+            queued: 12,
+            limit: 8,
+        };
+        assert_eq!(err.class(), FailureClass::Harness);
+        let j = err.to_json();
+        assert_eq!(j.get("kind").unwrap().as_str(), Some("Overloaded"));
+        assert_eq!(j.get("queued").unwrap().as_u64(), Some(12));
+        assert_eq!(j.get("limit").unwrap().as_u64(), Some(8));
+        assert_eq!(ReproError::Draining.class(), FailureClass::Harness);
+        assert_eq!(ReproError::Draining.kind(), "Draining");
     }
 
     #[test]

@@ -40,6 +40,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use repro_diag::{run_isolated, ReproError};
+use repro_fault::{fire, fire_param, FaultPoint};
 use repro_util::{metrics, Parker};
 
 use crate::job::{Job, JobCtx, JobOutcome};
@@ -84,6 +85,9 @@ pub struct ExecStats {
     pub parks: AtomicU64,
     pub unparks: AtomicU64,
     pub deadlines_fired: AtomicU64,
+    /// Jobs completed with a typed rejection instead of executing
+    /// (drain-mode [`ReproError::Draining`], queue-expired deadlines).
+    pub jobs_rejected: AtomicU64,
 }
 
 impl ExecStats {
@@ -99,6 +103,9 @@ impl ExecStats {
     pub fn deadlines_fired(&self) -> u64 {
         self.deadlines_fired.load(Ordering::Relaxed)
     }
+    pub fn rejected(&self) -> u64 {
+        self.jobs_rejected.load(Ordering::Relaxed)
+    }
 }
 
 /// One queued task: a job plus where its outcome goes.
@@ -106,6 +113,11 @@ struct Task {
     job: Job,
     index: usize,
     batch: Arc<BatchShared>,
+    /// Absolute wall-clock deadline, anchored at *submission*. A deadline
+    /// is a service-latency promise, so queue time counts against it: a
+    /// job whose deadline expires while it is still parked in a deque is
+    /// rejected typed when a worker picks it up, without executing.
+    deadline: Option<Instant>,
 }
 
 /// Shared state of one submitted batch: the outcome slots and a
@@ -165,6 +177,9 @@ struct Shared {
     /// Tasks queued across all deques (the `sched.queue_depth` gauge).
     queued: AtomicUsize,
     shutdown: AtomicBool,
+    /// Graceful-drain mode: in-flight jobs finish, queued jobs complete
+    /// with a typed [`ReproError::Draining`] rejection instead of running.
+    draining: AtomicBool,
     inflight: Mutex<Vec<InFlight>>,
     stats: ExecStats,
     next_worker: AtomicUsize,
@@ -189,6 +204,7 @@ impl Executor {
             watcher_parker: Parker::new(),
             queued: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             inflight: Mutex::new(Vec::new()),
             stats: ExecStats::default(),
             next_worker: AtomicUsize::new(0),
@@ -229,6 +245,31 @@ impl Executor {
         &self.shared.stats
     }
 
+    /// Tasks currently queued across all worker deques (excludes jobs
+    /// already executing). The admission-control signal for `repro serve`.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queued.load(Ordering::Acquire)
+    }
+
+    /// Enter graceful-drain mode: jobs already executing finish normally,
+    /// every still-queued job completes with a typed
+    /// [`ReproError::Draining`] rejection (its batch handle still resolves,
+    /// so nothing submitted is ever unaccounted for), and subsequent
+    /// submissions are rejected the same way. Irreversible for this
+    /// executor — drain is the first half of shutdown.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        for p in &self.shared.parkers {
+            p.unpark();
+        }
+        self.shared.watcher_parker.unpark();
+    }
+
+    /// Whether [`drain`](Self::drain) has been called.
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
     /// Submit a batch of jobs; returns immediately with a handle. Jobs are
     /// dealt round-robin across the worker deques and outcomes come back
     /// in submission order regardless of execution order.
@@ -241,23 +282,36 @@ impl Executor {
             done_cv: Condvar::new(),
         });
         let start = self.shared.next_worker.fetch_add(n, Ordering::Relaxed);
+        let now = Instant::now();
         for (index, job) in jobs.into_iter().enumerate() {
             let w = (start + index) % self.workers;
+            let deadline = job
+                .req
+                .deadline_ms
+                .map(|ms| now + Duration::from_millis(ms));
             self.shared.deques[w].lock().unwrap().push_back(Task {
                 job,
                 index,
                 batch: Arc::clone(&shared),
+                deadline,
             });
         }
         let depth = self.shared.queued.fetch_add(n, Ordering::AcqRel) + n;
         metrics::gauge_set("sched.queue_depth", depth as f64);
+        let mut woken = 0u64;
         for p in &self.shared.parkers {
+            // `sched.lost_unpark` drops the notification; liveness must
+            // then come from the watcher's rescue tick, not this unpark.
+            if fire(FaultPoint::SchedLostUnpark) {
+                continue;
+            }
             p.unpark();
+            woken += 1;
         }
         self.shared
             .stats
             .unparks
-            .fetch_add(self.workers as u64, Ordering::Relaxed);
+            .fetch_add(woken, Ordering::Relaxed);
         self.shared.watcher_parker.unpark();
         BatchHandle { shared }
     }
@@ -334,25 +388,90 @@ fn worker_loop(me: usize, shared: &Shared) {
 }
 
 fn execute(me: usize, task: Task, shared: &Shared) {
-    let Task { job, index, batch } = task;
+    let Task {
+        job,
+        index,
+        batch,
+        deadline,
+    } = task;
     let id = job.req.id;
     let label = job.req.label();
+    let deadline_ms = job.req.deadline_ms;
+    // Drain mode: queued work completes with a typed rejection instead of
+    // executing, so every submitted job still gets exactly one outcome.
+    if shared.draining.load(Ordering::Acquire) {
+        shared.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        metrics::counter_add("sched.rejected", 1);
+        batch.finish_one(
+            index,
+            JobOutcome {
+                id,
+                index,
+                label,
+                result: Err(ReproError::Draining),
+                wall_secs: 0.0,
+                worker: me,
+                deadline_fired: false,
+            },
+        );
+        return;
+    }
+    // Deadline already expired in the queue (`deadline_ms: 0` is the
+    // degenerate case): classify without burning worker time on a job
+    // whose latency promise is already broken.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        shared.stats.deadlines_fired.fetch_add(1, Ordering::Relaxed);
+        metrics::counter_add("sched.deadline_fired", 1);
+        shared.stats.jobs.fetch_add(1, Ordering::Relaxed);
+        metrics::counter_add("sched.jobs", 1);
+        shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        metrics::counter_add("sched.jobs_failed", 1);
+        batch.finish_one(
+            index,
+            JobOutcome {
+                id,
+                index,
+                label,
+                result: Err(ReproError::DeadlineExceeded {
+                    deadline_ms: deadline_ms.unwrap_or(0),
+                }),
+                wall_secs: 0.0,
+                worker: me,
+                deadline_fired: true,
+            },
+        );
+        return;
+    }
     let cancelled = Arc::new(AtomicBool::new(false));
     let fired = Arc::new(AtomicBool::new(false));
-    if let Some(ms) = job.req.deadline_ms {
+    if let Some(d) = deadline {
         shared.inflight.lock().unwrap().push(InFlight {
             cancelled: Arc::clone(&cancelled),
             fired: Arc::clone(&fired),
-            deadline: Instant::now() + Duration::from_millis(ms),
+            deadline: d,
         });
         shared.watcher_parker.unpark();
     }
-    let deadline_ms = job.req.deadline_ms;
     let ctx = JobCtx {
         cancelled: Arc::clone(&cancelled),
     };
     let start = Instant::now();
-    let mut result = run_isolated(|| job.execute(&ctx));
+    let mut result = run_isolated(|| {
+        // `sched.job.panic`: a bug in our own stack, not the kernel — must
+        // be caught right here at the isolation boundary.
+        if fire(FaultPoint::SchedJobPanic) {
+            panic!("injected fault: worker panic");
+        }
+        // `sched.job.latency`: stall (in cancellable slices) so wall-clock
+        // deadlines genuinely fire rather than being untestably fast.
+        if let Some(ms) = fire_param(FaultPoint::SchedJobLatency) {
+            let until = Instant::now() + Duration::from_millis(ms);
+            while Instant::now() < until && !ctx.cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        job.execute(&ctx)
+    });
     let wall_secs = start.elapsed().as_secs_f64();
     // Retire from the in-flight table (identity: our cancelled flag).
     shared
@@ -619,5 +738,190 @@ mod tests {
     fn empty_batch_completes_immediately() {
         let exec = Executor::new(ExecConfig::with_workers(2));
         assert!(exec.run(Vec::new()).is_empty());
+    }
+
+    /// The fault engine is process-global; tests that arm it must not
+    /// interleave with each other.
+    fn fault_serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn deadline_job(id: u64, deadline_ms: u64, work_ms: u64) -> Job {
+        let mut req = JobRequest::bench("edge", Flow::Interp);
+        req.id = id;
+        req.deadline_ms = Some(deadline_ms);
+        Job::new(req, move |_, ctx| {
+            let until = Instant::now() + Duration::from_millis(work_ms);
+            while Instant::now() < until && !ctx.cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(JobStats {
+                cycles: id + 1,
+                instructions: 0,
+            })
+        })
+    }
+
+    #[test]
+    fn zero_deadline_classifies_without_executing() {
+        let exec = Executor::new(ExecConfig::with_workers(1));
+        let ran = Arc::new(AtomicU64::new(0));
+        let mut req = JobRequest::bench("zero", Flow::Interp);
+        req.deadline_ms = Some(0);
+        let flag = Arc::clone(&ran);
+        let job = Job::new(req, move |_, _| {
+            flag.fetch_add(1, Ordering::AcqRel);
+            Ok(JobStats::default())
+        });
+        let outcomes = exec.run(vec![job]);
+        assert!(outcomes[0].deadline_fired);
+        assert_eq!(outcomes[0].class(), Some(FailureClass::Hang));
+        assert_eq!(ran.load(Ordering::Acquire), 0, "body must not run");
+        assert_eq!(exec.stats().deadlines_fired(), 1);
+        // The worker is not poisoned: a follow-up job runs normally.
+        let outcomes = exec.run(vec![quick_job(1, || 11)]);
+        assert_eq!(outcomes[0].stats().unwrap().cycles, 11);
+    }
+
+    #[test]
+    fn deadline_shorter_than_the_job_fires_mid_run() {
+        // Deadline 20ms against a 10s (cancellable) body — the stand-in
+        // for "deadline shorter than compile time".
+        let exec = Executor::new(ExecConfig::with_workers(1));
+        let start = Instant::now();
+        let outcomes = exec.run(vec![deadline_job(0, 20, 10_000)]);
+        assert!(outcomes[0].deadline_fired);
+        match &outcomes[0].result {
+            Err(ReproError::DeadlineExceeded { deadline_ms }) => assert_eq!(*deadline_ms, 20),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(5));
+        let outcomes = exec.run(vec![quick_job(1, || 5)]);
+        assert!(outcomes[0].is_ok(), "worker survived the fired deadline");
+    }
+
+    #[test]
+    fn deadline_expires_while_queued_behind_a_long_job() {
+        // One worker: job 0 holds it past job 1's whole deadline budget.
+        // Deadlines are anchored at submission, so job 1 must come back
+        // DeadlineExceeded without ever executing.
+        let exec = Executor::new(ExecConfig::with_workers(1));
+        let jobs = vec![deadline_job(0, 10_000, 120), deadline_job(1, 30, 1)];
+        let outcomes = exec.run(jobs);
+        assert!(outcomes[0].is_ok(), "long job finishes inside its deadline");
+        assert!(outcomes[1].deadline_fired, "queued job's deadline expired");
+        assert_eq!(outcomes[1].class(), Some(FailureClass::Hang));
+        assert_eq!(
+            outcomes[1].wall_secs, 0.0,
+            "expired-in-queue job must not execute"
+        );
+        let outcomes = exec.run(vec![quick_job(2, || 3)]);
+        assert!(outcomes[0].is_ok(), "worker not poisoned");
+    }
+
+    #[test]
+    fn injected_latency_makes_deadlines_fire() {
+        let _g = fault_serial();
+        let exec = Executor::new(ExecConfig::with_workers(1));
+        repro_fault::install(&repro_fault::FaultPlan::new(3).times(
+            FaultPoint::SchedJobLatency,
+            1,
+            10_000,
+        ));
+        let mut req = JobRequest::bench("lag", Flow::Interp);
+        req.deadline_ms = Some(25);
+        let job = Job::new(req, |_, _| Ok(JobStats::default()));
+        let start = Instant::now();
+        let outcomes = exec.run(vec![job]);
+        repro_fault::clear();
+        assert!(outcomes[0].deadline_fired, "latency fault must trip it");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "cancel cuts the stall short"
+        );
+    }
+
+    #[test]
+    fn injected_panic_is_classified_and_isolated() {
+        let _g = fault_serial();
+        let exec = Executor::new(ExecConfig::with_workers(2));
+        repro_fault::install(&repro_fault::FaultPlan::new(4).times(
+            FaultPoint::SchedJobPanic,
+            1,
+            0,
+        ));
+        let outcomes = exec.run((0..4).map(|i| quick_job(i, move || i)).collect());
+        repro_fault::clear();
+        let panicked = outcomes
+            .iter()
+            .filter(|oc| oc.class() == Some(FailureClass::Panic))
+            .count();
+        assert_eq!(panicked, 1, "exactly one injected panic");
+        assert_eq!(
+            outcomes.iter().filter(|oc| oc.is_ok()).count(),
+            3,
+            "the other jobs are untouched"
+        );
+        let outcomes = exec.run(vec![quick_job(9, || 9)]);
+        assert!(outcomes[0].is_ok(), "workers survived the injected panic");
+    }
+
+    #[test]
+    fn lost_unparks_do_not_lose_liveness() {
+        let _g = fault_serial();
+        // Every submit-side unpark is dropped; the watcher's rescue tick
+        // is the only wakeup source left. Completion is the proof.
+        let exec = Executor::new(ExecConfig::with_workers(2));
+        repro_fault::install(
+            &repro_fault::FaultPlan::new(5).always(FaultPoint::SchedLostUnpark, 0),
+        );
+        for i in 0..10u64 {
+            let outcomes = exec.run(vec![quick_job(i, move || i * 2)]);
+            assert_eq!(outcomes[0].stats().unwrap().cycles, i * 2);
+        }
+        repro_fault::clear();
+        assert_eq!(exec.stats().jobs(), 10);
+    }
+
+    #[test]
+    fn drain_rejects_queued_jobs_typed_and_finishes_inflight() {
+        let exec = Executor::new(ExecConfig::with_workers(1));
+        let started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let (s, gate) = (Arc::clone(&started), Arc::clone(&release));
+        let mut jobs = vec![quick_job(0, move || {
+            s.store(true, Ordering::Release);
+            while !gate.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            7
+        })];
+        jobs.extend((1..6).map(|i| quick_job(i, move || i)));
+        let handle = exec.submit(jobs);
+        // Wait until the gate job is genuinely executing, then drain.
+        while !started.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        exec.drain();
+        assert!(exec.draining());
+        release.store(true, Ordering::Release);
+        let outcomes = handle.wait();
+        assert_eq!(outcomes.len(), 6, "every job is accounted for");
+        assert_eq!(
+            outcomes[0].stats().unwrap().cycles,
+            7,
+            "in-flight job finished normally"
+        );
+        for oc in &outcomes[1..] {
+            match &oc.result {
+                Err(ReproError::Draining) => {}
+                other => panic!("queued job should be rejected Draining, got {other:?}"),
+            }
+        }
+        assert_eq!(exec.stats().rejected(), 5);
+        // Post-drain submissions are rejected typed too.
+        let outcomes = exec.run(vec![quick_job(9, || 1)]);
+        assert!(matches!(outcomes[0].result, Err(ReproError::Draining)));
     }
 }

@@ -11,6 +11,7 @@
 //! and fit within one core's warps × threads.
 
 use ocl_ir::interp::NdRange;
+use repro_fault::{fire_param, FaultPoint};
 use vortex_cc::CompiledKernel;
 use vortex_isa::layout::{self, arg};
 use vortex_sim::{SimConfig, SimError, SimFault, SimResult, Simulator, TraceSink};
@@ -346,7 +347,40 @@ impl VxSession {
         for (i, a) in args.iter().enumerate() {
             w(&mut self.sim, arg::KERNEL_ARGS + 4 * i as u32, a.bits())?;
         }
-        Ok(self.sim.run_with_sink(sink)?)
+        // `sim.mem.dram_bitflip`: corrupt one heap word *before* the run.
+        // Injected at the launch boundary, outside the simulation loop, so
+        // the dense and event loops see the identical corrupted initial
+        // image and classify the outcome bit-identically by construction.
+        if let Some(p) = fire_param(FaultPoint::SimDramBitflip) {
+            self.flip_heap_bit(p)?;
+        }
+        let result = self.sim.run_with_sink(sink)?;
+        // `sim.mem.l2_bitflip`: corrupt one heap word *after* the run,
+        // before the caller reads results back — a writeback-path flip.
+        if let Some(p) = fire_param(FaultPoint::SimL2Bitflip) {
+            self.flip_heap_bit(p)?;
+        }
+        Ok(result)
+    }
+
+    /// Flip one bit in the allocated heap region. `param` packs
+    /// `word_offset << 8 | bit_index`; both are reduced modulo the live
+    /// range so any plan value lands on real data. The damage is meant to
+    /// surface through the workload's own verification as `WrongResult`
+    /// (or a `Memory` fault if the flipped word feeds an address), never
+    /// as a panic.
+    fn flip_heap_bit(&mut self, param: u64) -> Result<(), RtError> {
+        let heap_words = (self.heap_next - layout::HEAP_BASE) / 4;
+        if heap_words == 0 {
+            return Ok(());
+        }
+        let word = (param >> 8) as u32 % heap_words;
+        let bit = (param & 0xff) as u32 % 32;
+        let addr = layout::HEAP_BASE + word * 4;
+        let bytes = self.sim.mem.read_bytes(addr, 4)?;
+        let v = u32::from_le_bytes(bytes.try_into().unwrap());
+        self.sim.mem.write_u32(addr, v ^ (1 << bit))?;
+        Ok(())
     }
 }
 

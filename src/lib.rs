@@ -7,6 +7,7 @@ pub use ocl_suite as suite;
 pub use repro_cache as cache;
 pub use repro_core as repro;
 pub use repro_diag as diag;
+pub use repro_fault as fault;
 pub use repro_sched as sched;
 pub use repro_util as util;
 pub use vortex_cc as vcc;
