@@ -9,6 +9,8 @@
 //! repro analytic            §IV-A     analytical model vs cycle simulator
 //! repro bench-sim [--fast]  scheduler wall-clock: fast-forward vs dense loop
 //! repro trace <bench>       chrome://tracing export of a Vortex run
+//! repro trace --serve <log> chrome://tracing export of a serve session's
+//!                           per-job span trees (host time)
 //! repro profile <bench>     hot-PC + stall-attribution profile of a Vortex run
 //! repro opt-report <bench> [--timing]  middle-end report across opt levels
 //! repro check               fail-soft coverage sweep with failure classes
@@ -17,6 +19,8 @@
 //! repro serve [--once] [--listen <addr>] [--deadline-ms <n>]
 //!                           long-running NDJSON batch service (stdin/socket)
 //! repro bench-serve         batch throughput at 1/2/4 workers (BENCH_serve.json)
+//! repro top [--addr <a>] [--interval-ms <n>] [--frames <n>] [--clear]
+//!                           live dashboard over a serving --listen process
 //! repro perf-report [--baseline <file>] [--threshold <frac>] [--no-grid]
 //!                           perf dashboard (markdown + HTML + manifest)
 //! repro cache stats|clear   inspect or wipe the compile cache (runs/cache)
@@ -410,6 +414,90 @@ fn run_trace(name: &str, level: OptLevel) {
     println!("wrote target/repro/{file}.json — load it in chrome://tracing or Perfetto");
 }
 
+/// `repro trace --serve <log>` — export a serve session log (NDJSON, one
+/// outcome per line, spans present when the service ran with observability
+/// armed) as a chrome://tracing document: the host-time counterpart of
+/// `repro trace <bench>`'s cycle-time view.
+fn run_trace_serve(args: &[String]) -> i32 {
+    let i = args
+        .iter()
+        .position(|a| a == "--serve")
+        .expect("dispatch guard checked the flag");
+    let Some(path) = args.get(i + 1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: repro trace --serve <serve-log.ndjson>");
+        return 2;
+    };
+    let log = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e}");
+            return 1;
+        }
+    };
+    match repro_core::chrome_trace_serve(&log) {
+        Ok(doc) => {
+            let events = doc
+                .get("traceEvents")
+                .and_then(|e| e.as_array().map(<[_]>::len))
+                .unwrap_or(0);
+            save_json("trace_serve", &doc);
+            println!("## Serve trace — {events} events\n");
+            println!(
+                "wrote target/repro/trace_serve.json — load it in chrome://tracing or Perfetto"
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+/// `repro top [--addr <host:port>] [--interval-ms <n>] [--frames <n>]
+/// [--clear]` — poll a serving `repro serve --listen` process's
+/// `{"cmd":"stats"}` endpoint and render a live windowed dashboard.
+fn run_top_cmd(args: &[String]) -> i32 {
+    let mut opts = repro_core::TopOptions::default();
+    if let Some(i) = args.iter().position(|a| a == "--addr") {
+        match args.get(i + 1) {
+            Some(a) => opts.addr = a.clone(),
+            None => {
+                eprintln!("--addr expects host:port");
+                return 2;
+            }
+        }
+    }
+    for (flag, slot) in [("--interval-ms", 0usize), ("--frames", 1)] {
+        if let Some(i) = args.iter().position(|a| a == flag) {
+            match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => {
+                    if slot == 0 {
+                        opts.interval_ms = n;
+                    } else {
+                        opts.frames = Some(n);
+                    }
+                }
+                _ => {
+                    eprintln!("{flag} expects a positive integer");
+                    return 2;
+                }
+            }
+        }
+    }
+    opts.clear = args.iter().any(|a| a == "--clear");
+    match repro_core::run_top(&opts, &mut std::io::stdout()) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!(
+                "repro top: {e} (is `repro serve --listen {}` up?)",
+                opts.addr
+            );
+            1
+        }
+    }
+}
+
 fn run_profile(name: &str, level: OptLevel) {
     use vortex_sim::LaunchProfile;
     let (b, trace, launches) = traced_run(name, level);
@@ -692,6 +780,12 @@ fn run_serve(args: &[String], exec: &Executor, manifest: &mut RunManifest) -> i3
         retry_backoff_ms,
         max_queue,
     };
+    // Live observability is armed only here, at the service entry point —
+    // never inside `serve_lines` itself — so library users and the chaos
+    // harness (which requires byte-identical replays, and span durations
+    // are wall-clock) see exactly the pre-observability wire format.
+    repro_util::metrics::window_enable();
+    repro_obs::arm();
     let served = match listen {
         Some(addr) => {
             eprintln!(
@@ -714,7 +808,7 @@ fn run_serve(args: &[String], exec: &Executor, manifest: &mut RunManifest) -> i3
         Ok(s) => {
             eprintln!(
                 "served {} batch(es): {} job(s), {} ok, {} failed, {} rejected line(s), \
-                 {} shed, {} retried{}",
+                 {} shed, {} retried, {} healed, {} deadline-fired{}",
                 s.batches,
                 s.jobs,
                 s.ok,
@@ -722,6 +816,8 @@ fn run_serve(args: &[String], exec: &Executor, manifest: &mut RunManifest) -> i3
                 s.rejected,
                 s.shed,
                 s.retried,
+                s.healed,
+                s.deadline_fired,
                 if s.drained { " (drained)" } else { "" }
             );
             manifest
@@ -969,8 +1065,10 @@ fn main() {
             run_bench_serve(&mut manifest);
             0
         }
+        "top" => run_top_cmd(&args),
         "cache" => run_cache(args.get(1).map(String::as_str)),
         "chaos" => run_chaos_cmd(&args),
+        "trace" if args.iter().any(|a| a == "--serve") => run_trace_serve(&args),
         "perf-report" => run_perf_report(&args, level, fast, sim_threads, workers, &mut manifest),
         "trace" | "profile" | "opt-report" => {
             let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")) else {

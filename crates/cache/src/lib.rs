@@ -86,6 +86,17 @@ impl Stage {
             Stage::Hls => "hls",
         }
     }
+
+    /// Span name for a lookup of this stage (static so the disarmed
+    /// observability path never allocates).
+    fn span_name(self) -> &'static str {
+        match self {
+            Stage::Lower => "cache.lower",
+            Stage::Opt => "cache.opt",
+            Stage::Vortex => "cache.vortex",
+            Stage::Hls => "cache.hls",
+        }
+    }
 }
 
 /// A content address: stage plus the mixed key hash.
@@ -164,6 +175,10 @@ pub struct Cache {
     disk: Option<DiskStore>,
     /// Runtime kill switch for the disk tier (write-error escalation).
     disk_offline: AtomicBool,
+    /// A disk tier was requested but is not serving (probe failure at
+    /// construction, or write-error escalation later) — the health flag
+    /// `repro serve` reports.
+    degraded: AtomicBool,
     /// Memoizes raw source bytes → token fingerprint so hot lookups skip
     /// re-lexing. Keyed by the hash of the *exact* bytes, so a whitespace
     /// edit recomputes the fingerprint (and still lands on the same
@@ -186,10 +201,12 @@ impl Cache {
     /// `cache.disk_disabled` event instead of failing the run — a broken
     /// cache directory must never take the pipeline down with it.
     pub fn new(config: CacheConfig) -> Cache {
+        let disk_requested = config.disk_dir.is_some();
         let disk = config.disk_dir.and_then(|dir| match probe_writable(&dir) {
             Ok(()) => Some(DiskStore::new(dir)),
             Err(e) => {
                 metrics::counter_add("cache.disk_disabled", 1);
+                repro_obs::event("cache_degraded", &format!("disk probe failed: {e}"));
                 eprintln!(
                     "repro-cache: disk tier disabled, continuing memory-only \
                      ({}: {e})",
@@ -198,6 +215,7 @@ impl Cache {
                 None
             }
         });
+        let degraded = disk_requested && disk.is_none();
         Cache {
             mem: Mutex::new(MemTier {
                 lru: lru::Lru::new(config.mem_entries),
@@ -205,6 +223,7 @@ impl Cache {
             }),
             disk,
             disk_offline: AtomicBool::new(false),
+            degraded: AtomicBool::new(degraded),
             fingerprints: Mutex::new(lru::Lru::new(1024)),
             hits_mem: AtomicU64::new(0),
             hits_disk: AtomicU64::new(0),
@@ -227,6 +246,13 @@ impl Cache {
         self.disk.is_some() && !self.disk_offline.load(Ordering::Relaxed)
     }
 
+    /// Whether a requested disk tier is *not* serving — degraded to
+    /// memory-only by a probe failure or write-error escalation. False for
+    /// a cache that never asked for a disk tier.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
     fn disk_store(&self) -> Option<&DiskStore> {
         if self.disk_offline.load(Ordering::Relaxed) {
             return None;
@@ -240,7 +266,12 @@ impl Cache {
         let n = self.disk_write_errors.fetch_add(1, Ordering::Relaxed) + 1;
         metrics::counter_add("cache.disk.write_error", 1);
         if n >= DISK_WRITE_ERROR_LIMIT && !self.disk_offline.swap(true, Ordering::Relaxed) {
+            self.degraded.store(true, Ordering::Relaxed);
             metrics::counter_add("cache.disk_disabled", 1);
+            repro_obs::event(
+                "cache_degraded",
+                &format!("disk tier offline after {n} write error(s)"),
+            );
             eprintln!(
                 "repro-cache: disk tier disabled after {n} write error(s), \
                  continuing memory-only"
@@ -361,6 +392,10 @@ impl Cache {
         key: Key,
         compute: impl FnOnce() -> Result<T, ReproError>,
     ) -> Result<T, ReproError> {
+        // Span the whole lookup under its stage name: a hit closes the
+        // span immediately, a miss nests the compile-stage spans (which
+        // arrive via the metrics::time hook) beneath it.
+        let _span = repro_obs::SpanScope::enter(key.stage.span_name());
         // Memory tier.
         let cached = self.mem.lock().unwrap().lru.get(&key).cloned();
         if let Some(bytes) = cached {

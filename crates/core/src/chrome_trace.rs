@@ -300,6 +300,109 @@ fn event_row(ev: &TraceEvent, launch: usize, offset: u64) -> Row {
     }
 }
 
+/// The single trace *process* every serve-log span lands in; workers map
+/// to threads beneath it.
+pub const SERVE_PID: u64 = 1;
+
+/// Export a `repro serve` session log (NDJSON, one outcome per line) as a
+/// chrome://tracing document — the host-time counterpart of
+/// [`chrome_trace`]'s cycle-time view.
+///
+/// Every outcome line whose service ran with `repro-obs` armed carries a
+/// `spans` tree; each node becomes one complete ("X") event with
+/// microsecond timestamps (span times are already µs since the process
+/// epoch, which is exactly the chrome-trace unit). Layout: one process
+/// (`repro serve`), one thread per worker, and every event's `args` carry
+/// the job's `trace_id` and label so a lane can be filtered back to its
+/// request. Lines without spans (summaries, command replies, disarmed
+/// outcomes) are skipped; unparseable lines are skipped too, so a log with
+/// interleaved stderr noise still exports.
+pub fn chrome_trace_serve(log: &str) -> Result<Json, String> {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut jobs = 0usize;
+    for (lineno, raw) in log.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(j) = Json::parse(line) else { continue };
+        let Some(spans) = j.get("spans") else {
+            continue;
+        };
+        let tree = repro_obs::parse_span(spans)
+            .ok_or_else(|| format!("line {}: malformed span tree", lineno + 1))?;
+        let trace_id = j.get("trace_id").and_then(Json::as_str).unwrap_or("");
+        let label = j.get("label").and_then(Json::as_str).unwrap_or("");
+        let worker = j.get("worker").and_then(Json::as_u64).unwrap_or(0);
+        jobs += 1;
+        serve_span_rows(&mut rows, &tree, worker, trace_id, label);
+    }
+    if jobs == 0 {
+        return Err("no outcome lines with span trees found \
+             (was the service run with observability armed?)"
+            .to_string());
+    }
+    rows.sort_by_key(|r| (r.pid, r.tid, r.ts));
+    let tids: Vec<u64> = rows
+        .iter()
+        .map(|r| r.tid)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let mut out: Vec<Json> = Vec::with_capacity(rows.len() + tids.len() + 1);
+    out.push(metadata(
+        SERVE_PID,
+        None,
+        "process_name",
+        "repro serve".into(),
+    ));
+    for &tid in &tids {
+        out.push(metadata(
+            SERVE_PID,
+            Some(tid),
+            "thread_name",
+            format!("worker {tid}"),
+        ));
+    }
+    out.extend(rows.into_iter().map(|r| r.json));
+    Ok(Json::obj(vec![
+        ("traceEvents", Json::Array(out)),
+        ("displayTimeUnit", Json::Str("ms".into())),
+    ]))
+}
+
+fn serve_span_rows(
+    rows: &mut Vec<Row>,
+    node: &repro_obs::SpanNode,
+    worker: u64,
+    trace_id: &str,
+    label: &str,
+) {
+    rows.push(Row {
+        pid: SERVE_PID,
+        tid: worker,
+        ts: node.start_us,
+        json: Json::obj(vec![
+            ("name", Json::Str(node.name.clone())),
+            ("ph", Json::Str("X".into())),
+            ("pid", Json::UInt(SERVE_PID)),
+            ("tid", Json::UInt(worker)),
+            ("ts", Json::UInt(node.start_us)),
+            ("dur", Json::UInt(node.dur_us)),
+            (
+                "args",
+                Json::obj(vec![
+                    ("trace_id", Json::Str(trace_id.to_string())),
+                    ("label", Json::Str(label.to_string())),
+                ]),
+            ),
+        ]),
+    });
+    for c in &node.children {
+        serve_span_rows(rows, c, worker, trace_id, label);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +456,67 @@ mod tests {
         // Round-trips through the parser.
         let parsed = Json::parse(&doc.to_pretty()).unwrap();
         assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn serve_log_exports_span_trees_per_worker() {
+        let log = concat!(
+            "{\"batch\":1,\"jobs\":2,\"ok\":2}\n",
+            "not json at all\n",
+            "{\"id\":1,\"label\":\"Vecadd/vortex\",\"worker\":0,\
+             \"trace_id\":\"00000000deadbeef\",\"spans\":{\"name\":\"job\",\
+             \"start_us\":10,\"dur_us\":90,\"children\":[{\"name\":\
+             \"queue_wait\",\"start_us\":10,\"dur_us\":5},{\"name\":\
+             \"flow.vortex\",\"start_us\":15,\"dur_us\":80,\"children\":[\
+             {\"name\":\"cache.vortex\",\"start_us\":16,\"dur_us\":70}]}]}}\n",
+            "{\"id\":2,\"label\":\"Saxpy/interp\",\"worker\":1,\
+             \"trace_id\":\"0000000000000abc\",\"spans\":{\"name\":\"job\",\
+             \"start_us\":12,\"dur_us\":40}}\n",
+        );
+        let doc = chrome_trace_serve(log).expect("two span trees export");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 process metadata + 2 worker threads + 4 spans + 1 span.
+        assert_eq!(events.len(), 8);
+        let xs: Vec<(&str, u64, u64)> = events
+            .iter()
+            .filter(|e| e.get("dur").is_some())
+            .map(|e| {
+                (
+                    e.get("name").unwrap().as_str().unwrap(),
+                    e.get("tid").unwrap().as_u64().unwrap(),
+                    e.get("ts").unwrap().as_u64().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            xs,
+            [
+                ("job", 0, 10),
+                ("queue_wait", 0, 10),
+                ("flow.vortex", 0, 15),
+                ("cache.vortex", 0, 16),
+                ("job", 1, 12),
+            ]
+        );
+        let args = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("cache.vortex"))
+            .unwrap()
+            .get("args")
+            .unwrap();
+        assert_eq!(
+            args.get("trace_id").unwrap().as_str(),
+            Some("00000000deadbeef")
+        );
+        assert_eq!(args.get("label").unwrap().as_str(), Some("Vecadd/vortex"));
+        // Round-trips through the parser.
+        let parsed = Json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn serve_log_without_spans_is_a_helpful_error() {
+        let err = chrome_trace_serve("{\"batch\":1,\"jobs\":0}\n").unwrap_err();
+        assert!(err.contains("observability"), "{err}");
     }
 }

@@ -38,13 +38,14 @@ pub mod perf_report;
 pub mod report;
 pub mod serve;
 pub mod tables;
+pub mod top;
 
 pub use chaos::{chaos_json, render_chaos, run_chaos, ScenarioReport, CHAOS_SEED};
 pub use check::{
     check_has_hard_failure, check_json, check_requests, check_suite, check_suite_on, render_check,
     CheckRow, FlowCheck, FlowStats, CHECK_MAX_CYCLES, CHECK_MAX_INSTRUCTIONS,
 };
-pub use chrome_trace::chrome_trace;
+pub use chrome_trace::{chrome_trace, chrome_trace_serve};
 pub use coverage::{coverage_table, CoverageRow};
 pub use fig7::{fig7_grid, fig7_summary, Fig7Cell, Fig7Grid};
 pub use manifest::{host_meta, HostMeta, RunManifest, MANIFEST_SCHEMA_VERSION};
@@ -56,3 +57,4 @@ pub use perf_report::{
 };
 pub use serve::{bench_serve, serve_lines, serve_socket, ServeOptions, ServeSummary};
 pub use tables::{table2, table3, table4, AreaRow};
+pub use top::{render_top, run_top, TopOptions};

@@ -115,22 +115,37 @@ pub struct ServeSummary {
     pub shed: u64,
     /// Transient-failure re-runs performed by the retry loop.
     pub retried: u64,
+    /// Retried jobs whose *final* outcome was ok — the retry loop's yield.
+    pub healed: u64,
+    /// Outcomes whose wall-clock deadline fired (in queue or mid-run).
+    pub deadline_fired: u64,
     /// Whether the session ended via a `{"cmd":"drain"}` request.
     pub drained: bool,
+}
+
+/// What [`run_batch`] produced: the outcomes plus this batch's retry
+/// accounting (also accumulated into the session [`ServeSummary`], but the
+/// per-batch summary line needs the per-batch values).
+struct BatchResult {
+    outcomes: Vec<JobOutcome>,
+    retried: u64,
+    healed: u64,
 }
 
 /// One batch's worth of responses: the outcome lines then the summary line.
 fn write_batch(
     out: &mut dyn Write,
     batch_no: u64,
-    outcomes: &[JobOutcome],
+    batch: &BatchResult,
     wall_secs: f64,
 ) -> std::io::Result<()> {
+    let outcomes = &batch.outcomes;
     for oc in outcomes {
         writeln!(out, "{}", oc.to_json().to_compact())?;
     }
     let ok = outcomes.iter().filter(|o| o.is_ok()).count() as u64;
     let failed = outcomes.len() as u64 - ok;
+    let deadline_fired = outcomes.iter().filter(|o| o.deadline_fired).count() as u64;
     let jobs_per_sec = if wall_secs > 0.0 {
         outcomes.len() as f64 / wall_secs
     } else {
@@ -141,6 +156,9 @@ fn write_batch(
         ("jobs", (outcomes.len() as u64).to_json()),
         ("ok", ok.to_json()),
         ("failed", failed.to_json()),
+        ("deadline_fired", deadline_fired.to_json()),
+        ("retried", batch.retried.to_json()),
+        ("healed", batch.healed.to_json()),
         ("wall_secs", wall_secs.to_json()),
         ("jobs_per_sec", jobs_per_sec.to_json()),
     ]);
@@ -241,6 +259,93 @@ fn inject_line_faults(buf: &mut Vec<u8>) -> Option<usize> {
     fire_param(FaultPoint::ServeLineOversize).map(|p| (p as usize).max(MAX_LINE_BYTES + 1))
 }
 
+/// `{"cmd":"stats"}` — one JSON line summarizing the rolling 5-minute
+/// window: throughput, latency percentiles, cache hit-rate, steal/park
+/// rates, and fault/retry counts, all *windowed* (what the service is
+/// doing now), never cumulative totals. The raw windowed snapshot rides
+/// along under `"window"` for clients that want other series.
+fn write_stats(out: &mut dyn Write, exec: &Executor) -> std::io::Result<()> {
+    let w = metrics::window_snapshot();
+    let uptime = repro_obs::uptime_secs();
+    let lat = w.histogram("sched.job_latency").copied();
+    let hits = w.counter("cache.hit");
+    let lookups = hits + w.counter("cache.miss");
+    let hit_rate = if lookups > 0 {
+        hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+    let line = Json::obj(vec![
+        ("cmd", "stats".to_json()),
+        ("ok", Json::Bool(true)),
+        ("uptime_secs", uptime.to_json()),
+        ("window_secs", uptime.min(w.horizon_secs as f64).to_json()),
+        ("jobs", w.counter("sched.jobs").to_json()),
+        ("jobs_per_sec", w.rate("sched.jobs", uptime).to_json()),
+        ("p50_latency_secs", lat.map_or(0.0, |h| h.p50).to_json()),
+        ("p95_latency_secs", lat.map_or(0.0, |h| h.p95).to_json()),
+        ("cache_hit_rate", hit_rate.to_json()),
+        ("steals_per_sec", w.rate("sched.steal", uptime).to_json()),
+        ("parks_per_sec", w.rate("sched.park", uptime).to_json()),
+        (
+            "deadline_fired",
+            w.counter("sched.deadline_fired").to_json(),
+        ),
+        ("retries", w.counter("serve.retry").to_json()),
+        ("healed", w.counter("serve.healed").to_json()),
+        ("shed", w.counter("serve.shed").to_json()),
+        ("faults", w.counter("fault.fired").to_json()),
+        ("queue_depth", (exec.queue_depth() as u64).to_json()),
+        ("window", w.to_json()),
+    ]);
+    writeln!(out, "{}", line.to_compact())?;
+    out.flush()
+}
+
+/// `{"cmd":"health"}` — liveness at a glance: queue depth, pool width,
+/// drain state, degraded-cache flag, uptime, session totals.
+fn write_health(
+    out: &mut dyn Write,
+    exec: &Executor,
+    summary: &ServeSummary,
+) -> std::io::Result<()> {
+    let line = Json::obj(vec![
+        ("cmd", "health".to_json()),
+        ("ok", Json::Bool(true)),
+        ("uptime_secs", repro_obs::uptime_secs().to_json()),
+        ("workers", (exec.workers() as u64).to_json()),
+        ("queue_depth", (exec.queue_depth() as u64).to_json()),
+        ("draining", Json::Bool(exec.draining())),
+        (
+            "cache_degraded",
+            Json::Bool(repro_cache::global().degraded()),
+        ),
+        ("obs_armed", Json::Bool(repro_obs::armed())),
+        ("batches", summary.batches.to_json()),
+        ("jobs", summary.jobs.to_json()),
+    ]);
+    writeln!(out, "{}", line.to_compact())?;
+    out.flush()
+}
+
+/// `{"cmd":"events"}` — flush the bounded structured event ring as one
+/// JSON line (oldest first, plus how many were dropped since last flush).
+fn write_events(out: &mut dyn Write) -> std::io::Result<()> {
+    let (events, dropped) = repro_obs::drain_events();
+    let line = Json::obj(vec![
+        ("cmd", "events".to_json()),
+        ("ok", Json::Bool(true)),
+        ("count", (events.len() as u64).to_json()),
+        ("dropped", dropped.to_json()),
+        (
+            "events",
+            Json::Array(events.iter().map(ToJson::to_json).collect()),
+        ),
+    ]);
+    writeln!(out, "{}", line.to_compact())?;
+    out.flush()
+}
+
 /// Run one batch through the executor with admission control and the
 /// transient-retry loop, returning outcomes in submission order.
 fn run_batch(
@@ -248,7 +353,7 @@ fn run_batch(
     opts: &ServeOptions,
     reqs: Vec<JobRequest>,
     summary: &mut ServeSummary,
-) -> Vec<JobOutcome> {
+) -> BatchResult {
     // Admission control: only as many jobs as fit under the queue-depth
     // limit enter the executor; the tail is shed typed, in order.
     let (admitted, shed) = match opts.max_queue {
@@ -259,6 +364,10 @@ fn run_batch(
                 let mut admitted = reqs;
                 let shed: Vec<JobRequest> = admitted.split_off(room);
                 metrics::counter_add("serve.shed", shed.len() as u64);
+                repro_obs::event(
+                    "shed",
+                    &format!("{} job(s) shed at queue depth {depth}", shed.len()),
+                );
                 summary.shed += shed.len() as u64;
                 (admitted, shed)
             } else {
@@ -267,11 +376,14 @@ fn run_batch(
         }
         None => (reqs, Vec::new()),
     };
+    repro_obs::event("admit", &format!("{} job(s) admitted", admitted.len()));
     let queued = exec.queue_depth() + admitted.len();
     let mut outcomes = exec.run(admitted.iter().cloned().map(instantiate).collect());
     // Bounded retry for transient failures, deterministic exponential
     // backoff. Draining is transient for the *client* (resubmit elsewhere)
     // but futile to retry here: the executor will only reject again.
+    let mut batch_retried = 0u64;
+    let mut retried_slots: Vec<usize> = Vec::new();
     for attempt in 0..opts.retry_max {
         if exec.draining() {
             break;
@@ -292,7 +404,21 @@ fn run_batch(
         }
         std::thread::sleep(Duration::from_millis(opts.retry_backoff_ms << attempt));
         metrics::counter_add("serve.retry", again.len() as u64);
+        repro_obs::event(
+            "retry",
+            &format!(
+                "attempt {}: {} transient failure(s)",
+                attempt + 1,
+                again.len()
+            ),
+        );
         summary.retried += again.len() as u64;
+        batch_retried += again.len() as u64;
+        for &i in &again {
+            if !retried_slots.contains(&i) {
+                retried_slots.push(i);
+            }
+        }
         let retried = exec.run(
             again
                 .iter()
@@ -304,10 +430,20 @@ fn run_batch(
             outcomes[slot] = oc;
         }
     }
+    // A retried slot whose final outcome is ok was healed by the loop.
+    let healed = retried_slots
+        .iter()
+        .filter(|&&i| outcomes[i].is_ok())
+        .count() as u64;
+    if healed > 0 {
+        metrics::counter_add("serve.healed", healed);
+    }
+    summary.healed += healed;
     // Shed jobs still get one response each, in submission order.
     let limit = opts.max_queue.unwrap_or(0);
     for req in shed {
         let index = outcomes.len();
+        let trace_id = repro_obs::trace_id(&req.to_json().to_compact(), index);
         outcomes.push(JobOutcome {
             id: req.id,
             index,
@@ -316,9 +452,15 @@ fn run_batch(
             wall_secs: 0.0,
             worker: 0,
             deadline_fired: false,
+            trace_id,
+            spans: None,
         });
     }
-    outcomes
+    BatchResult {
+        outcomes,
+        retried: batch_retried,
+        healed,
+    }
 }
 
 /// Run the NDJSON protocol over any line source and sink — the whole serve
@@ -342,12 +484,13 @@ pub fn serve_lines(
         summary.batches += 1;
         let reqs = std::mem::take(pending);
         let started = Instant::now();
-        let outcomes = run_batch(exec, opts, reqs, summary);
+        let batch = run_batch(exec, opts, reqs, summary);
         let wall = started.elapsed().as_secs_f64();
-        summary.jobs += outcomes.len() as u64;
-        summary.ok += outcomes.iter().filter(|o| o.is_ok()).count() as u64;
-        summary.failed += outcomes.iter().filter(|o| !o.is_ok()).count() as u64;
-        write_batch(out, summary.batches, &outcomes, wall)?;
+        summary.jobs += batch.outcomes.len() as u64;
+        summary.ok += batch.outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+        summary.failed += batch.outcomes.iter().filter(|o| !o.is_ok()).count() as u64;
+        summary.deadline_fired += batch.outcomes.iter().filter(|o| o.deadline_fired).count() as u64;
+        write_batch(out, summary.batches, &batch, wall)?;
         Ok(true)
     };
     let mut buf = Vec::new();
@@ -398,24 +541,46 @@ pub fn serve_lines(
                 }
             }
             Ok(obj @ Json::Object(_)) => {
-                if obj.get("cmd").and_then(Json::as_str) == Some("drain") {
-                    // Graceful drain: the executor stops starting new
-                    // work first, so everything still pending completes
-                    // with a typed Draining rejection — then we ack and
-                    // exit. (The cache's disk tier is write-through;
-                    // nothing needs flushing.)
-                    exec.drain();
-                    summary.drained = true;
-                    flush(&mut pending, &mut summary, &mut out)?;
-                    let ack = Json::obj(vec![
-                        ("ok", Json::Bool(true)),
-                        ("cmd", "drain".to_json()),
-                        ("batches", summary.batches.to_json()),
-                        ("jobs", summary.jobs.to_json()),
-                    ]);
-                    writeln!(out, "{}", ack.to_compact())?;
-                    out.flush()?;
-                    return Ok(summary);
+                // Any object carrying a `cmd` key is a command, never a
+                // job — an unknown cmd gets a typed reject instead of a
+                // confusing "job needs bench or source" parse error.
+                if let Some(cmd) = obj.get("cmd").and_then(Json::as_str) {
+                    match cmd {
+                        "drain" => {
+                            // Graceful drain: the executor stops starting
+                            // new work first, so everything still pending
+                            // completes with a typed Draining rejection —
+                            // then we ack and exit. (The cache's disk tier
+                            // is write-through; nothing needs flushing.)
+                            repro_obs::event("drain", "drain requested; session ending");
+                            exec.drain();
+                            summary.drained = true;
+                            flush(&mut pending, &mut summary, &mut out)?;
+                            let ack = Json::obj(vec![
+                                ("ok", Json::Bool(true)),
+                                ("cmd", "drain".to_json()),
+                                ("batches", summary.batches.to_json()),
+                                ("jobs", summary.jobs.to_json()),
+                            ]);
+                            writeln!(out, "{}", ack.to_compact())?;
+                            out.flush()?;
+                            return Ok(summary);
+                        }
+                        "stats" => write_stats(&mut out, exec)?,
+                        "health" => write_health(&mut out, exec, &summary)?,
+                        "events" => write_events(&mut out)?,
+                        other => {
+                            summary.rejected += 1;
+                            write_reject(
+                                &mut out,
+                                &format!(
+                                    "unknown cmd `{other}` \
+                                     (expected drain, stats, health, or events)"
+                                ),
+                            )?;
+                        }
+                    }
+                    continue;
                 }
                 match parse_request(&obj, opts) {
                     Ok(req) => pending.push(req),
@@ -461,6 +626,8 @@ pub fn serve_socket(
         total.rejected += s.rejected;
         total.shed += s.shed;
         total.retried += s.retried;
+        total.healed += s.healed;
+        total.deadline_fired += s.deadline_fired;
         total.drained |= s.drained;
         if opts.once || s.drained {
             break;
@@ -842,6 +1009,52 @@ mod tests {
         assert_eq!(err.get("kind").unwrap().as_str(), Some("Draining"));
         assert_eq!(resp[2].get("cmd").unwrap().as_str(), Some("drain"));
         assert_eq!(resp[2].get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn introspection_commands_answer_inline_without_batching() {
+        let input = "{\"cmd\": \"health\"}\n{\"bench\": \"Vecadd\"}\n\n\
+                     {\"cmd\": \"stats\"}\n{\"cmd\": \"events\"}\n\
+                     {\"cmd\": \"bogus\"}\n";
+        let mut out = Vec::new();
+        let e = exec(2);
+        let s = serve_lines(&e, &ServeOptions::default(), input.as_bytes(), &mut out).unwrap();
+        assert_eq!((s.batches, s.jobs, s.ok, s.rejected), (1, 1, 1, 1));
+        let resp = lines(&out);
+        assert_eq!(
+            resp.len(),
+            6,
+            "health, outcome, summary, stats, events, reject"
+        );
+        let health = &resp[0];
+        assert_eq!(health.get("cmd").unwrap().as_str(), Some("health"));
+        assert_eq!(health.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(health.get("workers").unwrap().as_u64(), Some(2));
+        assert_eq!(health.get("draining").unwrap().as_bool(), Some(false));
+        assert!(health.get("cache_degraded").is_some());
+        // The batch summary now carries the hardening counters.
+        let summary = &resp[2];
+        assert_eq!(summary.get("deadline_fired").unwrap().as_u64(), Some(0));
+        assert_eq!(summary.get("retried").unwrap().as_u64(), Some(0));
+        assert_eq!(summary.get("healed").unwrap().as_u64(), Some(0));
+        let stats = &resp[3];
+        assert_eq!(stats.get("cmd").unwrap().as_str(), Some("stats"));
+        assert_eq!(stats.get("ok").unwrap().as_bool(), Some(true));
+        assert!(stats.get("jobs_per_sec").unwrap().as_f64().is_some());
+        assert!(stats.get("window").is_some(), "raw snapshot rides along");
+        let events = &resp[4];
+        assert_eq!(events.get("cmd").unwrap().as_str(), Some("events"));
+        assert!(events.get("events").unwrap().as_array().is_some());
+        let reject = &resp[5];
+        assert_eq!(reject.get("ok").unwrap().as_bool(), Some(false));
+        let detail = reject
+            .get("error")
+            .unwrap()
+            .get("detail")
+            .unwrap()
+            .as_str()
+            .unwrap();
+        assert!(detail.contains("unknown cmd `bogus`"), "{detail}");
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! `repro top` — a live text dashboard over a running `repro serve`
+//! socket session.
+//!
+//! The client polls the in-band `{"cmd":"stats"}` endpoint on an interval
+//! and renders each windowed snapshot as a compact frame: throughput,
+//! latency percentiles, cache hit-rate, scheduler churn, and the
+//! fault/retry counters. Everything shown is *windowed* (the rolling
+//! 5-minute horizon the service keeps), so the numbers describe what the
+//! service is doing now, not since boot.
+//!
+//! Rendering ([`render_top`]) is a pure function of one stats line, so the
+//! dashboard is unit-testable without a socket; [`run_top`] owns the
+//! polling loop.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use repro_util::Json;
+
+/// Configuration for one `repro top` session.
+#[derive(Debug, Clone)]
+pub struct TopOptions {
+    /// Address of the serve socket to poll (`host:port`).
+    pub addr: String,
+    /// Poll interval between frames.
+    pub interval_ms: u64,
+    /// Stop after this many frames (`None` = until the service goes away).
+    pub frames: Option<u64>,
+    /// Clear the screen before each frame (interactive mode); off, frames
+    /// append — the CI-friendly form.
+    pub clear: bool,
+}
+
+impl Default for TopOptions {
+    fn default() -> TopOptions {
+        TopOptions {
+            addr: "127.0.0.1:9479".to_string(),
+            interval_ms: 1000,
+            frames: None,
+            clear: false,
+        }
+    }
+}
+
+fn f(stats: &Json, key: &str) -> f64 {
+    stats.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn u(stats: &Json, key: &str) -> u64 {
+    stats.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Render one `{"cmd":"stats"}` reply as a dashboard frame. Unknown or
+/// missing fields render as zero — a frame never fails.
+pub fn render_top(stats: &Json) -> String {
+    if stats.get("ok").and_then(Json::as_bool) != Some(true) {
+        let err = stats
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("malformed stats reply");
+        return format!("repro top: service error: {err}\n");
+    }
+    let hit = f(stats, "cache_hit_rate") * 100.0;
+    format!(
+        "repro serve — up {:.0}s, window {:.0}s\n\
+         jobs/sec  {:8.2}   p50 {:8.2}ms   p95 {:8.2}ms\n\
+         jobs      {:8}   cache hit {:5.1}%   queue {:5}\n\
+         steals/s  {:8.2}   parks/s {:8.2}\n\
+         deadline  {:8}   retries {:5}   healed {:4}   shed {:4}   faults {:4}\n",
+        f(stats, "uptime_secs"),
+        f(stats, "window_secs"),
+        f(stats, "jobs_per_sec"),
+        f(stats, "p50_latency_secs") * 1e3,
+        f(stats, "p95_latency_secs") * 1e3,
+        u(stats, "jobs"),
+        hit,
+        u(stats, "queue_depth"),
+        f(stats, "steals_per_sec"),
+        f(stats, "parks_per_sec"),
+        u(stats, "deadline_fired"),
+        u(stats, "retries"),
+        u(stats, "healed"),
+        u(stats, "shed"),
+        u(stats, "faults"),
+    )
+}
+
+/// Poll a serve socket and render frames to `out` until the frame budget
+/// runs out or the service closes the connection.
+pub fn run_top(opts: &TopOptions, out: &mut dyn Write) -> std::io::Result<()> {
+    let stream = TcpStream::connect(&opts.addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut frame = 0u64;
+    let mut line = String::new();
+    loop {
+        writeln!(writer, "{{\"cmd\":\"stats\"}}")?;
+        writer.flush()?;
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            writeln!(out, "repro top: service closed the connection")?;
+            return Ok(());
+        }
+        let stats = Json::parse(line.trim()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad stats line from service: {e}"),
+            )
+        })?;
+        if opts.clear {
+            write!(out, "\x1b[2J\x1b[H")?;
+        }
+        write!(out, "{}", render_top(&stats))?;
+        out.flush()?;
+        frame += 1;
+        if let Some(max) = opts.frames {
+            if frame >= max {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(Duration::from_millis(opts.interval_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_util::ToJson;
+
+    #[test]
+    fn renders_windowed_stats_frame() {
+        let stats = Json::obj(vec![
+            ("cmd", "stats".to_json()),
+            ("ok", Json::Bool(true)),
+            ("uptime_secs", 12.0f64.to_json()),
+            ("window_secs", 12.0f64.to_json()),
+            ("jobs", 42u64.to_json()),
+            ("jobs_per_sec", 3.5f64.to_json()),
+            ("p50_latency_secs", 0.0031f64.to_json()),
+            ("p95_latency_secs", 0.0098f64.to_json()),
+            ("cache_hit_rate", 0.875f64.to_json()),
+            ("queue_depth", 3u64.to_json()),
+            ("retries", 2u64.to_json()),
+            ("healed", 1u64.to_json()),
+        ]);
+        let frame = render_top(&stats);
+        assert!(frame.contains("up 12s"), "{frame}");
+        assert!(frame.contains("3.50"), "{frame}");
+        assert!(frame.contains("87.5%"), "{frame}");
+        assert!(frame.contains("3.10ms"), "{frame}");
+        assert!(frame.contains("healed    1"), "{frame}");
+    }
+
+    #[test]
+    fn renders_service_error_without_panicking() {
+        let reply = Json::obj(vec![
+            ("ok", Json::Bool(false)),
+            ("error", "unknown cmd `stat`".to_json()),
+        ]);
+        let frame = render_top(&reply);
+        assert!(frame.contains("unknown cmd"), "{frame}");
+    }
+
+    #[test]
+    fn missing_fields_render_as_zero() {
+        let stats = Json::obj(vec![("ok", Json::Bool(true))]);
+        let frame = render_top(&stats);
+        assert!(frame.contains("jobs/sec      0.00"), "{frame}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-job span trees: a nested record of where one request's host time
+//! went, built on the worker thread that executes the job.
+
+use repro_util::{Json, ToJson};
+
+/// One node of a job's span tree. Times are microseconds since the
+/// process [`epoch`](crate::epoch); durations are wall-clock and therefore
+/// nondeterministic — everything else (name, nesting, child order) is a
+/// pure function of what the job executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    pub name: String,
+    pub start_us: u64,
+    pub dur_us: u64,
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Total nodes in this subtree (root included).
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::count).sum::<usize>()
+    }
+
+    /// The duration-free shape of the tree: nested names only. Two runs of
+    /// the same job must produce equal signatures regardless of pool width
+    /// or which worker executed them — the span-determinism tests compare
+    /// exactly this.
+    pub fn signature(&self) -> String {
+        let mut out = String::new();
+        self.write_signature(&mut out);
+        out
+    }
+
+    fn write_signature(&self, out: &mut String) {
+        out.push_str(&self.name);
+        if !self.children.is_empty() {
+            out.push('(');
+            for (i, c) in self.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                c.write_signature(out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+impl ToJson for SpanNode {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name", self.name.to_json()),
+            ("start_us", self.start_us.to_json()),
+            ("dur_us", self.dur_us.to_json()),
+        ];
+        if !self.children.is_empty() {
+            fields.push((
+                "children",
+                Json::Array(self.children.iter().map(ToJson::to_json).collect()),
+            ));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// Parse a span tree back from its wire form ([`SpanNode::to_json`]
+/// inverse). `None` on any missing or mistyped field.
+pub fn parse_span(j: &Json) -> Option<SpanNode> {
+    let name = j.get("name")?.as_str()?.to_string();
+    let start_us = j.get("start_us")?.as_u64()?;
+    let dur_us = j.get("dur_us")?.as_u64()?;
+    let children = match j.get("children") {
+        None => Vec::new(),
+        Some(c) => c
+            .as_array()?
+            .iter()
+            .map(parse_span)
+            .collect::<Option<Vec<_>>>()?,
+    };
+    Some(SpanNode {
+        name,
+        start_us,
+        dur_us,
+        children,
+    })
+}
+
+/// An open (not yet closed) span frame on the recorder stack.
+struct Frame {
+    name: String,
+    start_us: u64,
+    children: Vec<SpanNode>,
+}
+
+/// Per-thread span recorder for one job. The stack holds the chain of
+/// currently-open frames; closing a frame folds it into its parent's
+/// children. Index 0 is the synthetic `job` root.
+pub(crate) struct Recorder {
+    #[allow(dead_code)]
+    trace_id: u64,
+    stack: Vec<Frame>,
+}
+
+impl Recorder {
+    pub(crate) fn new(trace_id: u64, start_us: u64) -> Recorder {
+        Recorder {
+            trace_id,
+            stack: vec![Frame {
+                name: "job".to_string(),
+                start_us,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    fn enter(&mut self, name: &str, now_us: u64) {
+        self.stack.push(Frame {
+            name: name.to_string(),
+            start_us: now_us,
+            children: Vec::new(),
+        });
+    }
+
+    fn exit(&mut self, now_us: u64) {
+        // Never pop the root: a stray exit (hook imbalance) is dropped
+        // rather than corrupting the tree.
+        if self.stack.len() <= 1 {
+            return;
+        }
+        let frame = self.stack.pop().expect("len checked above");
+        let node = SpanNode {
+            name: frame.name,
+            start_us: frame.start_us,
+            dur_us: now_us.saturating_sub(frame.start_us),
+            children: frame.children,
+        };
+        self.stack
+            .last_mut()
+            .expect("root always present")
+            .children
+            .push(node);
+    }
+
+    pub(crate) fn attach(&mut self, name: &str, start_us: u64, dur_us: u64) {
+        self.stack
+            .last_mut()
+            .expect("root always present")
+            .children
+            .push(SpanNode {
+                name: name.to_string(),
+                start_us,
+                dur_us,
+                children: Vec::new(),
+            });
+    }
+
+    /// Close every still-open frame (a panicked job unwinds past its
+    /// scopes) and return the finished tree.
+    pub(crate) fn finish(mut self, now_us: u64) -> SpanNode {
+        while self.stack.len() > 1 {
+            self.exit(now_us);
+        }
+        let root = self.stack.pop().expect("root always present");
+        SpanNode {
+            name: root.name,
+            start_us: root.start_us,
+            dur_us: now_us.saturating_sub(root.start_us),
+            children: root.children,
+        }
+    }
+}
+
+/// RAII guard for one nested span: created by [`enter`](SpanScope::enter),
+/// closes the span on drop. While disarmed — or on a thread with no active
+/// job — construction is one relaxed atomic load and drop is free.
+pub struct SpanScope {
+    live: bool,
+}
+
+impl SpanScope {
+    pub fn enter(name: &str) -> SpanScope {
+        SpanScope {
+            live: recorder_enter(name),
+        }
+    }
+}
+
+impl Drop for SpanScope {
+    fn drop(&mut self) {
+        if self.live {
+            recorder_exit();
+        }
+    }
+}
+
+/// Push a frame onto the current thread's recorder, if one is active.
+/// Returns whether a frame was actually opened (so the matching exit can
+/// be skipped when it wasn't).
+fn recorder_enter(name: &str) -> bool {
+    if !crate::armed() {
+        return false;
+    }
+    let now = crate::now_us();
+    crate::RECORDER.with(|r| match r.borrow_mut().as_mut() {
+        Some(rec) => {
+            rec.enter(name, now);
+            true
+        }
+        None => false,
+    })
+}
+
+fn recorder_exit() {
+    let now = crate::now_us();
+    crate::RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            rec.exit(now);
+        }
+    });
+}
+
+/// [`repro_util::metrics::set_span_hook`] entry half: piggybacks every
+/// `metrics::time(...)` call site (compile stages, launch, cache tiers)
+/// onto the current job's span tree. Returns whether a frame opened, so
+/// the metrics layer knows whether to call [`hook_exit`].
+pub(crate) fn hook_enter(name: &str) -> bool {
+    recorder_enter(name)
+}
+
+/// Exit half of the metrics span hook.
+pub(crate) fn hook_exit() {
+    recorder_exit();
+}

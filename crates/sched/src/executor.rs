@@ -41,7 +41,7 @@ use std::time::{Duration, Instant};
 
 use repro_diag::{run_isolated, ReproError};
 use repro_fault::{fire, fire_param, FaultPoint};
-use repro_util::{metrics, Parker};
+use repro_util::{metrics, Parker, ToJson};
 
 use crate::job::{Job, JobCtx, JobOutcome};
 
@@ -118,6 +118,11 @@ struct Task {
     /// job whose deadline expires while it is still parked in a deque is
     /// rejected typed when a worker picks it up, without executing.
     deadline: Option<Instant>,
+    /// Deterministic correlation id, computed at submission from the
+    /// request's canonical wire form and batch position.
+    trace_id: u64,
+    /// When the task entered the deque — the queue-wait span's start.
+    submitted: Instant,
 }
 
 /// Shared state of one submitted batch: the outcome slots and a
@@ -289,11 +294,14 @@ impl Executor {
                 .req
                 .deadline_ms
                 .map(|ms| now + Duration::from_millis(ms));
+            let trace_id = repro_obs::trace_id(&job.req.to_json().to_compact(), index);
             self.shared.deques[w].lock().unwrap().push_back(Task {
                 job,
                 index,
                 batch: Arc::clone(&shared),
                 deadline,
+                trace_id,
+                submitted: now,
             });
         }
         let depth = self.shared.queued.fetch_add(n, Ordering::AcqRel) + n;
@@ -393,6 +401,8 @@ fn execute(me: usize, task: Task, shared: &Shared) {
         index,
         batch,
         deadline,
+        trace_id,
+        submitted,
     } = task;
     let id = job.req.id;
     let label = job.req.label();
@@ -412,6 +422,8 @@ fn execute(me: usize, task: Task, shared: &Shared) {
                 wall_secs: 0.0,
                 worker: me,
                 deadline_fired: false,
+                trace_id,
+                spans: None,
             },
         );
         return;
@@ -438,6 +450,8 @@ fn execute(me: usize, task: Task, shared: &Shared) {
                 wall_secs: 0.0,
                 worker: me,
                 deadline_fired: true,
+                trace_id,
+                spans: None,
             },
         );
         return;
@@ -455,6 +469,14 @@ fn execute(me: usize, task: Task, shared: &Shared) {
     let ctx = JobCtx {
         cancelled: Arc::clone(&cancelled),
     };
+    // Span recording (armed only under `repro serve`): the queue-wait
+    // interval elapsed before we picked the task up, so it is attached as
+    // an already-measured leaf; everything from here on records live.
+    if repro_obs::begin_job(trace_id) {
+        let wait_us = submitted.elapsed().as_micros() as u64;
+        let now_us = repro_obs::now_us();
+        repro_obs::attach_span("queue_wait", now_us.saturating_sub(wait_us), wait_us);
+    }
     let start = Instant::now();
     let mut result = run_isolated(|| {
         // `sched.job.panic`: a bug in our own stack, not the kernel — must
@@ -473,6 +495,7 @@ fn execute(me: usize, task: Task, shared: &Shared) {
         job.execute(&ctx)
     });
     let wall_secs = start.elapsed().as_secs_f64();
+    let spans = repro_obs::end_job();
     // Retire from the in-flight table (identity: our cancelled flag).
     shared
         .inflight
@@ -502,6 +525,8 @@ fn execute(me: usize, task: Task, shared: &Shared) {
             wall_secs,
             worker: me,
             deadline_fired,
+            trace_id,
+            spans,
         },
     );
 }

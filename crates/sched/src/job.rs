@@ -16,6 +16,7 @@
 
 use ocl_ir::passes::OptLevel;
 use repro_diag::{FailureClass, ReproError};
+use repro_obs::SpanNode;
 use repro_util::{Json, ToJson};
 
 /// Default watchdog budgets for scheduled jobs — the PR 4 `repro check`
@@ -355,6 +356,14 @@ pub struct JobOutcome {
     /// True when the deadline watcher fired before the job finished; the
     /// result is then the typed `DeadlineExceeded` error.
     pub deadline_fired: bool,
+    /// Deterministic correlation id: a pure hash of the request's
+    /// canonical wire form and its batch position
+    /// ([`repro_obs::trace_id`]), so the same plan reruns to the same ids.
+    pub trace_id: u64,
+    /// Host-time span tree recorded while executing this job; present only
+    /// when `repro-obs` is armed (a live `repro serve`), never in batch
+    /// mode.
+    pub spans: Option<SpanNode>,
 }
 
 impl JobOutcome {
@@ -393,6 +402,10 @@ impl ToJson for JobOutcome {
         fields.push(("worker", (self.worker as u64).to_json()));
         if self.deadline_fired {
             fields.push(("deadline_fired", Json::Bool(true)));
+        }
+        fields.push(("trace_id", repro_obs::trace_id_hex(self.trace_id).to_json()));
+        if let Some(spans) = &self.spans {
+            fields.push(("spans", spans.to_json()));
         }
         Json::obj(fields)
     }
@@ -522,6 +535,8 @@ mod tests {
             wall_secs: 0.06,
             worker: 2,
             deadline_fired: true,
+            trace_id: 0xdead_beef,
+            spans: None,
         };
         assert_eq!(oc.class(), Some(FailureClass::Hang));
         let j = oc.to_json();
@@ -530,5 +545,11 @@ mod tests {
         assert_eq!(err.get("kind").unwrap().as_str(), Some("DeadlineExceeded"));
         assert_eq!(err.get("class").unwrap().as_str(), Some("Hang"));
         assert_eq!(j.get("deadline_fired").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            j.get("trace_id").unwrap().as_str(),
+            Some("00000000deadbeef"),
+            "trace ids travel as 16-digit hex"
+        );
+        assert!(j.get("spans").is_none(), "no span tree recorded");
     }
 }

@@ -41,8 +41,19 @@ pub fn sim_config(req: &JobRequest) -> SimConfig {
 
 /// Execute one request. This is the body of every scheduled job; the
 /// executor wraps it in panic isolation, the sequential reference path
-/// ([`run_oneshot`]) calls it directly.
-pub fn run_request(req: &JobRequest, _ctx: &JobCtx) -> Result<JobStats, ReproError> {
+/// ([`run_oneshot`]) calls it directly. Under an armed `repro-obs` the
+/// whole execution records as one `flow.*` span, with the cache-lookup and
+/// compile-stage spans nesting beneath it.
+pub fn run_request(req: &JobRequest, ctx: &JobCtx) -> Result<JobStats, ReproError> {
+    let span_name = match req.flow {
+        Flow::Interp => "flow.interp",
+        Flow::Vortex => "flow.vortex",
+        Flow::Hls => "flow.hls",
+    };
+    repro_obs::span(span_name, || run_request_inner(req, ctx))
+}
+
+fn run_request_inner(req: &JobRequest, _ctx: &JobCtx) -> Result<JobStats, ReproError> {
     match &req.payload {
         Payload::Bench { name, paper_scale } => {
             let b = crate::benchmark(name)

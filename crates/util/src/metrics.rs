@@ -28,8 +28,27 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enter half of the span hook: returns whether a frame was opened (so the
+/// matching exit call can be skipped when it wasn't).
+pub type SpanEnter = fn(&str) -> bool;
+/// Exit half of the span hook.
+pub type SpanExit = fn();
+
+/// The installed span hook, if any. Set once per process — `repro-obs`
+/// registers itself here so every [`time`] call site doubles as a span in
+/// the current job's trace without this crate depending on the tracer.
+static SPAN_HOOK: OnceLock<(SpanEnter, SpanExit)> = OnceLock::new();
+
+/// Install the process-wide span hook (first caller wins; later calls are
+/// ignored). The hook only fires on [`time`]'s *enabled* path, so the
+/// disabled-registry cost stays one relaxed atomic load.
+pub fn set_span_hook(enter: SpanEnter, exit: SpanExit) {
+    let _ = SPAN_HOOK.set((enter, exit));
+}
 
 #[derive(Default)]
 struct Inner {
@@ -70,9 +89,17 @@ pub fn counter_add(name: &str, n: u64) {
     if !enabled() {
         return;
     }
-    let mut r = registry().lock().unwrap();
-    let c = r.counters.entry(name.to_string()).or_insert(0);
-    *c = c.saturating_add(n);
+    {
+        let mut r = registry().lock().unwrap();
+        let c = r.counters.entry(name.to_string()).or_insert(0);
+        *c = c.saturating_add(n);
+    }
+    if windowed() {
+        windows()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .counter_add(name, n, current_period());
+    }
 }
 
 /// Set gauge `name` to `v` (last write wins). No-op while disabled.
@@ -100,17 +127,27 @@ pub fn observe_secs(name: &str, secs: f64) {
         .entry(name.to_string())
         .or_default()
         .push(secs);
+    if windowed() {
+        windows()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .observe(name, secs, current_period());
+    }
 }
 
 /// Time `f` and record the span into histogram `name`. While disabled this
-/// is a direct call — no clock is read.
+/// is a direct call — no clock is read and the span hook never fires.
 pub fn time<R>(name: &str, f: impl FnOnce() -> R) -> R {
     if !enabled() {
         return f();
     }
-    let t0 = std::time::Instant::now();
+    let hook = SPAN_HOOK.get().map(|&(enter, exit)| (enter(name), exit));
+    let t0 = Instant::now();
     let r = f();
     observe_secs(name, t0.elapsed().as_secs_f64());
+    if let Some((true, exit)) = hook {
+        exit();
+    }
     r
 }
 
@@ -281,6 +318,279 @@ pub fn snapshot_from_json(j: &crate::Json) -> Option<Snapshot> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Windowed time-series
+//
+// The cumulative registry above answers "what happened since the process
+// started" — useless for an operator watching a live `repro serve`, where
+// the interesting question is "what is happening *now*". The windowed
+// layer keeps, per counter and histogram name, a fixed ring of per-10s
+// buckets spanning a rolling 5-minute horizon. Buckets are reset lazily on
+// reuse (stamped with their period id), so rotation costs nothing when a
+// name goes quiet.
+//
+// Cost contract: windowed collection piggybacks on the *enabled* slow path
+// of `counter_add`/`observe_secs` — a fully-disabled registry still costs
+// exactly one relaxed atomic load, and an enabled-but-unwindowed registry
+// adds one more relaxed load only after it has already taken the lock.
+// ---------------------------------------------------------------------------
+
+/// Seconds covered by one window bucket.
+pub const WINDOW_BUCKET_SECS: u64 = 10;
+/// Buckets in the ring: 30 × 10 s = a rolling 5-minute horizon.
+pub const WINDOW_BUCKETS: usize = 30;
+
+static WINDOWED: AtomicBool = AtomicBool::new(false);
+
+/// Whether windowed collection is on (checked only on the already-enabled
+/// slow path).
+fn windowed() -> bool {
+    WINDOWED.load(Ordering::Relaxed)
+}
+
+/// Turn windowed collection on. Implies nothing about [`enable`] — the
+/// windowed layer only sees what the cumulative registry records, so a
+/// server wanting live stats enables both.
+pub fn window_enable() {
+    WINDOWED.store(true, Ordering::Relaxed);
+}
+
+/// Turn windowed collection off again (the default state).
+pub fn window_disable() {
+    WINDOWED.store(false, Ordering::Relaxed);
+}
+
+/// Clear every window ring (does not change the windowed flag).
+pub fn window_reset() {
+    let mut w = windows().lock().unwrap_or_else(|e| e.into_inner());
+    *w = WindowSet::new();
+}
+
+fn windows() -> &'static Mutex<WindowSet> {
+    static WIN: OnceLock<Mutex<WindowSet>> = OnceLock::new();
+    WIN.get_or_init(|| Mutex::new(WindowSet::new()))
+}
+
+/// The process clock the global window rings are stamped with: period ids
+/// count `WINDOW_BUCKET_SECS` intervals since first use.
+fn window_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn current_period() -> u64 {
+    window_epoch().elapsed().as_secs() / WINDOW_BUCKET_SECS
+}
+
+/// One counter's bucket ring: `(period stamp, value)` per slot, indexed by
+/// `period % WINDOW_BUCKETS`. A slot whose stamp is stale logically holds
+/// zero and is reset on the next write to it.
+#[derive(Debug, Clone)]
+struct CounterRing {
+    slots: Vec<(u64, u64)>,
+}
+
+impl CounterRing {
+    fn new() -> CounterRing {
+        CounterRing {
+            slots: vec![(u64::MAX, 0); WINDOW_BUCKETS],
+        }
+    }
+
+    fn add(&mut self, n: u64, period: u64) {
+        let slot = &mut self.slots[(period as usize) % WINDOW_BUCKETS];
+        if slot.0 != period {
+            *slot = (period, 0);
+        }
+        slot.1 = slot.1.saturating_add(n);
+    }
+
+    /// Sum over the horizon ending at `now_period` (inclusive).
+    fn total(&self, now_period: u64) -> u64 {
+        self.slots
+            .iter()
+            .filter(|(stamp, _)| in_horizon(*stamp, now_period))
+            .map(|&(_, v)| v)
+            .sum()
+    }
+}
+
+/// One histogram's bucket ring: raw samples per bucket, bounded by the
+/// horizon (stale buckets are reset on reuse, and snapshots ignore them).
+#[derive(Debug, Clone)]
+struct HistoRing {
+    slots: Vec<(u64, Vec<f64>)>,
+}
+
+impl HistoRing {
+    fn new() -> HistoRing {
+        HistoRing {
+            slots: vec![(u64::MAX, Vec::new()); WINDOW_BUCKETS],
+        }
+    }
+
+    fn observe(&mut self, secs: f64, period: u64) {
+        let slot = &mut self.slots[(period as usize) % WINDOW_BUCKETS];
+        if slot.0 != period {
+            slot.0 = period;
+            slot.1.clear();
+        }
+        slot.1.push(secs);
+    }
+
+    fn samples(&self, now_period: u64) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (stamp, vals) in &self.slots {
+            if in_horizon(*stamp, now_period) {
+                out.extend_from_slice(vals);
+            }
+        }
+        out
+    }
+}
+
+/// Whether a bucket stamped `stamp` is inside the horizon ending at
+/// `now_period`: the `WINDOW_BUCKETS` most recent periods, current one
+/// included. `u64::MAX` (the never-written sentinel) is always outside.
+fn in_horizon(stamp: u64, now_period: u64) -> bool {
+    stamp <= now_period && stamp + (WINDOW_BUCKETS as u64) > now_period
+}
+
+/// The windowed registry core. Period ids are an explicit argument on
+/// every method so rotation is testable without a clock; the global
+/// wrapper derives them from the process epoch.
+#[derive(Debug, Default)]
+pub struct WindowSet {
+    counters: BTreeMap<String, CounterRing>,
+    histograms: BTreeMap<String, HistoRing>,
+}
+
+impl WindowSet {
+    pub fn new() -> WindowSet {
+        WindowSet::default()
+    }
+
+    /// Add `n` to counter `name` in the bucket for `period`.
+    pub fn counter_add(&mut self, name: &str, n: u64, period: u64) {
+        self.counters
+            .entry(name.to_string())
+            .or_insert_with(CounterRing::new)
+            .add(n, period);
+    }
+
+    /// Record one observation into histogram `name`'s bucket for `period`.
+    pub fn observe(&mut self, name: &str, secs: f64, period: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(HistoRing::new)
+            .observe(secs, period);
+    }
+
+    /// Summarise the horizon ending at `now_period`. Names whose every
+    /// bucket has aged out vanish from the snapshot entirely — a windowed
+    /// snapshot reports recent activity, not lifetime presence.
+    pub fn snapshot_at(&self, now_period: u64) -> WindowSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(k, ring)| match ring.total(now_period) {
+                0 => None,
+                v => Some((k.clone(), v)),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|(k, ring)| {
+                let samples = ring.samples(now_period);
+                if samples.is_empty() {
+                    None
+                } else {
+                    Some((k.clone(), HistogramSummary::from_samples(&samples)))
+                }
+            })
+            .collect();
+        WindowSnapshot {
+            horizon_secs: (WINDOW_BUCKETS as u64) * WINDOW_BUCKET_SECS,
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// A point-in-time summary of the rolling window, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowSnapshot {
+    /// Seconds the window spans (bucket size × bucket count).
+    pub horizon_secs: u64,
+    /// Per-counter sums within the horizon.
+    pub counters: Vec<(String, u64)>,
+    /// Per-histogram summaries over the samples within the horizon.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl WindowSnapshot {
+    /// Counter sum within the window, by exact name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Histogram summary within the window, by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Events per second for counter `name`, over the smaller of the
+    /// horizon and the observed age — so a 20-second-old server reports
+    /// jobs/sec against 20 s, not against an empty 5-minute window.
+    pub fn rate(&self, name: &str, age_secs: f64) -> f64 {
+        let denom = age_secs.min(self.horizon_secs as f64).max(1e-9);
+        self.counter(name) as f64 / denom
+    }
+}
+
+impl crate::ToJson for WindowSnapshot {
+    fn to_json(&self) -> crate::Json {
+        use crate::Json;
+        Json::obj(vec![
+            ("horizon_secs", self.horizon_secs.to_json()),
+            (
+                "counters",
+                Json::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Summarise the global window rings as of now. Works whether or not
+/// windowed collection is on (an unwindowed registry snapshots as empty).
+pub fn window_snapshot() -> WindowSnapshot {
+    windows()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .snapshot_at(current_period())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,5 +686,98 @@ mod tests {
         let back = snapshot_from_json(&parsed).unwrap();
         assert_eq!(back, s);
         assert_eq!(back.histogram("span").unwrap().count, 2);
+    }
+
+    #[test]
+    fn window_counter_rotates_out_at_horizon_boundary() {
+        let mut w = WindowSet::new();
+        w.counter_add("jobs", 5, 0);
+        w.counter_add("jobs", 3, 1);
+        // Period 0's bucket is visible through period WINDOW_BUCKETS - 1...
+        let last_in = WINDOW_BUCKETS as u64 - 1;
+        assert_eq!(w.snapshot_at(0).counter("jobs"), 5);
+        assert_eq!(w.snapshot_at(last_in).counter("jobs"), 8);
+        // ...and gone exactly one period later; period 1's bucket follows.
+        assert_eq!(w.snapshot_at(last_in + 1).counter("jobs"), 3);
+        assert_eq!(w.snapshot_at(last_in + 2).counter("jobs"), 0);
+        // An aged-out name disappears from the snapshot entirely.
+        assert!(w.snapshot_at(last_in + 2).counters.is_empty());
+    }
+
+    #[test]
+    fn window_bucket_slot_resets_on_reuse_one_full_turn_later() {
+        let mut w = WindowSet::new();
+        w.counter_add("c", 100, 2);
+        // One full ring revolution later the same slot is reused; the old
+        // value must not bleed into the new period's count.
+        let reuse = 2 + WINDOW_BUCKETS as u64;
+        w.counter_add("c", 7, reuse);
+        assert_eq!(w.snapshot_at(reuse).counter("c"), 7);
+    }
+
+    #[test]
+    fn window_percentiles_are_nearest_rank_over_window_samples_only() {
+        let mut w = WindowSet::new();
+        // 100 samples of 1..=100 ms spread over periods 0..4, plus a huge
+        // outlier far in the past that must age out of the window.
+        w.observe("lat", 999.0, 0);
+        for v in 1..=100u64 {
+            w.observe("lat", v as f64 * 1e-3, v % 5 + WINDOW_BUCKETS as u64);
+        }
+        let now = WINDOW_BUCKETS as u64 + 4;
+        let h = *w.snapshot_at(now).histogram("lat").unwrap();
+        assert_eq!(h.count, 100, "outlier aged out");
+        assert!((h.p50 - 0.050).abs() < 1e-12, "p50 {}", h.p50);
+        assert!((h.p95 - 0.095).abs() < 1e-12, "p95 {}", h.p95);
+        assert!((h.max - 0.100).abs() < 1e-12, "max {}", h.max);
+    }
+
+    #[test]
+    fn window_snapshot_json_shape() {
+        let mut w = WindowSet::new();
+        w.counter_add("jobs.done", 4, 0);
+        w.observe("job.wall", 0.5, 0);
+        let snap = w.snapshot_at(0);
+        assert!((snap.rate("jobs.done", 2.0) - 2.0).abs() < 1e-12);
+        use crate::ToJson;
+        let j = crate::Json::parse(&snap.to_json().to_compact()).unwrap();
+        assert_eq!(
+            j.get("horizon_secs").and_then(|v| v.as_u64()),
+            Some(WINDOW_BUCKET_SECS * WINDOW_BUCKETS as u64)
+        );
+        assert_eq!(
+            j.get("counters")
+                .and_then(|c| c.get("jobs.done"))
+                .and_then(|v| v.as_u64()),
+            Some(4)
+        );
+        assert_eq!(
+            j.get("histograms")
+                .and_then(|h| h.get("job.wall"))
+                .and_then(|h| h.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn windowed_global_registry_sees_enabled_traffic_only() {
+        let _g = serial();
+        disable();
+        window_reset();
+        window_enable();
+        // Disabled cumulative registry => windowed layer sees nothing
+        // either (it rides the enabled slow path).
+        counter_add("w.jobs", 5);
+        assert_eq!(window_snapshot().counter("w.jobs"), 0);
+        enable();
+        counter_add("w.jobs", 2);
+        observe_secs("w.lat", 0.25);
+        let snap = window_snapshot();
+        disable();
+        window_disable();
+        window_reset();
+        assert_eq!(snap.counter("w.jobs"), 2);
+        assert_eq!(snap.histogram("w.lat").unwrap().count, 1);
     }
 }

@@ -8,6 +8,7 @@ pub use repro_cache as cache;
 pub use repro_core as repro;
 pub use repro_diag as diag;
 pub use repro_fault as fault;
+pub use repro_obs as obs;
 pub use repro_sched as sched;
 pub use repro_util as util;
 pub use vortex_cc as vcc;

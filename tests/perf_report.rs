@@ -12,6 +12,7 @@
 //! `REGOLD=1 cargo test --test perf_report`.
 
 use fpga_gpu_repro::arch::VortexConfig;
+use fpga_gpu_repro::obs;
 use fpga_gpu_repro::repro::{collect_perf, render_perf_html, render_perf_markdown, PerfOptions};
 use fpga_gpu_repro::suite::{benchmark, run_vortex, Scale};
 use fpga_gpu_repro::vsim::SimConfig;
@@ -69,6 +70,9 @@ fn metrics_disabled_are_observably_free() {
         metrics::snapshot().is_empty(),
         "disabled registry must record nothing"
     );
+    // …the windowed view is empty too (disarmed cost is one relaxed load)…
+    let w = metrics::window_snapshot();
+    assert!(w.counters.is_empty() && w.histograms.is_empty());
     // …and the simulation itself is bit-identical to an instrumented run.
     metrics::enable();
     let on = run_vortex(&b, Scale::Test, &cfg).unwrap();
@@ -80,4 +84,43 @@ fn metrics_disabled_are_observably_free() {
     assert_eq!(off.printf_output, on.printf_output);
     assert!(snap.histogram("suite.vortex.launch").is_some());
     assert!(snap.counter("suite.runs.vortex").unwrap_or(0) >= 1);
+}
+
+#[test]
+fn windowed_and_armed_observability_stay_bit_identical() {
+    let _g = lock();
+    // Disarmed observability records nothing: no spans outside a job, no
+    // events, nothing in the windowed registry.
+    metrics::disable();
+    metrics::reset();
+    metrics::window_reset();
+    obs::disarm();
+    let b = benchmark("Vecadd").unwrap();
+    let cfg = SimConfig::new(VortexConfig::new(4, 8, 8));
+    let off = run_vortex(&b, Scale::Test, &cfg).unwrap();
+    obs::event("smoke", "never recorded while disarmed");
+    assert_eq!(obs::drain_events().0.len(), 0);
+    let w = metrics::window_snapshot();
+    assert!(w.counters.is_empty() && w.histograms.is_empty());
+    // The full serve-style arming — cumulative + windowed metrics + obs —
+    // changes nothing about what the simulator computes…
+    metrics::enable();
+    metrics::window_enable();
+    obs::arm();
+    let on = run_vortex(&b, Scale::Test, &cfg).unwrap();
+    let w = metrics::window_snapshot();
+    // …while the windowed registry now sees the run.
+    obs::disarm();
+    metrics::window_disable();
+    metrics::disable();
+    metrics::reset();
+    metrics::window_reset();
+    assert_eq!(off.cycles, on.cycles);
+    assert_eq!(off.instructions, on.instructions);
+    assert_eq!(off.printf_output, on.printf_output);
+    assert!(
+        w.counter("suite.runs.vortex") >= 1,
+        "windowed registry must see the armed run"
+    );
+    assert!(w.histogram("suite.vortex.launch").is_some());
 }
